@@ -1,0 +1,56 @@
+// Ablation: the event-size tagging rule (Fig 5b).
+//
+// The paper tags each up event with the smallest prefix mask in which all
+// addresses "either had an up event or showed no activity in both
+// snapshots". A stricter alternative — every address in the prefix must
+// itself have an up event — sounds more faithful but collapses: renumbered
+// blocks rarely reactivate *every* single address, so the strict rule tags
+// nearly everything as individual churn and the bulky-event signal
+// disappears. This bench shows both rules side by side.
+#include <iostream>
+
+#include "activity/eventsize.h"
+#include "cdn/observatory.h"
+#include "common.h"
+#include "report/table.h"
+
+int main(int argc, char** argv) {
+  using namespace ipscope;
+  sim::World world{bench::ConfigFromArgs(argc, argv, 2000)};
+  bench::PrintWorldBanner(world);
+
+  auto store = cdn::Observatory::Daily(world).BuildStore();
+
+  std::cout << "=== Up-event size tagging: paper rule vs strict rule ===\n\n";
+  report::Table t({"window", "rule", "<=/24", "/25-/28", "/29-/32"});
+  for (int w : {1, 7, 28}) {
+    int num_windows = store.days() / w;
+    activity::EventSizeHistogram paper, strict;
+    for (int p = 0; p + 1 < num_windows; ++p) {
+      auto hp = activity::EventSizes(store, p * w, (p + 1) * w, (p + 1) * w,
+                                     (p + 2) * w, true);
+      auto hs = activity::EventSizesStrict(store, p * w, (p + 1) * w,
+                                           (p + 1) * w, (p + 2) * w, true);
+      for (std::size_t m = 0; m < hp.by_mask.size(); ++m) {
+        paper.by_mask[m] += hp.by_mask[m];
+        strict.by_mask[m] += hs.by_mask[m];
+      }
+      paper.total += hp.total;
+      strict.total += hs.total;
+    }
+    auto add = [&](const char* rule, const activity::EventSizeHistogram& h) {
+      t.AddRow({std::to_string(w) + "d", rule,
+                report::FormatPercent(h.FractionInMaskRange(0, 24)),
+                report::FormatPercent(h.FractionInMaskRange(25, 28)),
+                report::FormatPercent(h.FractionInMaskRange(29, 32))});
+    };
+    add("paper", paper);
+    add("strict", strict);
+  }
+  t.Print(std::cout);
+  std::cout << "\n[the strict rule erases the window-size trend the paper "
+               "reports: without the inactive-in-both qualification, "
+               "month-scale renumberings no longer register as bulky "
+               "events]\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Baseline comparison: UDmap-style login-trace inference (Xie et al.,
+// §3.1) vs the paper's rDNS tagging vs ground truth — which method best
+// recovers static/dynamic assignment, and what lease lengths does the
+// login trace reveal per true policy?
+#include <iostream>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/udmap.h"
+#include "cdn/observatory.h"
+#include "common.h"
+#include "rdns/tagger.h"
+#include "report/table.h"
+#include "stats/quantile.h"
+
+int main(int argc, char** argv) {
+  using namespace ipscope;
+  sim::World world{bench::ConfigFromArgs(argc, argv, 2000)};
+  bench::PrintWorldBanner(world);
+
+  // Ground truth over stable client blocks.
+  std::unordered_map<net::BlockKey, sim::PolicyKind> truth;
+  std::vector<net::BlockKey> client_keys;
+  for (const sim::BlockPlan& plan : world.blocks()) {
+    if (plan.HasReconfiguration()) continue;
+    truth[net::BlockKeyOf(plan.block)] = plan.base.kind;
+    if (sim::IsClientPolicy(plan.base.kind)) {
+      client_keys.push_back(net::BlockKeyOf(plan.block));
+    }
+  }
+  auto is_dynamic = [](sim::PolicyKind k) {
+    return k == sim::PolicyKind::kDynamicShort ||
+           k == sim::PolicyKind::kDynamicLong;
+  };
+  auto is_static = [](sim::PolicyKind k) {
+    return k == sim::PolicyKind::kStatic;
+  };
+  std::uint64_t true_dynamic = 0, true_static = 0;
+  for (net::BlockKey key : client_keys) {
+    if (is_dynamic(truth[key])) ++true_dynamic;
+    if (is_static(truth[key])) ++true_static;
+  }
+
+  struct Score {
+    std::uint64_t tagged = 0, correct = 0, truth_total = 0;
+    double Precision() const {
+      return tagged ? static_cast<double>(correct) / tagged : 0.0;
+    }
+    double Recall() const {
+      return truth_total ? static_cast<double>(correct) / truth_total : 0.0;
+    }
+  };
+  auto score = [&](const std::vector<net::BlockKey>& keys, auto correct_fn,
+                   std::uint64_t truth_total) {
+    Score s;
+    s.truth_total = truth_total;
+    for (net::BlockKey key : keys) {
+      auto it = truth.find(key);
+      if (it == truth.end()) continue;
+      ++s.tagged;
+      if (correct_fn(it->second)) ++s.correct;
+    }
+    return s;
+  };
+
+  // --- Method 1: the paper's rDNS keyword tagging ---
+  rdns::PtrGenerator ptr{world};
+  rdns::TaggedBlocks rdns_tags = rdns::TagBlocks(ptr, client_keys);
+  Score rdns_dyn = score(rdns_tags.dynamic_blocks, is_dynamic, true_dynamic);
+  Score rdns_sta = score(rdns_tags.static_blocks, is_static, true_static);
+
+  // --- Method 2: UDmap over login traces ---
+  cdn::LoginTraceGenerator logins{world,
+                                  cdn::Observatory::Daily(world).spec()};
+  auto events = logins.Trace();
+  auto udmap = baseline::AnalyzeLogins(events);
+  Score udmap_dyn = score(udmap.dynamic_blocks, is_dynamic, true_dynamic);
+  Score udmap_sta = score(udmap.static_blocks, is_static, true_static);
+
+  std::cout << "=== Static/dynamic inference: rDNS (paper) vs UDmap "
+               "(baseline) ===\n";
+  std::cout << "login events analysed: " << events.size() << "\n\n";
+  report::Table t({"method", "class", "tagged", "precision", "recall"});
+  auto add = [&](const char* method, const char* cls, const Score& s) {
+    t.AddRow({method, cls, report::FormatCount(s.tagged),
+              report::FormatPercent(s.Precision()),
+              report::FormatPercent(s.Recall())});
+  };
+  add("rDNS keywords", "dynamic", rdns_dyn);
+  add("rDNS keywords", "static", rdns_sta);
+  add("UDmap logins", "dynamic", udmap_dyn);
+  add("UDmap logins", "static", udmap_sta);
+  t.Print(std::cout);
+  std::cout << "[rDNS recall is bounded by PTR coverage/noise; UDmap recall "
+               "by login visibility — the paper's choice of rDNS tagging is "
+               "validated if precision is high for both]\n";
+
+  // --- Lease-length estimates from login holding times ---
+  std::cout << "\n=== Median (user, ip) holding time by true policy ===\n";
+  std::map<sim::PolicyKind, std::vector<double>> holdings;
+  for (const auto& stats : udmap.blocks) {
+    auto it = truth.find(stats.key);
+    if (it == truth.end() || stats.events < 50) continue;
+    holdings[it->second].push_back(stats.median_holding_steps);
+  }
+  report::Table h({"true policy", "blocks", "median holding (days)"});
+  for (auto& [kind, values] : holdings) {
+    h.AddRow({sim::PolicyKindName(kind),
+              report::FormatCount(values.size()),
+              report::FormatDouble(stats::Median(values), 1)});
+  }
+  h.Print(std::cout);
+  std::cout << "[expected ordering: dynamic-short ~1 day << dynamic-long "
+               "(lease-scale) << static (tenure-scale) — cf. Moura et al.'s "
+               "DHCP churn estimation]\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// The Zander et al. (IMC 2014) baseline: capture-recapture estimation of
+// the total active address population from partial observations. The paper
+// (§8) counts 1.2B active addresses and notes this agrees with Zander's
+// statistical estimate; here we validate the estimator against the
+// simulator's ground-truth population — two-sample Chapman from pairs of
+// weekly snapshots, and multi-occasion Schnabel over the year.
+#include <iostream>
+#include <vector>
+
+#include "cdn/observatory.h"
+#include "common.h"
+#include "report/table.h"
+#include "stats/capture_recapture.h"
+
+int main(int argc, char** argv) {
+  using namespace ipscope;
+  sim::World world{bench::ConfigFromArgs(argc, argv)};
+  bench::PrintWorldBanner(world);
+
+  auto weekly = cdn::Observatory::Weekly(world).BuildStore();
+  net::Ipv4Set full_year = weekly.ActiveSet(0, weekly.days());
+  std::uint64_t truth = full_year.Count();
+
+  std::cout << "=== Capture-recapture vs ground truth ===\n";
+  std::cout << "true yearly active population: " << report::FormatCount(truth)
+            << "\n\n";
+
+  report::Table t({"estimator", "occasions", "estimate", "error"});
+  auto add = [&](const char* name, const char* occ, double est) {
+    double err = truth ? (est - static_cast<double>(truth)) /
+                             static_cast<double>(truth)
+                       : 0.0;
+    t.AddRow({name, occ, report::FormatSi(est), report::FormatPercent(err)});
+  };
+
+  // Chapman from week pairs at increasing separation.
+  for (int gap : {1, 4, 13, 26}) {
+    net::Ipv4Set w1 = weekly.ActiveSet(10, 11);
+    net::Ipv4Set w2 = weekly.ActiveSet(10 + gap, 11 + gap);
+    auto est = stats::Chapman(w1.Count(), w2.Count(), w1.CountIntersect(w2));
+    add("Chapman", ("weeks 10," + std::to_string(10 + gap)).c_str(),
+        est.population);
+  }
+
+  // Schnabel over every 4th week.
+  std::vector<std::uint64_t> catches, recaptures, marked_before;
+  net::Ipv4Set marked;
+  for (int w = 0; w < weekly.days(); w += 4) {
+    net::Ipv4Set caught = weekly.ActiveSet(w, w + 1);
+    catches.push_back(caught.Count());
+    recaptures.push_back(caught.CountIntersect(marked));
+    marked_before.push_back(marked.Count());
+    marked = marked.Union(caught);
+  }
+  auto schnabel = stats::Schnabel(catches, recaptures, marked_before);
+  add("Schnabel", "13 x every 4th week", schnabel.population);
+  t.Print(std::cout);
+
+  std::cout << "\n[paper §8: the 1.2B direct count agrees with Zander's "
+               "capture-recapture estimate, 'boding well' for sampling-based "
+               "estimation — here quantified against ground truth.]\n"
+            << "Note: weekly snapshots violate the closed-population "
+               "assumption (churn!), so single-pair Chapman estimates "
+               "undershoot the yearly population; multi-occasion Schnabel "
+               "closes most of the gap.\n";
+  return 0;
+}

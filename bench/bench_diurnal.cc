@@ -1,0 +1,72 @@
+// Diurnal phase inference per country ("When the Internet Sleeps",
+// Quan et al., the paper's ref [30]): raw-log timestamps alone reveal each
+// country's local-time phase. We histogram UTC request hours per country,
+// locate the peak, and recover the UTC offset — scored against the
+// simulator's ground-truth offsets.
+#include <array>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "cdn/observatory.h"
+#include "cdn/rawlog.h"
+#include "common.h"
+#include "geo/country.h"
+#include "report/table.h"
+
+int main(int argc, char** argv) {
+  using namespace ipscope;
+  sim::World world{bench::ConfigFromArgs(argc, argv, 1000)};
+  bench::PrintWorldBanner(world);
+
+  cdn::Observatory daily = cdn::Observatory::Daily(world);
+  cdn::RawLogGenerator raw{world, daily.spec()};
+
+  // Histogram UTC request hours per country over one week, capping records
+  // per address so gateways do not drown the signal.
+  std::map<int, std::array<std::uint64_t, 24>> hours_by_country;
+  std::map<int, std::uint64_t> records_by_country;
+  for (const sim::BlockPlan& plan : world.blocks()) {
+    if (!sim::IsClientPolicy(plan.base.kind) || plan.country < 0) continue;
+    for (int step = 0; step < 7; ++step) {
+      raw.ForBlockStep(plan, step, [&](const cdn::LogRecord& r) {
+        ++hours_by_country[plan.country][(r.unix_time / 3600) % 24];
+        ++records_by_country[plan.country];
+      }, /*per_address_cap=*/3);
+    }
+  }
+
+  // The local diurnal curve peaks at 20:00; a UTC peak at hour H implies
+  // an offset of (20 - H) mod 24 (normalized into [-11, 12]).
+  const auto countries = geo::Countries();
+  std::cout << "=== Per-country diurnal phase recovered from raw logs ===\n";
+  report::Table t({"country", "records", "UTC peak hour", "inferred offset",
+                   "true offset"});
+  int scored = 0, correct = 0;
+  for (const auto& [country, hours] : hours_by_country) {
+    if (records_by_country[country] < 20000) continue;  // too noisy
+    int peak = 0;
+    for (int h = 1; h < 24; ++h) {
+      if (hours[static_cast<std::size_t>(h)] >
+          hours[static_cast<std::size_t>(peak)]) {
+        peak = h;
+      }
+    }
+    int inferred = (20 - peak + 48) % 24;
+    if (inferred > 12) inferred -= 24;
+    int truth =
+        countries[static_cast<std::size_t>(country)].utc_offset_hours;
+    ++scored;
+    if (std::abs(inferred - truth) <= 1) ++correct;
+    t.AddRow({std::string{countries[static_cast<std::size_t>(country)].code},
+              report::FormatCount(records_by_country[country]),
+              std::to_string(peak), std::to_string(inferred),
+              std::to_string(truth)});
+  }
+  t.Print(std::cout);
+  std::cout << "\noffsets recovered within +-1h: " << correct << "/"
+            << scored
+            << "   [ref 30 infers sleep cycles from probe responses; here "
+               "the CDN's own request timestamps carry the same signal]\n";
+  return 0;
+}

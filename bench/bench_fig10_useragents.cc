@@ -1,0 +1,15 @@
+// Regenerates Fig 10: UA samples vs unique UA strings per /24, with the
+// three-region classification and its ground-truth validation.
+#include <iostream>
+
+#include "analysis/fig10_useragents.h"
+#include "common.h"
+
+int main(int argc, char** argv) {
+  ipscope::sim::World world{ipscope::bench::ConfigFromArgs(argc, argv)};
+  ipscope::bench::PrintWorldBanner(world);
+  auto daily = ipscope::cdn::Observatory::Daily(world);
+  auto result = ipscope::analysis::RunFig10(world, daily);
+  ipscope::analysis::PrintFig10(result, std::cout);
+  return 0;
+}

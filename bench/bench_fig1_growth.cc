@@ -1,0 +1,13 @@
+// Regenerates Fig 1: monthly active IPv4 addresses 2008-2016, the pre-2014
+// linear fit, and the post-2014 stagnation gap.
+#include <iostream>
+
+#include "analysis/fig1_growth.h"
+#include "common.h"
+
+int main(int argc, char** argv) {
+  auto config = ipscope::bench::ConfigFromArgs(argc, argv);
+  auto result = ipscope::analysis::RunFig1(config.seed);
+  ipscope::analysis::PrintFig1(result, std::cout);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Regenerates Fig 2: CDN vs ICMP visibility at IP//24/prefix/AS granularity
+// (2a) and the classification of ICMP-only addresses (2b).
+#include <iostream>
+
+#include "analysis/visibility.h"
+#include "cdn/observatory.h"
+#include "common.h"
+
+int main(int argc, char** argv) {
+  ipscope::sim::World world{ipscope::bench::ConfigFromArgs(argc, argv)};
+  ipscope::bench::PrintWorldBanner(world);
+  auto store = ipscope::cdn::Observatory::Daily(world).BuildStore();
+  ipscope::bgp::RoutingFeed feed{world};
+  auto result = ipscope::analysis::RunVisibility(world, store, feed);
+  ipscope::analysis::PrintVisibility(result, std::cout);
+  return 0;
+}

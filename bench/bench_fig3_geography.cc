@@ -1,0 +1,16 @@
+// Regenerates Fig 3: visibility per RIR (3a) and per country with
+// subscriber-rank annotations (3b).
+#include <iostream>
+
+#include "analysis/fig3_geography.h"
+#include "cdn/observatory.h"
+#include "common.h"
+
+int main(int argc, char** argv) {
+  ipscope::sim::World world{ipscope::bench::ConfigFromArgs(argc, argv)};
+  ipscope::bench::PrintWorldBanner(world);
+  auto store = ipscope::cdn::Observatory::Daily(world).BuildStore();
+  auto result = ipscope::analysis::RunFig3(world, store);
+  ipscope::analysis::PrintFig3(result, std::cout);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Regenerates Fig 4: daily activity/up/down events (4a), churn vs window
+// size (4b), and year-long appear/disappear vs the first week (4c).
+#include <iostream>
+
+#include "analysis/fig4_churn.h"
+#include "cdn/observatory.h"
+#include "common.h"
+
+int main(int argc, char** argv) {
+  ipscope::sim::World world{ipscope::bench::ConfigFromArgs(argc, argv)};
+  ipscope::bench::PrintWorldBanner(world);
+  auto daily = ipscope::cdn::Observatory::Daily(world).BuildStore();
+  auto weekly = ipscope::cdn::Observatory::Weekly(world).BuildStore();
+  auto result = ipscope::analysis::RunFig4(daily, weekly);
+  ipscope::analysis::PrintFig4(result, std::cout);
+  return 0;
+}

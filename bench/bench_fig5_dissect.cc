@@ -1,0 +1,19 @@
+// Regenerates Fig 5: per-AS churn CDF (5a), up-event size distribution
+// (5b), and churn-vs-BGP correlation (5c).
+#include <iostream>
+
+#include "analysis/fig5_dissect.h"
+#include "cdn/observatory.h"
+#include "common.h"
+
+int main(int argc, char** argv) {
+  ipscope::sim::World world{ipscope::bench::ConfigFromArgs(argc, argv)};
+  ipscope::bench::PrintWorldBanner(world);
+  auto observatory = ipscope::cdn::Observatory::Daily(world);
+  auto store = observatory.BuildStore();
+  ipscope::bgp::RoutingFeed feed{world};
+  auto result =
+      ipscope::analysis::RunFig5(store, feed, observatory.spec());
+  ipscope::analysis::PrintFig5(result, std::cout);
+  return 0;
+}

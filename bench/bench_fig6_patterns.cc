@@ -1,0 +1,16 @@
+// Regenerates Figs 6 & 7: the block activity-pattern gallery, plus the
+// pattern-classifier-vs-ground-truth confusion matrix.
+#include <iostream>
+
+#include "analysis/fig6_patterns.h"
+#include "cdn/observatory.h"
+#include "common.h"
+
+int main(int argc, char** argv) {
+  ipscope::sim::World world{ipscope::bench::ConfigFromArgs(argc, argv)};
+  ipscope::bench::PrintWorldBanner(world);
+  auto store = ipscope::cdn::Observatory::Daily(world).BuildStore();
+  auto result = ipscope::analysis::RunFig6(world, store);
+  ipscope::analysis::PrintFig6(result, std::cout);
+  return 0;
+}

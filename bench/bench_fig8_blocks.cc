@@ -1,0 +1,16 @@
+// Regenerates Fig 8: STU change detection (8a), rDNS-tagged filling-degree
+// CDFs (8b), and the STU histogram of densely-filled blocks (8c).
+#include <iostream>
+
+#include "analysis/fig8_blocks.h"
+#include "cdn/observatory.h"
+#include "common.h"
+
+int main(int argc, char** argv) {
+  ipscope::sim::World world{ipscope::bench::ConfigFromArgs(argc, argv)};
+  ipscope::bench::PrintWorldBanner(world);
+  auto store = ipscope::cdn::Observatory::Daily(world).BuildStore();
+  auto result = ipscope::analysis::RunFig8(world, store);
+  ipscope::analysis::PrintFig8(result, std::cout);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Regenerates Fig 9: hits vs days-active (9a), cumulative traffic
+// concentration (9b), and the weekly top-10% traffic share trend (9c).
+#include <iostream>
+
+#include "analysis/fig9_traffic.h"
+#include "common.h"
+
+int main(int argc, char** argv) {
+  ipscope::sim::World world{ipscope::bench::ConfigFromArgs(argc, argv)};
+  ipscope::bench::PrintWorldBanner(world);
+  auto daily = ipscope::cdn::Observatory::Daily(world);
+  auto weekly = ipscope::cdn::Observatory::Weekly(world);
+  auto result = ipscope::analysis::RunFig9(daily, weekly);
+  ipscope::analysis::PrintFig9(result, std::cout);
+  return 0;
+}

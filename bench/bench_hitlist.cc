@@ -1,0 +1,44 @@
+// Representative-address selection (paper ref [15], §8 measurement
+// implications): build per-/24 hitlists from an 8-week observation window
+// under several strategies and score their responsiveness in the following
+// 4 weeks.
+#include <iostream>
+
+#include "cdn/observatory.h"
+#include "common.h"
+#include "measurement/hitlist.h"
+#include "report/table.h"
+
+int main(int argc, char** argv) {
+  using namespace ipscope;
+  sim::World world{bench::ConfigFromArgs(argc, argv, 2000)};
+  bench::PrintWorldBanner(world);
+  auto store = cdn::Observatory::Daily(world).BuildStore();
+
+  constexpr int kTrainFirst = 0, kTrainLast = 56;
+  constexpr int kEvalFirst = 84, kEvalLast = 112;
+
+  std::cout << "=== Hitlist strategies: train weeks 1-8, evaluate weeks "
+               "13-16 ===\n\n";
+  report::Table t({"strategy", "entries", "responsive later", "hit rate"});
+  for (measurement::HitlistStrategy strategy :
+       {measurement::HitlistStrategy::kMostActive,
+        measurement::HitlistStrategy::kMostRecent,
+        measurement::HitlistStrategy::kLowestActive,
+        measurement::HitlistStrategy::kFixedOffset}) {
+    auto hitlist =
+        measurement::BuildHitlist(store, kTrainFirst, kTrainLast, strategy);
+    auto score =
+        measurement::EvaluateHitlist(store, hitlist, kEvalFirst, kEvalLast);
+    t.AddRow({measurement::HitlistStrategyName(strategy),
+              report::FormatCount(score.entries),
+              report::FormatCount(score.responsive),
+              report::FormatPercent(score.HitRate())});
+  }
+  t.Print(std::cout);
+  std::cout << "\n[activity-informed selection (most-active) dominates "
+               "naive choices; most-recent suffers in cycling pools, "
+               "fixed-.1 misses sparse static blocks entirely — the §8 "
+               "argument for activity-aware measurement infrastructure]\n";
+  return 0;
+}

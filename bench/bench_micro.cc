@@ -1,0 +1,179 @@
+// Microbenchmarks of the core data structures and kernels (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <vector>
+
+#include "activity/churn.h"
+#include "activity/eventsize.h"
+#include "activity/matrix.h"
+#include "bgp/table.h"
+#include "cdn/observatory.h"
+#include "io/store_io.h"
+#include "netbase/ip_set.h"
+#include "scan/zmap_order.h"
+#include "netbase/prefix_trie.h"
+#include "rng/rng.h"
+#include "sim/world.h"
+
+namespace {
+
+using namespace ipscope;
+
+const sim::World& SharedWorld() {
+  static sim::World world{[] {
+    sim::WorldConfig config;
+    config.target_client_blocks = 500;
+    return config;
+  }()};
+  return world;
+}
+
+void BM_TrieInsert(benchmark::State& state) {
+  rng::Xoshiro256 g{42};
+  std::vector<net::Prefix> prefixes;
+  for (int i = 0; i < 10000; ++i) {
+    prefixes.emplace_back(net::IPv4Addr{static_cast<std::uint32_t>(g())},
+                          8 + static_cast<int>(g.NextBounded(17)));
+  }
+  for (auto _ : state) {
+    net::PrefixTrie<std::uint32_t> trie;
+    for (const auto& p : prefixes) trie.Insert(p, 1);
+    benchmark::DoNotOptimize(trie.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(prefixes.size()));
+}
+BENCHMARK(BM_TrieInsert);
+
+void BM_TrieLongestMatch(benchmark::State& state) {
+  rng::Xoshiro256 g{42};
+  net::PrefixTrie<std::uint32_t> trie;
+  for (int i = 0; i < 10000; ++i) {
+    trie.Insert(net::Prefix{net::IPv4Addr{static_cast<std::uint32_t>(g())},
+                            8 + static_cast<int>(g.NextBounded(17))},
+                static_cast<std::uint32_t>(i));
+  }
+  std::uint64_t found = 0;
+  for (auto _ : state) {
+    auto match = trie.LongestMatch(net::IPv4Addr{
+        static_cast<std::uint32_t>(g())});
+    found += match.has_value();
+  }
+  benchmark::DoNotOptimize(found);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrieLongestMatch);
+
+void BM_Ipv4SetUnion(benchmark::State& state) {
+  rng::Xoshiro256 g{7};
+  std::vector<std::uint32_t> a, b;
+  for (int i = 0; i < 100000; ++i) {
+    a.push_back(static_cast<std::uint32_t>(g()));
+    b.push_back(static_cast<std::uint32_t>(g()));
+  }
+  net::Ipv4Set sa = net::Ipv4Set::FromValues(a);
+  net::Ipv4Set sb = net::Ipv4Set::FromValues(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa.Union(sb).Count());
+  }
+}
+BENCHMARK(BM_Ipv4SetUnion);
+
+void BM_MatrixStu(benchmark::State& state) {
+  activity::ActivityMatrix m{112};
+  rng::Xoshiro256 g{3};
+  for (int d = 0; d < 112; ++d) {
+    for (int h = 0; h < 256; ++h) {
+      if (g.NextBool(0.5)) m.Set(d, h);
+    }
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(m.Stu(0, 112));
+}
+BENCHMARK(BM_MatrixStu);
+
+void BM_GenerateStepDay(benchmark::State& state) {
+  const sim::World& world = SharedWorld();
+  sim::StepSpec spec;
+  spec.start_day = 228;
+  spec.step_days = 1;
+  spec.steps = 112;
+  spec.world_seed = world.config().seed;
+  activity::DayBits bits;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& plan = world.blocks()[i++ % world.blocks().size()];
+    sim::GenerateStep(plan, spec, static_cast<int>(i % 112), bits, nullptr);
+    benchmark::DoNotOptimize(bits);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_GenerateStepDay);
+
+void BM_IsolatingMask(benchmark::State& state) {
+  rng::Xoshiro256 g{11};
+  std::vector<std::uint32_t> members;
+  for (int i = 0; i < 200000; ++i) {
+    members.push_back(static_cast<std::uint32_t>(g()));
+  }
+  net::Ipv4Set set = net::Ipv4Set::FromValues(members);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    net::IPv4Addr addr{static_cast<std::uint32_t>(g())};
+    if (!set.Contains(addr)) {
+      acc += static_cast<std::uint64_t>(
+          activity::SmallestIsolatingMask(set, addr));
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_IsolatingMask);
+
+void BM_DailyStoreBuild(benchmark::State& state) {
+  const sim::World& world = SharedWorld();
+  for (auto _ : state) {
+    auto store = cdn::Observatory::Daily(world).BuildStore();
+    benchmark::DoNotOptimize(store.BlockCount());
+  }
+}
+BENCHMARK(BM_DailyStoreBuild)->Unit(benchmark::kMillisecond);
+
+void BM_StoreSerializeRoundTrip(benchmark::State& state) {
+  const sim::World& world = SharedWorld();
+  auto store = cdn::Observatory::Daily(world).BuildStore();
+  for (auto _ : state) {
+    std::stringstream buffer;
+    io::SaveStore(store, buffer);
+    auto loaded = io::LoadStore(buffer);
+    benchmark::DoNotOptimize(loaded.BlockCount());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(store.BlockCount()));
+}
+BENCHMARK(BM_StoreSerializeRoundTrip)->Unit(benchmark::kMillisecond);
+
+void BM_ZmapPermutation(benchmark::State& state) {
+  scan::AddressPermutation perm{42};
+  std::uint32_t i = 0;
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc += perm.AddressAt(i++).value();
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZmapPermutation);
+
+void BM_ChurnWindow7(benchmark::State& state) {
+  const sim::World& world = SharedWorld();
+  auto store = cdn::Observatory::Daily(world).BuildStore();
+  activity::ChurnAnalyzer churn{store};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(churn.Churn(7).up.median);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(store.BlockCount()));
+}
+BENCHMARK(BM_ChurnWindow7)->Unit(benchmark::kMillisecond);
+
+}  // namespace

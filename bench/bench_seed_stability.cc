@@ -1,0 +1,93 @@
+// Robustness check: the reproduction's headline shapes must hold across
+// world seeds, not just the default one. Runs the key metrics at five
+// seeds and reports min/mean/max next to the paper's bands.
+#include <iostream>
+#include <vector>
+
+#include "activity/change.h"
+#include "activity/churn.h"
+#include "activity/metrics.h"
+#include "cdn/observatory.h"
+#include "common.h"
+#include "report/table.h"
+#include "scan/icmp.h"
+
+namespace {
+
+struct Metrics {
+  double daily_up_median;
+  double weekly_up_median;
+  double fd_above_250;
+  double fd_below_64;
+  double major_change;
+  double cdn_missed_by_icmp;
+};
+
+struct Band {
+  double min = 1e18, max = -1e18, sum = 0;
+  void Add(double v) {
+    min = std::min(min, v);
+    max = std::max(max, v);
+    sum += v;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ipscope;
+  auto base = bench::ConfigFromArgs(argc, argv, 1200);
+  std::cout << "=== Headline metrics across 5 seeds ("
+            << base.target_client_blocks << " client blocks each) ===\n\n";
+
+  std::vector<Metrics> runs;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    sim::WorldConfig config = base;
+    config.seed = seed * 7919;
+    sim::World world{config};
+    auto store = cdn::Observatory::Daily(world).BuildStore();
+
+    Metrics m{};
+    activity::ChurnAnalyzer churn{store};
+    m.daily_up_median = churn.Churn(1).up.median;
+    m.weekly_up_median = churn.Churn(7).up.median;
+
+    auto metrics = activity::ComputeBlockMetrics(store);
+    double above = 0, below = 0;
+    for (const auto& b : metrics) {
+      above += b.filling_degree > 250;
+      below += b.filling_degree < 64;
+    }
+    m.fd_above_250 = 100.0 * above / static_cast<double>(metrics.size());
+    m.fd_below_64 = 100.0 * below / static_cast<double>(metrics.size());
+    m.major_change =
+        100.0 * activity::MajorChangeFraction(
+                    activity::MaxMonthlyStuChange(store));
+
+    net::Ipv4Set cdn = store.ActiveSet(45, 76);
+    net::Ipv4Set icmp = scan::IcmpScanner{world}.ScanMonth(273, 31, 8);
+    m.cdn_missed_by_icmp =
+        100.0 * (1.0 - static_cast<double>(cdn.CountIntersect(icmp)) /
+                           static_cast<double>(cdn.Count()));
+    runs.push_back(m);
+  }
+
+  report::Table t({"metric", "min", "mean", "max", "paper"});
+  auto row = [&](const char* name, auto field, const char* paper) {
+    Band band;
+    for (const Metrics& m : runs) band.Add(m.*field);
+    t.AddRow({name, report::FormatDouble(band.min),
+              report::FormatDouble(band.sum / static_cast<double>(runs.size())),
+              report::FormatDouble(band.max), paper});
+  };
+  row("daily up-event % (median)", &Metrics::daily_up_median, "~8");
+  row("weekly up-event % (median)", &Metrics::weekly_up_median, "~5");
+  row("% blocks FD>250", &Metrics::fd_above_250, "~50");
+  row("% blocks FD<64", &Metrics::fd_below_64, "~30");
+  row("% blocks major STU change", &Metrics::major_change, "9.8");
+  row("% CDN hosts missed by ICMP", &Metrics::cdn_missed_by_icmp, ">40");
+  t.Print(std::cout);
+  std::cout << "\n[narrow seed-to-seed bands mean the reproduced shapes are "
+               "properties of the mechanisms, not of one lucky seed]\n";
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Regenerates Table 1: totals and per-snapshot averages of the daily and
+// weekly datasets (IPs, /24s, ASes).
+#include <iostream>
+
+#include "analysis/table1_datasets.h"
+#include "common.h"
+
+int main(int argc, char** argv) {
+  ipscope::sim::World world{ipscope::bench::ConfigFromArgs(argc, argv)};
+  ipscope::bench::PrintWorldBanner(world);
+  ipscope::bgp::RoutingFeed feed{world};
+  auto result = ipscope::analysis::RunTable1(world, feed);
+  ipscope::analysis::PrintTable1(result, std::cout);
+  return 0;
+}

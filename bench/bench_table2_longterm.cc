@@ -1,0 +1,17 @@
+// Regenerates Table 2: Jan/Feb vs Nov/Dec appear/disappear analysis with
+// whole-/24 fractions and BGP transition breakdown.
+#include <iostream>
+
+#include "analysis/table2_longterm.h"
+#include "cdn/observatory.h"
+#include "common.h"
+
+int main(int argc, char** argv) {
+  ipscope::sim::World world{ipscope::bench::ConfigFromArgs(argc, argv)};
+  ipscope::bench::PrintWorldBanner(world);
+  auto weekly = ipscope::cdn::Observatory::Weekly(world).BuildStore();
+  ipscope::bgp::RoutingFeed feed{world};
+  auto result = ipscope::analysis::RunTable2(weekly, feed);
+  ipscope::analysis::PrintTable2(result, std::cout);
+  return 0;
+}

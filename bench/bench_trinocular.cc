@@ -1,0 +1,97 @@
+// Trinocular-style adaptive availability monitoring (paper ref [29]) vs
+// ground truth: detection of block deactivations, false-outage rate on
+// stable blocks, and the probing cost advantage over brute-force scanning.
+#include <algorithm>
+#include <iostream>
+#include <unordered_map>
+#include <vector>
+
+#include "common.h"
+#include "report/table.h"
+#include "scan/trinocular.h"
+#include "stats/quantile.h"
+
+int main(int argc, char** argv) {
+  using namespace ipscope;
+  auto config = bench::ConfigFromArgs(argc, argv, 1500);
+  config.deactivate_rate_per_year = 0.15;  // more outage events to score
+  sim::World world{config};
+  bench::PrintWorldBanner(world);
+
+  scan::TrinocularMonitor monitor{world};
+  constexpr std::int32_t kFirst = 230, kLast = 330;
+  auto result = monitor.Monitor(kFirst, kLast);
+
+  std::unordered_map<net::BlockKey, const sim::BlockPlan*> plans;
+  for (const sim::BlockPlan& plan : world.blocks()) {
+    plans[net::BlockKeyOf(plan.block)] = &plan;
+  }
+
+  std::uint64_t stable_days = 0, stable_false_down = 0, stable_unknown = 0;
+  int outages = 0, detected = 0;
+  std::vector<double> lags;
+  for (const scan::BlockTimeline& timeline : result.timelines) {
+    const sim::BlockPlan* plan = plans.at(timeline.key);
+    bool up_throughout =
+        plan->active_from <= kFirst && plan->active_until >= kLast;
+    if (up_throughout) {
+      for (scan::BlockState s : timeline.state) {
+        ++stable_days;
+        if (s == scan::BlockState::kDown) ++stable_false_down;
+        if (s == scan::BlockState::kUnknown) ++stable_unknown;
+      }
+      continue;
+    }
+    std::int32_t down_day = plan->active_until;
+    if (!sim::IsClientPolicy(plan->base.kind) || down_day < kFirst + 5 ||
+        down_day > kLast - 15) {
+      continue;
+    }
+    ++outages;
+    for (int d = static_cast<int>(down_day - kFirst); d < result.days; ++d) {
+      if (timeline.state[static_cast<std::size_t>(d)] ==
+          scan::BlockState::kDown) {
+        ++detected;
+        lags.push_back(static_cast<double>(d) -
+                       static_cast<double>(down_day - kFirst));
+        break;
+      }
+    }
+  }
+
+  std::cout << "=== Trinocular-style /24 availability monitoring ===\n";
+  report::Table t({"metric", "value", "note"});
+  t.AddRow({"covered blocks", report::FormatCount(result.timelines.size()),
+            "blocks with ICMP-responsive addresses"});
+  t.AddRow({"mean probes / block / day",
+            report::FormatDouble(result.MeanProbesPerBlockDay()),
+            "vs 256 for brute-force block scans"});
+  t.AddRow({"false-outage rate (stable blocks)",
+            report::FormatPercent(
+                stable_days ? static_cast<double>(stable_false_down) /
+                                  static_cast<double>(stable_days)
+                            : 0.0),
+            "up blocks misreported down"});
+  t.AddRow({"unknown rate (stable blocks)",
+            report::FormatPercent(
+                stable_days ? static_cast<double>(stable_unknown) /
+                                  static_cast<double>(stable_days)
+                            : 0.0),
+            "belief between thresholds"});
+  t.AddRow({"ground-truth outages in window", report::FormatCount(
+                static_cast<std::uint64_t>(outages)),
+            "client block deactivations"});
+  t.AddRow({"outages detected",
+            outages ? report::FormatPercent(static_cast<double>(detected) /
+                                            outages)
+                    : "n/a",
+            "inferred down after the event"});
+  t.AddRow({"median detection lag (days)",
+            report::FormatDouble(stats::Median(lags), 1),
+            "event day -> first inferred-down day"});
+  t.Print(std::cout);
+  std::cout << "\n[Quan et al. report ~1% probe volume of a full census with "
+               "high outage coverage — the adaptive-belief mechanism "
+               "reproduces that trade-off here]\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Shared setup for the experiment harness binaries.
+//
+// Every harness accepts the world scale as argv[1] (number of client /24
+// blocks; default 4000) and an optional seed as argv[2]. The harness prints
+// the world scale first so readers can interpret absolute counts, then the
+// experiment's measured-vs-paper rows.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/config.h"
+#include "sim/world.h"
+
+namespace ipscope::bench {
+
+inline sim::WorldConfig ConfigFromArgs(int argc, char** argv,
+                                       int default_blocks = 4000) {
+  sim::WorldConfig config;
+  config.target_client_blocks =
+      argc > 1 ? std::atoi(argv[1]) : default_blocks;
+  if (config.target_client_blocks <= 0) {
+    config.target_client_blocks = default_blocks;
+  }
+  if (argc > 2) {
+    config.seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+  }
+  return config;
+}
+
+inline void PrintWorldBanner(const sim::World& world) {
+  std::cout << "world: seed " << world.config().seed << ", "
+            << world.blocks().size() << " /24 blocks ("
+            << world.client_block_count() << " client), "
+            << world.ases().size() << " ASes\n"
+            << "note: absolute counts are at simulation scale; compare "
+               "shapes/ratios with the paper values shown in brackets.\n\n";
+}
+
+}  // namespace ipscope::bench

@@ -1,0 +1,84 @@
+// Census methodology comparison: what would an Internet census conclude
+// from (a) active ICMP scanning alone, (b) passive CDN observation alone,
+// and (c) capture-recapture estimation over partial passive snapshots —
+// versus the simulator's ground truth? This operationalizes the paper's §3
+// and §8 measurement-practice findings.
+//
+// Build & run:  ./build/examples/census_compare
+#include <iostream>
+
+#include "cdn/observatory.h"
+#include "geo/country.h"
+#include "report/table.h"
+#include "scan/icmp.h"
+#include "sim/world.h"
+#include "stats/capture_recapture.h"
+
+int main() {
+  using namespace ipscope;
+
+  sim::WorldConfig config;
+  config.seed = 314159;
+  config.target_client_blocks = 1500;
+  sim::World world{config};
+  std::cout << "census of a simulated Internet ("
+            << world.blocks().size() << " /24 blocks)\n\n";
+
+  // Ground truth for October: every address with any successful WWW
+  // activity (client truth) — what a perfect census would count.
+  auto daily = cdn::Observatory::Daily(world).BuildStore();
+  net::Ipv4Set cdn_october = daily.ActiveSet(45, 76);
+
+  // Method (a): 8 ICMP scans across October.
+  net::Ipv4Set icmp = scan::IcmpScanner{world}.ScanMonth(273, 31, 8);
+
+  // Method (c): capture-recapture across two week-long passive snapshots.
+  net::Ipv4Set week1 = daily.ActiveSet(45, 52);
+  net::Ipv4Set week4 = daily.ActiveSet(66, 73);
+  auto chapman =
+      stats::Chapman(week1.Count(), week4.Count(),
+                     week1.CountIntersect(week4));
+
+  report::Table t({"method", "counted/estimated", "vs CDN month"});
+  auto pct = [&](double v) {
+    return report::FormatPercent(v / static_cast<double>(cdn_october.Count()));
+  };
+  t.AddRow({"passive CDN month (reference)",
+            report::FormatCount(cdn_october.Count()), "100.0%"});
+  t.AddRow({"active ICMP (8 scans)", report::FormatCount(icmp.Count()),
+            pct(static_cast<double>(icmp.Count()))});
+  t.AddRow({"ICMP & CDN overlap",
+            report::FormatCount(cdn_october.CountIntersect(icmp)),
+            pct(static_cast<double>(cdn_october.CountIntersect(icmp)))});
+  t.AddRow({"Chapman (2 weekly snapshots)",
+            report::FormatSi(chapman.population),
+            pct(chapman.population)});
+  t.Print(std::cout);
+
+  std::cout << "\nper-country ICMP census bias (measured response rate "
+               "among CDN-active addresses):\n";
+  report::Table ct({"country", "CDN-active", "also in ICMP", "rate"});
+  const geo::Registry& registry = world.registry();
+  auto countries = geo::Countries();
+  for (const char* code : {"CN", "JP", "US", "DE", "BR"}) {
+    int ci = geo::CountryIndex(code);
+    auto region = registry.CountryRegion(ci);
+    net::Ipv4Set country_set;
+    country_set.AddRange(region.first_block << 8,
+                         (region.last_block << 8) | 0xFF);
+    std::uint64_t active = cdn_october.CountIntersect(country_set);
+    std::uint64_t responding =
+        cdn_october.Intersect(icmp).CountIntersect(country_set);
+    ct.AddRow({code, report::FormatCount(active),
+               report::FormatCount(responding),
+               report::FormatPercent(active ? static_cast<double>(responding) /
+                                                  static_cast<double>(active)
+                                            : 0.0)});
+  }
+  ct.Print(std::cout);
+  std::cout << "\n[paper: ICMP misses >40% of active client addresses, "
+               "with response rates ~80% in CN but ~25% in JP — an active "
+               "census alone badly skews regional conclusions]\n";
+  (void)countries;
+  return 0;
+}

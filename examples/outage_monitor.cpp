@@ -1,0 +1,89 @@
+// Outage monitoring with adaptive probing: a Trinocular-style belief
+// monitor (paper ref [29]) watches every responsive /24, spending a
+// fraction of a percent of a brute-force scanner's probes, and reports
+// block outages as they happen — here checked against the simulator's
+// ground-truth deactivations.
+//
+// Build & run:  ./build/examples/outage_monitor
+#include <iostream>
+#include <unordered_map>
+
+#include "report/table.h"
+#include "scan/trinocular.h"
+#include "sim/world.h"
+
+int main() {
+  using namespace ipscope;
+
+  sim::WorldConfig config;
+  config.seed = 1213;
+  config.target_client_blocks = 800;
+  config.deactivate_rate_per_year = 0.15;
+  sim::World world{config};
+
+  scan::TrinocularMonitor monitor{world};
+  std::cout << "monitoring " << monitor.covered_blocks()
+            << " responsive /24 blocks, days 230-320...\n\n";
+  auto result = monitor.Monitor(230, 320);
+
+  std::unordered_map<net::BlockKey, const sim::BlockPlan*> plans;
+  for (const sim::BlockPlan& plan : world.blocks()) {
+    plans[net::BlockKeyOf(plan.block)] = &plan;
+  }
+
+  report::Table t({"block", "down detected (day)", "true event (day)",
+                   "lag", "verdict"});
+  int reports = 0, real_outages = 0, repurposed = 0, false_alarms = 0;
+  for (const scan::BlockTimeline& timeline : result.timelines) {
+    // First *sustained* down report: 5 consecutive down days, so weekend
+    // dormancy of business blocks does not fire the alarm.
+    int detected_day = -1;
+    int run = 0;
+    for (std::size_t d = 0; d < timeline.state.size(); ++d) {
+      run = timeline.state[d] == scan::BlockState::kDown ? run + 1 : 0;
+      if (run >= 5) {
+        detected_day = static_cast<int>(d) - 4 + result.first_day;
+        break;
+      }
+    }
+    if (detected_day < 0) continue;
+    ++reports;
+    const sim::BlockPlan* plan = plans.at(timeline.key);
+    std::int32_t true_day = plan->active_until;
+    const char* verdict;
+    std::string event = "(none)";
+    std::string lag = "-";
+    if (true_day <= detected_day) {
+      // The block truly stopped being used on/before the detection day.
+      verdict = "real outage";
+      ++real_outages;
+      event = std::to_string(true_day);
+      lag = std::to_string(detected_day -
+                           std::max(true_day, result.first_day)) + "d";
+    } else if (plan->HasReconfiguration() &&
+               plan->events[0].day <= detected_day) {
+      // Repurposed: the old addresses legitimately went dark (paper §5.2).
+      verdict = "repurposed";
+      ++repurposed;
+      event = std::to_string(plan->events[0].day);
+    } else {
+      verdict = "false alarm";
+      ++false_alarms;
+    }
+    if (reports <= 12) {
+      t.AddRow({net::BlockFromKey(timeline.key).ToString(),
+                std::to_string(detected_day), event, lag, verdict});
+    }
+  }
+  t.Print(std::cout);
+  std::cout << "\n" << reports << " sustained down reports: " << real_outages
+            << " real outages, " << repurposed
+            << " repurposed blocks (reduced/relocated activity), "
+            << false_alarms << " false alarms\n";
+  std::cout << "probing cost "
+            << report::FormatDouble(result.MeanProbesPerBlockDay())
+            << " probes/block/day (vs 256 for full scans)\n";
+  std::cout << "[paper ref 29: adaptive Bayesian probing tracks /24 "
+               "availability at ~1% of census probe volume]\n";
+  return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every paper experiment into results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build -j"$(nproc)"
+
+mkdir -p results
+for bench in build/bench/*; do
+  name="$(basename "$bench")"
+  echo "== $name"
+  if [ "$name" = "bench_micro" ]; then
+    # google-benchmark binary: takes no world-scale argument.
+    "$bench" | tee "results/$name.txt"
+  else
+    "$bench" "${IPSCOPE_BLOCKS:-4000}" | tee "results/$name.txt"
+  fi
+done
+echo "All experiment outputs written to results/."

@@ -1,0 +1,80 @@
+#include "activity/change.h"
+
+#include <bit>
+#include <cmath>
+
+namespace ipscope::activity {
+
+std::vector<BlockStuChange> MaxMonthlyStuChange(const ActivityStore& store,
+                                                int month_days) {
+  std::vector<BlockStuChange> out;
+  int months = store.days() / month_days;
+  if (months < 2) return out;
+  out.reserve(store.BlockCount());
+  store.ForEach([&](net::BlockKey key, const ActivityMatrix& m) {
+    if (m.FillingDegree(0, store.days()) == 0) return;
+    double prev = m.Stu(0, month_days);
+    double best = 0.0;
+    for (int mo = 1; mo < months; ++mo) {
+      double cur = m.Stu(mo * month_days, (mo + 1) * month_days);
+      double delta = cur - prev;
+      if (std::abs(delta) > std::abs(best)) best = delta;
+      prev = cur;
+    }
+    out.push_back(BlockStuChange{key, best});
+  });
+  return out;
+}
+
+namespace {
+
+// Max-magnitude signed month-to-month change of the mean activity of one
+// host half (computed from 128-host day slices).
+double HalfMaxDelta(const ActivityMatrix& m, int month_days, bool upper) {
+  int months = m.days() / month_days;
+  auto half_stu = [&](int first, int last) {
+    std::int64_t active = 0;
+    for (int d = first; d < last; ++d) {
+      const DayBits& row = m.Row(d);
+      active += upper ? std::popcount(row[2]) + std::popcount(row[3])
+                      : std::popcount(row[0]) + std::popcount(row[1]);
+    }
+    return static_cast<double>(active) / (128.0 * (last - first));
+  };
+  double prev = half_stu(0, month_days);
+  double best = 0.0;
+  for (int mo = 1; mo < months; ++mo) {
+    double cur = half_stu(mo * month_days, (mo + 1) * month_days);
+    if (std::abs(cur - prev) > std::abs(best)) best = cur - prev;
+    prev = cur;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<BlockSpatialChange> SpatialStuChanges(const ActivityStore& store,
+                                                  int month_days) {
+  std::vector<BlockSpatialChange> out;
+  if (store.days() / month_days < 2) return out;
+  out.reserve(store.BlockCount());
+  store.ForEach([&](net::BlockKey key, const ActivityMatrix& m) {
+    if (m.FillingDegree(0, store.days()) == 0) return;
+    out.push_back(BlockSpatialChange{key,
+                                     HalfMaxDelta(m, month_days, false),
+                                     HalfMaxDelta(m, month_days, true)});
+  });
+  return out;
+}
+
+double MajorChangeFraction(const std::vector<BlockStuChange>& changes,
+                           double threshold) {
+  if (changes.empty()) return 0.0;
+  std::uint64_t major = 0;
+  for (const BlockStuChange& c : changes) {
+    if (c.IsMajor(threshold)) ++major;
+  }
+  return static_cast<double>(major) / static_cast<double>(changes.size());
+}
+
+}  // namespace ipscope::activity

@@ -1,0 +1,57 @@
+// Change detection (Section 5.2, Fig 8a): separating blocks whose address
+// assignment practice changed during the observation period ("major change")
+// from blocks with stable in-situ activity ("minor change").
+//
+// Per block: compute STU for each consecutive month (28-day window), take
+// the month-to-month difference with the largest magnitude (keeping its
+// sign), and threshold at |delta| > 0.25 — the paper's empirically chosen
+// cut that retains heavy in-situ variation but catches reconfiguration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "activity/store.h"
+
+namespace ipscope::activity {
+
+inline constexpr double kMajorChangeThreshold = 0.25;
+
+struct BlockStuChange {
+  net::BlockKey key = 0;
+  double max_delta = 0.0;  // signed; the consecutive diff of max magnitude
+
+  bool IsMajor(double threshold = kMajorChangeThreshold) const {
+    return max_delta > threshold || max_delta < -threshold;
+  }
+};
+
+// One entry per block active in the period. `month_days` is the aggregation
+// window (28 in the paper; the 112-day period yields 4 months / 3 diffs).
+std::vector<BlockStuChange> MaxMonthlyStuChange(const ActivityStore& store,
+                                                int month_days = 28);
+
+// Fraction of blocks classified as major-change at `threshold`.
+double MajorChangeFraction(const std::vector<BlockStuChange>& changes,
+                           double threshold = kMajorChangeThreshold);
+
+// Spatial change detection (Fig 7b): some reconfigurations affect only
+// part of a /24. For each block we compute the max monthly STU change of
+// the lower half (hosts 0..127) and the upper half (128..255) separately;
+// the asymmetry |delta_upper - delta_lower| is near zero for whole-block
+// changes and in-situ variation, and large when one half was repurposed
+// while the other kept its practice.
+struct BlockSpatialChange {
+  net::BlockKey key = 0;
+  double lower_delta = 0.0;  // signed max monthly STU change, hosts 0..127
+  double upper_delta = 0.0;  // signed max monthly STU change, hosts 128..255
+  double Asymmetry() const {
+    return upper_delta > lower_delta ? upper_delta - lower_delta
+                                     : lower_delta - upper_delta;
+  }
+};
+
+std::vector<BlockSpatialChange> SpatialStuChanges(const ActivityStore& store,
+                                                  int month_days = 28);
+
+}  // namespace ipscope::activity

@@ -1,0 +1,188 @@
+#include "activity/churn.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "stats/quantile.h"
+
+namespace ipscope::activity {
+
+namespace {
+
+// Per-block window unions for a given window size; the trailing partial
+// window is discarded (see timeutil::PartitionWindows rationale).
+std::vector<DayBits> WindowUnions(const ActivityMatrix& m, int window_days,
+                                  int num_windows) {
+  std::vector<DayBits> unions(static_cast<std::size_t>(num_windows));
+  for (int w = 0; w < num_windows; ++w) {
+    unions[static_cast<std::size_t>(w)] =
+        m.UnionOver(w * window_days, (w + 1) * window_days);
+  }
+  return unions;
+}
+
+}  // namespace
+
+MinMedianMax Summarize(std::vector<double> values) {
+  MinMedianMax out;
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  out.min = values.front();
+  out.max = values.back();
+  out.median = stats::QuantileSorted(values, 0.5);
+  return out;
+}
+
+WindowChurnSeries ChurnAnalyzer::Churn(int window_days) const {
+  WindowChurnSeries series;
+  series.window_days = window_days;
+  int num_windows = store_.days() / window_days;
+  if (num_windows < 2) return series;
+  int pairs = num_windows - 1;
+
+  std::vector<std::uint64_t> up(static_cast<std::size_t>(pairs), 0);
+  std::vector<std::uint64_t> down(static_cast<std::size_t>(pairs), 0);
+  std::vector<std::uint64_t> size_prev(static_cast<std::size_t>(pairs), 0);
+  std::vector<std::uint64_t> size_next(static_cast<std::size_t>(pairs), 0);
+
+  store_.ForEach([&](net::BlockKey, const ActivityMatrix& m) {
+    auto unions = WindowUnions(m, window_days, num_windows);
+    for (int p = 0; p < pairs; ++p) {
+      const DayBits& w0 = unions[static_cast<std::size_t>(p)];
+      const DayBits& w1 = unions[static_cast<std::size_t>(p + 1)];
+      auto pi = static_cast<std::size_t>(p);
+      up[pi] += static_cast<std::uint64_t>(PopCount(AndNotBits(w1, w0)));
+      down[pi] += static_cast<std::uint64_t>(PopCount(AndNotBits(w0, w1)));
+      size_prev[pi] += static_cast<std::uint64_t>(PopCount(w0));
+      size_next[pi] += static_cast<std::uint64_t>(PopCount(w1));
+    }
+  });
+
+  series.up_pct.reserve(static_cast<std::size_t>(pairs));
+  series.down_pct.reserve(static_cast<std::size_t>(pairs));
+  for (int p = 0; p < pairs; ++p) {
+    auto pi = static_cast<std::size_t>(p);
+    series.up_pct.push_back(
+        size_next[pi] ? 100.0 * static_cast<double>(up[pi]) /
+                            static_cast<double>(size_next[pi])
+                      : 0.0);
+    series.down_pct.push_back(
+        size_prev[pi] ? 100.0 * static_cast<double>(down[pi]) /
+                            static_cast<double>(size_prev[pi])
+                      : 0.0);
+  }
+  series.up = Summarize(series.up_pct);
+  series.down = Summarize(series.down_pct);
+  return series;
+}
+
+DailyEventSeries ChurnAnalyzer::DailyEvents() const {
+  DailyEventSeries series;
+  int days = store_.days();
+  series.active.assign(static_cast<std::size_t>(days), 0);
+  series.up.assign(static_cast<std::size_t>(days - 1), 0);
+  series.down.assign(static_cast<std::size_t>(days - 1), 0);
+  store_.ForEach([&](net::BlockKey, const ActivityMatrix& m) {
+    for (int d = 0; d < days; ++d) {
+      series.active[static_cast<std::size_t>(d)] += m.ActiveOnDay(d);
+    }
+    for (int d = 0; d + 1 < days; ++d) {
+      const DayBits& a = m.Row(d);
+      const DayBits& b = m.Row(d + 1);
+      series.up[static_cast<std::size_t>(d)] += PopCount(AndNotBits(b, a));
+      series.down[static_cast<std::size_t>(d)] += PopCount(AndNotBits(a, b));
+    }
+  });
+  return series;
+}
+
+VersusFirstSeries ChurnAnalyzer::VersusFirst(int window_days) const {
+  VersusFirstSeries series;
+  series.window_days = window_days;
+  int num_windows = store_.days() / window_days;
+  if (num_windows < 1) return series;
+  series.appear.assign(static_cast<std::size_t>(num_windows), 0);
+  series.disappear.assign(static_cast<std::size_t>(num_windows), 0);
+  series.active.assign(static_cast<std::size_t>(num_windows), 0);
+  store_.ForEach([&](net::BlockKey, const ActivityMatrix& m) {
+    auto unions = WindowUnions(m, window_days, num_windows);
+    const DayBits& w0 = unions[0];
+    for (int w = 0; w < num_windows; ++w) {
+      const DayBits& wi = unions[static_cast<std::size_t>(w)];
+      auto wiu = static_cast<std::size_t>(w);
+      series.appear[wiu] +=
+          static_cast<std::uint64_t>(PopCount(AndNotBits(wi, w0)));
+      series.disappear[wiu] +=
+          static_cast<std::uint64_t>(PopCount(AndNotBits(w0, wi)));
+      series.active[wiu] += static_cast<std::uint64_t>(PopCount(wi));
+    }
+  });
+  return series;
+}
+
+std::vector<GroupChurn> ChurnAnalyzer::PerGroupChurn(
+    int window_days,
+    const std::function<std::uint32_t(net::BlockKey)>& group_of,
+    std::uint64_t min_active_ips) const {
+  int num_windows = store_.days() / window_days;
+  if (num_windows < 2) return {};
+  int pairs = num_windows - 1;
+
+  struct Acc {
+    std::vector<std::uint64_t> up, down, size_prev, size_next;
+    std::uint64_t total_active = 0;
+  };
+  std::unordered_map<std::uint32_t, Acc> groups;
+
+  store_.ForEach([&](net::BlockKey key, const ActivityMatrix& m) {
+    Acc& acc = groups[group_of(key)];
+    if (acc.up.empty()) {
+      acc.up.assign(static_cast<std::size_t>(pairs), 0);
+      acc.down.assign(static_cast<std::size_t>(pairs), 0);
+      acc.size_prev.assign(static_cast<std::size_t>(pairs), 0);
+      acc.size_next.assign(static_cast<std::size_t>(pairs), 0);
+    }
+    auto unions = WindowUnions(m, window_days, num_windows);
+    acc.total_active += static_cast<std::uint64_t>(
+        PopCount(m.UnionOver(0, store_.days())));
+    for (int p = 0; p < pairs; ++p) {
+      auto pi = static_cast<std::size_t>(p);
+      const DayBits& w0 = unions[pi];
+      const DayBits& w1 = unions[pi + 1];
+      acc.up[pi] += static_cast<std::uint64_t>(PopCount(AndNotBits(w1, w0)));
+      acc.down[pi] += static_cast<std::uint64_t>(PopCount(AndNotBits(w0, w1)));
+      acc.size_prev[pi] += static_cast<std::uint64_t>(PopCount(w0));
+      acc.size_next[pi] += static_cast<std::uint64_t>(PopCount(w1));
+    }
+  });
+
+  std::vector<GroupChurn> out;
+  for (auto& [group, acc] : groups) {
+    if (acc.total_active < min_active_ips) continue;
+    std::vector<double> up_pcts, down_pcts;
+    for (int p = 0; p < pairs; ++p) {
+      auto pi = static_cast<std::size_t>(p);
+      if (acc.size_next[pi] > 0) {
+        up_pcts.push_back(100.0 * static_cast<double>(acc.up[pi]) /
+                          static_cast<double>(acc.size_next[pi]));
+      }
+      if (acc.size_prev[pi] > 0) {
+        down_pcts.push_back(100.0 * static_cast<double>(acc.down[pi]) /
+                            static_cast<double>(acc.size_prev[pi]));
+      }
+    }
+    GroupChurn gc;
+    gc.group = group;
+    gc.total_active_ips = acc.total_active;
+    gc.median_up_pct = stats::Median(std::move(up_pcts));
+    gc.median_down_pct = stats::Median(std::move(down_pcts));
+    out.push_back(gc);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GroupChurn& a, const GroupChurn& b) {
+              return a.group < b.group;
+            });
+  return out;
+}
+
+}  // namespace ipscope::activity

@@ -1,0 +1,86 @@
+#include "activity/eventsize.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace ipscope::activity {
+
+double EventSizeHistogram::FractionInMaskRange(int lo, int hi) const {
+  if (total == 0) return 0.0;
+  std::uint64_t n = 0;
+  for (int m = lo; m <= hi; ++m) n += by_mask[static_cast<std::size_t>(m)];
+  return static_cast<double>(n) / static_cast<double>(total);
+}
+
+int SmallestIsolatingMask(const net::Ipv4Set& reference, net::IPv4Addr addr) {
+  // A prefix of length L contains both addr and neighbor n iff
+  // L <= countl_zero(addr ^ n). To exclude the nearest reference members on
+  // both sides (and with them, every member), L must exceed the larger of
+  // the two common-prefix lengths.
+  int mask = 0;
+  if (auto floor = reference.Floor(addr)) {
+    int cpl = std::countl_zero(addr.value() ^ floor->value());
+    mask = std::max(mask, cpl + 1);
+  }
+  if (auto ceil = reference.Ceiling(addr)) {
+    int cpl = std::countl_zero(addr.value() ^ ceil->value());
+    mask = std::max(mask, cpl + 1);
+  }
+  return mask;
+}
+
+int SmallestStrictMask(const net::Ipv4Set& events, net::IPv4Addr addr) {
+  // Locate the contiguous run of event addresses containing addr, then find
+  // the largest aligned prefix around addr that fits inside it.
+  auto intervals = events.Intervals();
+  auto it = std::lower_bound(
+      intervals.begin(), intervals.end(), addr.value(),
+      [](const net::Ipv4Set::Interval& iv, std::uint32_t v) {
+        return iv.last < v;
+      });
+  if (it == intervals.end() || it->first > addr.value()) return 33;  // misuse
+  for (int mask = 0; mask <= 32; ++mask) {
+    net::Prefix p{addr, mask};
+    if (p.first().value() >= it->first && p.last().value() <= it->last) {
+      return mask;
+    }
+  }
+  return 32;
+}
+
+EventSizeHistogram EventSizesStrict(const ActivityStore& store, int w0_first,
+                                    int w0_last, int w1_first, int w1_last,
+                                    bool up) {
+  net::Ipv4Set active0 = store.ActiveSet(w0_first, w0_last);
+  net::Ipv4Set active1 = store.ActiveSet(w1_first, w1_last);
+  net::Ipv4Set events =
+      up ? active1.Subtract(active0) : active0.Subtract(active1);
+  EventSizeHistogram hist;
+  events.ForEach([&](net::IPv4Addr addr) {
+    ++hist.by_mask[static_cast<std::size_t>(SmallestStrictMask(events, addr))];
+    ++hist.total;
+  });
+  return hist;
+}
+
+EventSizeHistogram EventSizes(const ActivityStore& store, int w0_first,
+                              int w0_last, int w1_first, int w1_last,
+                              bool up) {
+  // Reference = the window whose activity disqualifies a prefix: window 0
+  // for up events, window 1 for down events.
+  net::Ipv4Set active0 = store.ActiveSet(w0_first, w0_last);
+  net::Ipv4Set active1 = store.ActiveSet(w1_first, w1_last);
+  const net::Ipv4Set& reference = up ? active0 : active1;
+  net::Ipv4Set events =
+      up ? active1.Subtract(active0) : active0.Subtract(active1);
+
+  EventSizeHistogram hist;
+  events.ForEach([&](net::IPv4Addr addr) {
+    int mask = SmallestIsolatingMask(reference, addr);
+    ++hist.by_mask[static_cast<std::size_t>(mask)];
+    ++hist.total;
+  });
+  return hist;
+}
+
+}  // namespace ipscope::activity

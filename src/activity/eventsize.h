@@ -1,0 +1,61 @@
+// Event-size aggregation (Fig 5b): how "bulky" are up/down events?
+//
+// For each per-address up event between windows i and i+1, the paper finds
+// the smallest prefix mask m such that within that prefix *all* addresses
+// either had an up event or showed no activity in both windows. An address
+// qualifies iff it is not active in window i (it is then either "up" or
+// "inactive in both"), so the tagged mask is the length of the largest
+// aligned prefix around the event address containing no window-i-active
+// address. Down events are symmetric with the roles of the windows swapped.
+//
+// The implementation answers each event with two ordered-set queries
+// (Floor/Ceiling on the reference active set) and a common-prefix-length
+// computation — O(log n) per event. tests/activity_eventsize_test.cc checks
+// it against a brute-force oracle.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "activity/store.h"
+#include "netbase/ip_set.h"
+
+namespace ipscope::activity {
+
+// Histogram of events by tagged mask length (index 0..32).
+struct EventSizeHistogram {
+  std::array<std::uint64_t, 33> by_mask{};
+  std::uint64_t total = 0;
+
+  // Fraction of events with mask length in [lo, hi].
+  double FractionInMaskRange(int lo, int hi) const;
+};
+
+// Length of the smallest isolating mask for `addr` against `reference`:
+// the mask of the largest aligned prefix containing addr and no member of
+// `reference`. Requires addr not in reference. Returns 0 when the reference
+// set is empty (the whole /0 qualifies).
+int SmallestIsolatingMask(const net::Ipv4Set& reference, net::IPv4Addr addr);
+
+// Tags every up event between window [w0_first, w0_last) and window
+// [w1_first, w1_last) of `store`, returning the mask-length histogram.
+// `up = true` tags up events (absent in w0, present in w1); `up = false`
+// tags down events.
+EventSizeHistogram EventSizes(const ActivityStore& store, int w0_first,
+                              int w0_last, int w1_first, int w1_last,
+                              bool up);
+
+// Ablation variant (DESIGN.md §5): the *strict* rule requires every address
+// in the tagged prefix to itself have an up event (no "inactive in both"
+// qualification). The mask is then the largest aligned prefix fully inside
+// the contiguous run of event addresses containing `addr`. Requires addr in
+// `events`.
+int SmallestStrictMask(const net::Ipv4Set& events, net::IPv4Addr addr);
+
+// EventSizes with the strict rule, for side-by-side comparison.
+EventSizeHistogram EventSizesStrict(const ActivityStore& store, int w0_first,
+                                    int w0_last, int w1_first, int w1_last,
+                                    bool up);
+
+}  // namespace ipscope::activity

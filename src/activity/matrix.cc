@@ -1,0 +1,47 @@
+#include "activity/matrix.h"
+
+#include <cassert>
+
+namespace ipscope::activity {
+
+ActivityMatrix::ActivityMatrix(int days) : days_(days) {
+  assert(days > 0);
+  rows_.assign(static_cast<std::size_t>(days), DayBits{});
+}
+
+DayBits ActivityMatrix::UnionOver(int day_first, int day_last) const {
+  assert(day_first >= 0 && day_last <= days_);
+  DayBits acc{};
+  for (int d = day_first; d < day_last; ++d) acc = OrBits(acc, Row(d));
+  return acc;
+}
+
+std::int64_t ActivityMatrix::SpatioTemporalActivity(int day_first,
+                                                    int day_last) const {
+  assert(day_first >= 0 && day_last <= days_);
+  std::int64_t total = 0;
+  for (int d = day_first; d < day_last; ++d) total += ActiveOnDay(d);
+  return total;
+}
+
+double ActivityMatrix::Stu(int day_first, int day_last) const {
+  int window = day_last - day_first;
+  if (window <= 0) return 0.0;
+  return static_cast<double>(SpatioTemporalActivity(day_first, day_last)) /
+         (256.0 * window);
+}
+
+int ActivityMatrix::HostActiveDays(int host) const {
+  int count = 0;
+  for (int d = 0; d < days_; ++d) count += Get(d, host) ? 1 : 0;
+  return count;
+}
+
+bool ActivityMatrix::Empty() const {
+  for (const DayBits& row : rows_) {
+    if ((row[0] | row[1] | row[2] | row[3]) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace ipscope::activity

@@ -1,0 +1,97 @@
+// ActivityMatrix: the per-/24 spatio-temporal activity bitmap.
+//
+// This is the paper's core data structure (Section 5): for one /24 block,
+// a days x 256 bit matrix where bit (d, h) is set iff address .h was active
+// (issued at least one successful request) on day d. Figures 6 and 7 are
+// direct renderings of such matrices; the filling degree (FD) and
+// spatio-temporal utilization (STU) metrics are reductions over them.
+//
+// Storage is 4 x 64-bit words per day, row-major by day, so day slices are
+// contiguous and all reductions are popcount loops.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ipscope::activity {
+
+// A 256-bit day slice: which of the 256 host offsets were active.
+using DayBits = std::array<std::uint64_t, 4>;
+
+constexpr int PopCount(const DayBits& bits) {
+  return std::popcount(bits[0]) + std::popcount(bits[1]) +
+         std::popcount(bits[2]) + std::popcount(bits[3]);
+}
+
+constexpr DayBits OrBits(const DayBits& a, const DayBits& b) {
+  return {a[0] | b[0], a[1] | b[1], a[2] | b[2], a[3] | b[3]};
+}
+
+constexpr DayBits AndNotBits(const DayBits& a, const DayBits& b) {
+  return {a[0] & ~b[0], a[1] & ~b[1], a[2] & ~b[2], a[3] & ~b[3]};
+}
+
+constexpr bool TestBit(const DayBits& bits, int host) {
+  return (bits[static_cast<std::size_t>(host >> 6)] >>
+          (static_cast<unsigned>(host) & 63u)) &
+         1u;
+}
+
+constexpr void SetBit(DayBits& bits, int host) {
+  bits[static_cast<std::size_t>(host >> 6)] |=
+      std::uint64_t{1} << (static_cast<unsigned>(host) & 63u);
+}
+
+class ActivityMatrix {
+ public:
+  // A matrix covering `days` consecutive days (day indices 0 .. days-1).
+  explicit ActivityMatrix(int days);
+
+  int days() const { return days_; }
+
+  void Set(int day, int host) { SetBit(Row(day), host); }
+  bool Get(int day, int host) const { return TestBit(Row(day), host); }
+
+  DayBits& Row(int day) {
+    return rows_[static_cast<std::size_t>(day)];
+  }
+  const DayBits& Row(int day) const {
+    return rows_[static_cast<std::size_t>(day)];
+  }
+
+  // Number of active addresses on one day.
+  int ActiveOnDay(int day) const { return PopCount(Row(day)); }
+
+  // Union of day slices over [day_first, day_last) — the set of addresses
+  // active at least once in the window.
+  DayBits UnionOver(int day_first, int day_last) const;
+
+  // Filling degree over a window: |union| in [1, 256] (0 if nothing active).
+  int FillingDegree(int day_first, int day_last) const {
+    return PopCount(UnionOver(day_first, day_last));
+  }
+  int FillingDegree() const { return FillingDegree(0, days_); }
+
+  // Spatio-temporal activity: total active (address, day) pairs in a window.
+  // Max is 256 * window length.
+  std::int64_t SpatioTemporalActivity(int day_first, int day_last) const;
+
+  // Spatio-temporal utilization in [0, 1]: activity / (256 * window days).
+  double Stu(int day_first, int day_last) const;
+  double Stu() const { return Stu(0, days_); }
+
+  // Number of days on which a given host offset was active.
+  int HostActiveDays(int host) const;
+
+  // True iff no bit is set.
+  bool Empty() const;
+
+ private:
+  int days_;
+  std::vector<DayBits> rows_;
+};
+
+}  // namespace ipscope::activity

@@ -1,0 +1,39 @@
+#include "activity/metrics.h"
+
+namespace ipscope::activity {
+
+std::vector<BlockMetrics> ComputeBlockMetrics(const ActivityStore& store,
+                                              int day_first, int day_last) {
+  std::vector<BlockMetrics> out;
+  out.reserve(store.BlockCount());
+  store.ForEach([&](net::BlockKey key, const ActivityMatrix& m) {
+    int fd = m.FillingDegree(day_first, day_last);
+    if (fd == 0) return;
+    out.push_back(BlockMetrics{key, fd, m.Stu(day_first, day_last)});
+  });
+  return out;
+}
+
+std::vector<BlockMetrics> ComputeBlockMetrics(const ActivityStore& store) {
+  return ComputeBlockMetrics(store, 0, store.days());
+}
+
+std::vector<double> FillingDegrees(const std::vector<BlockMetrics>& metrics) {
+  std::vector<double> out;
+  out.reserve(metrics.size());
+  for (const BlockMetrics& m : metrics) {
+    out.push_back(static_cast<double>(m.filling_degree));
+  }
+  return out;
+}
+
+std::vector<double> StuValues(const std::vector<BlockMetrics>& metrics,
+                              int min_fd) {
+  std::vector<double> out;
+  for (const BlockMetrics& m : metrics) {
+    if (m.filling_degree >= min_fd) out.push_back(m.stu);
+  }
+  return out;
+}
+
+}  // namespace ipscope::activity

@@ -1,0 +1,36 @@
+// Per-block activity metrics (Section 5.1 of the paper).
+//
+// Filling degree (FD): number of distinct active addresses in a /24 within
+// an observation window — range 1..256 for active blocks.
+// Spatio-temporal utilization (STU): active (address, day) pairs divided by
+// the maximum possible (256 x window days) — range (0, 1].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "activity/store.h"
+#include "netbase/prefix.h"
+
+namespace ipscope::activity {
+
+struct BlockMetrics {
+  net::BlockKey key = 0;
+  int filling_degree = 0;
+  double stu = 0.0;
+};
+
+// Metrics for every block with at least one active address in the window.
+std::vector<BlockMetrics> ComputeBlockMetrics(const ActivityStore& store,
+                                              int day_first, int day_last);
+std::vector<BlockMetrics> ComputeBlockMetrics(const ActivityStore& store);
+
+// Filling degrees as doubles (for CDF plotting, Fig 8b).
+std::vector<double> FillingDegrees(const std::vector<BlockMetrics>& metrics);
+
+// STU values, optionally restricted to blocks with FD >= min_fd (Fig 8c uses
+// min_fd = 251, "more than 250 active IP addresses").
+std::vector<double> StuValues(const std::vector<BlockMetrics>& metrics,
+                              int min_fd = 0);
+
+}  // namespace ipscope::activity

@@ -1,0 +1,71 @@
+#include "activity/store.h"
+
+#include <algorithm>
+
+namespace ipscope::activity {
+
+ActivityMatrix& ActivityStore::GetOrCreate(net::BlockKey key) {
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  auto idx = static_cast<std::size_t>(it - keys_.begin());
+  if (it != keys_.end() && *it == key) return matrices_[idx];
+  keys_.insert(it, key);
+  matrices_.insert(matrices_.begin() + static_cast<std::ptrdiff_t>(idx),
+                   ActivityMatrix{days_});
+  return matrices_[idx];
+}
+
+const ActivityMatrix* ActivityStore::Find(net::BlockKey key) const {
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) return nullptr;
+  return &matrices_[static_cast<std::size_t>(it - keys_.begin())];
+}
+
+std::vector<std::int64_t> ActivityStore::DailyActiveCounts() const {
+  std::vector<std::int64_t> totals(static_cast<std::size_t>(days_), 0);
+  for (const ActivityMatrix& m : matrices_) {
+    for (int d = 0; d < days_; ++d) {
+      totals[static_cast<std::size_t>(d)] += m.ActiveOnDay(d);
+    }
+  }
+  return totals;
+}
+
+net::Ipv4Set ActivityStore::ActiveSet(int day_first, int day_last) const {
+  std::vector<std::uint32_t> values;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    DayBits u = matrices_[i].UnionOver(day_first, day_last);
+    std::uint32_t base = keys_[i] << 8;
+    for (int w = 0; w < 4; ++w) {
+      std::uint64_t word = u[static_cast<std::size_t>(w)];
+      while (word != 0) {
+        int bit = std::countr_zero(word);
+        values.push_back(base + static_cast<std::uint32_t>(w * 64 + bit));
+        word &= word - 1;
+      }
+    }
+  }
+  // Values are produced in ascending order already, so the canonical
+  // interval construction in FromValues does no extra sorting work.
+  return net::Ipv4Set::FromValues(std::move(values));
+}
+
+std::uint64_t ActivityStore::CountActive(int day_first, int day_last) const {
+  std::uint64_t n = 0;
+  for (const ActivityMatrix& m : matrices_) {
+    n += static_cast<std::uint64_t>(
+        PopCount(m.UnionOver(day_first, day_last)));
+  }
+  return n;
+}
+
+std::uint64_t ActivityStore::CountActiveBlocks(int day_first,
+                                               int day_last) const {
+  std::uint64_t n = 0;
+  for (const ActivityMatrix& m : matrices_) {
+    DayBits u = m.UnionOver(day_first, day_last);
+    if ((u[0] | u[1] | u[2] | u[3]) != 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace ipscope::activity

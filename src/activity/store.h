@@ -1,0 +1,62 @@
+// ActivityStore: activity matrices for every observed /24 block.
+//
+// The store is the materialized "log dataset": a sorted, dense-by-block
+// collection of ActivityMatrix objects sharing one observation period.
+// It supports the whole-dataset reductions the paper's analyses need:
+// per-day totals, windowed active sets, and per-block iteration.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "activity/matrix.h"
+#include "netbase/ip_set.h"
+#include "netbase/ipv4.h"
+#include "netbase/prefix.h"
+
+namespace ipscope::activity {
+
+class ActivityStore {
+ public:
+  // `days` is the shared observation-period length of all matrices.
+  explicit ActivityStore(int days) : days_(days) {}
+
+  int days() const { return days_; }
+  std::size_t BlockCount() const { return keys_.size(); }
+
+  // Returns the matrix for `key`, creating an empty one if absent.
+  // Insertions may arrive in any order; the store keeps blocks sorted.
+  ActivityMatrix& GetOrCreate(net::BlockKey key);
+
+  // Returns nullptr if the block was never observed.
+  const ActivityMatrix* Find(net::BlockKey key) const;
+
+  // Visits blocks in increasing BlockKey order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i) fn(keys_[i], matrices_[i]);
+  }
+
+  std::span<const net::BlockKey> keys() const { return keys_; }
+
+  // Total active addresses per day across all blocks (Fig 4a's red series).
+  std::vector<std::int64_t> DailyActiveCounts() const;
+
+  // The set of addresses active at least once in [day_first, day_last).
+  net::Ipv4Set ActiveSet(int day_first, int day_last) const;
+
+  // Number of distinct addresses active in the window (cheaper than
+  // materializing the set).
+  std::uint64_t CountActive(int day_first, int day_last) const;
+
+  // Number of blocks with at least one active address in the window.
+  std::uint64_t CountActiveBlocks(int day_first, int day_last) const;
+
+ private:
+  int days_;
+  std::vector<net::BlockKey> keys_;       // ascending
+  std::vector<ActivityMatrix> matrices_;  // parallel to keys_
+};
+
+}  // namespace ipscope::activity

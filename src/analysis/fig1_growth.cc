@@ -1,0 +1,70 @@
+#include "analysis/fig1_growth.h"
+
+#include <cmath>
+#include <ostream>
+#include <vector>
+
+#include "report/table.h"
+#include "report/textplot.h"
+
+namespace ipscope::analysis {
+
+Fig1Result RunFig1(std::uint64_t seed, double scale) {
+  Fig1Result out;
+  out.growth = sim::GenerateGrowthHistory(seed, scale);
+
+  const auto& series = out.growth.series;
+  const auto& fit = out.growth.pre2014_fit;
+  double residual_sum = 0.0;
+  int pre_months = 0;
+  for (std::size_t m = 0; m < series.size(); ++m) {
+    bool pre2014 = series[m].year < 2014;
+    if (pre2014) {
+      double predicted = fit.At(static_cast<double>(m));
+      residual_sum += std::abs(series[m].active_ips - predicted) /
+                      predicted;
+      ++pre_months;
+    }
+  }
+  out.pre2014_mean_residual = pre_months ? residual_sum / pre_months : 0.0;
+
+  double last_predicted = fit.At(static_cast<double>(series.size() - 1));
+  out.stagnation_gap =
+      (last_predicted - series.back().active_ips) / last_predicted;
+  return out;
+}
+
+void PrintFig1(const Fig1Result& result, std::ostream& os) {
+  os << "=== Fig 1: monthly active IPv4 addresses, 2008-2016 ===\n";
+  std::vector<double> values;
+  for (const auto& mc : result.growth.series) values.push_back(mc.active_ips);
+  os << "series:  " << report::RenderSparkline(values) << "\n";
+  os << "         2008      2010      2012      2014      2016\n\n";
+
+  report::Table table({"year", "jan active IPs", "trend (pre-2014 fit)"});
+  for (std::size_t m = 0; m < result.growth.series.size(); ++m) {
+    const auto& mc = result.growth.series[m];
+    if (mc.month != 1) continue;
+    table.AddRow({std::to_string(mc.year), report::FormatSi(mc.active_ips),
+                  report::FormatSi(result.growth.pre2014_fit.At(
+                      static_cast<double>(m)))});
+  }
+  table.Print(os);
+
+  os << "\npre-2014 fit: slope " << report::FormatSi(
+            result.growth.pre2014_fit.slope)
+     << "/month, R^2 "
+     << report::FormatDouble(result.growth.pre2014_fit.r_squared, 4) << "\n";
+  os << "mean |residual| pre-2014:      "
+     << report::FormatPercent(result.pre2014_mean_residual) << "\n";
+  os << "final month vs extrapolation:  "
+     << report::FormatPercent(result.stagnation_gap)
+     << " below trend   [paper: clear stagnation after 2014-01]\n";
+  os << "RIR exhaustion dates: ";
+  for (const auto& ev : sim::RirExhaustionDates()) {
+    os << ev.rir << " " << ev.year << "-" << ev.month << "  ";
+  }
+  os << "\n";
+}
+
+}  // namespace ipscope::analysis

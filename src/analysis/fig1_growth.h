@@ -1,0 +1,29 @@
+// Fig 1: monthly unique active IPv4 addresses, 2008–2016.
+//
+// Reproduces the paper's headline observation: near-perfect linear growth
+// until January 2014 (captured by an OLS fit), then stagnation, annotated
+// with the RIR exhaustion dates.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "sim/growth.h"
+
+namespace ipscope::analysis {
+
+struct Fig1Result {
+  sim::GrowthSeries growth;
+  // Relative shortfall of the final observed month vs the pre-2014 trend
+  // extrapolated to that month (the visual "gap" in Fig 1).
+  double stagnation_gap = 0.0;
+  // Mean absolute relative residual of the pre-2014 fit (how "linear" the
+  // growth era was).
+  double pre2014_mean_residual = 0.0;
+};
+
+Fig1Result RunFig1(std::uint64_t seed, double scale = 1.0);
+
+void PrintFig1(const Fig1Result& result, std::ostream& os);
+
+}  // namespace ipscope::analysis

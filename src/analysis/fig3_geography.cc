@@ -1,0 +1,142 @@
+#include "analysis/fig3_geography.h"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+
+#include "report/table.h"
+#include "scan/icmp.h"
+
+namespace ipscope::analysis {
+
+namespace {
+
+constexpr int kOctFirstStep = 45;
+constexpr int kOctLastStep = 76;
+constexpr std::int32_t kOctFirstDay = 273;
+constexpr std::int32_t kOctDays = 31;
+
+// Ranks (1 = largest) of each country by a subscriber metric.
+std::vector<int> RanksBy(double geo::CountryInfo::* field) {
+  auto countries = geo::Countries();
+  std::vector<int> order(countries.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return countries[static_cast<std::size_t>(a)].*field >
+           countries[static_cast<std::size_t>(b)].*field;
+  });
+  std::vector<int> ranks(countries.size());
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    ranks[static_cast<std::size_t>(order[pos])] = static_cast<int>(pos) + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+Fig3Result RunFig3(const sim::World& world,
+                   const activity::ActivityStore& daily_store) {
+  Fig3Result out;
+  const geo::Registry& registry = world.registry();
+  auto countries = geo::Countries();
+
+  net::Ipv4Set cdn = daily_store.ActiveSet(kOctFirstStep, kOctLastStep);
+  net::Ipv4Set icmp =
+      scan::IcmpScanner{world}.ScanMonth(kOctFirstDay, kOctDays, 8);
+  net::Ipv4Set both = cdn.Intersect(icmp);
+  net::Ipv4Set cdn_only = cdn.Subtract(icmp);
+  net::Ipv4Set icmp_only = icmp.Subtract(cdn);
+
+  std::vector<VisibilitySplit> per_country(countries.size());
+  auto tally = [&](const net::Ipv4Set& set,
+                   std::uint64_t VisibilitySplit::* member) {
+    for (const auto& iv : set.Intervals()) {
+      // A country region spans whole /24 runs, so one lookup per interval
+      // start is safe only within a block; walk block sub-ranges instead.
+      std::uint64_t v = iv.first;
+      while (v <= iv.last) {
+        std::uint64_t block_end =
+            std::min<std::uint64_t>(iv.last, (v | 0xFFu));
+        auto country =
+            registry.CountryOf(net::IPv4Addr{static_cast<std::uint32_t>(v)});
+        if (country) {
+          per_country[static_cast<std::size_t>(*country)].*member +=
+              block_end - v + 1;
+        }
+        v = block_end + 1;
+      }
+    }
+  };
+  tally(cdn_only, &VisibilitySplit::cdn_only);
+  tally(both, &VisibilitySplit::both);
+  tally(icmp_only, &VisibilitySplit::icmp_only);
+
+  auto bb_ranks = RanksBy(&geo::CountryInfo::broadband_subs_m);
+  auto cell_ranks = RanksBy(&geo::CountryInfo::cellular_subs_m);
+
+  for (std::size_t i = 0; i < countries.size(); ++i) {
+    CountryVisibility cv;
+    cv.code = std::string{countries[i].code};
+    cv.rir = countries[i].rir;
+    cv.split = per_country[i];
+    cv.broadband_rank = bb_ranks[i];
+    cv.cellular_rank = cell_ranks[i];
+    std::uint64_t cdn_total = cv.split.cdn_only + cv.split.both;
+    cv.icmp_response_rate =
+        cdn_total ? static_cast<double>(cv.split.both) /
+                        static_cast<double>(cdn_total)
+                  : 0.0;
+    out.countries.push_back(cv);
+    auto r = static_cast<std::size_t>(countries[i].rir);
+    out.per_rir[r].cdn_only += cv.split.cdn_only;
+    out.per_rir[r].both += cv.split.both;
+    out.per_rir[r].icmp_only += cv.split.icmp_only;
+  }
+  std::sort(out.countries.begin(), out.countries.end(),
+            [](const CountryVisibility& a, const CountryVisibility& b) {
+              return a.split.total() > b.split.total();
+            });
+  return out;
+}
+
+void PrintFig3(const Fig3Result& result, std::ostream& os, int top_n) {
+  os << "=== Fig 3a: visibility by RIR ===\n";
+  report::Table rir_table(
+      {"RIR", "CDN & ICMP", "only CDN", "only ICMP", "CDN lift"});
+  for (int r = 0; r < geo::kRirCount; ++r) {
+    const auto& s = result.per_rir[static_cast<std::size_t>(r)];
+    double lift = s.both + s.icmp_only
+                      ? static_cast<double>(s.cdn_only) /
+                            static_cast<double>(s.both + s.icmp_only)
+                      : 0.0;
+    rir_table.AddRow({std::string{geo::RirName(static_cast<geo::Rir>(r))},
+                      report::FormatSi(static_cast<double>(s.both)),
+                      report::FormatSi(static_cast<double>(s.cdn_only)),
+                      report::FormatSi(static_cast<double>(s.icmp_only)),
+                      report::FormatPercent(lift)});
+  }
+  rir_table.Print(os);
+  os << "[paper: CDN logs lift visibility in every region, most strongly in "
+        "AFRINIC (+150%)]\n";
+
+  os << "\n=== Fig 3b: top countries, with subscriber ranks ===\n";
+  report::Table c_table({"country", "visible IPs", "only CDN", "CDN & ICMP",
+                         "only ICMP", "bb rank", "cell rank",
+                         "ICMP resp. rate"});
+  int shown = 0;
+  for (const CountryVisibility& cv : result.countries) {
+    if (shown++ >= top_n) break;
+    c_table.AddRow(
+        {cv.code, report::FormatSi(static_cast<double>(cv.split.total())),
+         report::FormatSi(static_cast<double>(cv.split.cdn_only)),
+         report::FormatSi(static_cast<double>(cv.split.both)),
+         report::FormatSi(static_cast<double>(cv.split.icmp_only)),
+         std::to_string(cv.broadband_rank), std::to_string(cv.cellular_rank),
+         report::FormatPercent(cv.icmp_response_rate)});
+  }
+  c_table.Print(os);
+  os << "[paper: broadband ranks track visible-address ranks; cellular ranks "
+        "do not (CGN); ICMP response ~80% in CN vs ~25% in JP]\n";
+}
+
+}  // namespace ipscope::analysis

@@ -1,0 +1,42 @@
+// Fig 3: geographic breakdown of visibility (per RIR and per country).
+//
+// Fig 3a splits each RIR's visible addresses into CDN-only / both / ICMP-
+// only. Fig 3b ranks countries by visible addresses and annotates them with
+// their broadband/cellular subscriber ranks, showing that broadband rank
+// tracks address rank while cellular rank (CGN!) does not, and that ICMP
+// responsiveness varies strongly by country.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "activity/store.h"
+#include "analysis/visibility.h"
+#include "geo/country.h"
+#include "sim/world.h"
+
+namespace ipscope::analysis {
+
+struct CountryVisibility {
+  std::string code;
+  geo::Rir rir = geo::Rir::kArin;
+  VisibilitySplit split;
+  int broadband_rank = 0;
+  int cellular_rank = 0;
+  double icmp_response_rate = 0.0;  // measured among CDN-active addresses
+};
+
+struct Fig3Result {
+  std::array<VisibilitySplit, geo::kRirCount> per_rir;
+  std::vector<CountryVisibility> countries;  // sorted by total visible, desc
+};
+
+Fig3Result RunFig3(const sim::World& world,
+                   const activity::ActivityStore& daily_store);
+
+void PrintFig3(const Fig3Result& result, std::ostream& os, int top_n = 12);
+
+}  // namespace ipscope::analysis

@@ -1,0 +1,26 @@
+// Fig 4: volatility of address activity.
+//  4a: daily active counts with daily up/down event counts.
+//  4b: up/down percentages across aggregation windows (1..28 days) —
+//      churn does not decay to zero at coarse windows (plateau ~5%).
+//  4c: appear/disappear relative to the first week across the year (±25%).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "activity/churn.h"
+
+namespace ipscope::analysis {
+
+struct Fig4Result {
+  activity::DailyEventSeries daily;                  // from the daily store
+  std::vector<activity::WindowChurnSeries> windows;  // sizes 1,2,4,7,14,28
+  activity::VersusFirstSeries yearly;                // from the weekly store
+};
+
+Fig4Result RunFig4(const activity::ActivityStore& daily_store,
+                   const activity::ActivityStore& weekly_store);
+
+void PrintFig4(const Fig4Result& result, std::ostream& os);
+
+}  // namespace ipscope::analysis

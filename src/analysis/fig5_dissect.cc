@@ -1,0 +1,121 @@
+#include "analysis/fig5_dissect.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "report/table.h"
+#include "stats/quantile.h"
+
+namespace ipscope::analysis {
+
+namespace {
+constexpr int kWindowSizes[] = {1, 7, 28};
+constexpr std::int32_t kOriginDay = 280;
+}  // namespace
+
+Fig5Result RunFig5(const activity::ActivityStore& daily_store,
+                   const bgp::RoutingFeed& feed,
+                   const sim::StepSpec& daily_spec) {
+  Fig5Result out;
+  activity::ChurnAnalyzer churn{daily_store};
+  auto origin_of = [&](net::BlockKey key) {
+    return feed.OriginOf(key, kOriginDay);
+  };
+
+  for (int w : kWindowSizes) {
+    // ---- 5a: per-AS churn ----
+    Fig5Result::PerAsChurn pa;
+    pa.window_days = w;
+    for (const activity::GroupChurn& gc :
+         churn.PerGroupChurn(w, origin_of, /*min_active_ips=*/1000)) {
+      if (gc.group == 0) continue;  // unrouted leftovers
+      pa.median_up_pcts.push_back(gc.median_up_pct);
+    }
+    if (!pa.median_up_pcts.empty()) {
+      double n = static_cast<double>(pa.median_up_pcts.size());
+      pa.frac_below_5pct =
+          static_cast<double>(std::count_if(
+              pa.median_up_pcts.begin(), pa.median_up_pcts.end(),
+              [](double v) { return v < 5.0; })) / n;
+      pa.frac_above_10pct =
+          static_cast<double>(std::count_if(
+              pa.median_up_pcts.begin(), pa.median_up_pcts.end(),
+              [](double v) { return v >= 10.0; })) / n;
+    }
+    out.per_as.push_back(std::move(pa));
+
+    // ---- 5b: event sizes, aggregated over all consecutive window pairs ---
+    Fig5Result::EventSizeBins bins;
+    bins.window_days = w;
+    activity::EventSizeHistogram hist;
+    int num_windows = daily_store.days() / w;
+    for (int p = 0; p + 1 < num_windows; ++p) {
+      activity::EventSizeHistogram h = activity::EventSizes(
+          daily_store, p * w, (p + 1) * w, (p + 1) * w, (p + 2) * w,
+          /*up=*/true);
+      for (std::size_t m = 0; m < h.by_mask.size(); ++m) {
+        hist.by_mask[m] += h.by_mask[m];
+      }
+      hist.total += h.total;
+    }
+    bins.total = hist.total;
+    bins.le16 = hist.FractionInMaskRange(0, 16);
+    bins.m17_20 = hist.FractionInMaskRange(17, 20);
+    bins.m21_24 = hist.FractionInMaskRange(21, 24);
+    bins.m25_28 = hist.FractionInMaskRange(25, 28);
+    bins.ge29 = hist.FractionInMaskRange(29, 32);
+    out.event_sizes.push_back(bins);
+
+    // ---- 5c: BGP correlation ----
+    out.bgp.push_back(bgp::CorrelateChurnWithBgp(daily_store, feed,
+                                                 daily_spec, w));
+  }
+  return out;
+}
+
+void PrintFig5(const Fig5Result& result, std::ostream& os) {
+  os << "=== Fig 5a: per-AS median up-event percentage ===\n";
+  report::Table ast({"window", "ASes (>1K IPs)", "frac < 5%", "frac >= 10%",
+                     "median of medians"});
+  for (const auto& pa : result.per_as) {
+    ast.AddRow({std::to_string(pa.window_days) + "d",
+                report::FormatCount(pa.median_up_pcts.size()),
+                report::FormatPercent(pa.frac_below_5pct),
+                report::FormatPercent(pa.frac_above_10pct),
+                report::FormatDouble(
+                    stats::Median(pa.median_up_pcts)) + "%"});
+  }
+  ast.Print(os);
+  os << "[paper: about half of ASes < 5%, 10-20% of ASes >= 10% — churn is "
+        "ubiquitous, not confined to a few networks]\n";
+
+  os << "\n=== Fig 5b: size distribution of up events ===\n";
+  report::Table est({"window", "events", "<=/16", "/17-/20", "/21-/24",
+                     "/25-/28", "/29-/32"});
+  for (const auto& b : result.event_sizes) {
+    est.AddRow({std::to_string(b.window_days) + "d",
+                report::FormatCount(b.total), report::FormatPercent(b.le16),
+                report::FormatPercent(b.m17_20),
+                report::FormatPercent(b.m21_24),
+                report::FormatPercent(b.m25_28),
+                report::FormatPercent(b.ge29)});
+  }
+  est.Print(os);
+  os << "[paper: 1d windows -> >70% of events at >=/31; 28d windows -> >38% "
+        "affect blocks <=/24 while >36% remain individual addresses]\n";
+
+  os << "\n=== Fig 5c: churn events vs BGP changes ===\n";
+  report::Table bt({"window", "up w/ BGP chg", "down w/ BGP chg",
+                    "steady w/ BGP chg"});
+  for (const auto& c : result.bgp) {
+    bt.AddRow({std::to_string(c.window_days) + "d",
+               report::FormatDouble(c.UpPct()) + "%",
+               report::FormatDouble(c.DownPct()) + "%",
+               report::FormatDouble(c.SteadyPct()) + "%"});
+  }
+  bt.Print(os);
+  os << "[paper: < 2.5% even at monthly windows; up/down well above steady; "
+        "churn is almost entirely invisible in BGP]\n";
+}
+
+}  // namespace ipscope::analysis

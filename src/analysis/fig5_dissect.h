@@ -1,0 +1,47 @@
+// Fig 5: dissecting address volatility.
+//  5a: CDF over ASes of the median per-snapshot up-event percentage.
+//  5b: size distribution of up events (smallest isolating prefix mask).
+//  5c: fraction of up/down/steady addresses coinciding with a BGP change.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "activity/churn.h"
+#include "activity/eventsize.h"
+#include "bgp/correlate.h"
+
+namespace ipscope::analysis {
+
+struct Fig5Result {
+  struct PerAsChurn {
+    int window_days = 0;
+    std::vector<double> median_up_pcts;  // one per qualifying AS
+    double frac_below_5pct = 0.0;
+    double frac_above_10pct = 0.0;
+  };
+  std::vector<PerAsChurn> per_as;  // window sizes 1, 7, 28
+
+  struct EventSizeBins {
+    int window_days = 0;
+    std::uint64_t total = 0;
+    // Fractions of up events whose isolating mask falls in each bin.
+    double le16 = 0.0;     // mask <= /16 (largest events)
+    double m17_20 = 0.0;
+    double m21_24 = 0.0;
+    double m25_28 = 0.0;
+    double ge29 = 0.0;     // /29../32 (individual addresses)
+  };
+  std::vector<EventSizeBins> event_sizes;  // window sizes 1, 7, 28
+
+  std::vector<bgp::ChurnBgpCorrelation> bgp;  // window sizes 1, 7, 28
+};
+
+Fig5Result RunFig5(const activity::ActivityStore& daily_store,
+                   const bgp::RoutingFeed& feed,
+                   const sim::StepSpec& daily_spec);
+
+void PrintFig5(const Fig5Result& result, std::ostream& os);
+
+}  // namespace ipscope::analysis

@@ -1,0 +1,135 @@
+#include "analysis/fig6_patterns.h"
+
+#include <ostream>
+
+#include "report/table.h"
+#include "report/textplot.h"
+
+namespace ipscope::analysis {
+
+namespace {
+
+// Ground-truth flavour of a client block (or -1 when not a stable client).
+int TruthIndex(const sim::BlockPlan& plan) {
+  if (plan.HasReconfiguration() || plan.active_from > 0 ||
+      plan.active_until < 364) {
+    return -1;  // not "in situ" — excluded from classifier validation
+  }
+  switch (plan.base.kind) {
+    case sim::PolicyKind::kStatic:
+      return 0;
+    case sim::PolicyKind::kDynamicShort:
+      return plan.base.rotating ? 1 : 2;
+    case sim::PolicyKind::kDynamicLong:
+      return 3;
+    case sim::PolicyKind::kCgnGateway:
+      return 4;
+    default:
+      return -1;
+  }
+}
+
+// The classifier output we consider "correct" for each truth flavour.
+bool Matches(int truth, activity::BlockPattern pattern) {
+  switch (truth) {
+    case 0:
+      return pattern == activity::BlockPattern::kStaticSparse;
+    case 1:
+    case 2:
+      return pattern == activity::BlockPattern::kDynamicShortLease;
+    case 3:
+      return pattern == activity::BlockPattern::kDynamicLongLease;
+    case 4:
+      return pattern == activity::BlockPattern::kFullyUtilized;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Fig6Result RunFig6(const sim::World& world,
+                   const activity::ActivityStore& daily_store) {
+  Fig6Result out;
+  std::uint64_t total = 0, matched = 0;
+  std::array<bool, Fig6Result::kTruthKinds> have_exemplar{};
+  bool have_reconfig_exemplar = false;
+
+  for (const sim::BlockPlan& plan : world.blocks()) {
+    net::BlockKey key = net::BlockKeyOf(plan.block);
+    const activity::ActivityMatrix* m = daily_store.Find(key);
+    if (m == nullptr) continue;
+
+    // Fig 7 exemplar: a reconfigured block.
+    if (plan.HasReconfiguration() && !have_reconfig_exemplar &&
+        m->FillingDegree() > 32) {
+      Fig6Result::Exemplar ex;
+      ex.key = key;
+      ex.truth = std::string{"reconfigured: "} +
+                 sim::PolicyKindName(plan.base.kind) + " -> " +
+                 sim::PolicyKindName(plan.events[0].params.kind);
+      ex.features = activity::ComputeFeatures(*m);
+      ex.classified = activity::ClassifyPattern(ex.features);
+      ex.rendering = report::RenderActivityMatrix(*m);
+      out.exemplars.push_back(std::move(ex));
+      have_reconfig_exemplar = true;
+    }
+
+    int truth = TruthIndex(plan);
+    if (truth < 0) continue;
+    activity::PatternFeatures features = activity::ComputeFeatures(*m);
+    activity::BlockPattern pattern = activity::ClassifyPattern(features);
+    out.confusion[static_cast<std::size_t>(truth)]
+                 [static_cast<std::size_t>(pattern)] += 1;
+    ++total;
+    if (Matches(truth, pattern)) ++matched;
+
+    if (!have_exemplar[static_cast<std::size_t>(truth)] &&
+        features.filling_degree > 16) {
+      Fig6Result::Exemplar ex;
+      ex.key = key;
+      ex.truth = Fig6Result::kTruthNames[truth];
+      ex.features = features;
+      ex.classified = pattern;
+      ex.rendering = report::RenderActivityMatrix(*m);
+      out.exemplars.push_back(std::move(ex));
+      have_exemplar[static_cast<std::size_t>(truth)] = true;
+    }
+  }
+  out.overall_agreement =
+      total ? static_cast<double>(matched) / static_cast<double>(total) : 0.0;
+  return out;
+}
+
+void PrintFig6(const Fig6Result& result, std::ostream& os,
+               bool render_exemplars) {
+  os << "=== Fig 6/7: block activity patterns ===\n";
+  for (const auto& ex : result.exemplars) {
+    os << "\n-- " << ex.truth << " (FD=" << ex.features.filling_degree
+       << ", STU=" << report::FormatDouble(ex.features.stu)
+       << ", classified: " << activity::PatternName(ex.classified) << ")\n";
+    if (render_exemplars) {
+      for (const std::string& line : ex.rendering) os << "  " << line << "\n";
+    }
+  }
+
+  os << "\n=== Pattern classifier vs ground truth (stable client blocks) "
+        "===\n";
+  report::Table t({"truth \\ classified", "inactive", "static", "short-lease",
+                   "long-lease", "fully-util", "mixed"});
+  for (int truth = 0; truth < Fig6Result::kTruthKinds; ++truth) {
+    std::vector<std::string> row{Fig6Result::kTruthNames[truth]};
+    for (int p = 0; p < 6; ++p) {
+      row.push_back(report::FormatCount(
+          result.confusion[static_cast<std::size_t>(truth)]
+                          [static_cast<std::size_t>(p)]));
+    }
+    t.AddRow(std::move(row));
+  }
+  t.Print(os);
+  os << "overall agreement: "
+     << report::FormatPercent(result.overall_agreement)
+     << " (validation unavailable to the original study)\n";
+}
+
+}  // namespace ipscope::analysis

@@ -1,0 +1,43 @@
+// Figs 6 & 7: the gallery of /24 activity patterns, plus a quantitative
+// validation of the pattern classifier against simulator ground truth
+// (which the paper's authors could only do anecdotally).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "activity/pattern.h"
+#include "activity/store.h"
+#include "sim/world.h"
+
+namespace ipscope::analysis {
+
+struct Fig6Result {
+  struct Exemplar {
+    net::BlockKey key = 0;
+    std::string truth;  // ground-truth policy description
+    activity::PatternFeatures features;
+    activity::BlockPattern classified = activity::BlockPattern::kInactive;
+    std::vector<std::string> rendering;  // Fig 6-style text plot
+  };
+  std::vector<Exemplar> exemplars;
+
+  // Confusion matrix over stable client blocks: rows = ground-truth policy
+  // flavours, columns = classified BlockPattern.
+  static constexpr int kTruthKinds = 5;  // static, rot, dense, long, cgn
+  static constexpr const char* kTruthNames[kTruthKinds] = {
+      "static", "dyn-short-rotating", "dyn-short-dense", "dyn-long", "cgn"};
+  std::array<std::array<std::uint64_t, 6>, kTruthKinds> confusion{};
+  double overall_agreement = 0.0;
+};
+
+Fig6Result RunFig6(const sim::World& world,
+                   const activity::ActivityStore& daily_store);
+
+void PrintFig6(const Fig6Result& result, std::ostream& os,
+               bool render_exemplars = true);
+
+}  // namespace ipscope::analysis

@@ -1,0 +1,60 @@
+// Fig 8: spatio-temporal aggregate views of block activity.
+//  8a: CDF of the max month-to-month STU change per /24; major-change split
+//      at |delta| > 0.25 (paper: 9.8% major). We additionally validate the
+//      detector against ground-truth reconfiguration events.
+//  8b: filling-degree CDFs for rDNS-tagged static vs dynamic vs all blocks.
+//  8c: STU histogram for blocks with FD > 250 (likely dynamic pools).
+// Plus the Section 5.4 "potential utilization" estimates.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "activity/change.h"
+#include "activity/metrics.h"
+#include "activity/store.h"
+#include "sim/world.h"
+#include "stats/histogram.h"
+
+namespace ipscope::analysis {
+
+struct Fig8Result {
+  // 8a
+  std::vector<activity::BlockStuChange> changes;
+  double major_fraction = 0.0;
+  double detector_precision = 0.0;  // major-change blocks truly reconfigured
+  double detector_recall = 0.0;     // reconfigured blocks flagged major
+
+  // 8b
+  std::uint64_t tagged_static = 0;
+  std::uint64_t tagged_dynamic = 0;
+  std::vector<double> fd_static;
+  std::vector<double> fd_dynamic;
+  std::vector<double> fd_all;
+  double static_fd_below_64 = 0.0;    // paper: ~75%
+  double dynamic_fd_above_250 = 0.0;  // paper: >80%
+  double all_fd_above_250 = 0.0;      // paper: ~50%
+  double all_fd_below_64 = 0.0;       // paper: ~30%
+
+  // 8c
+  stats::Histogram stu_high_fd{0.0, 1.0, 10};
+  std::uint64_t high_fd_blocks = 0;
+  double high_fd_stu_above_80 = 0.0;
+  double high_fd_stu_100 = 0.0;
+  double high_fd_stu_below_60 = 0.0;
+  double high_fd_stu_below_20 = 0.0;
+
+  // Fig 7b extension: spatial (half-block) change detection, validated
+  // against ground-truth partial reconfigurations.
+  std::uint64_t spatial_flagged = 0;
+  double spatial_precision = 0.0;
+  double spatial_recall = 0.0;
+};
+
+Fig8Result RunFig8(const sim::World& world,
+                   const activity::ActivityStore& daily_store);
+
+void PrintFig8(const Fig8Result& result, std::ostream& os);
+
+}  // namespace ipscope::analysis

@@ -1,0 +1,46 @@
+// Fig 9: address activity vs traffic volume.
+//  9a: per-IP median daily hits binned by days active (112 bins), with
+//      5/25/75/95 percentile bands — temporal activity correlates strongly
+//      with traffic.
+//  9b: cumulative IP-count and traffic fractions by days-active bin — <10%
+//      of addresses (the always-on ones) carry >40% of all traffic.
+//  9c: weekly traffic share of the top-10% heaviest addresses across 2015 —
+//      the consolidation trend (~49.5% -> ~52.5%).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "cdn/observatory.h"
+
+namespace ipscope::analysis {
+
+struct Fig9Result {
+  struct DaysActiveBin {
+    std::uint64_t ips = 0;
+    std::uint64_t total_hits = 0;
+    double p5 = 0, p25 = 0, median = 0, p75 = 0, p95 = 0;
+  };
+  std::vector<DaysActiveBin> bins;  // index d => active on d+1 days
+
+  std::vector<double> cum_ip_frac;       // by days-active bin
+  std::vector<double> cum_traffic_frac;  // by days-active bin
+  double all_days_ip_frac = 0.0;         // IPs active every single day
+  double all_days_traffic_frac = 0.0;    // their share of total traffic
+
+  std::vector<double> weekly_top10_share;  // % per week
+  double first_month_share = 0.0;
+  double last_month_share = 0.0;
+
+  // Gini coefficient of per-address total traffic over the daily period —
+  // a single-number summary of the concentration Fig 9 describes.
+  double traffic_gini = 0.0;
+};
+
+Fig9Result RunFig9(const cdn::Observatory& daily,
+                   const cdn::Observatory& weekly);
+
+void PrintFig9(const Fig9Result& result, std::ostream& os);
+
+}  // namespace ipscope::analysis

@@ -1,0 +1,23 @@
+// Table 1: dataset totals and per-snapshot averages for the daily and
+// weekly observation datasets (IP addresses, /24 blocks, ASes).
+#pragma once
+
+#include <iosfwd>
+
+#include "bgp/table.h"
+#include "cdn/dataset.h"
+#include "cdn/observatory.h"
+#include "sim/world.h"
+
+namespace ipscope::analysis {
+
+struct Table1Result {
+  cdn::DatasetTotals daily;
+  cdn::DatasetTotals weekly;
+};
+
+Table1Result RunTable1(const sim::World& world, const bgp::RoutingFeed& feed);
+
+void PrintTable1(const Table1Result& result, std::ostream& os);
+
+}  // namespace ipscope::analysis

@@ -1,0 +1,161 @@
+#include "analysis/table2_longterm.h"
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "report/table.h"
+
+namespace ipscope::analysis {
+
+namespace {
+
+// Jan/Feb = weeks 0..8; Nov/Dec = weeks 43..51 of the 52-week store.
+constexpr int kEarlyFirst = 0, kEarlyLast = 9;
+constexpr int kLateFirst = 43, kLateLast = 52;
+// Majority-origin evaluation ranges in absolute days.
+constexpr std::int32_t kEarlyDayFirst = 0, kEarlyDayLast = 60;
+constexpr std::int32_t kLateDayFirst = 301, kLateDayLast = 364;
+
+std::vector<std::uint32_t> TopAsns(
+    const std::unordered_map<std::uint32_t, std::uint64_t>& counts, int n) {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> all(counts.begin(),
+                                                           counts.end());
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  std::vector<std::uint32_t> top;
+  for (int i = 0; i < n && i < static_cast<int>(all.size()); ++i) {
+    top.push_back(all[static_cast<std::size_t>(i)].first);
+  }
+  return top;
+}
+
+}  // namespace
+
+Table2Result RunTable2(const activity::ActivityStore& weekly_store,
+                       const bgp::RoutingFeed& feed) {
+  Table2Result out;
+  std::uint64_t appear_whole = 0, disappear_whole = 0;
+  std::uint64_t appear_no_bgp = 0, appear_origin = 0, appear_announce = 0;
+  std::uint64_t disappear_no_bgp = 0, disappear_origin = 0,
+                disappear_withdraw = 0;
+  std::unordered_map<std::uint32_t, std::uint64_t> appear_by_as,
+      disappear_by_as;
+
+  weekly_store.ForEach([&](net::BlockKey key,
+                           const activity::ActivityMatrix& m) {
+    activity::DayBits early = m.UnionOver(kEarlyFirst, kEarlyLast);
+    activity::DayBits late = m.UnionOver(kLateFirst, kLateLast);
+    auto appear = static_cast<std::uint64_t>(
+        activity::PopCount(activity::AndNotBits(late, early)));
+    auto disappear = static_cast<std::uint64_t>(
+        activity::PopCount(activity::AndNotBits(early, late)));
+    if (appear == 0 && disappear == 0) return;
+
+    out.appear_total += appear;
+    out.disappear_total += disappear;
+    bool early_empty = activity::PopCount(early) == 0;
+    bool late_empty = activity::PopCount(late) == 0;
+    if (early_empty && appear > 0) appear_whole += appear;
+    if (late_empty && disappear > 0) disappear_whole += disappear;
+
+    std::uint32_t early_asn =
+        feed.MajorityOrigin(key, kEarlyDayFirst, kEarlyDayLast);
+    std::uint32_t late_asn =
+        feed.MajorityOrigin(key, kLateDayFirst, kLateDayLast);
+    if (appear > 0) {
+      if (early_asn == late_asn) {
+        appear_no_bgp += appear;
+      } else if (early_asn != 0 && late_asn != 0) {
+        appear_origin += appear;
+      } else {
+        appear_announce += appear;
+      }
+      appear_by_as[late_asn != 0 ? late_asn : early_asn] += appear;
+    }
+    if (disappear > 0) {
+      if (early_asn == late_asn) {
+        disappear_no_bgp += disappear;
+      } else if (early_asn != 0 && late_asn != 0) {
+        disappear_origin += disappear;
+      } else {
+        disappear_withdraw += disappear;
+      }
+      disappear_by_as[early_asn != 0 ? early_asn : late_asn] += disappear;
+    }
+  });
+
+  auto frac = [](std::uint64_t n, std::uint64_t d) {
+    return d ? static_cast<double>(n) / static_cast<double>(d) : 0.0;
+  };
+  out.appear_whole_block_frac = frac(appear_whole, out.appear_total);
+  out.disappear_whole_block_frac =
+      frac(disappear_whole, out.disappear_total);
+  out.appear_bgp = {frac(appear_no_bgp, out.appear_total),
+                    frac(appear_origin, out.appear_total),
+                    frac(appear_announce, out.appear_total)};
+  out.disappear_bgp = {frac(disappear_no_bgp, out.disappear_total),
+                       frac(disappear_origin, out.disappear_total),
+                       frac(disappear_withdraw, out.disappear_total)};
+
+  std::unordered_set<std::uint32_t> volatile_ases;
+  for (const auto& [asn, n] : appear_by_as) volatile_ases.insert(asn);
+  for (const auto& [asn, n] : disappear_by_as) volatile_ases.insert(asn);
+  out.volatile_ases = volatile_ases.size();
+
+  auto top_appear = TopAsns(appear_by_as, 10);
+  auto top_disappear = TopAsns(disappear_by_as, 10);
+  std::uint64_t top_appear_sum = 0;
+  for (std::uint32_t asn : top_appear) top_appear_sum += appear_by_as[asn];
+  std::uint64_t top_disappear_sum = 0;
+  for (std::uint32_t asn : top_disappear) {
+    top_disappear_sum += disappear_by_as[asn];
+  }
+  out.top10_appear_share = frac(top_appear_sum, out.appear_total);
+  out.top10_disappear_share = frac(top_disappear_sum, out.disappear_total);
+  for (std::uint32_t asn : top_appear) {
+    if (std::find(top_disappear.begin(), top_disappear.end(), asn) !=
+        top_disappear.end()) {
+      ++out.top10_overlap;
+    }
+  }
+  return out;
+}
+
+void PrintTable2(const Table2Result& result, std::ostream& os) {
+  os << "=== Table 2: Jan/Feb vs Nov/Dec 2015 ===\n";
+  report::Table t({"metric", "appear", "disappear", "paper (appear/disap.)"});
+  t.AddRow({"total addresses",
+            report::FormatSi(static_cast<double>(result.appear_total)),
+            report::FormatSi(static_cast<double>(result.disappear_total)),
+            "139M / 129M"});
+  t.AddRow({"entire /24 affected",
+            report::FormatPercent(result.appear_whole_block_frac),
+            report::FormatPercent(result.disappear_whole_block_frac),
+            "65% / 54%"});
+  t.AddRow({"BGP no change", report::FormatPercent(result.appear_bgp.no_change),
+            report::FormatPercent(result.disappear_bgp.no_change),
+            "87.1% / 90.4%"});
+  t.AddRow({"BGP origin change",
+            report::FormatPercent(result.appear_bgp.origin_change),
+            report::FormatPercent(result.disappear_bgp.origin_change),
+            "3.3% / 7.1%"});
+  t.AddRow({"BGP announce/withdraw",
+            report::FormatPercent(result.appear_bgp.announce_withdraw),
+            report::FormatPercent(result.disappear_bgp.announce_withdraw),
+            "9.6% / 2.5%"});
+  t.Print(os);
+
+  os << "\nASes with long-term volatility: "
+     << report::FormatCount(result.volatile_ases)
+     << "; top-10 AS share: appear "
+     << report::FormatPercent(result.top10_appear_share) << ", disappear "
+     << report::FormatPercent(result.top10_disappear_share)
+     << "; top-10 overlap " << result.top10_overlap
+     << "/10   [paper: ~30% shares, 7/10 overlap]\n";
+}
+
+}  // namespace ipscope::analysis

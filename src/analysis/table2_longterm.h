@@ -1,0 +1,46 @@
+// Table 2: year-scale appearance/disappearance of addresses.
+//
+// Compares the union of active addresses in Jan/Feb 2015 against Nov/Dec
+// 2015: how many addresses appeared/disappeared, what fraction of them sit
+// in /24s that appeared/disappeared wholesale, and what the corresponding
+// BGP state transitions were. Also reproduces the paper's §4.3 per-AS
+// concentration analysis (top-10 AS share, appear/disappear overlap).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "activity/store.h"
+#include "bgp/table.h"
+
+namespace ipscope::analysis {
+
+struct Table2Result {
+  std::uint64_t appear_total = 0;
+  std::uint64_t disappear_total = 0;
+  double appear_whole_block_frac = 0.0;
+  double disappear_whole_block_frac = 0.0;
+
+  struct BgpBreakdown {
+    double no_change = 0.0;
+    double origin_change = 0.0;
+    double announce_withdraw = 0.0;
+  };
+  BgpBreakdown appear_bgp;
+  BgpBreakdown disappear_bgp;
+
+  // §4.3: concentration of long-term volatility.
+  std::uint64_t volatile_ases = 0;        // ASes with any appear/disappear
+  double top10_appear_share = 0.0;        // share of appear IPs in top 10 ASes
+  double top10_disappear_share = 0.0;
+  int top10_overlap = 0;                  // ASes in both top-10 lists
+};
+
+// `weekly_store` is the 52-week store; early = weeks 0..8, late = 43..51.
+Table2Result RunTable2(const activity::ActivityStore& weekly_store,
+                       const bgp::RoutingFeed& feed);
+
+void PrintTable2(const Table2Result& result, std::ostream& os);
+
+}  // namespace ipscope::analysis

@@ -1,0 +1,154 @@
+#include "analysis/visibility.h"
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#include "report/table.h"
+#include "scan/icmp.h"
+#include "scan/portscan.h"
+#include "scan/traceroute.h"
+
+namespace ipscope::analysis {
+
+namespace {
+
+// October 2015 within the daily period: absolute days 273..304 are steps
+// 45..76 of the 112-day window starting at day 228 (Aug 17).
+constexpr int kOctFirstStep = 45;
+constexpr int kOctLastStep = 76;
+constexpr std::int32_t kOctFirstDay = 273;
+constexpr std::int32_t kOctDays = 31;
+constexpr std::int32_t kOctMidDay = 288;
+
+std::vector<net::BlockKey> BlockKeysOf(const net::Ipv4Set& set) {
+  std::vector<net::BlockKey> keys;
+  set.ForEachBlock([&](net::BlockKey key) { keys.push_back(key); });
+  return keys;
+}
+
+VisibilitySplit SplitSorted(const std::vector<net::BlockKey>& cdn,
+                            const std::vector<net::BlockKey>& icmp) {
+  VisibilitySplit split;
+  std::size_t i = 0, j = 0;
+  while (i < cdn.size() || j < icmp.size()) {
+    if (j >= icmp.size() || (i < cdn.size() && cdn[i] < icmp[j])) {
+      ++split.cdn_only;
+      ++i;
+    } else if (i >= cdn.size() || icmp[j] < cdn[i]) {
+      ++split.icmp_only;
+      ++j;
+    } else {
+      ++split.both;
+      ++i;
+      ++j;
+    }
+  }
+  return split;
+}
+
+}  // namespace
+
+VisibilityResult RunVisibility(const sim::World& world,
+                               const activity::ActivityStore& daily_store,
+                               const bgp::RoutingFeed& feed) {
+  VisibilityResult out;
+
+  net::Ipv4Set cdn = daily_store.ActiveSet(kOctFirstStep, kOctLastStep);
+  net::Ipv4Set icmp =
+      scan::IcmpScanner{world}.ScanMonth(kOctFirstDay, kOctDays, 8);
+
+  // IP granularity.
+  out.ips.both = cdn.CountIntersect(icmp);
+  out.ips.cdn_only = cdn.Count() - out.ips.both;
+  out.ips.icmp_only = icmp.Count() - out.ips.both;
+  out.cdn_missed_by_icmp =
+      cdn.Count() ? static_cast<double>(out.ips.cdn_only) /
+                        static_cast<double>(cdn.Count())
+                  : 0.0;
+
+  // /24 granularity.
+  out.blocks = SplitSorted(BlockKeysOf(cdn), BlockKeysOf(icmp));
+
+  // BGP prefix and AS granularity, over the aggregated routing table.
+  std::unordered_map<std::uint32_t, std::pair<bool, bool>> as_seen;
+  for (const auto& [prefix, asn] : feed.AggregatedAnnouncements(kOctMidDay)) {
+    bool in_cdn = cdn.Intersects(prefix);
+    bool in_icmp = icmp.Intersects(prefix);
+    if (!in_cdn && !in_icmp) continue;
+    if (in_cdn && in_icmp) {
+      ++out.prefixes.both;
+    } else if (in_cdn) {
+      ++out.prefixes.cdn_only;
+    } else {
+      ++out.prefixes.icmp_only;
+    }
+    auto& flags = as_seen[asn];
+    flags.first = flags.first || in_cdn;
+    flags.second = flags.second || in_icmp;
+  }
+  for (const auto& [asn, flags] : as_seen) {
+    if (flags.first && flags.second) {
+      ++out.ases.both;
+    } else if (flags.first) {
+      ++out.ases.cdn_only;
+    } else {
+      ++out.ases.icmp_only;
+    }
+  }
+
+  // Fig 2b: classify ICMP-only addresses.
+  net::Ipv4Set icmp_only = icmp.Subtract(cdn);
+  net::Ipv4Set servers = scan::PortScanner{world}.ScanServices(kOctMidDay);
+  net::Ipv4Set routers =
+      scan::TracerouteCampaign{world}.RouterAddresses(kOctFirstDay);
+  std::uint64_t in_servers = icmp_only.CountIntersect(servers);
+  std::uint64_t in_routers = icmp_only.CountIntersect(routers);
+  std::uint64_t in_both = icmp_only.Intersect(servers).CountIntersect(routers);
+  out.icmp_only_class.server_router = in_both;
+  out.icmp_only_class.server = in_servers - in_both;
+  out.icmp_only_class.router = in_routers - in_both;
+  out.icmp_only_class.unknown =
+      icmp_only.Count() - in_servers - in_routers + in_both;
+  return out;
+}
+
+void PrintVisibility(const VisibilityResult& result, std::ostream& os) {
+  os << "=== Fig 2a: CDN vs ICMP visibility (October) ===\n";
+  report::Table table(
+      {"granularity", "N", "CDN only", "CDN & ICMP", "ICMP only"});
+  auto add = [&](const char* name, const VisibilitySplit& s) {
+    table.AddRow({name, report::FormatCount(s.total()),
+                  report::FormatPercent(s.CdnOnlyFraction()),
+                  report::FormatPercent(1.0 - s.CdnOnlyFraction() -
+                                        s.IcmpOnlyFraction()),
+                  report::FormatPercent(s.IcmpOnlyFraction())});
+  };
+  add("ASes", result.ases);
+  add("BGP prefixes", result.prefixes);
+  add("/24s", result.blocks);
+  add("IPs", result.ips);
+  table.Print(os);
+  os << "\nCDN-active addresses missed by ICMP: "
+     << report::FormatPercent(result.cdn_missed_by_icmp)
+     << "   [paper: >40%]\n";
+
+  os << "\n=== Fig 2b: classification of ICMP-only addresses ===\n";
+  const auto& c = result.icmp_only_class;
+  std::uint64_t total = c.server + c.server_router + c.router + c.unknown;
+  report::Table cls({"class", "addresses", "share"});
+  auto frac = [&](std::uint64_t n) {
+    return report::FormatPercent(
+        total ? static_cast<double>(n) / static_cast<double>(total) : 0.0);
+  };
+  cls.AddRow({"server", report::FormatCount(c.server), frac(c.server)});
+  cls.AddRow({"server/router", report::FormatCount(c.server_router),
+              frac(c.server_router)});
+  cls.AddRow({"router", report::FormatCount(c.router), frac(c.router)});
+  cls.AddRow({"unknown", report::FormatCount(c.unknown), frac(c.unknown)});
+  cls.Print(os);
+  os << "[paper: ~half of ICMP-only addresses are server/router infra]\n";
+}
+
+}  // namespace ipscope::analysis

@@ -1,0 +1,58 @@
+// Fig 2: visibility of the CDN observatory vs active ICMP scanning.
+//
+// Fig 2a compares the October CDN-active set against the union of 8 ICMP
+// scan snapshots, at four granularities (ASes, BGP prefixes, /24s, IPs).
+// Fig 2b classifies the ICMP-only addresses using port scans (servers) and
+// traceroute campaigns (routers).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "activity/store.h"
+#include "bgp/table.h"
+#include "sim/world.h"
+
+namespace ipscope::analysis {
+
+struct VisibilitySplit {
+  std::uint64_t cdn_only = 0;
+  std::uint64_t both = 0;
+  std::uint64_t icmp_only = 0;
+
+  std::uint64_t total() const { return cdn_only + both + icmp_only; }
+  double CdnOnlyFraction() const {
+    return total() ? static_cast<double>(cdn_only) / total() : 0.0;
+  }
+  double IcmpOnlyFraction() const {
+    return total() ? static_cast<double>(icmp_only) / total() : 0.0;
+  }
+};
+
+struct IcmpOnlyClassification {
+  std::uint64_t server = 0;
+  std::uint64_t server_router = 0;
+  std::uint64_t router = 0;
+  std::uint64_t unknown = 0;
+};
+
+struct VisibilityResult {
+  VisibilitySplit ips;
+  VisibilitySplit blocks;
+  VisibilitySplit prefixes;
+  VisibilitySplit ases;
+  IcmpOnlyClassification icmp_only_class;
+  // Fraction of CDN-active addresses invisible to ICMP (the paper's ">40%
+  // of hosts missed by active measurement").
+  double cdn_missed_by_icmp = 0.0;
+};
+
+// `daily_store` must be the daily observatory's store; the comparison month
+// is October 2015 (steps 45..76 of the daily period).
+VisibilityResult RunVisibility(const sim::World& world,
+                               const activity::ActivityStore& daily_store,
+                               const bgp::RoutingFeed& feed);
+
+void PrintVisibility(const VisibilityResult& result, std::ostream& os);
+
+}  // namespace ipscope::analysis

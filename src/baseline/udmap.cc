@@ -1,0 +1,76 @@
+#include "baseline/udmap.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "stats/quantile.h"
+
+namespace ipscope::baseline {
+
+UdmapResult AnalyzeLogins(std::span<const cdn::LoginEvent> events,
+                          const UdmapOptions& options) {
+  struct PairingSpan {
+    std::int32_t first;
+    std::int32_t last;
+  };
+  struct BlockAcc {
+    std::uint64_t events = 0;
+    std::unordered_map<std::uint32_t, std::unordered_set<std::uint64_t>>
+        users_per_addr;
+    std::unordered_set<std::uint64_t> users;
+    // (user, addr) -> observed step span
+    std::unordered_map<std::uint64_t, PairingSpan> pairings;
+  };
+  // std::map keeps blocks in ascending key order for deterministic output.
+  std::map<net::BlockKey, BlockAcc> accs;
+
+  for (const cdn::LoginEvent& ev : events) {
+    BlockAcc& acc = accs[net::BlockKeyOf(ev.ip)];
+    ++acc.events;
+    acc.users_per_addr[ev.ip.value()].insert(ev.user);
+    acc.users.insert(ev.user);
+    // Mix user and address into one pairing key; collisions are harmless
+    // noise at these scales.
+    std::uint64_t pairing = ev.user * 0x9e3779b97f4a7c15ULL ^ ev.ip.value();
+    auto [it, inserted] = acc.pairings.try_emplace(
+        pairing, PairingSpan{ev.step, ev.step});
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, ev.step);
+      it->second.last = std::max(it->second.last, ev.step);
+    }
+  }
+
+  UdmapResult out;
+  for (auto& [key, acc] : accs) {
+    BlockUdmapStats stats;
+    stats.key = key;
+    stats.events = acc.events;
+    stats.addresses = static_cast<std::uint32_t>(acc.users_per_addr.size());
+    stats.users = acc.users.size();
+    double user_sum = 0;
+    for (const auto& [addr, users] : acc.users_per_addr) {
+      user_sum += static_cast<double>(users.size());
+    }
+    stats.users_per_ip =
+        stats.addresses ? user_sum / stats.addresses : 0.0;
+    std::vector<double> spans;
+    spans.reserve(acc.pairings.size());
+    for (const auto& [pairing, span] : acc.pairings) {
+      spans.push_back(static_cast<double>(span.last - span.first + 1));
+    }
+    stats.median_holding_steps = stats::Median(std::move(spans));
+    out.blocks.push_back(stats);
+
+    if (acc.events < options.min_events) continue;
+    if (stats.users_per_ip >= options.dynamic_users_per_ip) {
+      out.dynamic_blocks.push_back(key);
+    } else if (stats.users_per_ip <= options.static_users_per_ip) {
+      out.static_blocks.push_back(key);
+    }
+  }
+  return out;
+}
+
+}  // namespace ipscope::baseline

@@ -1,0 +1,51 @@
+// UDmap-style dynamic-address inference (the Xie et al. baseline, §3.1).
+//
+// Input: (user, IP, time) login tuples. Core signals, per /24 block:
+//   * users-per-IP: distinct subscriber identities seen on each address —
+//     near 1 for static assignment, growing with reassignment frequency;
+//   * holding time: the span of steps over which one (user, IP) pairing
+//     persists — an estimate of the DHCP lease / reassignment interval
+//     (compare Moura et al.'s DHCP churn estimation, §3.1).
+// A block is inferred dynamic when addresses are shared across many users,
+// static when pairings are stable. We validate the inference against the
+// simulator's ground-truth policies and against the paper's rDNS tagging.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cdn/logins.h"
+#include "netbase/prefix.h"
+
+namespace ipscope::baseline {
+
+struct BlockUdmapStats {
+  net::BlockKey key = 0;
+  std::uint64_t events = 0;
+  std::uint32_t addresses = 0;     // distinct addresses with logins
+  std::uint64_t users = 0;         // distinct users seen in the block
+  double users_per_ip = 0.0;       // mean distinct users per address
+  double median_holding_steps = 0; // median (user, ip) pairing span
+};
+
+struct UdmapResult {
+  std::vector<BlockUdmapStats> blocks;            // ascending key
+  std::vector<net::BlockKey> dynamic_blocks;      // inferred dynamic
+  std::vector<net::BlockKey> static_blocks;       // inferred static
+};
+
+struct UdmapOptions {
+  // Addresses shared by at least this many distinct users on average mark
+  // a dynamic block.
+  double dynamic_users_per_ip = 3.0;
+  // At most this many users per address (and long holdings) marks static.
+  double static_users_per_ip = 1.5;
+  // Blocks with fewer login events are left unclassified.
+  std::uint64_t min_events = 50;
+};
+
+UdmapResult AnalyzeLogins(std::span<const cdn::LoginEvent> events,
+                          const UdmapOptions& options = UdmapOptions{});
+
+}  // namespace ipscope::baseline

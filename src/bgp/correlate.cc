@@ -1,0 +1,47 @@
+#include "bgp/correlate.h"
+
+namespace ipscope::bgp {
+
+ChurnBgpCorrelation CorrelateChurnWithBgp(const activity::ActivityStore& store,
+                                          const RoutingFeed& feed,
+                                          const sim::StepSpec& spec,
+                                          int window_days) {
+  ChurnBgpCorrelation out;
+  out.window_days = window_days;
+  const int window_steps = window_days / spec.step_days;
+  if (window_steps <= 0) return out;
+  const int num_windows = store.days() / window_steps;
+  if (num_windows < 2) return out;
+
+  store.ForEach([&](net::BlockKey key, const activity::ActivityMatrix& m) {
+    for (int w = 0; w + 1 < num_windows; ++w) {
+      activity::DayBits w0 =
+          m.UnionOver(w * window_steps, (w + 1) * window_steps);
+      activity::DayBits w1 =
+          m.UnionOver((w + 1) * window_steps, (w + 2) * window_steps);
+      int up = activity::PopCount(activity::AndNotBits(w1, w0));
+      int down = activity::PopCount(activity::AndNotBits(w0, w1));
+      int steady = activity::PopCount(
+          activity::DayBits{w0[0] & w1[0], w0[1] & w1[1], w0[2] & w1[2],
+                            w0[3] & w1[3]});
+      if (up == 0 && down == 0 && steady == 0) continue;
+
+      std::int32_t d0 = spec.start_day + w * window_steps * spec.step_days;
+      std::int32_t d1 = d0 + window_days;
+      std::int32_t d2 = d1 + window_days;
+      bool changed = feed.ChangedBetween(key, d0, d1, d1, d2);
+
+      out.up_events += static_cast<std::uint64_t>(up);
+      out.down_events += static_cast<std::uint64_t>(down);
+      out.steady += static_cast<std::uint64_t>(steady);
+      if (changed) {
+        out.up_with_change += static_cast<std::uint64_t>(up);
+        out.down_with_change += static_cast<std::uint64_t>(down);
+        out.steady_with_change += static_cast<std::uint64_t>(steady);
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace ipscope::bgp

@@ -1,0 +1,10 @@
+#include "bgp/feed.h"
+
+namespace ipscope::bgp {
+
+std::function<std::uint32_t(net::BlockKey)> OriginLookupAt(
+    const RoutingFeed& feed, std::int32_t day) {
+  return [&feed, day](net::BlockKey key) { return feed.OriginOf(key, day); };
+}
+
+}  // namespace ipscope::bgp

@@ -1,0 +1,16 @@
+// Convenience queries over the routing feed used by the analysis layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "bgp/table.h"
+
+namespace ipscope::bgp {
+
+// A BlockKey -> origin-AS function bound to a fixed day, usable wherever
+// the analyses need a stable AS mapping (Table 1, Fig 5a).
+std::function<std::uint32_t(net::BlockKey)> OriginLookupAt(
+    const RoutingFeed& feed, std::int32_t day);
+
+}  // namespace ipscope::bgp

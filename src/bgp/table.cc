@@ -1,0 +1,171 @@
+#include "bgp/table.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ipscope::bgp {
+
+RoutingFeed::RoutingFeed(const sim::World& world) {
+  // World events are already sorted by (key, day); keep them and index by
+  // block.
+  events_.assign(world.bgp_events().begin(), world.bgp_events().end());
+
+  std::unordered_map<net::BlockKey, std::pair<std::uint32_t, std::uint32_t>>
+      spans;  // key -> [first, count]
+  for (std::uint32_t i = 0; i < events_.size(); ++i) {
+    auto [it, inserted] = spans.try_emplace(events_[i].key, i, 1u);
+    if (!inserted) ++it->second.second;
+  }
+
+  routes_.reserve(world.blocks().size());
+  for (const sim::BlockPlan& plan : world.blocks()) {
+    BlockRoute route;
+    route.key = net::BlockKeyOf(plan.block);
+    route.initial_asn = plan.asn;
+    route.announced_initially = true;
+    route.first_event = 0;
+    route.event_count = 0;
+    if (auto it = spans.find(route.key); it != spans.end()) {
+      route.first_event = it->second.first;
+      route.event_count = it->second.second;
+      for (std::uint32_t e = 0; e < route.event_count; ++e) {
+        if (events_[route.first_event + e].type ==
+            sim::BgpEventType::kAnnounce) {
+          // The block only enters the table at its announce event.
+          route.announced_initially = false;
+        }
+      }
+    }
+    routes_.push_back(route);
+  }
+  std::sort(routes_.begin(), routes_.end(),
+            [](const BlockRoute& a, const BlockRoute& b) {
+              return a.key < b.key;
+            });
+}
+
+const RoutingFeed::BlockRoute* RoutingFeed::FindRoute(
+    net::BlockKey key) const {
+  auto it = std::lower_bound(routes_.begin(), routes_.end(), key,
+                             [](const BlockRoute& r, net::BlockKey k) {
+                               return r.key < k;
+                             });
+  if (it == routes_.end() || it->key != key) return nullptr;
+  return &*it;
+}
+
+std::uint32_t RoutingFeed::OriginOf(net::BlockKey key,
+                                    std::int32_t day) const {
+  const BlockRoute* route = FindRoute(key);
+  if (route == nullptr) return 0;
+  std::uint32_t asn = route->announced_initially ? route->initial_asn : 0;
+  for (std::uint32_t e = 0; e < route->event_count; ++e) {
+    const sim::BgpScheduledEvent& ev = events_[route->first_event + e];
+    if (ev.day > day) break;
+    switch (ev.type) {
+      case sim::BgpEventType::kAnnounce:
+        asn = ev.asn != 0 ? ev.asn : route->initial_asn;
+        break;
+      case sim::BgpEventType::kWithdraw:
+        asn = 0;
+        break;
+      case sim::BgpEventType::kOriginChange:
+        asn = ev.asn;
+        break;
+      case sim::BgpEventType::kFlap:
+        break;  // transient; same-day snapshots still see the route
+    }
+  }
+  return asn;
+}
+
+std::uint32_t RoutingFeed::MajorityOrigin(net::BlockKey key,
+                                          std::int32_t first,
+                                          std::int32_t last) const {
+  const BlockRoute* route = FindRoute(key);
+  if (route == nullptr || first >= last) return 0;
+  // Fast path: no event inside the range means the origin is constant.
+  if (!HasEventIn(key, first, last)) return OriginOf(key, first);
+  std::unordered_map<std::uint32_t, int> votes;
+  for (std::int32_t d = first; d < last; ++d) ++votes[OriginOf(key, d)];
+  std::uint32_t best = 0;
+  int best_votes = -1;
+  for (auto [asn, count] : votes) {
+    if (count > best_votes) {
+      best = asn;
+      best_votes = count;
+    }
+  }
+  return best;
+}
+
+bool RoutingFeed::HasEventIn(net::BlockKey key, std::int32_t first,
+                             std::int32_t last) const {
+  const BlockRoute* route = FindRoute(key);
+  if (route == nullptr) return false;
+  for (std::uint32_t e = 0; e < route->event_count; ++e) {
+    std::int32_t day = events_[route->first_event + e].day;
+    if (day >= first && day < last) return true;
+  }
+  return false;
+}
+
+bool RoutingFeed::ChangedBetween(net::BlockKey key, std::int32_t w0_first,
+                                 std::int32_t w0_last, std::int32_t w1_first,
+                                 std::int32_t w1_last) const {
+  if (MajorityOrigin(key, w0_first, w0_last) !=
+      MajorityOrigin(key, w1_first, w1_last)) {
+    return true;
+  }
+  return HasEventIn(key, w0_first, w0_last) ||
+         HasEventIn(key, w1_first, w1_last);
+}
+
+std::vector<std::pair<net::Prefix, std::uint32_t>>
+RoutingFeed::AggregatedAnnouncements(std::int32_t day) const {
+  // Collect routed blocks (sorted by key already), then greedily cover each
+  // run of contiguous same-origin blocks with maximal aligned prefixes.
+  std::vector<std::pair<net::Prefix, std::uint32_t>> out;
+  std::size_t i = 0;
+  while (i < routes_.size()) {
+    std::uint32_t asn = OriginOf(routes_[i].key, day);
+    if (asn == 0) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j + 1 < routes_.size() &&
+           routes_[j + 1].key == routes_[j].key + 1 &&
+           OriginOf(routes_[j + 1].key, day) == asn) {
+      ++j;
+    }
+    // Cover the run of /24 keys with maximal aligned prefixes.
+    for (const net::Prefix& prefix :
+         net::CoverRange(net::IPv4Addr{routes_[i].key << 8},
+                         net::IPv4Addr{(routes_[j].key << 8) | 0xFFu})) {
+      out.emplace_back(prefix, asn);
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+net::PrefixTrie<std::uint32_t> RoutingFeed::TableAt(std::int32_t day) const {
+  net::PrefixTrie<std::uint32_t> trie;
+  for (const auto& [prefix, asn] : AggregatedAnnouncements(day)) {
+    trie.Insert(prefix, asn);
+  }
+  return trie;
+}
+
+std::size_t RoutingFeed::RoutedAsCount(std::int32_t day) const {
+  std::unordered_set<std::uint32_t> ases;
+  for (const BlockRoute& route : routes_) {
+    std::uint32_t asn = OriginOf(route.key, day);
+    if (asn != 0) ases.insert(asn);
+  }
+  return ases.size();
+}
+
+}  // namespace ipscope::bgp

@@ -1,0 +1,66 @@
+// Routing-plane observation: daily routing tables derived from the world's
+// scheduled BGP events (the RouteViews substitute, paper §4.2 footnote 6).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "netbase/prefix.h"
+#include "netbase/prefix_trie.h"
+#include "sim/world.h"
+
+namespace ipscope::bgp {
+
+class RoutingFeed {
+ public:
+  explicit RoutingFeed(const sim::World& world);
+
+  // Origin AS of a /24 block on an absolute day; 0 when unrouted.
+  std::uint32_t OriginOf(net::BlockKey key, std::int32_t day) const;
+
+  // Majority vote of the daily origins over [first, last) — the paper's
+  // rule for mapping addresses to ASes at window granularity.
+  std::uint32_t MajorityOrigin(net::BlockKey key, std::int32_t first,
+                               std::int32_t last) const;
+
+  // True if any BGP event (announce, withdraw, origin change, flap)
+  // touched the block within [first, last).
+  bool HasEventIn(net::BlockKey key, std::int32_t first,
+                  std::int32_t last) const;
+
+  // The paper's "BGP change" between two consecutive windows: the majority
+  // origin differs, or any event fell inside either window.
+  bool ChangedBetween(net::BlockKey key, std::int32_t w0_first,
+                      std::int32_t w0_last, std::int32_t w1_first,
+                      std::int32_t w1_last) const;
+
+  // Full snapshot of the table on a day, as a longest-prefix-match trie of
+  // aggregated announcements.
+  net::PrefixTrie<std::uint32_t> TableAt(std::int32_t day) const;
+
+  // Aggregated announcements on a day: maximal aligned prefixes covering
+  // contiguous same-origin routed blocks (what "BGP prefixes" means in
+  // Fig 2a).
+  std::vector<std::pair<net::Prefix, std::uint32_t>> AggregatedAnnouncements(
+      std::int32_t day) const;
+
+  // Number of distinct origin ASes routed on a day.
+  std::size_t RoutedAsCount(std::int32_t day) const;
+
+ private:
+  struct BlockRoute {
+    net::BlockKey key;
+    std::uint32_t initial_asn;       // origin before any event
+    bool announced_initially;       // false if a kAnnounce event exists
+    std::uint32_t first_event;      // index range into events_
+    std::uint32_t event_count;
+  };
+
+  const BlockRoute* FindRoute(net::BlockKey key) const;
+
+  std::vector<BlockRoute> routes_;               // sorted by key
+  std::vector<sim::BgpScheduledEvent> events_;   // grouped by block
+};
+
+}  // namespace ipscope::bgp

@@ -1,0 +1,58 @@
+#include "cdn/dataset.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ipscope::cdn {
+
+DatasetTotals SummarizeDataset(
+    const activity::ActivityStore& store,
+    const std::function<std::uint32_t(net::BlockKey)>& origin_of) {
+  DatasetTotals out;
+  const int steps = store.days();
+
+  std::vector<std::uint64_t> ips_per_step(static_cast<std::size_t>(steps), 0);
+  std::vector<std::uint64_t> blocks_per_step(static_cast<std::size_t>(steps),
+                                             0);
+  // Active ASes per step, via per-step sets (AS counts are small).
+  std::vector<std::unordered_set<std::uint32_t>> ases_per_step(
+      static_cast<std::size_t>(steps));
+  std::unordered_set<std::uint32_t> total_ases;
+
+  store.ForEach([&](net::BlockKey key, const activity::ActivityMatrix& m) {
+    std::uint32_t asn = origin_of(key);
+    bool any = false;
+    for (int s = 0; s < steps; ++s) {
+      int active = m.ActiveOnDay(s);
+      if (active == 0) continue;
+      any = true;
+      auto si = static_cast<std::size_t>(s);
+      ips_per_step[si] += static_cast<std::uint64_t>(active);
+      blocks_per_step[si] += 1;
+      if (asn != 0) ases_per_step[si].insert(asn);
+    }
+    if (any) {
+      out.total_blocks += 1;
+      out.total_ips +=
+          static_cast<std::uint64_t>(
+              activity::PopCount(m.UnionOver(0, steps)));
+      if (asn != 0) total_ases.insert(asn);
+    }
+  });
+
+  out.total_ases = total_ases.size();
+  double ips = 0, blocks = 0, ases = 0;
+  for (int s = 0; s < steps; ++s) {
+    auto si = static_cast<std::size_t>(s);
+    ips += static_cast<double>(ips_per_step[si]);
+    blocks += static_cast<double>(blocks_per_step[si]);
+    ases += static_cast<double>(ases_per_step[si].size());
+  }
+  out.avg_ips = ips / steps;
+  out.avg_blocks = blocks / steps;
+  out.avg_ases = ases / steps;
+  return out;
+}
+
+}  // namespace ipscope::cdn

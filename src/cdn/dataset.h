@@ -1,0 +1,31 @@
+// Dataset summaries (Table 1 of the paper).
+//
+// Table 1 reports, for the daily and weekly datasets, the total number of
+// unique IP addresses, /24 blocks, and ASes seen over the whole period, and
+// the average per snapshot.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "activity/store.h"
+
+namespace ipscope::cdn {
+
+struct DatasetTotals {
+  std::uint64_t total_ips = 0;
+  double avg_ips = 0.0;
+  std::uint64_t total_blocks = 0;
+  double avg_blocks = 0.0;
+  std::uint64_t total_ases = 0;
+  double avg_ases = 0.0;
+};
+
+// `origin_of` maps a /24 block to its origin AS number (0 = unrouted/none).
+// A prefix/AS counts as active in a snapshot if at least one of its
+// addresses is active (paper §3.2 footnote 4).
+DatasetTotals SummarizeDataset(
+    const activity::ActivityStore& store,
+    const std::function<std::uint32_t(net::BlockKey)>& origin_of);
+
+}  // namespace ipscope::cdn

@@ -1,0 +1,70 @@
+#include "cdn/logins.h"
+
+#include <algorithm>
+
+#include "rng/rng.h"
+
+namespace ipscope::cdn {
+
+namespace {
+constexpr std::uint64_t kTagLogin = 0x106e;
+
+double HashUnit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+LoginTraceGenerator::LoginTraceGenerator(const sim::World& world,
+                                         sim::StepSpec spec,
+                                         double login_rate)
+    : world_(world), spec_(spec), login_rate_(login_rate) {
+  spec_.world_seed = world.config().seed;
+  spec_.gateway_growth = world.config().gateway_traffic_growth;
+}
+
+std::vector<LoginEvent> LoginTraceGenerator::BlockTrace(
+    const sim::BlockPlan& plan) const {
+  std::vector<LoginEvent> out;
+  activity::DayBits bits;
+  std::uint64_t occupants[256];
+  for (int step = 0; step < spec_.steps; ++step) {
+    sim::GenerateStep(plan, spec_, step, bits, nullptr, occupants);
+    for (int host = 0; host < 256; ++host) {
+      std::uint64_t occ = occupants[host];
+      if (occ == 0) continue;  // inactive, or aggregated gateway traffic
+      // Whether this subscriber logged in today is a property of the
+      // (subscriber, step) pair, not of the address.
+      if (HashUnit(rng::Substream(occ, kTagLogin, step)) >= login_rate_) {
+        continue;
+      }
+      out.push_back(LoginEvent{
+          occ,
+          net::IPv4Addr{plan.block.network().value() +
+                        static_cast<std::uint32_t>(host)},
+          step});
+    }
+  }
+  return out;
+}
+
+std::vector<LoginEvent> LoginTraceGenerator::Trace() const {
+  std::vector<std::uint32_t> order(world_.blocks().size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return net::BlockKeyOf(world_.blocks()[a].block) <
+           net::BlockKeyOf(world_.blocks()[b].block);
+  });
+  std::vector<LoginEvent> out;
+  for (std::uint32_t index : order) {
+    const sim::BlockPlan& plan = world_.blocks()[index];
+    if (!sim::IsClientPolicy(plan.base.kind) &&
+        plan.base.kind != sim::PolicyKind::kCrawlerBots) {
+      continue;
+    }
+    auto block_events = BlockTrace(plan);
+    out.insert(out.end(), block_events.begin(), block_events.end());
+  }
+  return out;
+}
+
+}  // namespace ipscope::cdn

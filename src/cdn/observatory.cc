@@ -1,0 +1,106 @@
+#include "cdn/observatory.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace ipscope::cdn {
+
+namespace {
+constexpr std::int32_t kDailyStartDay = 228;  // Aug 17 within 2015
+}
+
+Observatory::Observatory(const sim::World& world, sim::StepSpec spec)
+    : world_(world), spec_(spec) {
+  spec_.world_seed = world.config().seed;
+  spec_.gateway_growth = world.config().gateway_traffic_growth;
+  order_.resize(world.blocks().size());
+  for (std::uint32_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  std::sort(order_.begin(), order_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return net::BlockKeyOf(world.blocks()[a].block) <
+                     net::BlockKeyOf(world.blocks()[b].block);
+            });
+}
+
+Observatory Observatory::Daily(const sim::World& world) {
+  sim::StepSpec spec;
+  spec.start_day = kDailyStartDay;
+  spec.step_days = 1;
+  spec.steps = timeutil::kDailyPeriodDays;
+  return Observatory{world, spec};
+}
+
+Observatory Observatory::Weekly(const sim::World& world) {
+  sim::StepSpec spec;
+  spec.start_day = 0;
+  spec.step_days = 7;
+  spec.steps = timeutil::kWeeklyPeriodWeeks;
+  return Observatory{world, spec};
+}
+
+activity::ActivityStore Observatory::BuildStore(int threads) const {
+  // Generate each block's matrix independently (possibly concurrently),
+  // then append non-empty blocks in key order. Results are identical for
+  // any thread count because blocks never share generator state.
+  std::vector<activity::ActivityMatrix> matrices(
+      order_.size(), activity::ActivityMatrix{spec_.steps});
+  std::vector<char> non_empty(order_.size(), 0);
+
+  auto generate_range = [&](std::size_t first, std::size_t last) {
+    for (std::size_t i = first; i < last; ++i) {
+      const sim::BlockPlan& plan = world_.blocks()[order_[i]];
+      bool any = false;
+      for (int s = 0; s < spec_.steps; ++s) {
+        activity::DayBits bits;
+        sim::GenerateStep(plan, spec_, s, bits, nullptr);
+        if ((bits[0] | bits[1] | bits[2] | bits[3]) == 0) continue;
+        matrices[i].Row(s) = bits;
+        any = true;
+      }
+      non_empty[i] = any ? 1 : 0;
+    }
+  };
+
+  threads = std::max(1, threads);
+  if (threads == 1 || order_.size() < 64) {
+    generate_range(0, order_.size());
+  } else {
+    std::vector<std::thread> workers;
+    std::size_t chunk = (order_.size() + threads - 1) /
+                        static_cast<std::size_t>(threads);
+    for (int t = 0; t < threads; ++t) {
+      std::size_t first = static_cast<std::size_t>(t) * chunk;
+      std::size_t last = std::min(order_.size(), first + chunk);
+      if (first >= last) break;
+      workers.emplace_back(generate_range, first, last);
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  activity::ActivityStore store{spec_.steps};
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    if (!non_empty[i]) continue;
+    // Ascending key order makes this append O(1).
+    store.GetOrCreate(net::BlockKeyOf(world_.blocks()[order_[i]].block)) =
+        std::move(matrices[i]);
+  }
+  return store;
+}
+
+std::vector<std::uint64_t> Observatory::TotalHitsPerStep() const {
+  std::vector<std::uint64_t> totals(static_cast<std::size_t>(spec_.steps), 0);
+  ForEachBlockHits([&](const sim::BlockPlan&, const activity::ActivityMatrix&,
+                       std::span<const std::uint32_t> hits) {
+    for (int s = 0; s < spec_.steps; ++s) {
+      std::uint64_t sum = 0;
+      for (int h = 0; h < 256; ++h) {
+        sum += hits[static_cast<std::size_t>(s) * 256 +
+                    static_cast<std::size_t>(h)];
+      }
+      totals[static_cast<std::size_t>(s)] += sum;
+    }
+  });
+  return totals;
+}
+
+}  // namespace ipscope::cdn

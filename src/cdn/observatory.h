@@ -1,0 +1,78 @@
+// The CDN log observatory.
+//
+// Stands in for the paper's server-log collection platform (§3.2): it turns
+// the world plan into the two observation datasets —
+//   * Daily(world):  112 daily snapshots, 2015-08-17 .. 2015-12-06
+//   * Weekly(world): 52 weekly snapshots covering 2015
+// — exposing exactly what the real platform exposed: per-IP activity and
+// per-IP request ("hit") counts per snapshot. Everything is regenerated
+// deterministically from the world seed, so the full per-IP hit matrix
+// never needs to be stored (DESIGN.md §4.3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "activity/store.h"
+#include "sim/policy.h"
+#include "sim/world.h"
+#include "timeutil/date.h"
+
+namespace ipscope::cdn {
+
+class Observatory {
+ public:
+  Observatory(const sim::World& world, sim::StepSpec spec);
+
+  // The paper's daily dataset: steps of 1 day starting Aug 17 (day 228).
+  static Observatory Daily(const sim::World& world);
+  // The paper's weekly dataset: 52 steps of 7 days starting Jan 1.
+  static Observatory Weekly(const sim::World& world);
+
+  const sim::World& world() const { return world_; }
+  const sim::StepSpec& spec() const { return spec_; }
+  int steps() const { return spec_.steps; }
+
+  // Materializes the activity bitmaps of every observed block. Blocks with
+  // zero activity over the whole period are omitted (the CDN never saw
+  // them, so the dataset cannot contain them). `threads` > 1 generates
+  // blocks concurrently; the result is bit-identical regardless of thread
+  // count (blocks are independent by construction).
+  activity::ActivityStore BuildStore(int threads = 1) const;
+
+  // Streams every CDN-visible block with its activity matrix and per-step
+  // per-host hit counts (row-major: hits[step * 256 + host], zero where
+  // inactive). Blocks with no activity are skipped.
+  //
+  //   fn(const sim::BlockPlan& plan, const activity::ActivityMatrix& m,
+  //      std::span<const std::uint32_t> hits)
+  template <typename Fn>
+  void ForEachBlockHits(Fn&& fn) const {
+    activity::ActivityMatrix matrix{spec_.steps};
+    std::vector<std::uint32_t> hits(
+        static_cast<std::size_t>(spec_.steps) * 256);
+    for (std::uint32_t index : order_) {
+      const sim::BlockPlan& plan = world_.blocks()[index];
+      bool any = false;
+      for (int s = 0; s < spec_.steps; ++s) {
+        activity::DayBits bits;
+        sim::GenerateStep(plan, spec_, s, bits,
+                          hits.data() + static_cast<std::size_t>(s) * 256);
+        matrix.Row(s) = bits;
+        any = any || (bits[0] | bits[1] | bits[2] | bits[3]) != 0;
+      }
+      if (any) fn(plan, matrix, std::span<const std::uint32_t>{hits});
+    }
+  }
+
+  // Total hits per step across all blocks (one streaming pass).
+  std::vector<std::uint64_t> TotalHitsPerStep() const;
+
+ private:
+  const sim::World& world_;
+  sim::StepSpec spec_;
+  std::vector<std::uint32_t> order_;  // block indices sorted by BlockKey
+};
+
+}  // namespace ipscope::cdn

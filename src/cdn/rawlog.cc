@@ -1,0 +1,139 @@
+#include "cdn/rawlog.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <unordered_set>
+
+#include "geo/country.h"
+#include "timeutil/date.h"
+
+namespace ipscope::cdn {
+
+namespace {
+
+// Device/browser families used to render synthetic UA strings.
+constexpr const char* kFamilies[] = {
+    "Mozilla/5.0 (Windows NT 10.0; Win64; x64) Gecko/%llu Firefox/%llu.0",
+    "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_10) AppleWebKit/%llu "
+    "Safari/%llu.36",
+    "Mozilla/5.0 (Linux; Android 5.1; SM-G%llu) Chrome/%llu.0 Mobile",
+    "Mozilla/5.0 (iPhone; CPU iPhone OS 9_%llu like Mac OS X) Version/%llu.0",
+    "App-%llu/2.%llu (embedded; smart-device)",
+    "UpdateAgent-%llu/1.%llu",
+};
+
+}  // namespace
+
+std::string UaString(std::uint64_t ua_id) {
+  const char* format =
+      kFamilies[ua_id % (sizeof(kFamilies) / sizeof(kFamilies[0]))];
+  unsigned long long a = (ua_id >> 8) % 90000 + 10000;
+  unsigned long long b = (ua_id >> 24) % 60 + 20;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), format, a, b);
+  return buf;
+}
+
+std::string FormatLogLine(const LogRecord& r) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%u %s srv%u %u %u ua%llu", r.unix_time,
+                r.client.ToString().c_str(), r.edge_server, r.status,
+                r.bytes, static_cast<unsigned long long>(r.ua_id));
+  return buf;
+}
+
+bool ParseLogLine(const std::string& line, LogRecord& record) {
+  // "<time> <ip> srv<N> <status> <bytes> ua<id>"
+  const char* p = line.c_str();
+  const char* end = p + line.size();
+  auto parse_u64 = [&](std::uint64_t& out) {
+    auto [next, ec] = std::from_chars(p, end, out);
+    if (ec != std::errc{}) return false;
+    p = next;
+    return true;
+  };
+  auto skip = [&](char c) {
+    if (p == end || *p != c) return false;
+    ++p;
+    return true;
+  };
+  auto skip_lit = [&](const char* lit) {
+    for (; *lit != '\0'; ++lit) {
+      if (p == end || *p != *lit) return false;
+      ++p;
+    }
+    return true;
+  };
+
+  std::uint64_t v = 0;
+  if (!parse_u64(v) || v > 0xFFFFFFFFu || !skip(' ')) return false;
+  record.unix_time = static_cast<std::uint32_t>(v);
+
+  const char* ip_start = p;
+  while (p != end && *p != ' ') ++p;
+  auto addr = net::IPv4Addr::Parse(
+      std::string_view{ip_start, static_cast<std::size_t>(p - ip_start)});
+  if (!addr || !skip(' ')) return false;
+  record.client = *addr;
+
+  if (!skip_lit("srv") || !parse_u64(v) || v > 0xFFFF || !skip(' ')) {
+    return false;
+  }
+  record.edge_server = static_cast<std::uint16_t>(v);
+  if (!parse_u64(v) || v > 0xFFFF || !skip(' ')) return false;
+  record.status = static_cast<std::uint16_t>(v);
+  if (!parse_u64(v) || v > 0xFFFFFFFFu || !skip(' ')) return false;
+  record.bytes = static_cast<std::uint32_t>(v);
+  if (!skip_lit("ua") || !parse_u64(v) || p != end) return false;
+  record.ua_id = v;
+  return true;
+}
+
+const std::array<double, 24>& DiurnalCurve() {
+  // Evening-peaked residential curve: trough ~04:00, peak ~20:00-21:00.
+  static const std::array<double, 24> curve = [] {
+    std::array<double, 24> weights = {
+        1.2, 0.8, 0.6, 0.5, 0.5, 0.6, 1.0, 1.6, 2.4, 3.0, 3.4, 3.8,
+        4.0, 4.0, 3.9, 4.0, 4.3, 4.8, 5.6, 6.6, 7.2, 7.0, 5.4, 2.8};
+    double total = 0;
+    for (double w : weights) total += w;
+    for (double& w : weights) w /= total;
+    return weights;
+  }();
+  return curve;
+}
+
+int CountryUtcOffset(const sim::BlockPlan& plan) {
+  if (plan.country < 0) return 0;
+  return geo::Countries()[static_cast<std::size_t>(plan.country)]
+      .utc_offset_hours;
+}
+
+RawLogGenerator::RawLogGenerator(const sim::World& world, sim::StepSpec spec)
+    : world_(world), spec_(spec) {
+  spec_.world_seed = world.config().seed;
+  spec_.gateway_growth = world.config().gateway_traffic_growth;
+}
+
+std::uint32_t RawLogGenerator::DayStartUnixTime(int step) const {
+  timeutil::Day day =
+      timeutil::kWeeklyPeriodStart + spec_.start_day + step * spec_.step_days;
+  return static_cast<std::uint32_t>(day.value()) * 86400u;
+}
+
+void LogAggregator::Consume(const LogRecord& record) {
+  ++total_records_;
+  ++hits_per_ip_[record.client.value()];
+  if (total_records_ % ua_sample_interval_ == 0) {
+    sampled_uas_.push_back(record.ua_id);
+  }
+}
+
+std::size_t LogAggregator::unique_sampled_uas() const {
+  std::unordered_set<std::uint64_t> unique(sampled_uas_.begin(),
+                                           sampled_uas_.end());
+  return unique.size();
+}
+
+}  // namespace ipscope::cdn

@@ -1,0 +1,65 @@
+#include "cdn/useragent.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/rng.h"
+
+namespace ipscope::cdn {
+
+namespace {
+// Devices per subscriber x UA strings per device (browsers + apps).
+constexpr double kUaPerSubscriber = 3.5;
+}
+
+std::uint64_t UserAgentSampler::UaPoolSize(const sim::BlockPlan& plan) {
+  const sim::PolicyParams& p = plan.base;
+  switch (p.kind) {
+    case sim::PolicyKind::kStatic:
+    case sim::PolicyKind::kDynamicShort:
+    case sim::PolicyKind::kDynamicLong: {
+      double subs = static_cast<double>(p.subscribers) * double{p.occupancy};
+      return static_cast<std::uint64_t>(
+          std::max(1.0, subs * kUaPerSubscriber));
+    }
+    case sim::PolicyKind::kCgnGateway: {
+      // Each gateway address aggregates hundreds to thousands of users.
+      std::uint64_t users_per_gw = 800 + ((plan.block_seed >> 7) % 2400);
+      return static_cast<std::uint64_t>(
+          static_cast<double>(p.pool_size) *
+          static_cast<double>(users_per_gw) * kUaPerSubscriber);
+    }
+    case sim::PolicyKind::kCrawlerBots:
+      return 1 + (plan.block_seed % 3);
+    case sim::PolicyKind::kServerFarm:
+      return p.pool_size;  // one client string per updating server
+    default:
+      return 0;
+  }
+}
+
+BlockUaSample UserAgentSampler::Sample(const sim::BlockPlan& plan,
+                                       std::uint64_t window_hits) const {
+  BlockUaSample out;
+  out.key = net::BlockKeyOf(plan.block);
+  std::uint64_t pool = UaPoolSize(plan);
+  if (pool == 0 || window_hits == 0) return out;
+
+  rng::Xoshiro256 g{rng::Substream(plan.block_seed, 0x0a9e, window_hits)};
+  out.samples = rng::NextBinomial(g, window_hits, sample_rate_);
+  if (out.samples == 0) return out;
+
+  double u = static_cast<double>(pool);
+  double s = static_cast<double>(out.samples);
+  // Expected distinct coupons among s draws from u equally likely strings.
+  // For u >> s this approaches s; for s >> u it approaches u.
+  double expected = u * (1.0 - std::exp(s * std::log1p(-1.0 / u)));
+  double noisy = expected + std::sqrt(std::max(expected, 1.0)) * 0.3 *
+                                rng::NextNormal(g);
+  auto unique = static_cast<std::uint64_t>(std::lround(noisy));
+  out.unique_uas =
+      std::clamp<std::uint64_t>(unique, 1, std::min(out.samples, pool));
+  return out;
+}
+
+}  // namespace ipscope::cdn

@@ -1,0 +1,45 @@
+// HTTP User-Agent sampling (paper §6.3): relative host counts per block.
+//
+// The paper samples 1 of every 4096 request headers and uses the number of
+// *unique* User-Agent strings per /24 as a relative measure of the host
+// population behind the block. We model each block's UA string pool from
+// its subscriber population (devices per subscriber x UA strings per
+// device; gateways multiply by the users aggregated behind each address;
+// crawler bots have one or two strings in total), then compute the expected
+// number of distinct strings among `s` samples drawn from a pool of size U
+// with the coupon-collector expression U * (1 - (1 - 1/U)^s), plus sampling
+// noise. This preserves exactly the mechanism that creates Fig 10's three
+// regions.
+#pragma once
+
+#include <cstdint>
+
+#include "netbase/prefix.h"
+#include "sim/policy.h"
+
+namespace ipscope::cdn {
+
+struct BlockUaSample {
+  net::BlockKey key = 0;
+  std::uint64_t samples = 0;     // UA strings stored (~ hits / 4096)
+  std::uint64_t unique_uas = 0;  // distinct strings among them
+};
+
+class UserAgentSampler {
+ public:
+  explicit UserAgentSampler(double sample_rate = 1.0 / 4096.0)
+      : sample_rate_(sample_rate) {}
+
+  // Size of the block's UA string pool (ground truth for validation).
+  static std::uint64_t UaPoolSize(const sim::BlockPlan& plan);
+
+  // Samples the UA stream of one block given its total hits in the
+  // sampling window. Deterministic in (block seed, window_hits).
+  BlockUaSample Sample(const sim::BlockPlan& plan,
+                       std::uint64_t window_hits) const;
+
+ private:
+  double sample_rate_;
+};
+
+}  // namespace ipscope::cdn

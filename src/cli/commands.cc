@@ -1,0 +1,439 @@
+#include "cli/commands.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "activity/churn.h"
+#include "activity/eventsize.h"
+#include "activity/metrics.h"
+#include "activity/pattern.h"
+#include "cdn/observatory.h"
+#include "io/store_io.h"
+#include "measurement/hitlist.h"
+#include "report/csv.h"
+#include "report/table.h"
+#include "report/textplot.h"
+#include "sim/world.h"
+
+namespace ipscope::cli {
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: ipscope_cli <command> [args]
+
+commands:
+  generate --blocks N [--seed S] [--weekly] --out PATH
+      Build a simulated world and save its daily (default) or weekly
+      activity dataset.
+  summary PATH
+      Dataset overview: days, blocks, address totals, daily series.
+  churn PATH [--window DAYS]
+      Up/down event percentages between consecutive windows.
+  blocks PATH [--top N] [--sort fd|stu]
+      Per-/24 filling degree and spatio-temporal utilization.
+  render PATH --block A.B.C.0/24
+      Fig 6-style text rendering of one block's activity matrix.
+  events PATH [--window DAYS]
+      Size distribution of up events (isolating prefix masks).
+  export PATH --outdir DIR
+      Write analysis series as CSV files (daily_counts.csv,
+      block_metrics.csv, churn.csv) for external plotting.
+  hitlist PATH [--strategy most-active|most-recent|lowest-active|fixed]
+      One representative (likely-responsive) address per active /24.
+  describe [--blocks N] [--seed S]
+      Inventory of the simulated world that the given parameters produce:
+      AS types, assignment-policy mix, scheduled events.
+  help
+      This message.
+)";
+
+int CmdGenerate(const CommandLine& cmd, std::ostream& out,
+                std::ostream& err) {
+  auto out_path = cmd.Flag("out");
+  if (!out_path) {
+    err << "generate: --out PATH is required\n";
+    return 2;
+  }
+  sim::WorldConfig config;
+  config.target_client_blocks = cmd.IntFlag("blocks", 4000);
+  if (auto seed = cmd.Flag("seed")) {
+    config.seed = static_cast<std::uint64_t>(std::stoull(*seed));
+  }
+  sim::World world{config};
+  bool weekly = cmd.Flag("weekly").has_value();
+  auto store = weekly ? cdn::Observatory::Weekly(world).BuildStore()
+                      : cdn::Observatory::Daily(world).BuildStore();
+  io::SaveStoreFile(store, *out_path);
+  out << "wrote " << (weekly ? "weekly" : "daily") << " dataset: "
+      << store.BlockCount() << " blocks x " << store.days()
+      << " snapshots -> " << *out_path << "\n";
+  return 0;
+}
+
+int CmdSummary(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
+  if (cmd.positional.empty()) {
+    err << "summary: dataset path required\n";
+    return 2;
+  }
+  auto store = io::LoadStoreFile(cmd.positional[0]);
+  auto daily = store.DailyActiveCounts();
+  std::vector<double> series(daily.begin(), daily.end());
+  out << "dataset: " << store.BlockCount() << " /24 blocks, " << store.days()
+      << " snapshots\n";
+  out << "unique addresses over period: "
+      << report::FormatCount(store.CountActive(0, store.days())) << "\n";
+  double mean = 0;
+  for (double v : series) mean += v;
+  mean /= static_cast<double>(series.size());
+  out << "mean active per snapshot:     "
+      << report::FormatCount(static_cast<std::uint64_t>(mean)) << "\n";
+  out << "per-snapshot actives: " << report::RenderSparkline(series) << "\n";
+  return 0;
+}
+
+int CmdChurn(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
+  if (cmd.positional.empty()) {
+    err << "churn: dataset path required\n";
+    return 2;
+  }
+  auto store = io::LoadStoreFile(cmd.positional[0]);
+  int window = cmd.IntFlag("window", 1);
+  activity::ChurnAnalyzer churn{store};
+  auto series = churn.Churn(window);
+  if (series.up_pct.empty()) {
+    err << "churn: window of " << window
+        << " snapshots leaves fewer than two windows\n";
+    return 2;
+  }
+  report::Table t({"pair", "up %", "down %"});
+  for (std::size_t p = 0; p < series.up_pct.size(); ++p) {
+    t.AddRow({std::to_string(p) + "->" + std::to_string(p + 1),
+              report::FormatDouble(series.up_pct[p]),
+              report::FormatDouble(series.down_pct[p])});
+  }
+  t.Print(out);
+  out << "up   min/median/max: " << report::FormatDouble(series.up.min)
+      << " / " << report::FormatDouble(series.up.median) << " / "
+      << report::FormatDouble(series.up.max) << "\n";
+  out << "down min/median/max: " << report::FormatDouble(series.down.min)
+      << " / " << report::FormatDouble(series.down.median) << " / "
+      << report::FormatDouble(series.down.max) << "\n";
+  return 0;
+}
+
+int CmdBlocks(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
+  if (cmd.positional.empty()) {
+    err << "blocks: dataset path required\n";
+    return 2;
+  }
+  auto store = io::LoadStoreFile(cmd.positional[0]);
+  auto metrics = activity::ComputeBlockMetrics(store);
+  std::string sort = cmd.Flag("sort").value_or("stu");
+  if (sort == "fd") {
+    std::sort(metrics.begin(), metrics.end(),
+              [](const auto& a, const auto& b) {
+                return a.filling_degree > b.filling_degree;
+              });
+  } else if (sort == "stu") {
+    std::sort(metrics.begin(), metrics.end(),
+              [](const auto& a, const auto& b) { return a.stu > b.stu; });
+  } else {
+    err << "blocks: unknown sort key '" << sort << "' (use fd|stu)\n";
+    return 2;
+  }
+  int top = cmd.IntFlag("top", 20);
+  report::Table t({"block", "FD", "STU", "pattern"});
+  for (int i = 0; i < top && i < static_cast<int>(metrics.size()); ++i) {
+    const auto& m = metrics[static_cast<std::size_t>(i)];
+    const activity::ActivityMatrix* matrix = store.Find(m.key);
+    t.AddRow({net::BlockFromKey(m.key).ToString(),
+              std::to_string(m.filling_degree), report::FormatDouble(m.stu),
+              activity::PatternName(activity::ClassifyPattern(*matrix))});
+  }
+  t.Print(out);
+  return 0;
+}
+
+int CmdRender(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
+  if (cmd.positional.empty()) {
+    err << "render: dataset path required\n";
+    return 2;
+  }
+  auto flag = cmd.Flag("block");
+  if (!flag) {
+    err << "render: --block A.B.C.0/24 is required\n";
+    return 2;
+  }
+  auto prefix = net::Prefix::Parse(*flag);
+  if (!prefix || prefix->length() != 24) {
+    err << "render: '" << *flag << "' is not a /24 prefix\n";
+    return 2;
+  }
+  auto store = io::LoadStoreFile(cmd.positional[0]);
+  const activity::ActivityMatrix* matrix =
+      store.Find(net::BlockKeyOf(*prefix));
+  if (matrix == nullptr) {
+    err << "render: " << *flag << " has no activity in this dataset\n";
+    return 1;
+  }
+  auto features = activity::ComputeFeatures(*matrix);
+  out << *prefix << ": FD=" << features.filling_degree
+      << " STU=" << report::FormatDouble(features.stu) << " pattern="
+      << activity::PatternName(activity::ClassifyPattern(features)) << "\n";
+  for (const auto& line : report::RenderActivityMatrix(*matrix)) {
+    out << line << "\n";
+  }
+  return 0;
+}
+
+int CmdEvents(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
+  if (cmd.positional.empty()) {
+    err << "events: dataset path required\n";
+    return 2;
+  }
+  auto store = io::LoadStoreFile(cmd.positional[0]);
+  int window = cmd.IntFlag("window", 7);
+  int num_windows = store.days() / window;
+  if (num_windows < 2) {
+    err << "events: window too large for this dataset\n";
+    return 2;
+  }
+  activity::EventSizeHistogram hist;
+  for (int p = 0; p + 1 < num_windows; ++p) {
+    auto h = activity::EventSizes(store, p * window, (p + 1) * window,
+                                  (p + 1) * window, (p + 2) * window, true);
+    for (std::size_t m = 0; m < h.by_mask.size(); ++m) {
+      hist.by_mask[m] += h.by_mask[m];
+    }
+    hist.total += h.total;
+  }
+  report::Table t({"mask range", "events", "fraction"});
+  auto row = [&](const char* label, int lo, int hi) {
+    std::uint64_t n = 0;
+    for (int m = lo; m <= hi; ++m) n += hist.by_mask[static_cast<std::size_t>(m)];
+    t.AddRow({label, report::FormatCount(n),
+              report::FormatPercent(hist.FractionInMaskRange(lo, hi))});
+  };
+  row("<=/16", 0, 16);
+  row("/17-/20", 17, 20);
+  row("/21-/24", 21, 24);
+  row("/25-/28", 25, 28);
+  row("/29-/32", 29, 32);
+  t.Print(out);
+  out << "total up events: " << report::FormatCount(hist.total) << "\n";
+  return 0;
+}
+
+int CmdExport(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
+  if (cmd.positional.empty()) {
+    err << "export: dataset path required\n";
+    return 2;
+  }
+  auto outdir = cmd.Flag("outdir");
+  if (!outdir) {
+    err << "export: --outdir DIR is required\n";
+    return 2;
+  }
+  auto store = io::LoadStoreFile(cmd.positional[0]);
+
+  {
+    std::ofstream os{*outdir + "/daily_counts.csv"};
+    if (!os) {
+      err << "export: cannot write to " << *outdir << "\n";
+      return 1;
+    }
+    report::CsvWriter csv(os, {"snapshot", "active_addresses"});
+    auto counts = store.DailyActiveCounts();
+    for (std::size_t d = 0; d < counts.size(); ++d) {
+      csv.AddRow({std::to_string(d), std::to_string(counts[d])});
+    }
+  }
+  {
+    std::ofstream os{*outdir + "/block_metrics.csv"};
+    report::CsvWriter csv(os, {"block", "filling_degree", "stu", "pattern"});
+    for (const auto& m : activity::ComputeBlockMetrics(store)) {
+      const activity::ActivityMatrix* matrix = store.Find(m.key);
+      csv.AddRow({net::BlockFromKey(m.key).ToString(),
+                  std::to_string(m.filling_degree),
+                  report::FormatDouble(m.stu, 4),
+                  activity::PatternName(activity::ClassifyPattern(*matrix))});
+    }
+  }
+  {
+    std::ofstream os{*outdir + "/churn.csv"};
+    report::CsvWriter csv(os, {"window", "pair", "up_pct", "down_pct"});
+    activity::ChurnAnalyzer churn{store};
+    for (int w : {1, 2, 4, 7, 14, 28}) {
+      if (store.days() / w < 2) continue;
+      auto series = churn.Churn(w);
+      for (std::size_t p = 0; p < series.up_pct.size(); ++p) {
+        csv.AddRow({std::to_string(w), std::to_string(p),
+                    report::FormatDouble(series.up_pct[p], 3),
+                    report::FormatDouble(series.down_pct[p], 3)});
+      }
+    }
+  }
+  out << "wrote daily_counts.csv, block_metrics.csv, churn.csv to "
+      << *outdir << "\n";
+  return 0;
+}
+
+int CmdHitlist(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
+  if (cmd.positional.empty()) {
+    err << "hitlist: dataset path required\n";
+    return 2;
+  }
+  std::string name = cmd.Flag("strategy").value_or("most-active");
+  measurement::HitlistStrategy strategy;
+  if (name == "most-active") {
+    strategy = measurement::HitlistStrategy::kMostActive;
+  } else if (name == "most-recent") {
+    strategy = measurement::HitlistStrategy::kMostRecent;
+  } else if (name == "lowest-active") {
+    strategy = measurement::HitlistStrategy::kLowestActive;
+  } else if (name == "fixed") {
+    strategy = measurement::HitlistStrategy::kFixedOffset;
+  } else {
+    err << "hitlist: unknown strategy '" << name << "'\n";
+    return 2;
+  }
+  auto store = io::LoadStoreFile(cmd.positional[0]);
+  auto hitlist =
+      measurement::BuildHitlist(store, 0, store.days(), strategy);
+  for (const auto& entry : hitlist) {
+    out << entry.address << "\n";
+  }
+  err << hitlist.size() << " representatives (" << name << ")\n";
+  return 0;
+}
+
+int CmdDescribe(const CommandLine& cmd, std::ostream& out, std::ostream&) {
+  sim::WorldConfig config;
+  config.target_client_blocks = cmd.IntFlag("blocks", 4000);
+  if (auto seed = cmd.Flag("seed")) {
+    config.seed = static_cast<std::uint64_t>(std::stoull(*seed));
+  }
+  sim::World world{config};
+
+  out << "world: seed " << config.seed << ", " << world.blocks().size()
+      << " /24 blocks (" << world.client_block_count() << " client), "
+      << world.ases().size() << " ASes\n\n";
+
+  std::map<std::string, int> as_types;
+  for (const sim::AsPlan& as : world.ases()) {
+    ++as_types[sim::AsTypeName(as.type)];
+  }
+  report::Table ast({"AS type", "count"});
+  for (const auto& [name, count] : as_types) {
+    ast.AddRow({name, std::to_string(count)});
+  }
+  ast.Print(out);
+
+  std::map<std::string, int> kinds;
+  int reconfigs = 0, splits = 0, activations = 0, deactivations = 0;
+  for (const sim::BlockPlan& plan : world.blocks()) {
+    ++kinds[sim::PolicyKindName(plan.base.kind)];
+    if (plan.HasReconfiguration()) {
+      ++reconfigs;
+      if (plan.events[0].host_first > 0) ++splits;
+    }
+    if (plan.active_from > 0) ++activations;
+    if (plan.active_until < 365) ++deactivations;
+  }
+  out << "\n";
+  report::Table pt({"assignment policy", "blocks", "share"});
+  for (const auto& [name, count] : kinds) {
+    pt.AddRow({name, std::to_string(count),
+               report::FormatPercent(static_cast<double>(count) /
+                                     static_cast<double>(
+                                         world.blocks().size()))});
+  }
+  pt.Print(out);
+
+  out << "\nscheduled events: " << reconfigs << " reconfigurations ("
+      << splits << " partial/Fig-7b), " << activations
+      << " mid-year activations, " << deactivations
+      << " deactivations, " << world.bgp_events().size()
+      << " BGP events\n";
+  return 0;
+}
+
+}  // namespace
+
+std::optional<std::string> CommandLine::Flag(const std::string& name) const {
+  auto it = flags.find(name);
+  if (it == flags.end()) return std::nullopt;
+  return it->second;
+}
+
+int CommandLine::IntFlag(const std::string& name, int fallback) const {
+  auto value = Flag(name);
+  if (!value) return fallback;
+  try {
+    return std::stoi(*value);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+std::optional<CommandLine> Parse(const std::vector<std::string>& args,
+                                 std::ostream& err) {
+  CommandLine cmd;
+  if (args.empty()) {
+    err << kUsage;
+    return std::nullopt;
+  }
+  cmd.command = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string body = arg.substr(2);
+      auto eq = body.find('=');
+      if (eq != std::string::npos) {
+        cmd.flags[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+        cmd.flags[body] = args[++i];
+      } else {
+        cmd.flags[body] = "";
+      }
+    } else {
+      cmd.positional.push_back(arg);
+    }
+  }
+  return cmd;
+}
+
+int Run(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
+  try {
+    if (cmd.command == "generate") return CmdGenerate(cmd, out, err);
+    if (cmd.command == "summary") return CmdSummary(cmd, out, err);
+    if (cmd.command == "churn") return CmdChurn(cmd, out, err);
+    if (cmd.command == "blocks") return CmdBlocks(cmd, out, err);
+    if (cmd.command == "render") return CmdRender(cmd, out, err);
+    if (cmd.command == "events") return CmdEvents(cmd, out, err);
+    if (cmd.command == "export") return CmdExport(cmd, out, err);
+    if (cmd.command == "hitlist") return CmdHitlist(cmd, out, err);
+    if (cmd.command == "describe") return CmdDescribe(cmd, out, err);
+    if (cmd.command == "help" || cmd.command == "--help") {
+      out << kUsage;
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+  err << "unknown command '" << cmd.command << "'\n" << kUsage;
+  return 2;
+}
+
+int Main(const std::vector<std::string>& args, std::ostream& out,
+         std::ostream& err) {
+  auto cmd = Parse(args, err);
+  if (!cmd) return 2;
+  return Run(*cmd, out, err);
+}
+
+}  // namespace ipscope::cli

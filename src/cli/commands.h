@@ -1,0 +1,48 @@
+// The ipscope command-line interface.
+//
+// The CLI works on serialized activity datasets so that generation (slow,
+// simulator-bound) and analysis (fast, repeatable) can be separated:
+//
+//   ipscope_cli generate --blocks 4000 --out daily.ipscope
+//   ipscope_cli summary daily.ipscope
+//   ipscope_cli churn daily.ipscope --window 7
+//   ipscope_cli blocks daily.ipscope --top 20 --sort stu
+//   ipscope_cli render daily.ipscope --block 40.112.7.0/24
+//   ipscope_cli events daily.ipscope --window 28
+//
+// All command logic lives here (stream-parameterized) so it is unit-tested;
+// tools/ipscope_cli.cc is a thin main().
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ipscope::cli {
+
+// Parsed command line: subcommand, positional args, and --flag[=| ]value
+// options. Bare "--flag" stores an empty value.
+struct CommandLine {
+  std::string command;
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  std::optional<std::string> Flag(const std::string& name) const;
+  int IntFlag(const std::string& name, int fallback) const;
+};
+
+// Parses argv[1..]; returns nullopt (and writes a message to err) when the
+// input is malformed.
+std::optional<CommandLine> Parse(const std::vector<std::string>& args,
+                                 std::ostream& err);
+
+// Executes a parsed command. Returns a process exit code.
+int Run(const CommandLine& cmd, std::ostream& out, std::ostream& err);
+
+// Convenience: parse + run.
+int Main(const std::vector<std::string>& args, std::ostream& out,
+         std::ostream& err);
+
+}  // namespace ipscope::cli

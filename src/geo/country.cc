@@ -1,0 +1,74 @@
+#include "geo/country.h"
+
+namespace ipscope::geo {
+
+std::string_view RirName(Rir rir) {
+  switch (rir) {
+    case Rir::kArin:
+      return "ARIN";
+    case Rir::kRipe:
+      return "RIPE";
+    case Rir::kApnic:
+      return "APNIC";
+    case Rir::kLacnic:
+      return "LACNIC";
+    case Rir::kAfrinic:
+      return "AFRINIC";
+  }
+  return "?";
+}
+
+namespace {
+
+// Shares/subscribers are synthetic but ordered to match the paper's Fig 3:
+// broadband ranks (CN 1, US 2, JP 3, DE 4, FR 5, RU 6, BR 7, GB 8, KR 9,
+// IN 10, IT 12) track visible-address ranks; cellular ranks diverge.
+constexpr CountryInfo kCountries[] = {
+    //  code  rir             share  bb(M)  cell(M) icmp  cgn  utc
+    {"US", Rir::kArin, 40.0, 100.0, 380.0, 0.45, 0.08, -6},
+    {"CA", Rir::kArin, 4.0, 11.5, 32.0, 0.50, 0.08, -5},
+    {"MX", Rir::kLacnic, 3.0, 17.0, 105.0, 0.45, 0.20, -6},
+    {"BR", Rir::kLacnic, 6.0, 25.0, 280.0, 0.50, 0.20, -3},
+    {"AR", Rir::kLacnic, 2.0, 8.0, 60.0, 0.50, 0.20, -3},
+    {"CO", Rir::kLacnic, 1.5, 6.0, 55.0, 0.50, 0.25, -5},
+    {"CL", Rir::kLacnic, 1.0, 3.5, 25.0, 0.50, 0.20, -4},
+    {"DE", Rir::kRipe, 9.0, 30.0, 100.0, 0.50, 0.05, 1},
+    {"GB", Rir::kRipe, 8.0, 24.0, 80.0, 0.50, 0.08, 0},
+    {"FR", Rir::kRipe, 7.5, 26.5, 70.0, 0.55, 0.05, 1},
+    {"RU", Rir::kRipe, 6.0, 26.0, 240.0, 0.60, 0.15, 3},
+    {"IT", Rir::kRipe, 5.0, 13.5, 90.0, 0.50, 0.10, 1},
+    {"ES", Rir::kRipe, 4.0, 13.0, 52.0, 0.50, 0.10, 1},
+    {"NL", Rir::kRipe, 3.5, 7.2, 22.0, 0.45, 0.05, 1},
+    {"PL", Rir::kRipe, 2.5, 7.5, 56.0, 0.55, 0.12, 1},
+    {"TR", Rir::kRipe, 2.0, 12.0, 73.0, 0.60, 0.20, 3},
+    {"SE", Rir::kRipe, 2.0, 4.0, 13.0, 0.40, 0.05, 1},
+    {"CN", Rir::kApnic, 20.0, 200.0, 1300.0, 0.80, 0.45, 8},
+    {"JP", Rir::kApnic, 12.0, 39.0, 160.0, 0.25, 0.15, 9},
+    {"KR", Rir::kApnic, 7.0, 20.0, 57.0, 0.55, 0.15, 9},
+    {"IN", Rir::kApnic, 5.0, 18.0, 1000.0, 0.55, 0.50, 5},
+    {"AU", Rir::kApnic, 3.0, 7.8, 27.0, 0.40, 0.10, 10},
+    {"ID", Rir::kApnic, 2.5, 5.0, 340.0, 0.60, 0.45, 7},
+    {"VN", Rir::kApnic, 2.0, 8.0, 130.0, 0.60, 0.40, 7},
+    {"TW", Rir::kApnic, 2.5, 5.8, 29.0, 0.45, 0.10, 8},
+    {"PH", Rir::kApnic, 1.0, 3.0, 115.0, 0.55, 0.45, 8},
+    // AFRINIC ICMP responsiveness is lowest — the paper's Fig 3a shows the
+    // CDN lifting visible addresses there by >150%.
+    {"ZA", Rir::kAfrinic, 2.0, 1.5, 85.0, 0.32, 0.30, 2},
+    {"EG", Rir::kAfrinic, 1.2, 4.5, 95.0, 0.35, 0.35, 2},
+    {"NG", Rir::kAfrinic, 0.8, 0.5, 150.0, 0.28, 0.50, 1},
+    {"KE", Rir::kAfrinic, 0.5, 0.3, 38.0, 0.30, 0.45, 3},
+    {"MA", Rir::kAfrinic, 0.6, 1.2, 43.0, 0.33, 0.35, 0},
+};
+
+}  // namespace
+
+std::span<const CountryInfo> Countries() { return kCountries; }
+
+int CountryIndex(std::string_view code) {
+  for (std::size_t i = 0; i < std::size(kCountries); ++i) {
+    if (kCountries[i].code == code) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace ipscope::geo

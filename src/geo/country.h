@@ -1,0 +1,52 @@
+// Country and RIR metadata for the simulated Internet.
+//
+// The paper groups addresses by Regional Internet Registry (Figs 3a, 12) and
+// by country (Fig 3b), annotates countries with ITU broadband/cellular
+// subscriber ranks, and observes that ICMP responsiveness varies sharply by
+// country (~80% in CN vs ~25% in JP). The static table below encodes a
+// synthetic-but-shaped version of those country-level facts; the simulator
+// scales subscriber counts down to world size while preserving ranks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace ipscope::geo {
+
+enum class Rir : std::uint8_t { kArin, kRipe, kApnic, kLacnic, kAfrinic };
+inline constexpr int kRirCount = 5;
+
+std::string_view RirName(Rir rir);
+
+struct CountryInfo {
+  std::string_view code;  // ISO 3166-1 alpha-2
+  Rir rir;
+  // Relative share of the world's allocated IPv4 space held by this country
+  // (arbitrary units; normalized by the registry).
+  double address_share;
+  // Millions of subscribers (synthetic, ITU-shaped). Used for Fig 3b ranks.
+  double broadband_subs_m;
+  double cellular_subs_m;
+  // Fraction of active client addresses that answer ICMP echo (firewall/NAT
+  // policy aggregate). The paper reports ~0.8 for CN and ~0.25 for JP.
+  double icmp_response_rate;
+  // Fraction of this country's client address space behind carrier-grade
+  // NAT gateways (drives the high-UA-diversity corner of Fig 10).
+  double cgn_share;
+  // Representative UTC offset in hours (drives the phase of the diurnal
+  // request curve in raw logs; cf. "When the Internet Sleeps", ref [30]).
+  int utc_offset_hours;
+};
+
+// The synthetic country table. Shares and subscriber counts are shaped to
+// reproduce the paper's Fig 3 orderings: US/CN/JP/BR/DE lead in visible
+// addresses; broadband ranks track visible-address ranks much more closely
+// than cellular ranks do.
+std::span<const CountryInfo> Countries();
+
+// Index into Countries() for a code, or -1 if absent.
+int CountryIndex(std::string_view code);
+
+}  // namespace ipscope::geo

@@ -1,0 +1,103 @@
+#include "geo/registry.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rng/rng.h"
+
+namespace ipscope::geo {
+
+namespace {
+
+// Each RIR owns one /3-sized region offset by a /5 so no simulated address
+// falls in 0.0.0.0/8: ARIN from 8.0.0.0, RIPE from 40.0.0.0, APNIC from
+// 72.0.0.0, LACNIC from 104.0.0.0, AFRINIC from 136.0.0.0. In BlockKey
+// space (top 24 bits) a /3 spans 2^21 blocks.
+constexpr std::uint32_t kBlocksPerRir = 1u << 21;
+constexpr std::uint32_t kRegionOffset = 1u << 19;  // 8.0.0.0 in key space
+
+std::uint32_t RirBaseBlock(Rir rir) {
+  return kRegionOffset + static_cast<std::uint32_t>(rir) * kBlocksPerRir;
+}
+
+}  // namespace
+
+Registry::Registry(std::uint64_t seed) : seed_(seed) {
+  auto countries = Countries();
+  regions_.resize(countries.size());
+  cursors_.resize(countries.size());
+
+  double share_sum[kRirCount] = {};
+  for (const CountryInfo& c : countries) {
+    share_sum[static_cast<int>(c.rir)] += c.address_share;
+  }
+
+  std::uint32_t cursor[kRirCount];
+  for (int r = 0; r < kRirCount; ++r) {
+    cursor[r] = RirBaseBlock(static_cast<Rir>(r));
+  }
+  for (std::size_t i = 0; i < countries.size(); ++i) {
+    const CountryInfo& c = countries[i];
+    int r = static_cast<int>(c.rir);
+    auto blocks = static_cast<std::uint32_t>(
+        c.address_share / share_sum[r] * kBlocksPerRir);
+    blocks = std::max(blocks, 16u);
+    regions_[i] = Region{cursor[r], cursor[r] + blocks - 1};
+    cursors_[i] = cursor[r];
+    cursor[r] += blocks;
+    assert(cursor[r] <= RirBaseBlock(static_cast<Rir>(r)) + kBlocksPerRir);
+  }
+}
+
+std::optional<net::Prefix> Registry::AllocateBlock(int country_index) {
+  auto i = static_cast<std::size_t>(country_index);
+  const Region& region = regions_[i];
+  // Skip 0..7 blocks to leave unallocated holes; the skip is a deterministic
+  // function of the allocation position so the registry layout is stable.
+  rng::Xoshiro256 g{rng::Substream(seed_, 0x9e0u, country_index,
+                                   cursors_[i])};
+  std::uint32_t skip = g.NextBounded(8);
+  std::uint32_t key = cursors_[i] + skip;
+  if (key > region.last_block) return std::nullopt;
+  cursors_[i] = key + 1;
+  return net::BlockFromKey(key);
+}
+
+std::vector<net::Prefix> Registry::AllocateContiguous(int country_index,
+                                                      int count) {
+  auto i = static_cast<std::size_t>(country_index);
+  const Region& region = regions_[i];
+  rng::Xoshiro256 g{rng::Substream(seed_, 0x9e1u, country_index,
+                                   cursors_[i])};
+  std::uint32_t skip = g.NextBounded(8);
+  std::uint32_t first = cursors_[i] + skip;
+  std::uint64_t last = std::uint64_t{first} + static_cast<std::uint32_t>(count) - 1;
+  if (count <= 0 || last > region.last_block) return {};
+  std::vector<net::Prefix> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint32_t k = first; k <= static_cast<std::uint32_t>(last); ++k) {
+    out.push_back(net::BlockFromKey(k));
+  }
+  cursors_[i] = first + static_cast<std::uint32_t>(count);
+  return out;
+}
+
+std::optional<Rir> Registry::RirOf(net::IPv4Addr addr) const {
+  auto country = CountryOf(addr);
+  if (!country) return std::nullopt;
+  return Countries()[static_cast<std::size_t>(*country)].rir;
+}
+
+std::optional<int> Registry::CountryOf(net::IPv4Addr addr) const {
+  std::uint32_t key = net::BlockKeyOf(addr);
+  // Country regions are few (~31); linear scan is simpler than keeping a
+  // sorted index and plenty fast for lookup rates in this project.
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (key >= regions_[i].first_block && key <= regions_[i].last_block) {
+      return static_cast<int>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ipscope::geo

@@ -1,0 +1,54 @@
+// Synthetic RIR delegation registry.
+//
+// Stands in for the NRO extended allocation files the paper uses (§3.4):
+// every address maps to a (RIR, country) pair. Each RIR owns a fixed /3
+// region of the 32-bit space; countries receive contiguous sub-regions of
+// their RIR's region, sized by their address share. /24 blocks are carved
+// from country regions on demand, with deterministic pseudo-random spacing
+// so that allocated space is interleaved with unallocated holes (as in the
+// real Internet).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geo/country.h"
+#include "netbase/ipv4.h"
+#include "netbase/prefix.h"
+
+namespace ipscope::geo {
+
+class Registry {
+ public:
+  explicit Registry(std::uint64_t seed);
+
+  // Carves the next /24 block for `country_index`, skipping a pseudo-random
+  // number of /24s first (so allocations leave holes). Returns nullopt when
+  // the country region is exhausted (should not happen at sane world sizes).
+  std::optional<net::Prefix> AllocateBlock(int country_index);
+
+  // Carves `count` /24 blocks at consecutive addresses (one ISP aggregate).
+  // Returns an empty vector if the region cannot fit them.
+  std::vector<net::Prefix> AllocateContiguous(int country_index, int count);
+
+  // Reverse lookups. Addresses outside any country region map to nullopt.
+  std::optional<Rir> RirOf(net::IPv4Addr addr) const;
+  std::optional<int> CountryOf(net::IPv4Addr addr) const;
+
+  // The [first, last] /24-key range reserved for a country.
+  struct Region {
+    std::uint32_t first_block;  // BlockKey
+    std::uint32_t last_block;   // BlockKey, inclusive
+  };
+  Region CountryRegion(int country_index) const {
+    return regions_[static_cast<std::size_t>(country_index)];
+  }
+
+ private:
+  std::vector<Region> regions_;   // by country index
+  std::vector<std::uint32_t> cursors_;  // next BlockKey per country
+  std::uint64_t seed_;
+};
+
+}  // namespace ipscope::geo

@@ -1,0 +1,134 @@
+#include "io/store_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace ipscope::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'I', 'P', 'S', 'C', 'O', 'P', 'E', '1'};
+
+// All simulation targets are little-endian in practice; the explicit
+// byte-wise writers below keep the format portable regardless.
+template <typename T>
+void WriteInt(std::ostream& os, T value) {
+  char bytes[sizeof(T)];
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+  os.write(bytes, sizeof(T));
+}
+
+template <typename T>
+T ReadInt(std::istream& is, const char* what) {
+  char bytes[sizeof(T)];
+  if (!is.read(bytes, sizeof(T))) {
+    throw std::runtime_error(std::string{"ipscope store: truncated input "
+                                         "while reading "} + what);
+  }
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value |= static_cast<T>(static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+void SaveStore(const activity::ActivityStore& store, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  WriteInt<std::uint32_t>(os, static_cast<std::uint32_t>(store.days()));
+  WriteInt<std::uint64_t>(os, store.BlockCount());
+  store.ForEach([&](net::BlockKey key, const activity::ActivityMatrix& m) {
+    WriteInt<std::uint32_t>(os, key);
+    std::uint32_t nonzero = 0;
+    for (int d = 0; d < m.days(); ++d) {
+      const activity::DayBits& row = m.Row(d);
+      if ((row[0] | row[1] | row[2] | row[3]) != 0) ++nonzero;
+    }
+    WriteInt<std::uint32_t>(os, nonzero);
+    for (int d = 0; d < m.days(); ++d) {
+      const activity::DayBits& row = m.Row(d);
+      if ((row[0] | row[1] | row[2] | row[3]) == 0) continue;
+      WriteInt<std::uint16_t>(os, static_cast<std::uint16_t>(d));
+      for (std::uint64_t word : row) WriteInt<std::uint64_t>(os, word);
+    }
+  });
+  if (!os) throw std::runtime_error("ipscope store: write failed");
+}
+
+activity::ActivityStore LoadStore(std::istream& is) {
+  char magic[8];
+  if (!is.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("ipscope store: bad magic (not a store file?)");
+  }
+  auto days = ReadInt<std::uint32_t>(is, "day count");
+  if (days == 0 || days > 4096) {
+    throw std::runtime_error("ipscope store: implausible day count " +
+                             std::to_string(days));
+  }
+  auto blocks = ReadInt<std::uint64_t>(is, "block count");
+  if (blocks > (std::uint64_t{1} << 24)) {
+    throw std::runtime_error("ipscope store: implausible block count");
+  }
+
+  activity::ActivityStore store{static_cast<int>(days)};
+  std::uint64_t prev_key = 0;
+  bool first = true;
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    auto key = ReadInt<std::uint32_t>(is, "block key");
+    if (key >= (1u << 24)) {
+      throw std::runtime_error("ipscope store: block key out of range");
+    }
+    if (!first && key <= prev_key) {
+      throw std::runtime_error("ipscope store: block keys out of order");
+    }
+    first = false;
+    prev_key = key;
+    activity::ActivityMatrix& m = store.GetOrCreate(key);
+    auto nonzero = ReadInt<std::uint32_t>(is, "day list length");
+    if (nonzero > days) {
+      throw std::runtime_error("ipscope store: more non-empty days than "
+                               "days in the period");
+    }
+    int prev_day = -1;
+    for (std::uint32_t i = 0; i < nonzero; ++i) {
+      auto day = ReadInt<std::uint16_t>(is, "day index");
+      if (day >= days || static_cast<int>(day) <= prev_day) {
+        throw std::runtime_error("ipscope store: invalid day index");
+      }
+      prev_day = day;
+      activity::DayBits& row = m.Row(day);
+      for (auto& word : row) word = ReadInt<std::uint64_t>(is, "bitmap");
+    }
+  }
+  return store;
+}
+
+void SaveStoreFile(const activity::ActivityStore& store,
+                   const std::string& path) {
+  std::ofstream os{path, std::ios::binary};
+  if (!os) {
+    throw std::runtime_error("ipscope store: cannot open for writing: " +
+                             path);
+  }
+  SaveStore(store, os);
+}
+
+activity::ActivityStore LoadStoreFile(const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  if (!is) {
+    throw std::runtime_error("ipscope store: cannot open for reading: " +
+                             path);
+  }
+  return LoadStore(is);
+}
+
+}  // namespace ipscope::io

@@ -1,0 +1,36 @@
+// Binary serialization of activity datasets.
+//
+// An ActivityStore (the materialized daily/weekly dataset) can be written
+// to a compact stream and reloaded later, so expensive worlds need to be
+// generated once and analyses can run out-of-process (see tools/ipscope_cli).
+//
+// Format (little-endian):
+//   8 bytes  magic "IPSCOPE1"
+//   u32      days (steps) per matrix
+//   u64      block count
+//   then per block, in ascending key order:
+//     u32    block key (top 24 bits of the /24 network address)
+//     u32    number of non-empty days
+//     then per non-empty day: u16 day index + 4 x u64 bitmap words
+//
+// Loading validates the header, bounds, ordering, and truncation, and
+// throws std::runtime_error with a descriptive message on malformed input.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "activity/store.h"
+
+namespace ipscope::io {
+
+void SaveStore(const activity::ActivityStore& store, std::ostream& os);
+activity::ActivityStore LoadStore(std::istream& is);
+
+// File-path conveniences (binary mode). Throw std::runtime_error when the
+// file cannot be opened.
+void SaveStoreFile(const activity::ActivityStore& store,
+                   const std::string& path);
+activity::ActivityStore LoadStoreFile(const std::string& path);
+
+}  // namespace ipscope::io

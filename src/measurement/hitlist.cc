@@ -1,0 +1,88 @@
+#include "measurement/hitlist.h"
+
+namespace ipscope::measurement {
+
+const char* HitlistStrategyName(HitlistStrategy strategy) {
+  switch (strategy) {
+    case HitlistStrategy::kMostActive:
+      return "most-active";
+    case HitlistStrategy::kMostRecent:
+      return "most-recent";
+    case HitlistStrategy::kLowestActive:
+      return "lowest-active";
+    case HitlistStrategy::kFixedOffset:
+      return "fixed-.1";
+  }
+  return "?";
+}
+
+std::vector<HitlistEntry> BuildHitlist(const activity::ActivityStore& store,
+                                       int day_first, int day_last,
+                                       HitlistStrategy strategy) {
+  std::vector<HitlistEntry> hitlist;
+  store.ForEach([&](net::BlockKey key, const activity::ActivityMatrix& m) {
+    activity::DayBits ever = m.UnionOver(day_first, day_last);
+    if (activity::PopCount(ever) == 0) return;
+    int pick = -1;
+    switch (strategy) {
+      case HitlistStrategy::kMostActive: {
+        int best_days = -1;
+        for (int h = 0; h < 256; ++h) {
+          if (!activity::TestBit(ever, h)) continue;
+          int days = 0;
+          for (int d = day_first; d < day_last; ++d) days += m.Get(d, h);
+          if (days > best_days) {
+            best_days = days;
+            pick = h;
+          }
+        }
+        break;
+      }
+      case HitlistStrategy::kMostRecent: {
+        for (int d = day_last - 1; d >= day_first && pick < 0; --d) {
+          for (int h = 0; h < 256; ++h) {
+            if (m.Get(d, h)) {
+              pick = h;
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case HitlistStrategy::kLowestActive: {
+        for (int h = 0; h < 256 && pick < 0; ++h) {
+          if (activity::TestBit(ever, h)) pick = h;
+        }
+        break;
+      }
+      case HitlistStrategy::kFixedOffset:
+        pick = 1;  // ".1", whether or not it was ever active
+        break;
+    }
+    if (pick < 0) return;
+    hitlist.push_back(HitlistEntry{
+        key, net::IPv4Addr{(key << 8) | static_cast<std::uint32_t>(pick)}});
+  });
+  return hitlist;
+}
+
+HitlistScore EvaluateHitlist(const activity::ActivityStore& store,
+                             std::span<const HitlistEntry> hitlist,
+                             int eval_first, int eval_last) {
+  HitlistScore score;
+  score.entries = hitlist.size();
+  for (const HitlistEntry& entry : hitlist) {
+    const activity::ActivityMatrix* m = store.Find(entry.key);
+    if (m == nullptr) continue;
+    int host = static_cast<int>(entry.address.value() & 0xFF);
+    for (int d = eval_first; d < eval_last; ++d) {
+      if (m->Get(d, host)) {
+        ++score.responsive;
+        break;
+      }
+    }
+  }
+  return score;
+}
+
+}  // namespace ipscope::measurement

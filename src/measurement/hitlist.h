@@ -1,0 +1,55 @@
+// Representative-address selection ("hitlists"), after Fan & Heidemann
+// (IMC 2010), the paper's ref [15].
+//
+// Measurement systems (geolocation, topology, reliability probing) need one
+// address per /24 that is likely to respond *in the future*. The paper's §8
+// argues that spatio-temporal activity data is the right substrate for such
+// selection. BuildHitlist derives a hitlist from an observation window
+// under several strategies, and EvaluateHitlist scores it against a later
+// window — quantifying how much an activity-informed choice beats naive
+// ones.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "activity/store.h"
+#include "netbase/ipv4.h"
+
+namespace ipscope::measurement {
+
+enum class HitlistStrategy {
+  kMostActive,   // address with the most active days in the window
+  kMostRecent,   // most recently active address (ties: lowest)
+  kLowestActive, // numerically lowest ever-active address
+  kFixedOffset,  // .1 of every block, activity-blind (the naive baseline)
+};
+
+const char* HitlistStrategyName(HitlistStrategy strategy);
+
+struct HitlistEntry {
+  net::BlockKey key = 0;
+  net::IPv4Addr address;
+};
+
+// One entry per block with any activity in [day_first, day_last).
+std::vector<HitlistEntry> BuildHitlist(const activity::ActivityStore& store,
+                                       int day_first, int day_last,
+                                       HitlistStrategy strategy);
+
+struct HitlistScore {
+  std::size_t entries = 0;
+  std::size_t responsive = 0;  // entries active in the evaluation window
+  double HitRate() const {
+    return entries ? static_cast<double>(responsive) / entries : 0.0;
+  }
+};
+
+// Fraction of hitlist entries active at least once in [eval_first,
+// eval_last) — the "will it answer later" criterion.
+HitlistScore EvaluateHitlist(const activity::ActivityStore& store,
+                             std::span<const HitlistEntry> hitlist,
+                             int eval_first, int eval_last);
+
+}  // namespace ipscope::measurement

@@ -1,0 +1,47 @@
+#include "netbase/ipv4.h"
+
+#include <array>
+#include <charconv>
+#include <ostream>
+
+namespace ipscope::net {
+
+std::optional<IPv4Addr> IPv4Addr::Parse(std::string_view text) {
+  std::array<std::uint8_t, 4> octets{};
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+    if (p == end || *p < '0' || *p > '9') return std::nullopt;
+    // Reject leading zeros ("01") which some parsers treat as octal.
+    if (*p == '0' && p + 1 != end && p[1] >= '0' && p[1] <= '9') {
+      return std::nullopt;
+    }
+    unsigned int v = 0;
+    auto [next, ec] = std::from_chars(p, end, v);
+    if (ec != std::errc{} || v > 255) return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v);
+    p = next;
+  }
+  if (p != end) return std::nullopt;
+  return IPv4Addr{octets[0], octets[1], octets[2], octets[3]};
+}
+
+std::string IPv4Addr::ToString() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, IPv4Addr addr) {
+  return os << addr.ToString();
+}
+
+}  // namespace ipscope::net

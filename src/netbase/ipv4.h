@@ -1,0 +1,82 @@
+// IPv4 address value type.
+//
+// IPv4Addr wraps a host-byte-order 32-bit value with strongly-typed
+// arithmetic, parsing, and formatting. It is a regular value type: cheap to
+// copy, totally ordered, hashable.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ipscope::net {
+
+class IPv4Addr {
+ public:
+  // Default-constructs 0.0.0.0.
+  constexpr IPv4Addr() = default;
+
+  // Constructs from a host-byte-order 32-bit value.
+  constexpr explicit IPv4Addr(std::uint32_t value) : value_(value) {}
+
+  // Constructs from four dotted-quad octets: IPv4Addr(192, 0, 2, 1).
+  constexpr IPv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  // Host-byte-order numeric value.
+  constexpr std::uint32_t value() const { return value_; }
+
+  // The i-th dotted-quad octet, 0 = most significant ("a" in a.b.c.d).
+  constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  // Parses dotted-quad notation ("192.0.2.1"). Rejects leading zeros in
+  // multi-digit octets (e.g. "01.2.3.4"), out-of-range octets, and trailing
+  // garbage. Returns nullopt on any malformed input.
+  static std::optional<IPv4Addr> Parse(std::string_view text);
+
+  // Dotted-quad representation.
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(IPv4Addr, IPv4Addr) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, IPv4Addr addr);
+
+// Address arithmetic saturates at the ends of the address space so iteration
+// over [first, last] ranges cannot wrap around.
+constexpr IPv4Addr SaturatingAdd(IPv4Addr addr, std::uint32_t delta) {
+  std::uint32_t v = addr.value();
+  return IPv4Addr{v + delta < v ? 0xFFFFFFFFu : v + delta};
+}
+
+constexpr IPv4Addr SaturatingSub(IPv4Addr addr, std::uint32_t delta) {
+  std::uint32_t v = addr.value();
+  return IPv4Addr{v - delta > v ? 0u : v - delta};
+}
+
+}  // namespace ipscope::net
+
+template <>
+struct std::hash<ipscope::net::IPv4Addr> {
+  std::size_t operator()(ipscope::net::IPv4Addr addr) const noexcept {
+    // Finalizer from SplitMix64: cheap and well-mixed for table use.
+    std::uint64_t x = addr.value();
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};

@@ -1,0 +1,55 @@
+#include "netbase/prefix.h"
+
+#include <bit>
+#include <charconv>
+#include <ostream>
+
+namespace ipscope::net {
+
+std::optional<Prefix> Prefix::Parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = IPv4Addr::Parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::string_view len_text = text.substr(slash + 1);
+  int len = -1;
+  auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size() ||
+      len < 0 || len > 32) {
+    return std::nullopt;
+  }
+  if ((addr->value() & ~NetMask(len)) != 0) return std::nullopt;
+  return Prefix{*addr, len};
+}
+
+std::string Prefix::ToString() const {
+  return network().ToString() + "/" + std::to_string(length_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Prefix& prefix) {
+  return os << prefix.ToString();
+}
+
+std::vector<Prefix> CoverRange(IPv4Addr first, IPv4Addr last) {
+  std::vector<Prefix> out;
+  std::uint64_t lo = first.value();
+  const std::uint64_t hi = last.value();
+  while (lo <= hi) {
+    // The largest aligned prefix starting at lo that fits within [lo, hi]:
+    // limited by lo's alignment and by the remaining range size.
+    int max_size_bits =
+        lo == 0 ? 32 : std::countr_zero(static_cast<std::uint32_t>(lo));
+    int size_bits = 0;
+    while (size_bits < max_size_bits &&
+           lo + (std::uint64_t{1} << (size_bits + 1)) - 1 <= hi) {
+      ++size_bits;
+    }
+    out.emplace_back(IPv4Addr{static_cast<std::uint32_t>(lo)},
+                     32 - size_bits);
+    lo += std::uint64_t{1} << size_bits;
+  }
+  return out;
+}
+
+}  // namespace ipscope::net

@@ -1,0 +1,110 @@
+// CIDR prefix value type and aligned-prefix arithmetic.
+//
+// A Prefix is a network address plus a mask length in [0, 32]. The class
+// maintains the invariant that host bits below the mask are zero, so two
+// Prefix values compare equal iff they denote the same address block.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/ipv4.h"
+
+namespace ipscope::net {
+
+// Netmask for a given prefix length; NetMask(0) == 0, NetMask(32) == ~0.
+constexpr std::uint32_t NetMask(int len) {
+  return len == 0 ? 0u : ~std::uint32_t{0} << (32 - len);
+}
+
+class Prefix {
+ public:
+  // Default-constructs 0.0.0.0/0 (the whole address space).
+  constexpr Prefix() = default;
+
+  // Constructs the prefix containing `addr` with the given mask length.
+  // Host bits are cleared, so Prefix({192,0,2,77}, 24) == 192.0.2.0/24.
+  constexpr Prefix(IPv4Addr addr, int length)
+      : network_(addr.value() & NetMask(length)), length_(length) {}
+
+  constexpr IPv4Addr network() const { return IPv4Addr{network_}; }
+  constexpr int length() const { return length_; }
+
+  // First and last address covered by this prefix.
+  constexpr IPv4Addr first() const { return IPv4Addr{network_}; }
+  constexpr IPv4Addr last() const {
+    return IPv4Addr{network_ | ~NetMask(length_)};
+  }
+
+  // Number of addresses covered, as a 64-bit count (a /0 holds 2^32).
+  constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  constexpr bool Contains(IPv4Addr addr) const {
+    return (addr.value() & NetMask(length_)) == network_;
+  }
+
+  constexpr bool Contains(Prefix other) const {
+    return other.length_ >= length_ && Contains(other.network());
+  }
+
+  // The enclosing prefix one bit shorter; /0 is its own parent.
+  constexpr Prefix Parent() const {
+    return length_ == 0 ? *this : Prefix{network(), length_ - 1};
+  }
+
+  // Parses "a.b.c.d/len". Rejects prefixes with nonzero host bits
+  // ("192.0.2.1/24") so a parsed Prefix is always canonical.
+  static std::optional<Prefix> Parse(std::string_view text);
+
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  std::uint32_t network_ = 0;
+  int length_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Prefix& prefix);
+
+// The /24 block containing `addr` — the paper's unit of spatio-temporal
+// analysis ("the smallest distinct, globally-routed entity").
+constexpr Prefix BlockOf(IPv4Addr addr) { return Prefix{addr, 24}; }
+
+// Decomposes the inclusive address range [first, last] into the minimal
+// list of aligned CIDR prefixes, in address order (the classic
+// range-to-CIDR algorithm; used e.g. to aggregate runs of same-origin /24s
+// into routing-table announcements).
+std::vector<Prefix> CoverRange(IPv4Addr first, IPv4Addr last);
+
+// Key type for dense /24-block containers: the top 24 bits of the address.
+using BlockKey = std::uint32_t;
+constexpr BlockKey BlockKeyOf(IPv4Addr addr) { return addr.value() >> 8; }
+constexpr BlockKey BlockKeyOf(Prefix block) { return block.network().value() >> 8; }
+constexpr Prefix BlockFromKey(BlockKey key) {
+  return Prefix{IPv4Addr{key << 8}, 24};
+}
+
+}  // namespace ipscope::net
+
+template <>
+struct std::hash<ipscope::net::Prefix> {
+  std::size_t operator()(const ipscope::net::Prefix& p) const noexcept {
+    std::uint64_t x = (std::uint64_t{p.network().value()} << 6) ^
+                      static_cast<std::uint64_t>(p.length());
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};

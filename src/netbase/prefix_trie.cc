@@ -1,0 +1,7 @@
+// PrefixTrie is header-only (class template); this translation unit exists to
+// anchor the target and to force an instantiation for build hygiene.
+#include "netbase/prefix_trie.h"
+
+namespace ipscope::net {
+template class PrefixTrie<std::uint32_t>;
+}  // namespace ipscope::net

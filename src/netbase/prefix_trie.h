@@ -1,0 +1,140 @@
+// Binary radix trie keyed by CIDR prefix, with longest-prefix-match lookup.
+//
+// PrefixTrie<T> maps prefixes to values of type T. It is the substrate for
+// the simulated BGP routing table (IP -> origin AS) and for prefix-scoped
+// attribute maps. Nodes are stored in a flat vector (indices, not pointers),
+// which keeps the structure compact and trivially copyable/movable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "netbase/prefix.h"
+
+namespace ipscope::net {
+
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() { nodes_.push_back(Node{}); }
+
+  // Inserts or overwrites the value at `prefix`. Returns true if a new entry
+  // was created, false if an existing entry's value was replaced.
+  bool Insert(Prefix prefix, T value) {
+    std::uint32_t idx = DescendCreating(prefix);
+    Node& node = nodes_[idx];
+    bool created = !node.has_value;
+    if (created) ++size_;
+    node.has_value = true;
+    node.value = std::move(value);
+    return created;
+  }
+
+  // Removes the entry at exactly `prefix`. Returns true if an entry existed.
+  // Nodes are not physically reclaimed (the trie is append-only structurally),
+  // which is fine for routing-table-style workloads with rare withdrawals.
+  bool Erase(Prefix prefix) {
+    std::uint32_t idx = Descend(prefix);
+    if (idx == kNone || !nodes_[idx].has_value) return false;
+    nodes_[idx].has_value = false;
+    nodes_[idx].value = T{};
+    --size_;
+    return true;
+  }
+
+  // Exact-match lookup.
+  const T* Find(Prefix prefix) const {
+    std::uint32_t idx = Descend(prefix);
+    if (idx == kNone || !nodes_[idx].has_value) return nullptr;
+    return &nodes_[idx].value;
+  }
+
+  // Longest-prefix match: the entry whose prefix contains `addr` and has the
+  // longest mask. Returns nullopt when no entry covers the address.
+  std::optional<std::pair<Prefix, const T*>> LongestMatch(IPv4Addr addr) const {
+    std::uint32_t idx = 0;
+    std::uint32_t best = kNone;
+    int best_len = -1;
+    for (int depth = 0; depth <= 32; ++depth) {
+      const Node& node = nodes_[idx];
+      if (node.has_value) {
+        best = idx;
+        best_len = depth;
+      }
+      if (depth == 32) break;
+      int bit = (addr.value() >> (31 - depth)) & 1;
+      std::uint32_t next = node.child[bit];
+      if (next == kNone) break;
+      idx = next;
+    }
+    if (best == kNone) return std::nullopt;
+    return std::make_pair(Prefix{addr, best_len}, &nodes_[best].value);
+  }
+
+  // Visits every (prefix, value) entry in lexicographic (address, length)
+  // order of the trie walk.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    VisitRec(0, Prefix{}, fn);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  struct Node {
+    std::uint32_t child[2] = {kNone, kNone};
+    bool has_value = false;
+    T value{};
+  };
+
+  std::uint32_t Descend(Prefix prefix) const {
+    std::uint32_t idx = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      int bit = (prefix.network().value() >> (31 - depth)) & 1;
+      idx = nodes_[idx].child[bit];
+      if (idx == kNone) return kNone;
+    }
+    return idx;
+  }
+
+  std::uint32_t DescendCreating(Prefix prefix) {
+    std::uint32_t idx = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      int bit = (prefix.network().value() >> (31 - depth)) & 1;
+      std::uint32_t next = nodes_[idx].child[bit];
+      if (next == kNone) {
+        next = static_cast<std::uint32_t>(nodes_.size());
+        nodes_[idx].child[bit] = next;
+        nodes_.push_back(Node{});
+      }
+      idx = next;
+    }
+    return idx;
+  }
+
+  template <typename Fn>
+  void VisitRec(std::uint32_t idx, Prefix at, Fn& fn) const {
+    const Node& node = nodes_[idx];
+    if (node.has_value) fn(at, node.value);
+    if (at.length() == 32) return;
+    for (int bit = 0; bit < 2; ++bit) {
+      std::uint32_t next = node.child[bit];
+      if (next == kNone) continue;
+      std::uint32_t child_net =
+          at.network().value() |
+          (static_cast<std::uint32_t>(bit) << (31 - at.length()));
+      VisitRec(next, Prefix{IPv4Addr{child_net}, at.length() + 1}, fn);
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ipscope::net

@@ -1,0 +1,125 @@
+#include "rdns/ptr.h"
+
+#include <algorithm>
+
+#include "rng/rng.h"
+
+namespace ipscope::rdns {
+
+namespace {
+
+constexpr std::uint64_t kTagNaming = 0xd501;
+constexpr std::uint64_t kTagHostHasPtr = 0xd502;
+
+double HashUnit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Per-block naming scheme: which template the operator uses.
+enum class Scheme { kNone, kStatic, kDynPool, kDynDsl, kDynPpp, kNat,
+                    kServer, kRouter, kGeneric };
+
+Scheme SchemeFor(const sim::BlockPlan& plan) {
+  double u = HashUnit(rng::Substream(plan.block_seed, kTagNaming));
+  // Operator noise: 10% of blocks have no PTR zone, 8% use generic names
+  // that reveal nothing about assignment practice.
+  if (u < 0.10) return Scheme::kNone;
+  if (u < 0.18) return Scheme::kGeneric;
+  switch (plan.base.kind) {
+    case sim::PolicyKind::kStatic:
+      return Scheme::kStatic;
+    case sim::PolicyKind::kDynamicShort:
+      return u < 0.6 ? Scheme::kDynPool : Scheme::kDynDsl;
+    case sim::PolicyKind::kDynamicLong:
+      return u < 0.5 ? Scheme::kDynDsl : Scheme::kDynPpp;
+    case sim::PolicyKind::kCgnGateway:
+      return Scheme::kNat;
+    case sim::PolicyKind::kServerFarm:
+    case sim::PolicyKind::kCrawlerBots:
+      return Scheme::kServer;
+    case sim::PolicyKind::kRouterInfra:
+      return Scheme::kRouter;
+    default:
+      return Scheme::kNone;
+  }
+}
+
+std::string NameFor(Scheme scheme, const sim::BlockPlan& plan,
+                    net::IPv4Addr addr) {
+  auto dashed = [&] {
+    std::string s = addr.ToString();
+    std::replace(s.begin(), s.end(), '.', '-');
+    return s;
+  };
+  std::string asn = std::to_string(plan.asn);
+  switch (scheme) {
+    case Scheme::kStatic:
+      return "host-" + dashed() + ".static.as" + asn + ".example.net";
+    case Scheme::kDynPool:
+      return "pool-" + dashed() + ".dynamic.as" + asn + ".example.net";
+    case Scheme::kDynDsl:
+      return "dsl-" + dashed() + ".dyn.as" + asn + ".example.net";
+    case Scheme::kDynPpp:
+      return "ppp-" + dashed() + ".dialup.as" + asn + ".example.net";
+    case Scheme::kNat:
+      return "nat-gw-" + dashed() + ".as" + asn + ".example.net";
+    case Scheme::kServer:
+      return "srv-" + dashed() + ".dc.as" + asn + ".example.net";
+    case Scheme::kRouter:
+      return "core-" + dashed() + ".as" + asn + ".example.net";
+    case Scheme::kGeneric:
+      return "h" + dashed() + ".as" + asn + ".example.net";
+    case Scheme::kNone:
+      return "";
+  }
+  return "";
+}
+
+}  // namespace
+
+PtrGenerator::PtrGenerator(const sim::World& world) : world_(world) {
+  index_.resize(world.blocks().size());
+  for (std::uint32_t i = 0; i < index_.size(); ++i) index_[i] = i;
+  std::sort(index_.begin(), index_.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return net::BlockKeyOf(world.blocks()[a].block) <
+           net::BlockKeyOf(world.blocks()[b].block);
+  });
+}
+
+const sim::BlockPlan* PtrGenerator::FindPlan(net::BlockKey key) const {
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), key, [&](std::uint32_t i, net::BlockKey k) {
+        return net::BlockKeyOf(world_.blocks()[i].block) < k;
+      });
+  if (it == index_.end() ||
+      net::BlockKeyOf(world_.blocks()[*it].block) != key) {
+    return nullptr;
+  }
+  return &world_.blocks()[*it];
+}
+
+std::string PtrGenerator::PtrName(net::IPv4Addr addr) const {
+  const sim::BlockPlan* plan = FindPlan(net::BlockKeyOf(addr));
+  if (plan == nullptr) return "";
+  Scheme scheme = SchemeFor(*plan);
+  if (scheme == Scheme::kNone) return "";
+  // Per-host gaps: a few addresses lack records even in named zones.
+  int host = static_cast<int>(addr.value() & 0xFF);
+  if (HashUnit(rng::Substream(plan->block_seed, kTagHostHasPtr, host)) >=
+      0.95) {
+    return "";
+  }
+  return NameFor(scheme, *plan, addr);
+}
+
+std::vector<std::string> PtrGenerator::BlockNames(net::BlockKey key) const {
+  std::vector<std::string> out;
+  std::uint32_t base = key << 8;
+  for (int host = 0; host < 256; ++host) {
+    std::string name = PtrName(net::IPv4Addr{base + static_cast<std::uint32_t>(host)});
+    if (!name.empty()) out.push_back(std::move(name));
+  }
+  return out;
+}
+
+}  // namespace ipscope::rdns

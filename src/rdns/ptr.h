@@ -1,0 +1,36 @@
+// Reverse DNS (PTR) record synthesis.
+//
+// ISPs overwhelmingly name their address space after its assignment
+// mechanism ("static", "dynamic", "pool", "dsl", "ppp", ...), which is what
+// makes the paper's §5.3 tagging methodology work. The generator names each
+// block according to its true policy with realistic noise: some blocks have
+// generic names, some have no PTR records at all, and per-host coverage is
+// incomplete.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "sim/world.h"
+
+namespace ipscope::rdns {
+
+class PtrGenerator {
+ public:
+  explicit PtrGenerator(const sim::World& world);
+
+  // The PTR record of an address, or "" when none exists.
+  std::string PtrName(net::IPv4Addr addr) const;
+
+  // All non-empty PTR names within a /24 (at most 256).
+  std::vector<std::string> BlockNames(net::BlockKey key) const;
+
+ private:
+  const sim::BlockPlan* FindPlan(net::BlockKey key) const;
+
+  const sim::World& world_;
+  std::vector<std::uint32_t> index_;  // block indices sorted by key
+};
+
+}  // namespace ipscope::rdns

@@ -1,0 +1,74 @@
+#include "rdns/tagger.h"
+
+namespace ipscope::rdns {
+
+const char* TagName(RdnsTag tag) {
+  switch (tag) {
+    case RdnsTag::kUntagged:
+      return "untagged";
+    case RdnsTag::kStatic:
+      return "static";
+    case RdnsTag::kDynamic:
+      return "dynamic";
+  }
+  return "?";
+}
+
+RdnsTag Tagger::ClassifyName(std::string_view name) {
+  auto contains = [&](std::string_view needle) {
+    return name.find(needle) != std::string_view::npos;
+  };
+  if (contains("static")) return RdnsTag::kStatic;
+  if (contains("dynamic") || contains("pool") || contains("dyn") ||
+      contains("dsl") || contains("ppp") || contains("dialup")) {
+    return RdnsTag::kDynamic;
+  }
+  return RdnsTag::kUntagged;
+}
+
+RdnsTag Tagger::TagBlock(std::span<const std::string> names) const {
+  if (static_cast<int>(names.size()) < min_names_) return RdnsTag::kUntagged;
+  int statics = 0, dynamics = 0;
+  for (const std::string& name : names) {
+    switch (ClassifyName(name)) {
+      case RdnsTag::kStatic:
+        ++statics;
+        break;
+      case RdnsTag::kDynamic:
+        ++dynamics;
+        break;
+      case RdnsTag::kUntagged:
+        break;
+    }
+  }
+  double n = static_cast<double>(names.size());
+  if (statics > dynamics && statics / n >= consistency_) {
+    return RdnsTag::kStatic;
+  }
+  if (dynamics > statics && dynamics / n >= consistency_) {
+    return RdnsTag::kDynamic;
+  }
+  return RdnsTag::kUntagged;
+}
+
+TaggedBlocks TagBlocks(const PtrGenerator& ptr,
+                       std::span<const net::BlockKey> keys,
+                       const Tagger& tagger) {
+  TaggedBlocks out;
+  for (net::BlockKey key : keys) {
+    auto names = ptr.BlockNames(key);
+    switch (tagger.TagBlock(names)) {
+      case RdnsTag::kStatic:
+        out.static_blocks.push_back(key);
+        break;
+      case RdnsTag::kDynamic:
+        out.dynamic_blocks.push_back(key);
+        break;
+      case RdnsTag::kUntagged:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ipscope::rdns

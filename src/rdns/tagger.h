@@ -1,0 +1,49 @@
+// Keyword-based static/dynamic block tagging (paper §5.3).
+//
+// "We used PTR (reverse DNS) records and tagged /24 blocks containing
+// addresses with consistent names that suggest static (keyword static) as
+// well as dynamic (keyword dynamic, pool) assignment."
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/prefix.h"
+#include "rdns/ptr.h"
+
+namespace ipscope::rdns {
+
+enum class RdnsTag { kUntagged, kStatic, kDynamic };
+
+const char* TagName(RdnsTag tag);
+
+class Tagger {
+ public:
+  // Requires at least `min_names` non-empty records of which at least
+  // `consistency` agree on one keyword class.
+  explicit Tagger(int min_names = 8, double consistency = 0.6)
+      : min_names_(min_names), consistency_(consistency) {}
+
+  // Classifies a single PTR name: static / dynamic / neither.
+  static RdnsTag ClassifyName(std::string_view name);
+
+  RdnsTag TagBlock(std::span<const std::string> names) const;
+
+ private:
+  int min_names_;
+  double consistency_;
+};
+
+struct TaggedBlocks {
+  std::vector<net::BlockKey> static_blocks;
+  std::vector<net::BlockKey> dynamic_blocks;
+};
+
+// Tags every block in `keys` using the generator's records.
+TaggedBlocks TagBlocks(const PtrGenerator& ptr,
+                       std::span<const net::BlockKey> keys,
+                       const Tagger& tagger = Tagger{});
+
+}  // namespace ipscope::rdns

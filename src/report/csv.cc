@@ -1,0 +1,31 @@
+#include "report/csv.h"
+
+#include <ostream>
+
+namespace ipscope::report {
+
+CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> headers)
+    : os_(os), columns_(headers.size()) {
+  AddRow(headers);
+}
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < columns_; ++i) {
+    if (i > 0) os_ << ',';
+    if (i < cells.size()) os_ << Escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+}  // namespace ipscope::report

@@ -1,0 +1,22 @@
+// Minimal CSV emission for figure series (one file or stream per figure).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ipscope::report {
+
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& os, std::vector<std::string> headers);
+
+  void AddRow(const std::vector<std::string>& cells);
+
+ private:
+  static std::string Escape(const std::string& cell);
+  std::ostream& os_;
+  std::size_t columns_;
+};
+
+}  // namespace ipscope::report

@@ -1,0 +1,35 @@
+// Plain-text table rendering for experiment output.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ipscope::report {
+
+// A simple column-aligned text table:
+//   Table t({"metric", "paper", "measured"});
+//   t.AddRow({"active IPs", "1.2B", Format(n)});
+//   t.Print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers.
+std::string FormatCount(std::uint64_t n);        // 12,345,678
+std::string FormatSi(double v, int precision = 1);  // 1.2M, 3.4B
+std::string FormatDouble(double v, int precision = 2);
+std::string FormatPercent(double fraction, int precision = 1);  // 0.42->42.0%
+
+}  // namespace ipscope::report

@@ -1,0 +1,78 @@
+#include "report/textplot.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipscope::report {
+
+std::vector<std::string> RenderActivityMatrix(
+    const activity::ActivityMatrix& matrix, int row_stride) {
+  std::vector<std::string> out;
+  row_stride = std::max(1, row_stride);
+  for (int group = 0; group < 256; group += row_stride) {
+    std::string line;
+    line.reserve(static_cast<std::size_t>(matrix.days()));
+    for (int d = 0; d < matrix.days(); ++d) {
+      bool any = false;
+      for (int h = group; h < std::min(256, group + row_stride); ++h) {
+        any = any || matrix.Get(d, h);
+      }
+      line.push_back(any ? '#' : '.');
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+std::vector<std::string> RenderCdf(std::span<const stats::CdfPoint> cdf,
+                                   int width, int height) {
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width),
+                                            ' '));
+  if (cdf.empty()) return grid;
+  double x_min = cdf.front().x;
+  double x_max = cdf.back().x;
+  double x_span = x_max > x_min ? x_max - x_min : 1.0;
+  for (const stats::CdfPoint& p : cdf) {
+    int col = static_cast<int>((p.x - x_min) / x_span * (width - 1));
+    int row = static_cast<int>((1.0 - p.f) * (height - 1));
+    col = std::clamp(col, 0, width - 1);
+    row = std::clamp(row, 0, height - 1);
+    grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = '*';
+  }
+  return grid;
+}
+
+std::vector<std::string> RenderBars(std::span<const std::string> labels,
+                                    std::span<const double> values,
+                                    int width) {
+  std::vector<std::string> out;
+  double max_v = 0;
+  for (double v : values) max_v = std::max(max_v, v);
+  std::size_t label_w = 0;
+  for (const auto& l : labels) label_w = std::max(label_w, l.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::string label = i < labels.size() ? labels[i] : "";
+    label.resize(label_w, ' ');
+    int bars = max_v > 0 ? static_cast<int>(values[i] / max_v * width) : 0;
+    out.push_back(label + " | " +
+                  std::string(static_cast<std::size_t>(bars), '#'));
+  }
+  return out;
+}
+
+std::string RenderSparkline(std::span<const double> series) {
+  static const char* kLevels[] = {" ", "_", ".", "-", "=", "+", "*", "#"};
+  if (series.empty()) return "";
+  double lo = *std::min_element(series.begin(), series.end());
+  double hi = *std::max_element(series.begin(), series.end());
+  double span = hi > lo ? hi - lo : 1.0;
+  std::string out;
+  for (double v : series) {
+    int level = static_cast<int>((v - lo) / span * 7.0);
+    out += kLevels[std::clamp(level, 0, 7)];
+  }
+  return out;
+}
+
+}  // namespace ipscope::report

@@ -1,0 +1,31 @@
+// Terminal renderings of the paper's figures.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "activity/matrix.h"
+#include "stats/quantile.h"
+
+namespace ipscope::report {
+
+// Fig 6/7-style spatio-temporal plot of one /24: rows are address offsets
+// (downsampled groups of `row_stride` addresses), columns are days; '#'
+// marks activity. Returns one string per output row.
+std::vector<std::string> RenderActivityMatrix(
+    const activity::ActivityMatrix& matrix, int row_stride = 4);
+
+// ASCII line rendering of an empirical CDF over `width` x `height` cells.
+std::vector<std::string> RenderCdf(std::span<const stats::CdfPoint> cdf,
+                                   int width = 64, int height = 16);
+
+// Horizontal bar chart: one labelled row per value, scaled to `width`.
+std::vector<std::string> RenderBars(std::span<const std::string> labels,
+                                    std::span<const double> values,
+                                    int width = 48);
+
+// Sparkline of a numeric series using eighth-block characters.
+std::string RenderSparkline(std::span<const double> series);
+
+}  // namespace ipscope::report

@@ -1,0 +1,44 @@
+#include "scan/portscan.h"
+
+#include <algorithm>
+
+#include "rng/rng.h"
+#include "sim/policy.h"
+
+namespace ipscope::scan {
+
+namespace {
+constexpr std::uint64_t kTagService = 0x5c01;
+
+double HashUnit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+net::Ipv4Set PortScanner::ScanServices(std::int32_t day) const {
+  std::vector<std::uint32_t> values;
+  for (const sim::BlockPlan& plan : world_.blocks()) {
+    const sim::PolicyParams& pp = plan.ParamsOn(day);
+    double host_p = 0.0;
+    switch (pp.kind) {
+      case sim::PolicyKind::kServerFarm:
+        host_p = 0.92;  // that is what the farm is for
+        break;
+      case sim::PolicyKind::kRouterInfra:
+        host_p = 0.05;  // the odd management interface
+        break;
+      default:
+        continue;  // clients/middleboxes expose no listening services
+    }
+    std::uint32_t base = plan.block.network().value();
+    for (int host = 0; host < std::min<int>(pp.pool_size, 256); ++host) {
+      std::uint64_t h = rng::Substream(plan.block_seed, kTagService, host);
+      if (HashUnit(h) < host_p) {
+        values.push_back(base + static_cast<std::uint32_t>(host));
+      }
+    }
+  }
+  return net::Ipv4Set::FromValues(std::move(values));
+}
+
+}  // namespace ipscope::scan

@@ -1,0 +1,24 @@
+// Service port scans (paper §3.3): the ZMap application-layer scans used to
+// classify ICMP-only addresses as servers. An address counts as a server if
+// it answered connection requests on HTTP(S), SMTP, IMAP(S) or POP3(S).
+#pragma once
+
+#include <cstdint>
+
+#include "netbase/ip_set.h"
+#include "sim/world.h"
+
+namespace ipscope::scan {
+
+class PortScanner {
+ public:
+  explicit PortScanner(const sim::World& world) : world_(world) {}
+
+  // Addresses answering on at least one service port around `day`.
+  net::Ipv4Set ScanServices(std::int32_t day) const;
+
+ private:
+  const sim::World& world_;
+};
+
+}  // namespace ipscope::scan

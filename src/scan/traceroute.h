@@ -1,0 +1,24 @@
+// Traceroute campaigns (the CAIDA Ark substitute, paper §3.3): router
+// interface addresses are those that appeared on any traceroute, i.e.
+// answered with ICMP TTL Exceeded.
+#pragma once
+
+#include <cstdint>
+
+#include "netbase/ip_set.h"
+#include "sim/world.h"
+
+namespace ipscope::scan {
+
+class TracerouteCampaign {
+ public:
+  explicit TracerouteCampaign(const sim::World& world) : world_(world) {}
+
+  // Router interface addresses observed during a month of probing.
+  net::Ipv4Set RouterAddresses(std::int32_t month_start_day) const;
+
+ private:
+  const sim::World& world_;
+};
+
+}  // namespace ipscope::scan

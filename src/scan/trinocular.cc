@@ -1,0 +1,146 @@
+#include "scan/trinocular.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "rng/rng.h"
+
+namespace ipscope::scan {
+
+double TrinocularResult::MeanProbesPerBlockDay() const {
+  if (timelines.empty() || days == 0) return 0.0;
+  return static_cast<double>(total_probes) /
+         (static_cast<double>(timelines.size()) * days);
+}
+
+TrinocularMonitor::TrinocularMonitor(const sim::World& world,
+                                     TrinocularConfig config)
+    : world_(world), scanner_(world), config_(config) {
+  // Seed survey: several full scans establish E(b) (who ever answers) and
+  // A(b) (how reliably members answer while the block is up).
+  std::unordered_map<net::BlockKey, std::unordered_map<std::uint32_t, int>>
+      response_counts;
+  for (int s = 0; s < config_.survey_scans; ++s) {
+    std::int32_t day = config_.survey_start_day +
+                       (s * config_.survey_days) /
+                           std::max(1, config_.survey_scans);
+    net::Ipv4Set scan = scanner_.Scan(day);
+    scan.ForEach([&](net::IPv4Addr addr) {
+      ++response_counts[net::BlockKeyOf(addr)][addr.value()];
+    });
+  }
+  for (auto& [key, counts] : response_counts) {
+    Tracked tracked;
+    tracked.key = key;
+    // Track only *stable* responders — addresses that answered at least
+    // half of the survey scans. Addresses that answered once because a
+    // rotating pool's band happened to pass over them are useless probe
+    // targets and, left in E(b), manufacture false outages.
+    const int min_responses = std::max(1, config_.survey_scans / 2);
+    std::uint64_t responses = 0;
+    for (const auto& [addr, n] : counts) {
+      if (n < min_responses) continue;
+      tracked.responsive.push_back(net::IPv4Addr{addr});
+      responses += static_cast<std::uint64_t>(n);
+    }
+    if (tracked.responsive.empty()) continue;
+    std::sort(tracked.responsive.begin(), tracked.responsive.end());
+    tracked.response_rate =
+        static_cast<double>(responses) /
+        (static_cast<double>(tracked.responsive.size()) *
+         config_.survey_scans);
+    // Coverage gates: blocks the monitor cannot track reliably are
+    // excluded rather than misreported.
+    if (static_cast<int>(tracked.responsive.size()) <
+            config_.min_tracked_addresses ||
+        tracked.response_rate < config_.min_response_rate) {
+      continue;
+    }
+    // Clamp away from the boundaries so likelihood ratios stay finite and
+    // a single probe can never fully decide the belief.
+    tracked.response_rate = std::clamp(tracked.response_rate, 0.10, 0.99);
+    blocks_.push_back(std::move(tracked));
+  }
+  std::sort(blocks_.begin(), blocks_.end(),
+            [](const Tracked& a, const Tracked& b) { return a.key < b.key; });
+}
+
+TrinocularResult TrinocularMonitor::Monitor(std::int32_t first_day,
+                                            std::int32_t last_day) {
+  TrinocularResult result;
+  result.first_day = first_day;
+  result.days = static_cast<int>(last_day - first_day);
+  result.timelines.reserve(blocks_.size());
+  for (Tracked& tracked : blocks_) {
+    BlockTimeline timeline;
+    timeline.key = tracked.key;
+    timeline.response_rate = tracked.response_rate;
+    timeline.tracked_addresses = static_cast<int>(tracked.responsive.size());
+    timeline.state.reserve(static_cast<std::size_t>(result.days));
+    timeline.probes.reserve(static_cast<std::size_t>(result.days));
+    tracked.belief = 0.5;
+
+    for (std::int32_t day = first_day; day < last_day; ++day) {
+      // Relax toward uncertainty: yesterday's state can have changed.
+      tracked.belief =
+          tracked.belief * (1.0 - config_.drift) + 0.5 * config_.drift;
+
+      // Probe only when the belief is undecided; stop at the first
+      // response. The whole day then contributes ONE aggregate observation
+      // ("any of m probes answered?"): outcomes within a day are correlated
+      // through the block's dark-day state, so treating every timeout as
+      // independent evidence would manufacture false outages.
+      int probes = 0;
+      int hits = 0;
+      if (tracked.belief < config_.belief_up &&
+          tracked.belief > config_.belief_down) {
+        while (hits == 0 && probes < config_.max_probes_per_round) {
+          std::uint64_t pick = rng::Substream(
+              world_.config().seed, 0x7217, tracked.key, day, probes);
+          const net::IPv4Addr target = tracked.responsive[
+              static_cast<std::size_t>(pick % tracked.responsive.size())];
+          hits += scanner_.Probe(target, day) ? 1 : 0;
+          ++probes;
+        }
+        const double a = tracked.response_rate;
+        const double e = config_.response_if_down;
+        const double q = config_.dark_day_probability;
+        const double m = static_cast<double>(probes);
+        // P(no response to m probes | up) mixes the bright-day miss
+        // probability with the dark-day floor; | down it is ~certain.
+        double none_up = (1.0 - q) * std::pow(1.0 - a, m) + q;
+        double none_down = std::pow(1.0 - e, m);
+        double like_up = hits > 0 ? 1.0 - none_up : none_up;
+        double like_down = hits > 0 ? 1.0 - none_down : none_down;
+        double numer = like_up * tracked.belief;
+        tracked.belief =
+            numer / (numer + like_down * (1.0 - tracked.belief));
+        tracked.belief = std::clamp(tracked.belief, 1e-6, 1.0 - 1e-6);
+      }
+      // Re-calibrate A(b) from this round's outcomes, but only while the
+      // block is believed up: probing a down block says nothing about how
+      // reliably its members answer when it is up.
+      if (probes > 0 && tracked.belief > 0.5) {
+        double observed = static_cast<double>(hits) / probes;
+        tracked.response_rate = std::clamp(
+            (1.0 - config_.response_rate_ewma) * tracked.response_rate +
+                config_.response_rate_ewma * observed,
+            0.10, 0.99);
+      }
+      result.total_probes += static_cast<std::uint64_t>(probes);
+      timeline.probes.push_back(static_cast<std::uint8_t>(probes));
+      if (tracked.belief >= config_.belief_up) {
+        timeline.state.push_back(BlockState::kUp);
+      } else if (tracked.belief <= config_.belief_down) {
+        timeline.state.push_back(BlockState::kDown);
+      } else {
+        timeline.state.push_back(BlockState::kUnknown);
+      }
+    }
+    result.timelines.push_back(std::move(timeline));
+  }
+  return result;
+}
+
+}  // namespace ipscope::scan

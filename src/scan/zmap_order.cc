@@ -1,0 +1,47 @@
+#include "scan/zmap_order.h"
+
+#include "rng/rng.h"
+
+namespace ipscope::scan {
+
+namespace {
+
+// Round function: mixes a 16-bit half with the round key via SplitMix.
+std::uint16_t Mix(std::uint16_t half, std::uint32_t key) {
+  std::uint64_t state = (static_cast<std::uint64_t>(key) << 16) | half;
+  return static_cast<std::uint16_t>(rng::SplitMix64Next(state));
+}
+
+}  // namespace
+
+AddressPermutation::AddressPermutation(std::uint64_t seed) {
+  std::uint64_t state = seed;
+  for (auto& key : keys_) {
+    key = static_cast<std::uint32_t>(rng::SplitMix64Next(state));
+  }
+}
+
+net::IPv4Addr AddressPermutation::AddressAt(std::uint32_t index) const {
+  std::uint16_t left = static_cast<std::uint16_t>(index >> 16);
+  std::uint16_t right = static_cast<std::uint16_t>(index);
+  for (int round = 0; round < 4; ++round) {
+    std::uint16_t next_left = right;
+    right = static_cast<std::uint16_t>(left ^ Mix(right, RoundKey(round)));
+    left = next_left;
+  }
+  return net::IPv4Addr{(static_cast<std::uint32_t>(left) << 16) | right};
+}
+
+std::uint32_t AddressPermutation::IndexOf(net::IPv4Addr addr) const {
+  std::uint16_t left = static_cast<std::uint16_t>(addr.value() >> 16);
+  std::uint16_t right = static_cast<std::uint16_t>(addr.value());
+  for (int round = 3; round >= 0; --round) {
+    std::uint16_t prev_right = left;
+    left = static_cast<std::uint16_t>(
+        right ^ Mix(prev_right, RoundKey(round)));
+    right = prev_right;
+  }
+  return (static_cast<std::uint32_t>(left) << 16) | right;
+}
+
+}  // namespace ipscope::scan

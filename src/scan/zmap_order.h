@@ -1,0 +1,43 @@
+// ZMap-style address-space iteration order.
+//
+// Internet-wide scanners (Durumeric et al., cited §3.1) probe the address
+// space in a pseudorandom permutation so probe load never concentrates on
+// one network. We implement the permutation as a seeded 4-round Feistel
+// network over the 32-bit space — a bijection by construction, with O(1)
+// forward and inverse evaluation and no number-theoretic preconditions.
+#pragma once
+
+#include <cstdint>
+
+#include "netbase/ipv4.h"
+
+namespace ipscope::scan {
+
+class AddressPermutation {
+ public:
+  explicit AddressPermutation(std::uint64_t seed);
+
+  // The address at a position of the scan order. Bijective over the full
+  // 2^32 index space.
+  net::IPv4Addr AddressAt(std::uint32_t index) const;
+
+  // Inverse: the scan position of an address.
+  std::uint32_t IndexOf(net::IPv4Addr addr) const;
+
+ private:
+  std::uint32_t RoundKey(int round) const { return keys_[round]; }
+
+  std::uint32_t keys_[4];
+};
+
+// Convenience: visits `count` scan targets starting at scan position
+// `first_index` in permutation order: fn(IPv4Addr).
+template <typename Fn>
+void ForScanChunk(const AddressPermutation& perm, std::uint32_t first_index,
+                  std::uint32_t count, Fn&& fn) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    fn(perm.AddressAt(first_index + i));
+  }
+}
+
+}  // namespace ipscope::scan

@@ -1,0 +1,111 @@
+// IP-reputation maintenance under address churn (paper §8, "implications
+// to network security").
+//
+// "A host's IP address is often associated with a reputation subsequently
+// used for network abuse mitigation... addresses and network blocks become
+// encumbered by their prior uses... when reputation information is stale."
+//
+// This module provides the reputation store plus an evaluation harness that
+// quantifies the paper's claim: an abuser population misbehaves through
+// churning addresses, a blocklist records bad IPs under a given expiry
+// policy, and every later client interaction is scored — was a blocked
+// address still held by the abuser (correct), or already reassigned to an
+// innocent subscriber (collateral damage)? Expiry policies range from
+// "never expire" through fixed TTLs to the paper's proposal: TTLs derived
+// from the block's observed assignment pattern, plus resets triggered by
+// the §5.2 change detector.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "activity/pattern.h"
+#include "cdn/observatory.h"
+#include "netbase/ipv4.h"
+
+namespace ipscope::security {
+
+// The blocklist: bad addresses with the day they were (last) flagged.
+class ReputationStore {
+ public:
+  void MarkBad(net::IPv4Addr addr, std::int32_t day) {
+    auto [it, inserted] = bad_.try_emplace(addr.value(), day);
+    if (!inserted && day > it->second) it->second = day;
+  }
+
+  // Is the address considered bad on `day` under a TTL (in days)?
+  bool IsBad(net::IPv4Addr addr, std::int32_t day, double ttl_days) const {
+    auto it = bad_.find(addr.value());
+    if (it == bad_.end()) return false;
+    return static_cast<double>(day - it->second) <= ttl_days;
+  }
+
+  // Change-triggered reset: drop every entry in a /24 (network renumbered
+  // or repurposed — its reputation history is meaningless).
+  void ResetBlock(net::BlockKey key);
+
+  std::size_t size() const { return bad_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, std::int32_t> bad_;
+};
+
+enum class TtlPolicy {
+  kNever,        // reputations never expire (the strawman)
+  kFixed,        // one global TTL
+  kPattern,      // per-block TTL from the activity-pattern classifier
+  kPatternReset, // kPattern + change-detector-triggered block resets
+};
+
+const char* TtlPolicyName(TtlPolicy policy);
+
+// TTL (days) recommended for a block pattern: gateways share reputations
+// across thousands of users (hours), 24h pools need ~a day, long leases a
+// couple of weeks, static assignments a month-plus.
+double PatternTtlDays(activity::BlockPattern pattern);
+
+struct ReputationEvaluation {
+  TtlPolicy policy = TtlPolicy::kNever;
+  double fixed_ttl_days = 0;          // for kFixed
+  std::uint64_t abuse_events = 0;     // MarkBad calls
+  std::uint64_t blocked_abuser = 0;   // queries blocked, holder is abuser
+  std::uint64_t blocked_innocent = 0; // queries blocked, holder is innocent
+  std::uint64_t missed_abuser = 0;    // abuser active but not blocked
+  std::uint64_t innocent_queries = 0; // all innocent client interactions
+
+  // Collateral damage: innocent interactions wrongly blocked.
+  double FalsePositiveRate() const {
+    return innocent_queries
+               ? static_cast<double>(blocked_innocent) / innocent_queries
+               : 0.0;
+  }
+  // Abuser interactions that slipped through.
+  double MissRate() const {
+    std::uint64_t abuser_total = blocked_abuser + missed_abuser;
+    return abuser_total
+               ? static_cast<double>(missed_abuser) / abuser_total
+               : 0.0;
+  }
+};
+
+struct AbuseSimConfig {
+  double abuser_rate = 0.01;      // fraction of subscribers that abuse
+  double abuse_probability = 0.5; // per active abuser-day
+  // Training window (pattern classification / change detection) vs the
+  // evaluation window, as step indices of the daily observatory.
+  int train_first = 0;
+  int train_last = 56;
+  int eval_first = 56;
+  int eval_last = 112;
+};
+
+// Runs the abuse simulation under one policy. Deterministic in the world
+// seed; identical abuse/activity streams across policies, so results are
+// directly comparable.
+ReputationEvaluation EvaluateReputationPolicy(const cdn::Observatory& daily,
+                                              TtlPolicy policy,
+                                              double fixed_ttl_days = 30.0,
+                                              AbuseSimConfig config = {});
+
+}  // namespace ipscope::security

@@ -1,0 +1,2 @@
+// behavior.h is header-only; this TU anchors the target.
+#include "sim/behavior.h"

@@ -1,0 +1,2 @@
+// config.h is data-only; this TU anchors the target.
+#include "sim/config.h"

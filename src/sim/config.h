@@ -1,0 +1,49 @@
+// World configuration: the knobs of the simulated Internet.
+//
+// Defaults are tuned so that the full experiment suite reproduces the
+// paper's qualitative shapes at laptop scale (a few thousand /24 blocks,
+// a few hundred ASes). Scaling `target_client_blocks` up/down scales every
+// absolute count while preserving proportions.
+#pragma once
+
+#include <cstdint>
+
+namespace ipscope::sim {
+
+struct WorldConfig {
+  std::uint64_t seed = 20160360;  // arXiv id of the paper
+
+  // Approximate number of client /24 blocks. The builder creates ASes until
+  // this many client blocks have been allocated.
+  int target_client_blocks = 6000;
+
+  // Infrastructure-only blocks (servers, routers, middleboxes) as a fraction
+  // of client blocks. These are the "other activity" of paper §3.3: visible
+  // to ICMP/port scans but (almost) never to the CDN.
+  double infra_block_fraction = 0.12;
+
+  // Fraction of client blocks that undergo a mid-period change of address
+  // assignment practice (paper §5.2 finds 9.8% major-change blocks).
+  double reconfig_fraction = 0.10;
+
+  // Year-scale block events per year (paper §4.3): blocks whose activity
+  // turns on / off mid-year without leaving the AS, plus reallocations that
+  // do change the BGP origin.
+  double activate_rate_per_year = 0.10;
+  double deactivate_rate_per_year = 0.09;
+  double reallocation_rate_per_year = 0.02;
+
+  // Background BGP noise: expected fraction of announced prefixes that flap
+  // (withdraw + re-announce) per day without any activity consequence.
+  double bgp_daily_flap_rate = 0.0001;
+
+  // Growth of gateway/heavy-hitter traffic across the year, in natural-log
+  // units per year (drives Fig 9c's consolidation trend).
+  double gateway_traffic_growth = 0.18;
+
+  // HTTP User-Agent sampling rate (the paper stores 1 of every 4096
+  // request headers).
+  double ua_sample_rate = 1.0 / 4096.0;
+};
+
+}  // namespace ipscope::sim

@@ -1,0 +1,2 @@
+// events.h is declarations-only; this TU anchors the target.
+#include "sim/events.h"

@@ -1,0 +1,37 @@
+// Scheduled routing-plane events.
+//
+// The world builder couples a *small* fraction of activity events to BGP
+// (paper §4.2/4.3: "the vast majority of volatility in IP address activity
+// is entirely hidden from the global routing table") and sprinkles
+// activity-independent background flaps. The bgp library materializes these
+// into daily routing-table snapshots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netbase/prefix.h"
+
+namespace ipscope::sim {
+
+enum class BgpEventType : std::uint8_t {
+  kAnnounce,      // block becomes routed on `day` (unrouted before)
+  kWithdraw,      // block becomes unrouted from `day` on
+  kOriginChange,  // origin AS changes to `asn` on `day`
+  kFlap,          // transient withdraw + re-announce on `day`
+};
+
+struct BgpScheduledEvent {
+  std::int32_t day = 0;
+  net::BlockKey key = 0;
+  BgpEventType type = BgpEventType::kFlap;
+  std::uint32_t asn = 0;  // new origin for kOriginChange; else unused
+
+  friend bool operator<(const BgpScheduledEvent& a,
+                        const BgpScheduledEvent& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.day < b.day;
+  }
+};
+
+}  // namespace ipscope::sim

@@ -1,0 +1,56 @@
+#include "sim/growth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/rng.h"
+
+namespace ipscope::sim {
+
+namespace {
+
+constexpr ExhaustionEvent kExhaustions[] = {
+    {"IANA", 2011, 2},   {"APNIC", 2011, 4},   {"RIPE", 2012, 9},
+    {"LACNIC", 2014, 6}, {"ARIN", 2015, 9},
+};
+
+}  // namespace
+
+std::span<const ExhaustionEvent> RirExhaustionDates() { return kExhaustions; }
+
+GrowthSeries GenerateGrowthHistory(std::uint64_t seed, double scale) {
+  GrowthSeries out;
+  rng::Xoshiro256 g{rng::Substream(seed, 0x6704)};
+
+  // Month index 0 = 2008-01; the demand/supply break is 2014-01 (m = 72).
+  constexpr int kMonths = 102;  // through 2016-06
+  constexpr int kBreak = 72;
+  constexpr double kBase = 280e6;
+  constexpr double kDemandSlope = 7.3e6;   // addresses/month, linear demand
+  constexpr double kPostSupplySlope = 0.8e6;  // residual post-exhaustion
+
+  std::vector<double> xs, ys;
+  for (int m = 0; m < kMonths; ++m) {
+    double demand = kBase + kDemandSlope * m;
+    double supply = kBase + kDemandSlope * std::min(m, kBreak) +
+                    kPostSupplySlope * std::max(0, m - kBreak);
+    double active = std::min(demand, supply);
+    active *= 1.0 + 0.012 * rng::NextNormal(g);  // observation noise
+    active *= scale;
+
+    MonthlyCount mc;
+    mc.year = 2008 + m / 12;
+    mc.month = 1 + m % 12;
+    mc.active_ips = active;
+    out.series.push_back(mc);
+
+    if (m < kBreak) {
+      xs.push_back(static_cast<double>(m));
+      ys.push_back(active);
+    }
+  }
+  out.pre2014_fit = stats::FitLinear(xs, ys);
+  return out;
+}
+
+}  // namespace ipscope::sim

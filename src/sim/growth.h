@@ -1,0 +1,46 @@
+// Long-horizon growth history (Fig 1).
+//
+// Fig 1 spans 2008–2016, far beyond the per-address simulation year, so we
+// model it mechanistically at monthly granularity: client demand for IPv4
+// addresses grows linearly (the pre-2014 regime), while assignable supply —
+// after the RIR exhaustions — saturates; observed monthly active addresses
+// are min(demand, supply) with small observation noise. The post-2014
+// flattening is therefore *caused* by supply exhaustion in the model, which
+// is the paper's interpretation of the real data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/linreg.h"
+
+namespace ipscope::sim {
+
+struct MonthlyCount {
+  int year;
+  int month;          // 1..12
+  double active_ips;  // unique active IPv4 addresses that month
+};
+
+struct GrowthSeries {
+  std::vector<MonthlyCount> series;  // 2008-01 .. 2016-06
+  // OLS fit of active_ips against month index, on months before 2014-01
+  // (the dashed "linear regression until 2014-01" line of Fig 1).
+  stats::LinearFit pre2014_fit;
+};
+
+// `scale` multiplies all counts (1.0 = paper scale, peaking near 800M
+// monthly actives).
+GrowthSeries GenerateGrowthHistory(std::uint64_t seed, double scale = 1.0);
+
+struct ExhaustionEvent {
+  const char* rir;
+  int year;
+  int month;
+};
+
+// RIR free-pool exhaustion dates, as annotated in Fig 1.
+std::span<const ExhaustionEvent> RirExhaustionDates();
+
+}  // namespace ipscope::sim

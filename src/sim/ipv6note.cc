@@ -1,0 +1,26 @@
+#include "sim/ipv6note.h"
+
+#include <cmath>
+
+#include "rng/rng.h"
+
+namespace ipscope::sim {
+
+Ipv6GrowthSeries GenerateIpv6Growth(std::uint64_t seed, double scale) {
+  Ipv6GrowthSeries out;
+  rng::Xoshiro256 g{rng::Substream(seed, 0x1976)};
+  constexpr int kWeeks = 53;
+  constexpr double kStart = 200e6;  // active /64s, September 2014
+  // Doubling over the year: exponential rate ln(2)/52 per week.
+  const double rate = std::log(2.0) / 52.0;
+  for (int w = 0; w < kWeeks; ++w) {
+    double value = kStart * std::exp(rate * w);
+    value *= 1.0 + 0.02 * rng::NextNormal(g);
+    out.series.push_back(WeeklyIpv6Count{w, value * scale});
+  }
+  out.yearly_growth_factor =
+      out.series.back().active_slash64s / out.series.front().active_slash64s;
+  return out;
+}
+
+}  // namespace ipscope::sim

@@ -1,0 +1,332 @@
+#include "sim/policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/rng.h"
+#include "sim/behavior.h"
+
+namespace ipscope::sim {
+
+namespace {
+
+// Substream tags (arbitrary distinct constants).
+constexpr std::uint64_t kTagTenure = 0x7e01;
+constexpr std::uint64_t kTagOccupant = 0x7e02;
+constexpr std::uint64_t kTagActive = 0x7e03;
+constexpr std::uint64_t kTagPoolCount = 0x7e04;
+constexpr std::uint64_t kTagDense = 0x7e05;
+constexpr std::uint64_t kTagLease = 0x7e06;
+constexpr std::uint64_t kTagAlwaysOn = 0x7e07;
+constexpr std::uint64_t kTagServer = 0x7e08;
+constexpr std::uint64_t kTagHits = 0x7e09;
+constexpr std::uint64_t kTagShortOccupant = 0x7e0a;
+constexpr std::uint64_t kTagWeekend = 0x7e0b;
+
+double HashUnit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Subscriber activity comes in multi-day runs (people browse for a few
+// days, pause for a few days), not as independent daily coin flips. At
+// daily granularity the activity decision is therefore made once per run
+// of R days (R in 1..4, a persistent per-subscriber trait); this halves
+// spurious day-to-day churn for statically-held addresses, matching the
+// paper's ~8% daily up/down rate. Coarser steps subsume runs entirely.
+bool SubscriberActive(std::uint64_t block_seed, std::uint64_t occupant,
+                      int slot, int step, int step_days, double p_day) {
+  int run = 1;
+  int index = step;
+  if (step_days == 1) {
+    run = 1 + static_cast<int>((occupant >> 33) & 3u);
+    int phase = static_cast<int>((occupant >> 40) %
+                                 static_cast<unsigned>(run));
+    index = (step + phase) / run;
+  }
+  double p_step = StepProbability(std::min(0.98, p_day), step_days);
+  std::uint64_t h = rng::Substream(block_seed, kTagActive, slot, index);
+  return HashUnit(h) < p_step;
+}
+
+// Weekend suppression applied on top of run-level activity, so weekday
+// marginals stay p and weekend marginals p * weekend_factor.
+bool WeekendPass(std::uint64_t block_seed, int slot, int step,
+                 double weekend_adj) {
+  if (weekend_adj >= 1.0) return true;
+  std::uint64_t h = rng::Substream(block_seed, kTagWeekend, slot, step);
+  return HashUnit(h) < weekend_adj;
+}
+
+bool IsWeekendDay(std::int32_t abs_day) {
+  return (timeutil::kWeeklyPeriodStart + abs_day).IsWeekend();
+}
+
+// Expected active days within the step for a subscriber with step
+// probability p_step and daily probability p_day — used to scale hit counts
+// at coarse granularities.
+int ActiveDaysInStep(double p_day, int step_days) {
+  if (step_days == 1) return 1;
+  int d = static_cast<int>(std::lround(p_day * step_days));
+  return std::clamp(d, 1, step_days);
+}
+
+}  // namespace
+
+const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kUnused:
+      return "unused";
+    case PolicyKind::kStatic:
+      return "static";
+    case PolicyKind::kDynamicShort:
+      return "dynamic-short";
+    case PolicyKind::kDynamicLong:
+      return "dynamic-long";
+    case PolicyKind::kCgnGateway:
+      return "cgn-gateway";
+    case PolicyKind::kCrawlerBots:
+      return "crawler-bots";
+    case PolicyKind::kServerFarm:
+      return "server-farm";
+    case PolicyKind::kRouterInfra:
+      return "router-infra";
+    case PolicyKind::kMiddlebox:
+      return "middlebox";
+  }
+  return "?";
+}
+
+const PolicyParams& BlockPlan::ParamsOn(std::int32_t abs_day) const {
+  const PolicyParams* current = &base;
+  for (const BlockEvent& ev : events) {
+    if (ev.day >= 0 && ev.day <= abs_day) current = &ev.params;
+  }
+  return *current;
+}
+
+void GenerateStep(const BlockPlan& plan, const StepSpec& spec, int step,
+                  activity::DayBits& bits, std::uint32_t* hits256,
+                  std::uint64_t* occupants256) {
+  bits = activity::DayBits{};
+  if (hits256 != nullptr) std::fill_n(hits256, 256, 0u);
+  if (occupants256 != nullptr) std::fill_n(occupants256, 256, std::uint64_t{0});
+
+  const std::int32_t abs_day = spec.start_day + step * spec.step_days;
+  const std::int32_t mid_day = abs_day + spec.step_days / 2;
+  if (mid_day < plan.active_from || mid_day >= plan.active_until) return;
+
+  // Per-host policy ownership: the base policy, overridden by every active
+  // event over its host range. Full-range events (the common case) replace
+  // the whole block; partial events create the paper's Fig 7b spatially
+  // split patterns.
+  std::array<const PolicyParams*, 256> owner;
+  owner.fill(&plan.base);
+  for (const BlockEvent& ev : plan.events) {
+    if (ev.day < 0 || ev.day > mid_day) continue;
+    for (int h = ev.host_first; h <= static_cast<int>(ev.host_last); ++h) {
+      owner[static_cast<std::size_t>(h)] = &ev.params;
+    }
+  }
+
+  // Lazily-seeded generator for hit magnitudes. Consumed only when hits are
+  // requested, so activity bits never depend on it.
+  rng::Xoshiro256 hit_gen{
+      rng::Substream(plan.block_seed, kTagHits, step)};
+
+  // Emits one policy's activity, materializing only hosts within
+  // [seg_lo, seg_hi] — the segment this policy currently governs.
+  auto emit_segment = [&](const PolicyParams& pp, int seg_lo, int seg_hi) {
+  const int pool = std::min<int>(pp.pool_size, 256);
+  if (pool == 0) return;
+
+  // Weekend adjustment applies only at daily granularity; a 7-day step
+  // always contains the same weekday mix.
+  const double weekend_adj =
+      (spec.step_days == 1 && IsWeekendDay(abs_day)) ? pp.weekend_factor : 1.0;
+
+  auto emit = [&](int host, double propensity, double p_day,
+                  std::uint64_t occupant) {
+    if (host < seg_lo || host > seg_hi) return;
+    activity::SetBit(bits, host);
+    if (occupants256 != nullptr) occupants256[host] = occupant;
+    if (hits256 == nullptr) return;
+    std::uint32_t daily =
+        DailyHits(hit_gen, pp.hits_mu, pp.hits_sigma, propensity);
+    std::uint64_t total = std::uint64_t{daily} *
+                          ActiveDaysInStep(p_day, spec.step_days);
+    hits256[host] =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(total, 1u << 30));
+  };
+
+  switch (pp.kind) {
+    case PolicyKind::kUnused:
+    case PolicyKind::kRouterInfra:
+    case PolicyKind::kMiddlebox:
+      // No successful WWW transactions, ever (paper §3.3).
+      return;
+
+    case PolicyKind::kStatic: {
+      // One slot per subscriber, scattered across the /24 by host_perm.
+      // Customer turnover ("tenure epochs") makes individual addresses
+      // appear/disappear over the year without any network event.
+      for (int slot = 0; slot < pool; ++slot) {
+        std::uint64_t tenure_h =
+            rng::Substream(plan.block_seed, kTagTenure, slot);
+        int tenure_days = 150 + static_cast<int>(tenure_h & 511u);
+        int phase = static_cast<int>((tenure_h >> 16) %
+                                     static_cast<unsigned>(tenure_days));
+        int epoch = (mid_day + phase) / tenure_days;
+        std::uint64_t occ =
+            rng::Substream(plan.block_seed, kTagOccupant, slot, epoch);
+        if (HashUnit(occ) >= pp.occupancy) continue;  // slot has no customer
+        double p_day = SubscriberPropensity(occ);
+        if (SubscriberActive(plan.block_seed, occ, slot, step,
+                             spec.step_days, p_day) &&
+            WeekendPass(plan.block_seed, slot, step, weekend_adj)) {
+          emit(plan.host_perm[static_cast<std::size_t>(slot)],
+               SubscriberPropensity(occ), std::min(0.98, p_day * weekend_adj),
+               occ);
+        }
+      }
+      return;
+    }
+
+    case PolicyKind::kDynamicShort: {
+      const double p_day = std::min(0.98, double{pp.daily_p} * weekend_adj);
+      const double p_step = StepProbability(p_day, spec.step_days);
+      if (pp.rotating) {
+        // Round-robin band assignment (Fig 6b): today's active subscribers
+        // occupy a contiguous address band that advances every step.
+        rng::Xoshiro256 g{
+            rng::Substream(plan.block_seed, kTagPoolCount, step)};
+        auto n = static_cast<int>(
+            rng::NextBinomial(g, pp.subscribers, p_step));
+        n = std::min(n, pool);
+        int stride = std::max<int>(
+            1, static_cast<int>(pp.subscribers * double{pp.daily_p}));
+        int start = static_cast<int>(
+            (plan.block_seed + static_cast<std::uint64_t>(step) *
+                                   static_cast<std::uint64_t>(stride)) %
+            static_cast<std::uint64_t>(pool));
+        for (int j = 0; j < n; ++j) {
+          int slot = (start + j) % pool;
+          std::uint64_t occ = rng::Substream(plan.block_seed,
+                                             kTagShortOccupant, step, j);
+          emit(slot, SubscriberPropensity(occ), p_day, occ);
+        }
+      } else {
+        // Dense ~24h-lease pool (Fig 6d): every step re-deals addresses, so
+        // each slot is occupied independently with the pool's fill rate.
+        // The cap below 1.0 reflects DHCP reality: even saturated pools
+        // always have a few addresses between leases, so only gateways
+        // (kCgnGateway) reach ~100% spatio-temporal utilization.
+        double fill = std::min(
+            0.95, static_cast<double>(pp.subscribers) * p_step / pool);
+        for (int slot = 0; slot < pool; ++slot) {
+          std::uint64_t h =
+              rng::Substream(plan.block_seed, kTagDense, slot, step);
+          if (HashUnit(h) < fill) {
+            std::uint64_t occ = rng::Substream(plan.block_seed,
+                                               kTagShortOccupant, slot, step);
+            emit(slot, SubscriberPropensity(occ), p_day, occ);
+          }
+        }
+      }
+      return;
+    }
+
+    case PolicyKind::kDynamicLong: {
+      // Long leases (Fig 6c): an address keeps its subscriber for
+      // lease_days; heavy subscribers produce near-continuous runs.
+      const int lease = std::max<int>(1, pp.lease_days);
+      for (int slot = 0; slot < pool; ++slot) {
+        std::uint64_t slot_h =
+            rng::Substream(plan.block_seed, kTagLease, slot);
+        int phase = static_cast<int>(slot_h % static_cast<unsigned>(lease));
+        int epoch = (mid_day + phase) / lease;
+        std::uint64_t occ =
+            rng::Substream(plan.block_seed, kTagOccupant, slot, epoch);
+        if (HashUnit(occ) >= pp.occupancy) continue;
+        double p_day = SubscriberPropensity(occ);
+        if (SubscriberActive(plan.block_seed, occ, slot, step,
+                             spec.step_days, p_day) &&
+            WeekendPass(plan.block_seed, slot, step, weekend_adj)) {
+          emit(slot, SubscriberPropensity(occ),
+               std::min(0.98, p_day * weekend_adj), occ);
+        }
+      }
+      return;
+    }
+
+    case PolicyKind::kCgnGateway: {
+      // Gateways aggregate thousands of users: active essentially always,
+      // with traffic that grows across the year (Fig 9c's consolidation).
+      const double p_on = StepProbability(0.999, spec.step_days);
+      const double growth =
+          spec.gateway_growth * (static_cast<double>(mid_day) / 364.0);
+      for (int slot = 0; slot < pool; ++slot) {
+        std::uint64_t h =
+            rng::Substream(plan.block_seed, kTagAlwaysOn, slot, step);
+        if (HashUnit(h) >= p_on) continue;
+        if (slot < seg_lo || slot > seg_hi) continue;
+        activity::SetBit(bits, slot);
+        if (hits256 != nullptr) {
+          double v = rng::NextLogNormal(hit_gen, double{pp.hits_mu} + growth,
+                                        double{pp.hits_sigma});
+          v = std::min(v * spec.step_days, 1.0e9);
+          hits256[slot] = static_cast<std::uint32_t>(std::max(v, 1.0));
+        }
+      }
+      return;
+    }
+
+    case PolicyKind::kCrawlerBots: {
+      const double p_on = StepProbability(0.98, spec.step_days);
+      for (int slot = 0; slot < pool; ++slot) {
+        std::uint64_t h =
+            rng::Substream(plan.block_seed, kTagAlwaysOn, slot, step);
+        if (HashUnit(h) >= p_on) continue;
+        if (slot < seg_lo || slot > seg_hi) continue;
+        activity::SetBit(bits, slot);
+        if (hits256 != nullptr) {
+          double v = rng::NextLogNormal(hit_gen, pp.hits_mu, pp.hits_sigma);
+          v = std::min(v * spec.step_days, 1.0e9);
+          hits256[slot] = static_cast<std::uint32_t>(std::max(v, 1.0));
+        }
+      }
+      return;
+    }
+
+    case PolicyKind::kServerFarm: {
+      // Servers occasionally fetch WWW content (software updates, origin
+      // pulls) — a trickle of CDN visibility, far below client levels.
+      const double p_step = StepProbability(double{pp.daily_p}, spec.step_days);
+      for (int slot = 0; slot < pool; ++slot) {
+        std::uint64_t h =
+            rng::Substream(plan.block_seed, kTagServer, slot, step);
+        if (HashUnit(h) < p_step) {
+          emit(slot, 0.1, pp.daily_p,
+               rng::Substream(plan.block_seed, kTagOccupant, slot));
+        }
+      }
+      return;
+    }
+  }
+  };  // emit_segment
+
+  // Walk the per-host ownership array as maximal runs and render each
+  // governing policy over its segment.
+  int seg_lo = 0;
+  while (seg_lo < 256) {
+    int seg_hi = seg_lo;
+    while (seg_hi + 1 < 256 &&
+           owner[static_cast<std::size_t>(seg_hi + 1)] ==
+               owner[static_cast<std::size_t>(seg_lo)]) {
+      ++seg_hi;
+    }
+    emit_segment(*owner[static_cast<std::size_t>(seg_lo)], seg_lo, seg_hi);
+    seg_lo = seg_hi + 1;
+  }
+}
+
+}  // namespace ipscope::sim

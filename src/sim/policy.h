@@ -1,0 +1,131 @@
+// Address-assignment policies and the per-block activity kernel.
+//
+// A BlockPlan describes how one /24 is administered: which policy assigns
+// addresses to subscribers, with what parameters, and which scheduled
+// events (reconfiguration, activation, deactivation) change that over the
+// year. GenerateStep turns a (plan, step) pair into the 256-bit activity
+// slice — and optionally per-address hit counts — fully deterministically:
+// the same (world seed, block, step) always yields the same bits, so
+// observation layers can regenerate data on demand instead of storing it.
+//
+// Policy kinds and the figures they reproduce:
+//   kStatic            Fig 6a  sparse scatter, stable set, weekday pattern
+//   kDynamicShort      Fig 6b  rotating pool band (underutilized round-robin)
+//                      Fig 6d  dense high-turnover fill (~24h leases)
+//   kDynamicLong       Fig 6c  long leases: a few always-on + intermittent
+//   kCgnGateway        §5.3/6  full, continuous utilization; huge traffic
+//   kCrawlerBots       §6.3    few always-on addresses, huge traffic, 1 UA
+//   kServerFarm        §3.3    (almost) CDN-invisible, ICMP/port-responsive
+//   kRouterInfra       §3.3    CDN-invisible, ICMP + traceroute-visible
+//   kMiddlebox         §3.3    ICMP-responsive "unknown" (tarpits, etc.)
+//   kUnused            §8      allocated & routed but entirely inactive
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "activity/matrix.h"
+#include "netbase/prefix.h"
+#include "timeutil/date.h"
+
+namespace ipscope::sim {
+
+enum class PolicyKind : std::uint8_t {
+  kUnused,
+  kStatic,
+  kDynamicShort,
+  kDynamicLong,
+  kCgnGateway,
+  kCrawlerBots,
+  kServerFarm,
+  kRouterInfra,
+  kMiddlebox,
+};
+
+const char* PolicyKindName(PolicyKind kind);
+
+// True for policies that put end-user client devices behind the addresses
+// (the CDN's client population).
+constexpr bool IsClientPolicy(PolicyKind kind) {
+  return kind == PolicyKind::kStatic || kind == PolicyKind::kDynamicShort ||
+         kind == PolicyKind::kDynamicLong || kind == PolicyKind::kCgnGateway;
+}
+
+// True for infrastructure policies that never (or almost never) appear in
+// CDN logs but respond to active measurement.
+constexpr bool IsInfraPolicy(PolicyKind kind) {
+  return kind == PolicyKind::kServerFarm || kind == PolicyKind::kRouterInfra ||
+         kind == PolicyKind::kMiddlebox;
+}
+
+struct PolicyParams {
+  PolicyKind kind = PolicyKind::kUnused;
+  std::uint16_t pool_size = 0;    // addresses under management (1..256)
+  std::uint16_t subscribers = 0;  // subscriber population served
+  float daily_p = 0.0f;           // mean per-day activity probability
+  float weekend_factor = 1.0f;    // multiplier applied on Sat/Sun
+  std::uint16_t lease_days = 0;   // kDynamicLong: lease duration
+  float occupancy = 1.0f;         // fraction of slots with a live customer
+  bool rotating = false;          // kDynamicShort: rotate a contiguous band
+  float hits_mu = 3.0f;           // lognormal location of daily hits
+  float hits_sigma = 1.0f;
+};
+
+// A scheduled change of assignment practice. day is the absolute day of
+// year (0 = Jan 1); day < 0 marks an unused slot. The host range allows
+// *partial* reconfigurations (the paper's Fig 7b: spatially inconsistent
+// patterns where only part of the /24 is repurposed); the default range
+// covers the whole block.
+struct BlockEvent {
+  std::int32_t day = -1;
+  PolicyParams params;
+  std::uint8_t host_first = 0;
+  std::uint8_t host_last = 255;
+};
+
+struct BlockPlan {
+  net::Prefix block;
+  std::uint32_t asn = 0;
+  std::int16_t country = -1;
+  PolicyParams base;
+  std::array<BlockEvent, 2> events{};
+  // The block produces no activity before active_from / from active_until on.
+  std::int32_t active_from = 0;
+  std::int32_t active_until = std::numeric_limits<std::int32_t>::max();
+  std::uint64_t block_seed = 0;
+  // Seeded permutation scattering static assignments across the /24.
+  std::array<std::uint8_t, 256> host_perm{};
+
+  // The parameters in effect on an absolute day (last event <= day wins).
+  const PolicyParams& ParamsOn(std::int32_t abs_day) const;
+
+  bool HasReconfiguration() const { return events[0].day >= 0; }
+};
+
+// Time base shared by all generation calls of one dataset.
+struct StepSpec {
+  std::int32_t start_day = 0;  // absolute day of step 0 (0 = Jan 1, 2015)
+  int step_days = 1;           // 1 for the daily dataset, 7 for weekly
+  int steps = 0;
+  std::uint64_t world_seed = 0;
+  double gateway_growth = 0.0;  // ln-units of gateway traffic growth / year
+};
+
+// Generates the activity bits for one (block, step). If `hits256` is
+// non-null it receives per-address request counts for the step (zero for
+// inactive addresses). If `occupants256` is non-null it receives the
+// subscriber identity hash currently holding each active address (0 for
+// inactive addresses and for aggregating gateways, which have no single
+// subscriber). Bits are independent of whether hits/occupants are requested.
+void GenerateStep(const BlockPlan& plan, const StepSpec& spec, int step,
+                  activity::DayBits& bits, std::uint32_t* hits256,
+                  std::uint64_t* occupants256);
+
+inline void GenerateStep(const BlockPlan& plan, const StepSpec& spec,
+                         int step, activity::DayBits& bits,
+                         std::uint32_t* hits256) {
+  GenerateStep(plan, spec, step, bits, hits256, nullptr);
+}
+
+}  // namespace ipscope::sim

@@ -1,0 +1,74 @@
+// The simulated Internet: ASes, address blocks, policies, and events.
+//
+// World is pure *plan*: constructing one is cheap (no activity is generated
+// here) and completely deterministic in the config seed. Observation layers
+// (cdn, scan, bgp, rdns) read the plan; the analysis layer never touches it
+// except through those observations. Tests use the plan itself as ground
+// truth to validate inference (rDNS tagging, pattern classification,
+// capture–recapture).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geo/registry.h"
+#include "netbase/prefix.h"
+#include "sim/config.h"
+#include "sim/events.h"
+#include "sim/policy.h"
+
+namespace ipscope::sim {
+
+enum class AsType : std::uint8_t {
+  kResidentialIsp,
+  kCellular,
+  kUniversity,
+  kEnterprise,
+  kHosting,
+  kTransit,
+};
+
+const char* AsTypeName(AsType type);
+
+struct AsPlan {
+  std::uint32_t asn = 0;
+  AsType type = AsType::kResidentialIsp;
+  std::int16_t country = -1;
+  std::vector<std::uint32_t> block_indices;  // indices into World::blocks()
+};
+
+class World {
+ public:
+  explicit World(const WorldConfig& config = WorldConfig{});
+
+  const WorldConfig& config() const { return config_; }
+  const geo::Registry& registry() const { return registry_; }
+
+  std::span<const AsPlan> ases() const { return ases_; }
+  std::span<const BlockPlan> blocks() const { return blocks_; }
+
+  // BGP events sorted by (block, day). Includes reallocation origin
+  // changes, activation announces, deactivation withdrawals, and background
+  // flaps.
+  std::span<const BgpScheduledEvent> bgp_events() const { return bgp_events_; }
+
+  // Origin AS of a block at the start of the year (before any events), or
+  // nullopt for unallocated space.
+  std::optional<std::uint32_t> PlannedAsnOf(net::BlockKey key) const;
+
+  // Number of blocks whose policy makes them CDN-visible clients
+  // (IsClientPolicy or crawler bots).
+  std::size_t client_block_count() const { return client_block_count_; }
+
+ private:
+  WorldConfig config_;
+  geo::Registry registry_;
+  std::vector<AsPlan> ases_;
+  std::vector<BlockPlan> blocks_;
+  std::vector<BgpScheduledEvent> bgp_events_;
+  std::size_t client_block_count_ = 0;
+};
+
+}  // namespace ipscope::sim

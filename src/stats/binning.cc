@@ -1,0 +1,72 @@
+#include "stats/binning.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ipscope::stats {
+
+double LogNormalize(double value, double max_value) {
+  if (value <= 0 || max_value <= 0) return 0.0;
+  double v = std::log1p(value) / std::log1p(max_value);
+  return std::clamp(v, 0.0, 1.0);
+}
+
+int BinOf(double normalized, int bins) {
+  int b = static_cast<int>(normalized * bins);
+  return std::clamp(b, 0, bins - 1);
+}
+
+FeatureCube::FeatureCube(int bins) : bins_(bins) {
+  assert(bins > 0);
+  cells_.assign(static_cast<std::size_t>(bins) * bins * bins, 0);
+}
+
+std::size_t FeatureCube::Index(int b0, int b1, int b2) const {
+  return (static_cast<std::size_t>(b0) * bins_ + b1) * bins_ + b2;
+}
+
+void FeatureCube::Add(double f0, double f1, double f2, std::uint64_t weight) {
+  cells_[Index(BinOf(f0, bins_), BinOf(f1, bins_), BinOf(f2, bins_))] +=
+      weight;
+  total_ += weight;
+}
+
+std::uint64_t FeatureCube::count(int b0, int b1, int b2) const {
+  return cells_[Index(b0, b1, b2)];
+}
+
+std::vector<std::uint64_t> FeatureCube::Marginal01() const {
+  std::vector<std::uint64_t> grid(static_cast<std::size_t>(bins_) * bins_, 0);
+  for (int b0 = 0; b0 < bins_; ++b0) {
+    for (int b1 = 0; b1 < bins_; ++b1) {
+      std::uint64_t sum = 0;
+      for (int b2 = 0; b2 < bins_; ++b2) sum += count(b0, b1, b2);
+      grid[static_cast<std::size_t>(b0) * bins_ + b1] = sum;
+    }
+  }
+  return grid;
+}
+
+std::vector<double> FeatureCube::MeanFeature2Per01() const {
+  std::vector<double> grid(static_cast<std::size_t>(bins_) * bins_, -1.0);
+  for (int b0 = 0; b0 < bins_; ++b0) {
+    for (int b1 = 0; b1 < bins_; ++b1) {
+      std::uint64_t sum = 0;
+      double weighted = 0.0;
+      for (int b2 = 0; b2 < bins_; ++b2) {
+        std::uint64_t c = count(b0, b1, b2);
+        sum += c;
+        weighted += static_cast<double>(c) *
+                    ((static_cast<double>(b2) + 0.5) / bins_);
+      }
+      if (sum > 0) {
+        grid[static_cast<std::size_t>(b0) * bins_ + b1] =
+            weighted / static_cast<double>(sum);
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace ipscope::stats

@@ -1,0 +1,53 @@
+// Feature normalization and the paper's demographics binning (Section 7).
+//
+// The paper projects three per-/24 features onto a unified [0, 1] scale:
+// spatio-temporal utilization is already in (0, 1]; traffic contribution and
+// relative host count are log-transformed and divided by the maximum
+// log-transformed value across all active blocks. The normalized triple is
+// then binned into a 10x10x10 cube (Fig 11), or a 10x10 grid with the third
+// feature as color (Fig 12).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ipscope::stats {
+
+// log(1 + v) / log(1 + max) normalization; 0 maps to 0, max maps to 1.
+// The +1 keeps zero-valued blocks meaningful (the paper's blocks all have
+// at least one hit, but scan-only blocks may have zero samples).
+double LogNormalize(double value, double max_value);
+
+// Bin index in {0..bins-1} for a normalized value in [0, 1]; 1.0 falls into
+// the last bin.
+int BinOf(double normalized, int bins);
+
+// A dense bins^3 cube of counts over three normalized features.
+class FeatureCube {
+ public:
+  explicit FeatureCube(int bins = 10);
+
+  void Add(double f0, double f1, double f2, std::uint64_t weight = 1);
+
+  int bins() const { return bins_; }
+  std::uint64_t count(int b0, int b1, int b2) const;
+  std::uint64_t total() const { return total_; }
+
+  // Marginal 2-D grid over features (0, 1): sum over the third axis.
+  std::vector<std::uint64_t> Marginal01() const;
+
+  // Weighted mean of the third feature's bin center per (b0, b1) cell;
+  // returns -1 for empty cells. This is Fig 12's color channel.
+  std::vector<double> MeanFeature2Per01() const;
+
+ private:
+  std::size_t Index(int b0, int b1, int b2) const;
+
+  int bins_;
+  std::vector<std::uint64_t> cells_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ipscope::stats

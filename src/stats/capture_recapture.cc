@@ -1,0 +1,42 @@
+#include "stats/capture_recapture.h"
+
+#include <cmath>
+
+namespace ipscope::stats {
+
+CaptureRecaptureEstimate Chapman(std::uint64_t n1, std::uint64_t n2,
+                                 std::uint64_t m) {
+  CaptureRecaptureEstimate est;
+  const double a = static_cast<double>(n1) + 1.0;
+  const double b = static_cast<double>(n2) + 1.0;
+  const double c = static_cast<double>(m) + 1.0;
+  est.population = a * b / c - 1.0;
+  // Seber's variance for the Chapman estimator.
+  const double var = a * b * (a - c) * (b - c) / (c * c * (c + 1.0));
+  est.std_error = var > 0 ? std::sqrt(var) : 0.0;
+  return est;
+}
+
+CaptureRecaptureEstimate Schnabel(
+    std::span<const std::uint64_t> catches,
+    std::span<const std::uint64_t> recaptures,
+    std::span<const std::uint64_t> marked_before) {
+  CaptureRecaptureEstimate est;
+  if (catches.size() != recaptures.size() ||
+      catches.size() != marked_before.size() || catches.empty()) {
+    return est;
+  }
+  double numer = 0.0;
+  double denom = 0.0;
+  for (std::size_t i = 0; i < catches.size(); ++i) {
+    numer += static_cast<double>(catches[i]) *
+             static_cast<double>(marked_before[i]);
+    denom += static_cast<double>(recaptures[i]);
+  }
+  // The +1 in the denominator is the standard bias correction mirroring
+  // Chapman; it also keeps the estimator finite with zero recaptures.
+  est.population = numer / (denom + 1.0);
+  return est;
+}
+
+}  // namespace ipscope::stats

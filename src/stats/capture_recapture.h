@@ -1,0 +1,38 @@
+// Capture–recapture population estimation (the Zander et al. baseline).
+//
+// The paper (§3.1, §8) cites Zander, Andrew & Armitage (IMC 2014), who
+// estimate the total active IPv4 population at 1.2 B by combining multiple
+// partial observations with a capture/recapture model. We implement the
+// two-sample Chapman estimator (the bias-corrected Lincoln–Petersen
+// estimator) plus a multi-list Schnabel estimator, and use them to quantify
+// how well sampled observation recovers the simulator's true population —
+// the validation the original authors could not perform.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ipscope::stats {
+
+struct CaptureRecaptureEstimate {
+  double population = 0.0;  // point estimate of total population size
+  double std_error = 0.0;   // large-sample standard error (Chapman only)
+};
+
+// Chapman estimator from two capture occasions:
+//   n1 = marked on occasion 1, n2 = caught on occasion 2,
+//   m  = caught on both (recaptures).
+// N* = (n1+1)(n2+1)/(m+1) - 1. Requires m <= min(n1, n2).
+CaptureRecaptureEstimate Chapman(std::uint64_t n1, std::uint64_t n2,
+                                 std::uint64_t m);
+
+// Schnabel estimator over k capture occasions. `catches[i]` is the number of
+// individuals caught on occasion i; `recaptures[i]` the number of those that
+// had been caught on any earlier occasion (recaptures[0] must be 0);
+// `marked_before[i]` the number of distinct individuals seen before occasion
+// i. N* = sum(catches[i] * marked_before[i]) / sum(recaptures[i]).
+CaptureRecaptureEstimate Schnabel(std::span<const std::uint64_t> catches,
+                                  std::span<const std::uint64_t> recaptures,
+                                  std::span<const std::uint64_t> marked_before);
+
+}  // namespace ipscope::stats

@@ -1,0 +1,68 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ipscope::stats {
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  assert(bins > 0 && hi > lo);
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+void Histogram::Add(double x, std::uint64_t weight) {
+  double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  int bin = static_cast<int>(std::floor((x - lo_) / width));
+  bin = std::clamp(bin, 0, static_cast<int>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(bin)] += weight;
+  total_ += weight;
+}
+
+double Histogram::BinLow(int bin) const {
+  double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * bin;
+}
+
+double Histogram::BinHigh(int bin) const { return BinLow(bin + 1); }
+
+double Histogram::BinCenter(int bin) const {
+  return (BinLow(bin) + BinHigh(bin)) / 2.0;
+}
+
+double Histogram::Fraction(int bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+int LogBin(double value, double base) {
+  if (value < 1.0) return -1;
+  return static_cast<int>(std::floor(std::log(value) / std::log(base)));
+}
+
+LogLogGrid::LogLogGrid(double base, int x_bins, int y_bins)
+    : base_(base), x_bins_(x_bins), y_bins_(y_bins) {
+  assert(base > 1.0 && x_bins > 0 && y_bins > 0);
+  cells_.assign(static_cast<std::size_t>(x_bins) *
+                    static_cast<std::size_t>(y_bins),
+                0);
+}
+
+void LogLogGrid::Add(double x, double y) {
+  int xb = std::clamp(LogBin(x, base_), 0, x_bins_ - 1);
+  int yb = std::clamp(LogBin(y, base_), 0, y_bins_ - 1);
+  cells_[static_cast<std::size_t>(yb) * static_cast<std::size_t>(x_bins_) +
+         static_cast<std::size_t>(xb)] += 1;
+  ++total_;
+}
+
+std::uint64_t LogLogGrid::count(int xb, int yb) const {
+  return cells_[static_cast<std::size_t>(yb) *
+                    static_cast<std::size_t>(x_bins_) +
+                static_cast<std::size_t>(xb)];
+}
+
+double LogLogGrid::CellLowX(int xb) const { return std::pow(base_, xb); }
+double LogLogGrid::CellLowY(int yb) const { return std::pow(base_, yb); }
+
+}  // namespace ipscope::stats

@@ -1,0 +1,69 @@
+// Fixed-bin and logarithmic histograms.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ipscope::stats {
+
+// Histogram over [lo, hi) with `bins` equal-width bins. Values outside the
+// range are clamped into the first/last bin (the paper's Fig 8c histogram
+// includes its endpoints).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void Add(double x, std::uint64_t weight = 1);
+
+  int bins() const { return static_cast<int>(counts_.size()); }
+  std::uint64_t count(int bin) const {
+    return counts_[static_cast<std::size_t>(bin)];
+  }
+  std::uint64_t total() const { return total_; }
+  double BinLow(int bin) const;
+  double BinHigh(int bin) const;
+  double BinCenter(int bin) const;
+
+  // Fraction of total mass in `bin` (0 if the histogram is empty).
+  double Fraction(int bin) const;
+
+  std::span<const std::uint64_t> counts() const { return counts_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Base-`base` logarithmic bin index of a positive count: bin k covers
+// [base^k, base^(k+1)). Zero maps to bin -1. Used for Fig 10's log-log
+// density grid.
+int LogBin(double value, double base);
+
+// A 2-D log-log density grid: counts of (x, y) points in log-spaced cells.
+// Mirrors Fig 10 (samples vs unique User-Agent strings per /24).
+class LogLogGrid {
+ public:
+  LogLogGrid(double base, int x_bins, int y_bins);
+
+  void Add(double x, double y);
+
+  int x_bins() const { return x_bins_; }
+  int y_bins() const { return y_bins_; }
+  std::uint64_t count(int xb, int yb) const;
+  std::uint64_t total() const { return total_; }
+  double CellLowX(int xb) const;
+  double CellLowY(int yb) const;
+
+ private:
+  double base_;
+  int x_bins_;
+  int y_bins_;
+  std::vector<std::uint64_t> cells_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ipscope::stats

@@ -1,0 +1,24 @@
+// Ordinary least-squares linear regression.
+//
+// Fig 1 fits a regression line to the monthly active-address counts up to
+// 2014-01 and shows the post-2014 series departing from it — the paper's
+// headline "stagnation" observation.
+#pragma once
+
+#include <span>
+
+namespace ipscope::stats {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+
+  double At(double x) const { return slope * x + intercept; }
+};
+
+// Fits y = slope * x + intercept by OLS. Requires x.size() == y.size() >= 2
+// and non-constant x; returns a zero fit otherwise.
+LinearFit FitLinear(std::span<const double> x, std::span<const double> y);
+
+}  // namespace ipscope::stats

@@ -1,0 +1,54 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipscope::stats {
+
+double QuantileSorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0) return sorted.front();
+  if (q >= 1) return sorted.back();
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+std::vector<double> Quantiles(std::vector<double> values,
+                              std::span<const double> qs) {
+  std::sort(values.begin(), values.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(QuantileSorted(values, q));
+  return out;
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return QuantileSorted(values, 0.5);
+}
+
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  std::vector<CdfPoint> out;
+  out.reserve(values.size());
+  const double n = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    // Collapse runs of equal values into their final (highest) CDF point.
+    if (i + 1 < values.size() && values[i + 1] == values[i]) continue;
+    out.push_back({values[i], static_cast<double>(i + 1) / n});
+  }
+  return out;
+}
+
+double CdfAt(std::span<const double> sorted, double x) {
+  if (sorted.empty()) return 0.0;
+  auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+  return static_cast<double>(it - sorted.begin()) /
+         static_cast<double>(sorted.size());
+}
+
+}  // namespace ipscope::stats

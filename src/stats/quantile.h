@@ -1,0 +1,35 @@
+// Exact quantiles over in-memory samples.
+//
+// The paper reports medians and 5/25/75/95-percentile bands (Fig 9a) and
+// min/median/max across window pairs (Fig 4b). Quantiles use the standard
+// linear-interpolation definition (type 7, the R/NumPy default).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ipscope::stats {
+
+// Quantile q in [0,1] of `sorted` (must be ascending, non-empty).
+double QuantileSorted(std::span<const double> sorted, double q);
+
+// Convenience: copies, sorts, and evaluates several quantiles at once.
+std::vector<double> Quantiles(std::vector<double> values,
+                              std::span<const double> qs);
+
+// Median convenience wrapper (returns 0 for an empty input).
+double Median(std::vector<double> values);
+
+// Empirical CDF evaluated at each sample: returns sorted (x, F(x)) pairs
+// where F is the fraction of samples <= x. Used to print the paper's CDF
+// figures (5a, 8a, 8b).
+struct CdfPoint {
+  double x;
+  double f;
+};
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> values);
+
+// Fraction of samples <= x in an ascending sorted vector.
+double CdfAt(std::span<const double> sorted, double x);
+
+}  // namespace ipscope::stats

@@ -1,0 +1,19 @@
+#include "timeutil/date.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace ipscope::timeutil {
+
+std::string Day::ToString() const {
+  CivilDate c = ToCivil();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", c.year, c.month, c.day);
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Day day) {
+  return os << day.ToString();
+}
+
+}  // namespace ipscope::timeutil

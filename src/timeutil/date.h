@@ -1,0 +1,100 @@
+// Civil-date arithmetic on a compact day number.
+//
+// Day 0 is 1970-01-01 (the proleptic Gregorian calendar). The conversion
+// routines are the classic branchless civil-from-days / days-from-civil
+// algorithms (Howard Hinnant's date algorithms, reimplemented here).
+//
+// The paper's two observation periods are provided as named constants:
+//   * the daily dataset: 2015-08-17 .. 2015-12-06 (112 days, 16 weeks)
+//   * the weekly dataset: the 52 ISO-ish weeks of 2015 starting 2015-01-01
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace ipscope::timeutil {
+
+struct CivilDate {
+  int year;
+  int month;  // 1..12
+  int day;    // 1..31
+  friend constexpr auto operator<=>(const CivilDate&,
+                                    const CivilDate&) = default;
+};
+
+class Day {
+ public:
+  constexpr Day() = default;
+  constexpr explicit Day(std::int32_t days_since_epoch)
+      : value_(days_since_epoch) {}
+
+  static constexpr Day FromCivil(CivilDate d) {
+    // days_from_civil (Hinnant). Valid far beyond the range we use.
+    int y = d.year - (d.month <= 2 ? 1 : 0);
+    int era = (y >= 0 ? y : y - 399) / 400;
+    unsigned yoe = static_cast<unsigned>(y - era * 400);
+    unsigned doy = static_cast<unsigned>(
+        (153 * (d.month + (d.month > 2 ? -3 : 9)) + 2) / 5 + d.day - 1);
+    unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    return Day{era * 146097 + static_cast<int>(doe) - 719468};
+  }
+
+  constexpr CivilDate ToCivil() const {
+    // civil_from_days (Hinnant).
+    std::int32_t z = value_ + 719468;
+    std::int32_t era = (z >= 0 ? z : z - 146096) / 146097;
+    unsigned doe = static_cast<unsigned>(z - era * 146097);
+    unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    std::int32_t y = static_cast<std::int32_t>(yoe) + era * 400;
+    unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    unsigned mp = (5 * doy + 2) / 153;
+    unsigned d = doy - (153 * mp + 2) / 5 + 1;
+    unsigned m = mp + (mp < 10 ? 3 : -9);
+    return CivilDate{y + (m <= 2 ? 1 : 0), static_cast<int>(m),
+                     static_cast<int>(d)};
+  }
+
+  constexpr std::int32_t value() const { return value_; }
+
+  // 0 = Monday .. 6 = Sunday. 1970-01-01 was a Thursday (3).
+  constexpr int Weekday() const {
+    std::int32_t v = value_ + 3;
+    return static_cast<int>(v >= 0 ? v % 7 : (v % 7 + 7) % 7);
+  }
+
+  constexpr bool IsWeekend() const { return Weekday() >= 5; }
+
+  constexpr Day operator+(std::int32_t days) const {
+    return Day{value_ + days};
+  }
+  constexpr Day operator-(std::int32_t days) const {
+    return Day{value_ - days};
+  }
+  constexpr std::int32_t operator-(Day other) const {
+    return value_ - other.value_;
+  }
+  constexpr Day& operator++() {
+    ++value_;
+    return *this;
+  }
+
+  // "YYYY-MM-DD".
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(Day, Day) = default;
+
+ private:
+  std::int32_t value_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Day day);
+
+// The paper's observation periods.
+inline constexpr Day kDailyPeriodStart = Day::FromCivil({2015, 8, 17});
+inline constexpr int kDailyPeriodDays = 112;  // 16 weeks, ends 2015-12-06
+inline constexpr Day kWeeklyPeriodStart = Day::FromCivil({2015, 1, 1});
+inline constexpr int kWeeklyPeriodWeeks = 52;
+
+}  // namespace ipscope::timeutil

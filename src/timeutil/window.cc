@@ -1,0 +1,28 @@
+#include "timeutil/window.h"
+
+namespace ipscope::timeutil {
+
+std::vector<DayRange> PartitionWindows(DayRange period, int window_days) {
+  std::vector<DayRange> windows;
+  if (window_days <= 0) return windows;
+  int count = period.length / window_days;
+  windows.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    windows.push_back(DayRange{period.start + i * window_days, window_days});
+  }
+  return windows;
+}
+
+DayRange WeekOfYear2015(int week_index) {
+  return DayRange{kWeeklyPeriodStart + 7 * week_index, 7};
+}
+
+DayRange DailyPeriod2015() {
+  return DayRange{kDailyPeriodStart, kDailyPeriodDays};
+}
+
+DayRange WeeklyPeriod2015() {
+  return DayRange{kWeeklyPeriodStart, 7 * kWeeklyPeriodWeeks};
+}
+
+}  // namespace ipscope::timeutil

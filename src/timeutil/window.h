@@ -1,0 +1,41 @@
+// Observation windows and window partitioning.
+//
+// The paper's churn analysis (Section 4) partitions an observation period
+// into non-overlapping windows of a given size (1, 2, 4, 7, 14, 28 days),
+// takes the union of active addresses within each window, and compares
+// consecutive windows. DayRange and PartitionWindows encode that scheme.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "timeutil/date.h"
+
+namespace ipscope::timeutil {
+
+// A half-open range of days [start, start + length).
+struct DayRange {
+  Day start;
+  int length = 0;
+
+  Day end() const { return start + length; }  // exclusive
+  bool Contains(Day d) const { return d >= start && d < end(); }
+
+  friend bool operator==(const DayRange&, const DayRange&) = default;
+};
+
+// Partitions [period.start, period.end()) into consecutive non-overlapping
+// windows of `window_days` days. A trailing partial window is discarded, as
+// comparing a short window against full ones would bias churn percentages.
+std::vector<DayRange> PartitionWindows(DayRange period, int window_days);
+
+// The i-th 7-day week of the paper's weekly dataset.
+DayRange WeekOfYear2015(int week_index);
+
+// The paper's daily observation period (112 days starting 2015-08-17).
+DayRange DailyPeriod2015();
+
+// The paper's weekly observation period (52 weeks starting 2015-01-01).
+DayRange WeeklyPeriod2015();
+
+}  // namespace ipscope::timeutil

@@ -1,0 +1,61 @@
+#include "whois/whois.h"
+
+#include <algorithm>
+
+#include "geo/country.h"
+
+namespace ipscope::whois {
+
+std::string OrgTypeName(sim::AsType type) {
+  switch (type) {
+    case sim::AsType::kResidentialIsp:
+      return "residential-isp";
+    case sim::AsType::kCellular:
+      return "cellular-operator";
+    case sim::AsType::kUniversity:
+      return "academic";
+    case sim::AsType::kEnterprise:
+      return "enterprise";
+    case sim::AsType::kHosting:
+      return "hosting-provider";
+    case sim::AsType::kTransit:
+      return "transit-carrier";
+  }
+  return "unknown";
+}
+
+WhoisDirectory::WhoisDirectory(const sim::World& world) : world_(world) {
+  for (std::uint32_t as_index = 0; as_index < world.ases().size();
+       ++as_index) {
+    for (std::uint32_t block_index :
+         world.ases()[as_index].block_indices) {
+      entries_.push_back(Entry{
+          net::BlockKeyOf(world.blocks()[block_index].block), as_index});
+    }
+  }
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+}
+
+std::optional<WhoisRecord> WhoisDirectory::Lookup(net::BlockKey key) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, net::BlockKey k) { return e.key < k; });
+  if (it == entries_.end() || it->key != key) return std::nullopt;
+  const sim::AsPlan& as = world_.ases()[it->as_index];
+  WhoisRecord record;
+  record.asn = as.asn;
+  record.org_type = OrgTypeName(as.type);
+  record.org_name = "AS" + std::to_string(as.asn) + " " +
+                    (as.type == sim::AsType::kCellular ? "Mobile Networks"
+                     : as.type == sim::AsType::kResidentialIsp
+                         ? "Broadband Services"
+                         : "Network Operations");
+  if (as.country >= 0) {
+    record.country = std::string{
+        geo::Countries()[static_cast<std::size_t>(as.country)].code};
+  }
+  return record;
+}
+
+}  // namespace ipscope::whois

@@ -1,0 +1,46 @@
+// WHOIS directory (paper §6.3): the paper attributes the high-UA-diversity
+// gateway blocks by manually inspecting WHOIS records ("more than half of
+// these blocks belong to ISPs located in Asia... the majority is in use by
+// cellular operators"). This module synthesizes the registry's view: per
+// allocated block, the holding organization's name, type, and country —
+// observational data the analysis layer may use without touching simulator
+// ground truth.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netbase/prefix.h"
+#include "sim/world.h"
+
+namespace ipscope::whois {
+
+struct WhoisRecord {
+  std::string org_name;     // e.g. "AS1042 Cellular Holdings"
+  std::string country;      // ISO code, e.g. "CN"
+  std::string org_type;     // "cellular-operator", "residential-isp", ...
+  std::uint32_t asn = 0;
+};
+
+class WhoisDirectory {
+ public:
+  explicit WhoisDirectory(const sim::World& world);
+
+  // The registration record covering a /24, or nullopt for unallocated
+  // space.
+  std::optional<WhoisRecord> Lookup(net::BlockKey key) const;
+
+ private:
+  struct Entry {
+    net::BlockKey key;
+    std::uint32_t as_index;
+  };
+  const sim::World& world_;
+  std::vector<Entry> entries_;  // sorted by key
+};
+
+// The org type string for an AS type.
+std::string OrgTypeName(sim::AsType type);
+
+}  // namespace ipscope::whois

@@ -1,0 +1,164 @@
+#include "activity/change.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "cdn/observatory.h"
+#include "sim/world.h"
+
+namespace ipscope::activity {
+namespace {
+
+TEST(Change, StableBlockHasZeroDelta) {
+  ActivityStore store{112};
+  ActivityMatrix& m = store.GetOrCreate(1);
+  for (int d = 0; d < 112; ++d) {
+    for (int h = 0; h < 128; ++h) m.Set(d, h);
+  }
+  auto changes = MaxMonthlyStuChange(store);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_DOUBLE_EQ(changes[0].max_delta, 0.0);
+  EXPECT_FALSE(changes[0].IsMajor());
+  EXPECT_DOUBLE_EQ(MajorChangeFraction(changes), 0.0);
+}
+
+TEST(Change, StepUpIsDetectedWithSign) {
+  ActivityStore store{112};
+  ActivityMatrix& m = store.GetOrCreate(1);
+  // Months 0-1: 32 addresses; months 2-3: 224 addresses.
+  for (int d = 0; d < 112; ++d) {
+    int n = d < 56 ? 32 : 224;
+    for (int h = 0; h < n; ++h) m.Set(d, h);
+  }
+  auto changes = MaxMonthlyStuChange(store);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_NEAR(changes[0].max_delta, (224.0 - 32.0) / 256.0, 1e-9);
+  EXPECT_TRUE(changes[0].IsMajor());
+}
+
+TEST(Change, StepDownIsNegative) {
+  ActivityStore store{112};
+  ActivityMatrix& m = store.GetOrCreate(1);
+  for (int d = 0; d < 112; ++d) {
+    int n = d < 56 ? 200 : 20;
+    for (int h = 0; h < n; ++h) m.Set(d, h);
+  }
+  auto changes = MaxMonthlyStuChange(store);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_LT(changes[0].max_delta, -0.25);
+  EXPECT_TRUE(changes[0].IsMajor());
+}
+
+TEST(Change, SubThresholdVariationIsMinor) {
+  ActivityStore store{112};
+  ActivityMatrix& m = store.GetOrCreate(1);
+  for (int d = 0; d < 112; ++d) {
+    int n = 100 + (d / 28) * 10;  // drifts 100 -> 130 across months
+    for (int h = 0; h < n; ++h) m.Set(d, h);
+  }
+  auto changes = MaxMonthlyStuChange(store);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_FALSE(changes[0].IsMajor());
+  EXPECT_NEAR(changes[0].max_delta, 10.0 / 256.0, 1e-9);
+}
+
+TEST(Change, InactiveBlocksExcluded) {
+  ActivityStore store{112};
+  store.GetOrCreate(1);  // never set
+  ActivityMatrix& m = store.GetOrCreate(2);
+  m.Set(0, 0);
+  auto changes = MaxMonthlyStuChange(store);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].key, 2u);
+}
+
+TEST(Change, TooShortPeriodYieldsNothing) {
+  ActivityStore store{20};
+  store.GetOrCreate(1).Set(0, 0);
+  EXPECT_TRUE(MaxMonthlyStuChange(store, 28).empty());
+}
+
+TEST(Change, MajorFractionCountsBothTails) {
+  std::vector<BlockStuChange> changes{
+      {1, 0.5}, {2, -0.5}, {3, 0.1}, {4, -0.1}};
+  EXPECT_DOUBLE_EQ(MajorChangeFraction(changes), 0.5);
+  EXPECT_DOUBLE_EQ(MajorChangeFraction(changes, 0.05), 1.0);
+  EXPECT_DOUBLE_EQ(MajorChangeFraction({}), 0.0);
+}
+
+TEST(Change, CustomMonthLength) {
+  ActivityStore store{20};
+  ActivityMatrix& m = store.GetOrCreate(1);
+  for (int d = 10; d < 20; ++d) {
+    for (int h = 0; h < 256; ++h) m.Set(d, h);
+  }
+  auto changes = MaxMonthlyStuChange(store, 10);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_DOUBLE_EQ(changes[0].max_delta, 1.0);
+}
+
+
+TEST(SpatialChange, SymmetricChangeHasLowAsymmetry) {
+  ActivityStore store{112};
+  ActivityMatrix& m = store.GetOrCreate(1);
+  // Whole block steps up after day 56, both halves alike.
+  for (int d = 0; d < 112; ++d) {
+    int n = d < 56 ? 60 : 220;
+    for (int h = 0; h < n; ++h) m.Set(d, h % 256);
+  }
+  auto changes = SpatialStuChanges(store);
+  ASSERT_EQ(changes.size(), 1u);
+  // Not perfectly zero (the fill isn't exactly even), but small.
+  EXPECT_LT(changes[0].Asymmetry(), 0.35);
+  EXPECT_GT(changes[0].lower_delta, 0.2);
+}
+
+TEST(SpatialChange, SplitReconfigurationHasHighAsymmetry) {
+  ActivityStore store{112};
+  ActivityMatrix& m = store.GetOrCreate(1);
+  // Lower half: stable sparse throughout. Upper half: dark, then dense.
+  for (int d = 0; d < 112; ++d) {
+    for (int h = 0; h < 30; ++h) m.Set(d, h);
+    if (d >= 56) {
+      for (int h = 128; h < 256; ++h) m.Set(d, h);
+    }
+  }
+  auto changes = SpatialStuChanges(store);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_GT(changes[0].Asymmetry(), 0.7);
+  EXPECT_GT(changes[0].upper_delta, 0.7);
+  EXPECT_NEAR(changes[0].lower_delta, 0.0, 0.05);
+}
+
+TEST(SpatialChange, DetectsWorldSplitEvents) {
+  // Ground-truth validation over a simulated world: blocks with partial
+  // reconfigurations must rank far higher in asymmetry than stable blocks.
+  sim::WorldConfig config;
+  config.target_client_blocks = 800;
+  sim::World world{config};
+  auto store = cdn::Observatory::Daily(world).BuildStore();
+  auto changes = SpatialStuChanges(store);
+  std::unordered_map<net::BlockKey, bool> is_split;
+  for (const sim::BlockPlan& plan : world.blocks()) {
+    is_split[net::BlockKeyOf(plan.block)] =
+        plan.HasReconfiguration() && plan.events[0].host_first > 0;
+  }
+  double split_sum = 0, stable_sum = 0;
+  int splits = 0, stables = 0;
+  for (const auto& c : changes) {
+    if (is_split[c.key]) {
+      split_sum += c.Asymmetry();
+      ++splits;
+    } else {
+      stable_sum += c.Asymmetry();
+      ++stables;
+    }
+  }
+  ASSERT_GT(splits, 3);
+  ASSERT_GT(stables, 100);
+  EXPECT_GT(split_sum / splits, 4.0 * (stable_sum / stables));
+}
+
+}  // namespace
+}  // namespace ipscope::activity

@@ -1,0 +1,138 @@
+#include "activity/churn.h"
+
+#include <gtest/gtest.h>
+
+namespace ipscope::activity {
+namespace {
+
+TEST(Churn, SummarizeMinMedianMax) {
+  auto s = Summarize({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  auto empty = Summarize({});
+  EXPECT_DOUBLE_EQ(empty.median, 0.0);
+}
+
+TEST(Churn, NoChurnWhenStable) {
+  ActivityStore store{6};
+  ActivityMatrix& m = store.GetOrCreate(1);
+  for (int d = 0; d < 6; ++d) {
+    m.Set(d, 10);
+    m.Set(d, 20);
+  }
+  ChurnAnalyzer churn{store};
+  auto series = churn.Churn(1);
+  ASSERT_EQ(series.up_pct.size(), 5u);
+  for (double v : series.up_pct) EXPECT_DOUBLE_EQ(v, 0.0);
+  for (double v : series.down_pct) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Churn, FullTurnoverIs100Percent) {
+  ActivityStore store{2};
+  ActivityMatrix& m = store.GetOrCreate(1);
+  m.Set(0, 1);
+  m.Set(1, 2);  // completely different address
+  ChurnAnalyzer churn{store};
+  auto series = churn.Churn(1);
+  ASSERT_EQ(series.up_pct.size(), 1u);
+  EXPECT_DOUBLE_EQ(series.up_pct[0], 100.0);
+  EXPECT_DOUBLE_EQ(series.down_pct[0], 100.0);
+}
+
+TEST(Churn, PaperPercentageDefinition) {
+  // W0 = {1,2,3,4}, W1 = {3,4,5}: up = |{5}|/|W1| = 33.3%,
+  // down = |{1,2}|/|W0| = 50%.
+  ActivityStore store{2};
+  ActivityMatrix& m = store.GetOrCreate(1);
+  for (int h : {1, 2, 3, 4}) m.Set(0, h);
+  for (int h : {3, 4, 5}) m.Set(1, h);
+  ChurnAnalyzer churn{store};
+  auto series = churn.Churn(1);
+  EXPECT_NEAR(series.up_pct[0], 100.0 / 3.0, 1e-9);
+  EXPECT_NEAR(series.down_pct[0], 50.0, 1e-9);
+}
+
+TEST(Churn, WindowUnionAbsorbsIntraWindowChurn) {
+  // Alternating daily activity looks stable at 2-day windows.
+  ActivityStore store{4};
+  ActivityMatrix& m = store.GetOrCreate(1);
+  m.Set(0, 1);
+  m.Set(1, 2);
+  m.Set(2, 1);
+  m.Set(3, 2);
+  ChurnAnalyzer churn{store};
+  auto daily = churn.Churn(1);
+  EXPECT_GT(daily.up.median, 99.0);
+  auto two_day = churn.Churn(2);
+  ASSERT_EQ(two_day.up_pct.size(), 1u);
+  EXPECT_DOUBLE_EQ(two_day.up_pct[0], 0.0);
+}
+
+TEST(Churn, DailyEventsCounts) {
+  ActivityStore store{3};
+  ActivityMatrix& m = store.GetOrCreate(1);
+  m.Set(0, 1);
+  m.Set(1, 1);
+  m.Set(1, 2);  // up on day pair (0,1)
+  m.Set(2, 2);  // host 1 goes down on pair (1,2)
+  ChurnAnalyzer churn{store};
+  auto events = churn.DailyEvents();
+  EXPECT_EQ(events.active, (std::vector<std::int64_t>{1, 2, 1}));
+  EXPECT_EQ(events.up, (std::vector<std::int64_t>{1, 0}));
+  EXPECT_EQ(events.down, (std::vector<std::int64_t>{0, 1}));
+}
+
+TEST(Churn, VersusFirstTracksCumulativeDivergence) {
+  ActivityStore store{3};
+  ActivityMatrix& m = store.GetOrCreate(1);
+  m.Set(0, 1);
+  m.Set(0, 2);
+  m.Set(1, 2);
+  m.Set(1, 3);
+  m.Set(2, 4);
+  ChurnAnalyzer churn{store};
+  auto vf = churn.VersusFirst(1);
+  EXPECT_EQ(vf.appear, (std::vector<std::uint64_t>{0, 1, 1}));
+  EXPECT_EQ(vf.disappear, (std::vector<std::uint64_t>{0, 1, 2}));
+  EXPECT_EQ(vf.active, (std::vector<std::uint64_t>{2, 2, 1}));
+}
+
+TEST(Churn, PerGroupChurnFiltersSmallGroups) {
+  ActivityStore store{4};
+  // Group A: two blocks, 256 addresses each, stable -> qualifies at 512.
+  for (net::BlockKey key : {1u, 2u}) {
+    ActivityMatrix& m = store.GetOrCreate(key);
+    for (int d = 0; d < 4; ++d) {
+      for (int h = 0; h < 256; ++h) m.Set(d, h);
+    }
+  }
+  // Group B: one address only -> filtered out at min_active_ips=100.
+  store.GetOrCreate(50).Set(0, 1);
+
+  ChurnAnalyzer churn{store};
+  auto groups = churn.PerGroupChurn(
+      1, [](net::BlockKey key) { return key < 10 ? 100u : 200u; },
+      /*min_active_ips=*/100);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].group, 100u);
+  EXPECT_EQ(groups[0].total_active_ips, 512u);
+  EXPECT_DOUBLE_EQ(groups[0].median_up_pct, 0.0);
+}
+
+TEST(Churn, PerGroupChurnMedians) {
+  ActivityStore store{2};
+  ActivityMatrix& m = store.GetOrCreate(1);
+  // 4 addresses in W0, 4 in W1, 2 overlap: up% = 50, down% = 50.
+  for (int h : {1, 2, 3, 4}) m.Set(0, h);
+  for (int h : {3, 4, 5, 6}) m.Set(1, h);
+  ChurnAnalyzer churn{store};
+  auto groups = churn.PerGroupChurn(
+      1, [](net::BlockKey) { return 9u; }, /*min_active_ips=*/1);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_DOUBLE_EQ(groups[0].median_up_pct, 50.0);
+  EXPECT_DOUBLE_EQ(groups[0].median_down_pct, 50.0);
+}
+
+}  // namespace
+}  // namespace ipscope::activity

@@ -1,0 +1,108 @@
+#include "activity/eventsize.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace ipscope::activity {
+namespace {
+
+TEST(EventSize, EmptyReferenceGivesMaskZero) {
+  net::Ipv4Set empty;
+  EXPECT_EQ(SmallestIsolatingMask(empty, net::IPv4Addr{12345u}), 0);
+}
+
+TEST(EventSize, SingleNeighborConstrains) {
+  // Reference member at 0b...0100; event at 0b...0101 shares 31 leading
+  // bits, so the isolating mask must be /32.
+  net::Ipv4Set ref = net::Ipv4Set::FromValues({4});
+  EXPECT_EQ(SmallestIsolatingMask(ref, net::IPv4Addr{5u}), 32);
+  // Event at 6 = 0b110 vs member 4 = 0b100: common prefix 30 bits -> /31.
+  EXPECT_EQ(SmallestIsolatingMask(ref, net::IPv4Addr{6u}), 31);
+  // Event far away: 0x80000000 differs in the first bit -> /1.
+  EXPECT_EQ(SmallestIsolatingMask(ref, net::IPv4Addr{0x80000000u}), 1);
+}
+
+TEST(EventSize, BothNeighborsConstrain) {
+  net::Ipv4Set ref = net::Ipv4Set::FromValues({0x0A000000u, 0x0A000100u});
+  // Event inside 10.0.0.0/24 next to both: floor is 10.0.0.0 (cpl 24+)
+  // and ceiling 10.0.1.0.
+  int mask = SmallestIsolatingMask(ref, net::IPv4Addr{0x0A000080u});
+  // 0x0A000080 ^ 0x0A000000 = 0x80 -> cpl = 24, so mask >= 25;
+  // 0x0A000080 ^ 0x0A000100 = 0x180 -> cpl = 23 -> mask >= 24.
+  EXPECT_EQ(mask, 25);
+}
+
+// Brute-force oracle: smallest mask m such that the aligned prefix of
+// length m containing addr has no member of ref.
+int OracleMask(const net::Ipv4Set& ref, net::IPv4Addr addr) {
+  for (int m = 0; m <= 32; ++m) {
+    net::Prefix p{addr, m};
+    if (!ref.IntersectsRange(p.first().value(), p.last().value())) return m;
+  }
+  return 33;  // impossible if addr not in ref
+}
+
+TEST(EventSize, AgreesWithBruteForceOracle) {
+  rng::Xoshiro256 g{2024};
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::uint32_t> members;
+    for (int i = 0; i < 500; ++i) {
+      // Clustered members to exercise nearby-neighbour cases.
+      members.push_back(0x0A000000u + g.NextBounded(4096));
+    }
+    net::Ipv4Set ref = net::Ipv4Set::FromValues(members);
+    for (int probe = 0; probe < 500; ++probe) {
+      net::IPv4Addr addr{0x0A000000u + g.NextBounded(8192)};
+      if (ref.Contains(addr)) continue;
+      EXPECT_EQ(SmallestIsolatingMask(ref, addr), OracleMask(ref, addr))
+          << addr.ToString();
+    }
+  }
+}
+
+TEST(EventSize, WholeBlockUpEventTagsLargeMask) {
+  // Window 0: nothing active anywhere. Window 1: whole /24 appears.
+  ActivityStore store{2};
+  ActivityMatrix& m = store.GetOrCreate(0x0A0000);
+  for (int h = 0; h < 256; ++h) m.Set(1, h);
+  auto hist = EventSizes(store, 0, 1, 1, 2, /*up=*/true);
+  EXPECT_EQ(hist.total, 256u);
+  // No window-0 activity at all: every event is isolated by /0.
+  EXPECT_EQ(hist.by_mask[0], 256u);
+  EXPECT_DOUBLE_EQ(hist.FractionInMaskRange(0, 16), 1.0);
+}
+
+TEST(EventSize, IndividualChurnTagsSlash32) {
+  // A dense stable block where exactly one address flips up.
+  ActivityStore store{2};
+  ActivityMatrix& m = store.GetOrCreate(0x0A0000);
+  for (int h = 0; h < 256; ++h) {
+    if (h != 128) m.Set(0, h);
+    m.Set(1, h);
+  }
+  auto hist = EventSizes(store, 0, 1, 1, 2, /*up=*/true);
+  EXPECT_EQ(hist.total, 1u);
+  EXPECT_EQ(hist.by_mask[32], 1u);
+  EXPECT_DOUBLE_EQ(hist.FractionInMaskRange(29, 32), 1.0);
+}
+
+TEST(EventSize, DownEventsSymmetric) {
+  // Whole block disappears: down events isolated by window-1 emptiness.
+  ActivityStore store{2};
+  ActivityMatrix& m = store.GetOrCreate(0x0A0000);
+  for (int h = 0; h < 256; ++h) m.Set(0, h);
+  auto hist = EventSizes(store, 0, 1, 1, 2, /*up=*/false);
+  EXPECT_EQ(hist.total, 256u);
+  EXPECT_EQ(hist.by_mask[0], 256u);
+}
+
+TEST(EventSize, FractionInMaskRangeEmptyHistogram) {
+  EventSizeHistogram hist;
+  EXPECT_DOUBLE_EQ(hist.FractionInMaskRange(0, 32), 0.0);
+}
+
+}  // namespace
+}  // namespace ipscope::activity

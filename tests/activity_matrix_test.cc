@@ -1,0 +1,122 @@
+#include "activity/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace ipscope::activity {
+namespace {
+
+TEST(DayBits, SetTestPopCount) {
+  DayBits bits{};
+  EXPECT_EQ(PopCount(bits), 0);
+  SetBit(bits, 0);
+  SetBit(bits, 63);
+  SetBit(bits, 64);
+  SetBit(bits, 255);
+  EXPECT_TRUE(TestBit(bits, 0));
+  EXPECT_TRUE(TestBit(bits, 63));
+  EXPECT_TRUE(TestBit(bits, 64));
+  EXPECT_TRUE(TestBit(bits, 255));
+  EXPECT_FALSE(TestBit(bits, 1));
+  EXPECT_FALSE(TestBit(bits, 128));
+  EXPECT_EQ(PopCount(bits), 4);
+}
+
+TEST(DayBits, OrAndNot) {
+  DayBits a{}, b{};
+  SetBit(a, 3);
+  SetBit(a, 200);
+  SetBit(b, 200);
+  SetBit(b, 100);
+  DayBits o = OrBits(a, b);
+  EXPECT_EQ(PopCount(o), 3);
+  DayBits d = AndNotBits(a, b);
+  EXPECT_EQ(PopCount(d), 1);
+  EXPECT_TRUE(TestBit(d, 3));
+  EXPECT_FALSE(TestBit(d, 200));
+}
+
+TEST(ActivityMatrix, EmptyMatrix) {
+  ActivityMatrix m{10};
+  EXPECT_EQ(m.days(), 10);
+  EXPECT_TRUE(m.Empty());
+  EXPECT_EQ(m.FillingDegree(), 0);
+  EXPECT_EQ(m.Stu(), 0.0);
+  EXPECT_EQ(m.ActiveOnDay(5), 0);
+}
+
+TEST(ActivityMatrix, SetGet) {
+  ActivityMatrix m{7};
+  m.Set(3, 200);
+  EXPECT_TRUE(m.Get(3, 200));
+  EXPECT_FALSE(m.Get(2, 200));
+  EXPECT_FALSE(m.Get(3, 201));
+  EXPECT_FALSE(m.Empty());
+}
+
+TEST(ActivityMatrix, FillingDegreeCountsDistinctAddresses) {
+  ActivityMatrix m{5};
+  // Same host active on many days counts once.
+  for (int d = 0; d < 5; ++d) m.Set(d, 42);
+  EXPECT_EQ(m.FillingDegree(), 1);
+  m.Set(0, 7);
+  EXPECT_EQ(m.FillingDegree(), 2);
+  // Window restriction.
+  EXPECT_EQ(m.FillingDegree(1, 5), 1);
+}
+
+TEST(ActivityMatrix, StuBounds) {
+  ActivityMatrix m{4};
+  // One address one day out of 256*4 slots.
+  m.Set(0, 0);
+  EXPECT_DOUBLE_EQ(m.Stu(), 1.0 / (256.0 * 4.0));
+  // Full utilization.
+  ActivityMatrix full{2};
+  for (int d = 0; d < 2; ++d) {
+    for (int h = 0; h < 256; ++h) full.Set(d, h);
+  }
+  EXPECT_DOUBLE_EQ(full.Stu(), 1.0);
+  EXPECT_EQ(full.SpatioTemporalActivity(0, 2), 512);
+}
+
+TEST(ActivityMatrix, StuWindowed) {
+  ActivityMatrix m{4};
+  for (int h = 0; h < 256; ++h) m.Set(0, h);
+  EXPECT_DOUBLE_EQ(m.Stu(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.Stu(1, 4), 0.0);
+  EXPECT_DOUBLE_EQ(m.Stu(0, 4), 0.25);
+  EXPECT_EQ(m.Stu(2, 2), 0.0);  // empty window
+}
+
+TEST(ActivityMatrix, HostActiveDays) {
+  ActivityMatrix m{10};
+  m.Set(1, 5);
+  m.Set(3, 5);
+  m.Set(9, 5);
+  EXPECT_EQ(m.HostActiveDays(5), 3);
+  EXPECT_EQ(m.HostActiveDays(6), 0);
+}
+
+TEST(ActivityMatrix, UnionOver) {
+  ActivityMatrix m{3};
+  m.Set(0, 1);
+  m.Set(1, 2);
+  m.Set(2, 3);
+  DayBits u = m.UnionOver(0, 2);
+  EXPECT_EQ(PopCount(u), 2);
+  EXPECT_TRUE(TestBit(u, 1));
+  EXPECT_TRUE(TestBit(u, 2));
+  EXPECT_FALSE(TestBit(u, 3));
+}
+
+TEST(ActivityMatrix, PaperMaximumActivity) {
+  // The paper: 112 x 256 = 28672 is the max spatio-temporal activity.
+  ActivityMatrix m{112};
+  for (int d = 0; d < 112; ++d) {
+    for (int h = 0; h < 256; ++h) m.Set(d, h);
+  }
+  EXPECT_EQ(m.SpatioTemporalActivity(0, 112), 28672);
+  EXPECT_DOUBLE_EQ(m.Stu(), 1.0);
+}
+
+}  // namespace
+}  // namespace ipscope::activity

@@ -1,0 +1,60 @@
+#include "activity/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ipscope::activity {
+namespace {
+
+ActivityStore MakeStore() {
+  ActivityStore store{4};
+  // Block 1: 2 addresses, one active all days, one active 1 day.
+  ActivityMatrix& a = store.GetOrCreate(1);
+  for (int d = 0; d < 4; ++d) a.Set(d, 0);
+  a.Set(2, 9);
+  // Block 2: fully utilized.
+  ActivityMatrix& b = store.GetOrCreate(2);
+  for (int d = 0; d < 4; ++d) {
+    for (int h = 0; h < 256; ++h) b.Set(d, h);
+  }
+  // Block 3: created but never set (inactive).
+  store.GetOrCreate(3);
+  return store;
+}
+
+TEST(Metrics, ComputeBlockMetricsSkipsInactive) {
+  ActivityStore store = MakeStore();
+  auto metrics = ComputeBlockMetrics(store);
+  ASSERT_EQ(metrics.size(), 2u);
+  EXPECT_EQ(metrics[0].key, 1u);
+  EXPECT_EQ(metrics[0].filling_degree, 2);
+  EXPECT_DOUBLE_EQ(metrics[0].stu, 5.0 / (256.0 * 4.0));
+  EXPECT_EQ(metrics[1].key, 2u);
+  EXPECT_EQ(metrics[1].filling_degree, 256);
+  EXPECT_DOUBLE_EQ(metrics[1].stu, 1.0);
+}
+
+TEST(Metrics, WindowedMetrics) {
+  ActivityStore store = MakeStore();
+  auto metrics = ComputeBlockMetrics(store, 0, 1);
+  ASSERT_EQ(metrics.size(), 2u);
+  EXPECT_EQ(metrics[0].filling_degree, 1);  // host 9 not active on day 0
+}
+
+TEST(Metrics, FillingDegreesExtraction) {
+  ActivityStore store = MakeStore();
+  auto metrics = ComputeBlockMetrics(store);
+  auto fds = FillingDegrees(metrics);
+  EXPECT_EQ(fds, (std::vector<double>{2, 256}));
+}
+
+TEST(Metrics, StuValuesWithFdFilter) {
+  ActivityStore store = MakeStore();
+  auto metrics = ComputeBlockMetrics(store);
+  EXPECT_EQ(StuValues(metrics).size(), 2u);
+  auto high = StuValues(metrics, 251);
+  ASSERT_EQ(high.size(), 1u);
+  EXPECT_DOUBLE_EQ(high[0], 1.0);
+}
+
+}  // namespace
+}  // namespace ipscope::activity

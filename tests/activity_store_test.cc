@@ -1,0 +1,85 @@
+#include "activity/store.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ipscope::activity {
+namespace {
+
+TEST(ActivityStore, GetOrCreateKeepsSortedOrder) {
+  ActivityStore store{5};
+  store.GetOrCreate(300);
+  store.GetOrCreate(100);
+  store.GetOrCreate(200);
+  store.GetOrCreate(100);  // existing
+  EXPECT_EQ(store.BlockCount(), 3u);
+  std::vector<net::BlockKey> keys;
+  store.ForEach([&](net::BlockKey k, const ActivityMatrix&) {
+    keys.push_back(k);
+  });
+  EXPECT_EQ(keys, (std::vector<net::BlockKey>{100, 200, 300}));
+}
+
+TEST(ActivityStore, FindMissingReturnsNull) {
+  ActivityStore store{5};
+  store.GetOrCreate(100);
+  EXPECT_NE(store.Find(100), nullptr);
+  EXPECT_EQ(store.Find(101), nullptr);
+}
+
+TEST(ActivityStore, DailyActiveCounts) {
+  ActivityStore store{3};
+  ActivityMatrix& a = store.GetOrCreate(1);
+  a.Set(0, 0);
+  a.Set(0, 1);
+  a.Set(2, 0);
+  ActivityMatrix& b = store.GetOrCreate(2);
+  b.Set(0, 5);
+  auto counts = store.DailyActiveCounts();
+  EXPECT_EQ(counts, (std::vector<std::int64_t>{3, 0, 1}));
+}
+
+TEST(ActivityStore, ActiveSetAndCounts) {
+  ActivityStore store{2};
+  ActivityMatrix& a = store.GetOrCreate(0x0A0000);  // 10.0.0.0/24
+  a.Set(0, 1);
+  a.Set(1, 7);
+  ActivityMatrix& b = store.GetOrCreate(0x0A0001);
+  b.Set(1, 255);
+
+  net::Ipv4Set set = store.ActiveSet(0, 2);
+  EXPECT_EQ(set.Count(), 3u);
+  EXPECT_TRUE(set.Contains(net::IPv4Addr{10, 0, 0, 1}));
+  EXPECT_TRUE(set.Contains(net::IPv4Addr{10, 0, 0, 7}));
+  EXPECT_TRUE(set.Contains(net::IPv4Addr{10, 0, 1, 255}));
+
+  EXPECT_EQ(store.CountActive(0, 2), 3u);
+  EXPECT_EQ(store.CountActive(0, 1), 1u);
+  EXPECT_EQ(store.CountActiveBlocks(0, 2), 2u);
+  EXPECT_EQ(store.CountActiveBlocks(0, 1), 1u);
+}
+
+TEST(ActivityStore, ActiveSetWindowRestriction) {
+  ActivityStore store{4};
+  ActivityMatrix& m = store.GetOrCreate(5);
+  m.Set(0, 10);
+  m.Set(3, 20);
+  EXPECT_EQ(store.ActiveSet(1, 3).Count(), 0u);
+  EXPECT_EQ(store.ActiveSet(0, 4).Count(), 2u);
+}
+
+TEST(ActivityStore, CountMatchesSetCount) {
+  // CountActive must agree with ActiveSet().Count() by construction.
+  ActivityStore store{3};
+  for (net::BlockKey k : {7u, 9u, 1000u}) {
+    ActivityMatrix& m = store.GetOrCreate(k);
+    for (int d = 0; d < 3; ++d) {
+      for (int h = 0; h < 256; h += 3) m.Set(d, (h + static_cast<int>(k)) % 256);
+    }
+  }
+  EXPECT_EQ(store.CountActive(0, 3), store.ActiveSet(0, 3).Count());
+}
+
+}  // namespace
+}  // namespace ipscope::activity

@@ -1,0 +1,65 @@
+// Focused unit tests of analysis-layer building blocks (the integration
+// suite covers the full experiments; these pin down the arithmetic).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/fig1_growth.h"
+#include "analysis/visibility.h"
+
+namespace ipscope::analysis {
+namespace {
+
+TEST(VisibilitySplit, Fractions) {
+  VisibilitySplit split;
+  split.cdn_only = 40;
+  split.both = 50;
+  split.icmp_only = 10;
+  EXPECT_EQ(split.total(), 100u);
+  EXPECT_DOUBLE_EQ(split.CdnOnlyFraction(), 0.40);
+  EXPECT_DOUBLE_EQ(split.IcmpOnlyFraction(), 0.10);
+}
+
+TEST(VisibilitySplit, EmptyIsZero) {
+  VisibilitySplit split;
+  EXPECT_EQ(split.total(), 0u);
+  EXPECT_DOUBLE_EQ(split.CdnOnlyFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(split.IcmpOnlyFraction(), 0.0);
+}
+
+TEST(Fig1, DeterministicInSeed) {
+  auto a = RunFig1(123);
+  auto b = RunFig1(123);
+  EXPECT_DOUBLE_EQ(a.stagnation_gap, b.stagnation_gap);
+  EXPECT_DOUBLE_EQ(a.pre2014_mean_residual, b.pre2014_mean_residual);
+}
+
+TEST(Fig1, StagnationGapPositiveAndResidualSmall) {
+  auto result = RunFig1(20160360);
+  // The post-2014 series must fall well below the pre-2014 trend...
+  EXPECT_GT(result.stagnation_gap, 0.08);
+  EXPECT_LT(result.stagnation_gap, 0.40);
+  // ...while the pre-2014 fit is tight (the "perfectly linear" era).
+  EXPECT_LT(result.pre2014_mean_residual, 0.03);
+}
+
+TEST(Fig1, ScaleDoesNotChangeShape) {
+  auto full = RunFig1(5, 1.0);
+  auto small = RunFig1(5, 0.001);
+  EXPECT_NEAR(full.stagnation_gap, small.stagnation_gap, 1e-9);
+  EXPECT_NEAR(full.pre2014_mean_residual, small.pre2014_mean_residual, 1e-9);
+}
+
+TEST(Fig1, PrintMentionsKeyElements) {
+  auto result = RunFig1(7);
+  std::ostringstream os;
+  PrintFig1(result, os);
+  std::string text = os.str();
+  EXPECT_NE(text.find("pre-2014 fit"), std::string::npos);
+  EXPECT_NE(text.find("ARIN"), std::string::npos);   // exhaustion dates
+  EXPECT_NE(text.find("2014"), std::string::npos);
+  EXPECT_NE(text.find("stagnation"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipscope::analysis

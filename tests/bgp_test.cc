@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "bgp/correlate.h"
+#include "bgp/feed.h"
+#include "bgp/table.h"
+#include "cdn/observatory.h"
+#include "sim/world.h"
+
+namespace ipscope::bgp {
+namespace {
+
+sim::World& TestWorld() {
+  static sim::World world{[] {
+    sim::WorldConfig config;
+    config.target_client_blocks = 600;
+    return config;
+  }()};
+  return world;
+}
+
+TEST(RoutingFeed, BlocksRoutedToPlannedAsnAtYearStart) {
+  const sim::World& world = TestWorld();
+  RoutingFeed feed{world};
+  int checked = 0;
+  for (const sim::BlockPlan& plan : world.blocks()) {
+    net::BlockKey key = net::BlockKeyOf(plan.block);
+    bool has_announce_event = false;
+    for (const auto& ev : world.bgp_events()) {
+      if (ev.key == key && ev.type == sim::BgpEventType::kAnnounce) {
+        has_announce_event = true;
+      }
+    }
+    if (!has_announce_event) {
+      EXPECT_EQ(feed.OriginOf(key, 0), plan.asn) << plan.block;
+      if (++checked > 50) break;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(RoutingFeed, UnknownBlockIsUnrouted) {
+  RoutingFeed feed{TestWorld()};
+  EXPECT_EQ(feed.OriginOf(0xFFFFFF, 100), 0u);
+  EXPECT_EQ(feed.MajorityOrigin(0xFFFFFF, 0, 100), 0u);
+  EXPECT_FALSE(feed.HasEventIn(0xFFFFFF, 0, 364));
+}
+
+TEST(RoutingFeed, OriginChangeEventApplies) {
+  const sim::World& world = TestWorld();
+  RoutingFeed feed{world};
+  for (const auto& ev : world.bgp_events()) {
+    if (ev.type == sim::BgpEventType::kOriginChange) {
+      std::uint32_t before = feed.OriginOf(ev.key, ev.day - 1);
+      std::uint32_t after = feed.OriginOf(ev.key, ev.day);
+      EXPECT_EQ(after, ev.asn);
+      // HasEventIn sees it.
+      EXPECT_TRUE(feed.HasEventIn(ev.key, ev.day, ev.day + 1));
+      EXPECT_TRUE(feed.ChangedBetween(ev.key, ev.day - 30, ev.day,
+                                      ev.day, ev.day + 30));
+      (void)before;
+      return;
+    }
+  }
+  GTEST_SKIP() << "no origin-change event scheduled";
+}
+
+TEST(RoutingFeed, WithdrawUnroutes) {
+  const sim::World& world = TestWorld();
+  RoutingFeed feed{world};
+  for (const auto& ev : world.bgp_events()) {
+    if (ev.type == sim::BgpEventType::kWithdraw) {
+      EXPECT_NE(feed.OriginOf(ev.key, ev.day - 1), 0u);
+      EXPECT_EQ(feed.OriginOf(ev.key, ev.day), 0u);
+      return;
+    }
+  }
+  GTEST_SKIP() << "no withdraw event scheduled";
+}
+
+TEST(RoutingFeed, AnnounceEventActivatesRoute) {
+  const sim::World& world = TestWorld();
+  RoutingFeed feed{world};
+  for (const auto& ev : world.bgp_events()) {
+    if (ev.type == sim::BgpEventType::kAnnounce) {
+      EXPECT_EQ(feed.OriginOf(ev.key, ev.day - 1), 0u);
+      EXPECT_NE(feed.OriginOf(ev.key, ev.day), 0u);
+      return;
+    }
+  }
+  GTEST_SKIP() << "no announce event scheduled";
+}
+
+TEST(RoutingFeed, MajorityOriginStableWithoutEvents) {
+  const sim::World& world = TestWorld();
+  RoutingFeed feed{world};
+  for (const sim::BlockPlan& plan : world.blocks()) {
+    net::BlockKey key = net::BlockKeyOf(plan.block);
+    if (!feed.HasEventIn(key, 0, 364)) {
+      EXPECT_EQ(feed.MajorityOrigin(key, 0, 60), feed.OriginOf(key, 0));
+      EXPECT_EQ(feed.MajorityOrigin(key, 300, 364), feed.OriginOf(key, 0));
+      return;
+    }
+  }
+  FAIL() << "every block has events?";
+}
+
+TEST(RoutingFeed, AggregatedAnnouncementsCoverRoutedBlocks) {
+  const sim::World& world = TestWorld();
+  RoutingFeed feed{world};
+  auto announcements = feed.AggregatedAnnouncements(180);
+  EXPECT_FALSE(announcements.empty());
+  // Aggregation must produce fewer prefixes than /24 blocks, all <= /24.
+  EXPECT_LT(announcements.size(), world.blocks().size());
+  for (const auto& [prefix, asn] : announcements) {
+    EXPECT_LE(prefix.length(), 24);
+    EXPECT_NE(asn, 0u);
+  }
+  // Every aggregated prefix's blocks route to its ASN on that day.
+  int verified = 0;
+  for (const auto& [prefix, asn] : announcements) {
+    net::BlockKey first = net::BlockKeyOf(prefix.first());
+    net::BlockKey last = net::BlockKeyOf(prefix.last());
+    for (net::BlockKey key = first; key <= last; ++key) {
+      std::uint32_t origin = feed.OriginOf(key, 180);
+      if (origin != 0) {
+        EXPECT_EQ(origin, asn) << prefix;
+        ++verified;
+      }
+    }
+    if (verified > 200) break;
+  }
+  EXPECT_GT(verified, 0);
+}
+
+TEST(RoutingFeed, TableLpmAgreesWithOriginOf) {
+  const sim::World& world = TestWorld();
+  RoutingFeed feed{world};
+  auto table = feed.TableAt(180);
+  int checked = 0;
+  for (const sim::BlockPlan& plan : world.blocks()) {
+    net::IPv4Addr addr{plan.block.network().value() + 7};
+    std::uint32_t origin = feed.OriginOf(net::BlockKeyOf(addr), 180);
+    auto match = table.LongestMatch(addr);
+    if (origin == 0) {
+      EXPECT_FALSE(match.has_value()) << plan.block;
+    } else {
+      ASSERT_TRUE(match.has_value()) << plan.block;
+      EXPECT_EQ(*match->second, origin) << plan.block;
+    }
+    if (++checked > 300) break;
+  }
+}
+
+TEST(RoutingFeed, RoutedAsCountMatchesWorldScale) {
+  const sim::World& world = TestWorld();
+  RoutingFeed feed{world};
+  std::size_t count = feed.RoutedAsCount(180);
+  EXPECT_GT(count, world.ases().size() / 2);
+  EXPECT_LE(count, world.ases().size() + 5);
+}
+
+TEST(Correlate, ChurnMostlyInvisibleInBgp) {
+  const sim::World& world = TestWorld();
+  RoutingFeed feed{world};
+  auto observatory = cdn::Observatory::Daily(world);
+  auto store = observatory.BuildStore();
+  auto corr = CorrelateChurnWithBgp(store, feed, observatory.spec(), 28);
+  EXPECT_GT(corr.up_events, 0u);
+  EXPECT_GT(corr.steady, 0u);
+  // The paper's key finding: even monthly, the overwhelming majority of
+  // churn has no BGP counterpart.
+  EXPECT_LT(corr.UpPct(), 10.0);
+  EXPECT_LT(corr.SteadyPct(), corr.UpPct() + 5.0);
+}
+
+TEST(Correlate, OriginLookupHelper) {
+  const sim::World& world = TestWorld();
+  RoutingFeed feed{world};
+  auto lookup = OriginLookupAt(feed, 100);
+  net::BlockKey key = net::BlockKeyOf(world.blocks()[0].block);
+  EXPECT_EQ(lookup(key), feed.OriginOf(key, 100));
+}
+
+}  // namespace
+}  // namespace ipscope::bgp

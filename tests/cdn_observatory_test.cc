@@ -1,0 +1,133 @@
+#include "cdn/observatory.h"
+
+#include <gtest/gtest.h>
+
+#include "cdn/dataset.h"
+
+namespace ipscope::cdn {
+namespace {
+
+sim::World& SmallWorld() {
+  static sim::World world{[] {
+    sim::WorldConfig config;
+    config.target_client_blocks = 300;
+    return config;
+  }()};
+  return world;
+}
+
+TEST(Observatory, DailySpec) {
+  Observatory daily = Observatory::Daily(SmallWorld());
+  EXPECT_EQ(daily.spec().step_days, 1);
+  EXPECT_EQ(daily.steps(), 112);
+  EXPECT_EQ(daily.spec().start_day, 228);
+}
+
+TEST(Observatory, WeeklySpec) {
+  Observatory weekly = Observatory::Weekly(SmallWorld());
+  EXPECT_EQ(weekly.spec().step_days, 7);
+  EXPECT_EQ(weekly.steps(), 52);
+  EXPECT_EQ(weekly.spec().start_day, 0);
+}
+
+TEST(Observatory, StoreIsDeterministic) {
+  auto s1 = Observatory::Daily(SmallWorld()).BuildStore();
+  auto s2 = Observatory::Daily(SmallWorld()).BuildStore();
+  ASSERT_EQ(s1.BlockCount(), s2.BlockCount());
+  EXPECT_EQ(s1.CountActive(0, 112), s2.CountActive(0, 112));
+  EXPECT_EQ(s1.ActiveSet(0, 112), s2.ActiveSet(0, 112));
+}
+
+TEST(Observatory, StoreMatchesVisitorBits) {
+  // BuildStore and ForEachBlockHits must expose identical activity.
+  Observatory daily = Observatory::Daily(SmallWorld());
+  auto store = daily.BuildStore();
+  std::size_t visited = 0;
+  daily.ForEachBlockHits([&](const sim::BlockPlan& plan,
+                             const activity::ActivityMatrix& m,
+                             std::span<const std::uint32_t> hits) {
+    ++visited;
+    const activity::ActivityMatrix* stored =
+        store.Find(net::BlockKeyOf(plan.block));
+    ASSERT_NE(stored, nullptr) << plan.block;
+    for (int d = 0; d < daily.steps(); ++d) {
+      ASSERT_EQ(stored->Row(d), m.Row(d)) << plan.block << " day " << d;
+      for (int h = 0; h < 256; ++h) {
+        bool active = m.Get(d, h);
+        std::uint32_t v = hits[static_cast<std::size_t>(d) * 256 +
+                               static_cast<std::size_t>(h)];
+        ASSERT_EQ(active, v > 0);
+      }
+    }
+  });
+  EXPECT_EQ(visited, store.BlockCount());
+}
+
+TEST(Observatory, OnlyCdnVisiblePoliciesAppear) {
+  auto store = Observatory::Daily(SmallWorld()).BuildStore();
+  for (const sim::BlockPlan& plan : SmallWorld().blocks()) {
+    if (plan.base.kind == sim::PolicyKind::kRouterInfra ||
+        plan.base.kind == sim::PolicyKind::kMiddlebox ||
+        plan.base.kind == sim::PolicyKind::kUnused) {
+      // Unless a reconfiguration changed the policy, these never appear.
+      if (!plan.HasReconfiguration()) {
+        EXPECT_EQ(store.Find(net::BlockKeyOf(plan.block)), nullptr)
+            << plan.block;
+      }
+    }
+  }
+}
+
+TEST(Observatory, TotalHitsPerStepPositiveAndWeekdayShaped) {
+  Observatory daily = Observatory::Daily(SmallWorld());
+  auto totals = daily.TotalHitsPerStep();
+  ASSERT_EQ(totals.size(), 112u);
+  for (auto v : totals) EXPECT_GT(v, 0u);
+}
+
+TEST(Observatory, WeeklyActiveExceedsDailyAverage) {
+  // Union over a week is at least any single day's count.
+  auto weekly = Observatory::Weekly(SmallWorld()).BuildStore();
+  auto daily = Observatory::Daily(SmallWorld()).BuildStore();
+  // Week 33 (days 231..238) overlaps the daily period start.
+  std::uint64_t week_count = weekly.CountActive(33, 34);
+  std::uint64_t day_count = daily.CountActive(5, 6);
+  EXPECT_GT(week_count, day_count);
+}
+
+
+TEST(Observatory, ParallelBuildMatchesSerial) {
+  Observatory daily = Observatory::Daily(SmallWorld());
+  auto serial = daily.BuildStore(1);
+  auto parallel = daily.BuildStore(4);
+  ASSERT_EQ(serial.BlockCount(), parallel.BlockCount());
+  ASSERT_EQ(serial.days(), parallel.days());
+  serial.ForEach([&](net::BlockKey key, const activity::ActivityMatrix& m) {
+    const activity::ActivityMatrix* other = parallel.Find(key);
+    ASSERT_NE(other, nullptr);
+    for (int d = 0; d < serial.days(); ++d) {
+      ASSERT_EQ(m.Row(d), other->Row(d)) << key << " day " << d;
+    }
+  });
+}
+
+TEST(Dataset, SummarizeTotalsConsistent) {
+  auto store = Observatory::Daily(SmallWorld()).BuildStore();
+  auto totals = SummarizeDataset(store, [](net::BlockKey) { return 1u; });
+  EXPECT_EQ(totals.total_blocks, store.BlockCount());
+  EXPECT_EQ(totals.total_ips, store.CountActive(0, 112));
+  EXPECT_GE(static_cast<double>(totals.total_ips), totals.avg_ips);
+  EXPECT_EQ(totals.total_ases, 1u);
+  EXPECT_NEAR(totals.avg_ases, 1.0, 1e-9);
+  // Churn: the total must exceed the per-snapshot average meaningfully.
+  EXPECT_GT(static_cast<double>(totals.total_ips), totals.avg_ips * 1.1);
+}
+
+TEST(Dataset, ZeroAsnMeansUnrouted) {
+  auto store = Observatory::Daily(SmallWorld()).BuildStore();
+  auto totals = SummarizeDataset(store, [](net::BlockKey) { return 0u; });
+  EXPECT_EQ(totals.total_ases, 0u);
+}
+
+}  // namespace
+}  // namespace ipscope::cdn

@@ -1,0 +1,99 @@
+#include "cdn/useragent.h"
+
+#include <gtest/gtest.h>
+
+namespace ipscope::cdn {
+namespace {
+
+sim::BlockPlan MakePlan(sim::PolicyKind kind, std::uint16_t pool,
+                        std::uint16_t subscribers) {
+  sim::BlockPlan plan;
+  plan.block = net::Prefix{net::IPv4Addr{10, 0, 0, 0}, 24};
+  plan.block_seed = 0xABCD;
+  plan.base.kind = kind;
+  plan.base.pool_size = pool;
+  plan.base.subscribers = subscribers;
+  plan.base.occupancy = 1.0f;
+  return plan;
+}
+
+TEST(UserAgent, PoolSizeByPolicy) {
+  auto residential = MakePlan(sim::PolicyKind::kDynamicShort, 256, 256);
+  auto gateway = MakePlan(sim::PolicyKind::kCgnGateway, 256, 0xFFFF);
+  auto bots = MakePlan(sim::PolicyKind::kCrawlerBots, 8, 0);
+  auto router = MakePlan(sim::PolicyKind::kRouterInfra, 64, 0);
+
+  std::uint64_t res_pool = UserAgentSampler::UaPoolSize(residential);
+  std::uint64_t gw_pool = UserAgentSampler::UaPoolSize(gateway);
+  std::uint64_t bot_pool = UserAgentSampler::UaPoolSize(bots);
+
+  EXPECT_NEAR(static_cast<double>(res_pool), 256 * 3.5, 1.0);
+  EXPECT_GT(gw_pool, res_pool * 100);  // gateways aggregate thousands
+  EXPECT_LE(bot_pool, 3u);
+  EXPECT_GE(bot_pool, 1u);
+  EXPECT_EQ(UserAgentSampler::UaPoolSize(router), 0u);
+}
+
+TEST(UserAgent, NoHitsNoSamples) {
+  UserAgentSampler sampler;
+  auto plan = MakePlan(sim::PolicyKind::kDynamicShort, 256, 256);
+  auto s = sampler.Sample(plan, 0);
+  EXPECT_EQ(s.samples, 0u);
+  EXPECT_EQ(s.unique_uas, 0u);
+}
+
+TEST(UserAgent, SamplingRateRoughlyHonored) {
+  UserAgentSampler sampler{1.0 / 4096.0};
+  auto plan = MakePlan(sim::PolicyKind::kDynamicShort, 256, 256);
+  auto s = sampler.Sample(plan, 4096 * 1000);
+  EXPECT_NEAR(static_cast<double>(s.samples), 1000.0, 150.0);
+}
+
+TEST(UserAgent, Deterministic) {
+  UserAgentSampler sampler;
+  auto plan = MakePlan(sim::PolicyKind::kCgnGateway, 256, 0xFFFF);
+  auto a = sampler.Sample(plan, 1000000);
+  auto b = sampler.Sample(plan, 1000000);
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.unique_uas, b.unique_uas);
+}
+
+TEST(UserAgent, BotsShowLowDiversity) {
+  UserAgentSampler sampler;
+  auto bots = MakePlan(sim::PolicyKind::kCrawlerBots, 8, 0);
+  auto s = sampler.Sample(bots, 50'000'000);
+  EXPECT_GT(s.samples, 1000u);
+  EXPECT_LE(s.unique_uas, 3u);  // many samples, almost one string
+}
+
+TEST(UserAgent, GatewaysShowHighDiversity) {
+  UserAgentSampler sampler;
+  auto gw = MakePlan(sim::PolicyKind::kCgnGateway, 256, 0xFFFF);
+  auto s = sampler.Sample(gw, 50'000'000);
+  EXPECT_GT(s.samples, 1000u);
+  // With a huge UA pool, nearly every sample is a distinct string.
+  EXPECT_GT(static_cast<double>(s.unique_uas),
+            0.5 * static_cast<double>(s.samples));
+}
+
+TEST(UserAgent, UniqueNeverExceedsSamplesOrPool) {
+  UserAgentSampler sampler;
+  for (std::uint64_t hits : {10000ull, 1000000ull, 100000000ull}) {
+    auto bots = MakePlan(sim::PolicyKind::kCrawlerBots, 8, 0);
+    auto s = sampler.Sample(bots, hits);
+    EXPECT_LE(s.unique_uas, s.samples);
+    EXPECT_LE(s.unique_uas, UserAgentSampler::UaPoolSize(bots));
+  }
+}
+
+TEST(UserAgent, DiversitySaturatesWithPool) {
+  // More samples from a small static population saturate at the pool size.
+  UserAgentSampler sampler{1.0};  // sample every request
+  auto plan = MakePlan(sim::PolicyKind::kStatic, 16, 16);
+  auto s = sampler.Sample(plan, 100000);
+  EXPECT_EQ(s.samples, 100000u);
+  EXPECT_NEAR(static_cast<double>(s.unique_uas), 16 * 3.5, 8.0);
+}
+
+}  // namespace
+}  // namespace ipscope::cdn

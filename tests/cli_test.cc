@@ -1,0 +1,226 @@
+#include "cli/commands.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "netbase/ipv4.h"
+
+namespace ipscope::cli {
+namespace {
+
+std::string DatasetPath() {
+  // Generate a small shared dataset once per process. ctest runs each test
+  // in its own (possibly concurrent) process, so the path must be unique
+  // per pid to avoid read/write races on the file.
+  static const std::string path = [] {
+    std::string p = ::testing::TempDir() + "/ipscope_cli_test." +
+                    std::to_string(getpid()) + ".bin";
+    std::ostringstream out, err;
+    int rc = Main({"generate", "--blocks", "200", "--seed", "5", "--out", p},
+                  out, err);
+    EXPECT_EQ(rc, 0) << err.str();
+    return p;
+  }();
+  return path;
+}
+
+TEST(CliParse, FlagsAndPositional) {
+  std::ostringstream err;
+  auto cmd = Parse({"blocks", "data.bin", "--top", "5", "--sort=fd",
+                    "--verbose"},
+                   err);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->command, "blocks");
+  ASSERT_EQ(cmd->positional.size(), 1u);
+  EXPECT_EQ(cmd->positional[0], "data.bin");
+  EXPECT_EQ(cmd->Flag("top"), "5");
+  EXPECT_EQ(cmd->Flag("sort"), "fd");
+  EXPECT_EQ(cmd->Flag("verbose"), "");
+  EXPECT_EQ(cmd->Flag("missing"), std::nullopt);
+  EXPECT_EQ(cmd->IntFlag("top", 0), 5);
+  EXPECT_EQ(cmd->IntFlag("missing", 7), 7);
+}
+
+TEST(CliParse, EmptyArgsShowUsage) {
+  std::ostringstream err;
+  EXPECT_FALSE(Parse({}, err).has_value());
+  EXPECT_NE(err.str().find("usage"), std::string::npos);
+}
+
+TEST(Cli, HelpCommand) {
+  std::ostringstream out, err;
+  EXPECT_EQ(Main({"help"}, out, err), 0);
+  EXPECT_NE(out.str().find("generate"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  std::ostringstream out, err;
+  EXPECT_EQ(Main({"frobnicate"}, out, err), 2);
+  EXPECT_NE(err.str().find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, GenerateRequiresOut) {
+  std::ostringstream out, err;
+  EXPECT_EQ(Main({"generate", "--blocks", "10"}, out, err), 2);
+  EXPECT_NE(err.str().find("--out"), std::string::npos);
+}
+
+TEST(Cli, SummaryPrintsDatasetStats) {
+  std::ostringstream out, err;
+  EXPECT_EQ(Main({"summary", DatasetPath()}, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("112 snapshots"), std::string::npos);
+  EXPECT_NE(out.str().find("unique addresses"), std::string::npos);
+}
+
+TEST(Cli, SummaryMissingFileFails) {
+  std::ostringstream out, err;
+  EXPECT_EQ(Main({"summary", "/no/such/file"}, out, err), 1);
+  EXPECT_NE(err.str().find("error"), std::string::npos);
+}
+
+TEST(Cli, ChurnTable) {
+  std::ostringstream out, err;
+  EXPECT_EQ(Main({"churn", DatasetPath(), "--window", "28"}, out, err), 0)
+      << err.str();
+  EXPECT_NE(out.str().find("up %"), std::string::npos);
+  EXPECT_NE(out.str().find("median"), std::string::npos);
+}
+
+TEST(Cli, ChurnWindowTooLarge) {
+  std::ostringstream out, err;
+  EXPECT_EQ(Main({"churn", DatasetPath(), "--window", "100"}, out, err), 2);
+}
+
+TEST(Cli, BlocksTopList) {
+  std::ostringstream out, err;
+  EXPECT_EQ(Main({"blocks", DatasetPath(), "--top", "3", "--sort", "fd"},
+                 out, err),
+            0)
+      << err.str();
+  EXPECT_NE(out.str().find("/24"), std::string::npos);
+  EXPECT_NE(out.str().find("STU"), std::string::npos);
+}
+
+TEST(Cli, BlocksRejectsBadSortKey) {
+  std::ostringstream out, err;
+  EXPECT_EQ(Main({"blocks", DatasetPath(), "--sort", "alphabetical"}, out,
+                 err),
+            2);
+}
+
+TEST(Cli, RenderValidatesPrefix) {
+  std::ostringstream out, err;
+  EXPECT_EQ(Main({"render", DatasetPath(), "--block", "1.2.3.4"}, out, err),
+            2);
+  EXPECT_EQ(Main({"render", DatasetPath(), "--block", "10.0.0.0/16"}, out,
+                 err),
+            2);
+}
+
+TEST(Cli, RenderUnknownBlockFails) {
+  std::ostringstream out, err;
+  EXPECT_EQ(
+      Main({"render", DatasetPath(), "--block", "203.0.113.0/24"}, out, err),
+      1);
+  EXPECT_NE(err.str().find("no activity"), std::string::npos);
+}
+
+TEST(Cli, RenderKnownBlock) {
+  // Find a block via the blocks listing, then render it.
+  std::ostringstream listing, err;
+  ASSERT_EQ(Main({"blocks", DatasetPath(), "--top", "1"}, listing, err), 0);
+  std::string text = listing.str();
+  auto pos = text.find("| ", text.find("pattern")) ;
+  pos = text.find("\n| ", text.find("---"));
+  ASSERT_NE(pos, std::string::npos);
+  auto end = text.find(' ', pos + 3);
+  std::string block = text.substr(pos + 3, end - pos - 3);
+
+  std::ostringstream out;
+  EXPECT_EQ(Main({"render", DatasetPath(), "--block", block}, out, err), 0)
+      << "block=" << block << " err=" << err.str();
+  EXPECT_NE(out.str().find("FD="), std::string::npos);
+}
+
+TEST(Cli, EventsHistogram) {
+  std::ostringstream out, err;
+  EXPECT_EQ(Main({"events", DatasetPath(), "--window", "28"}, out, err), 0)
+      << err.str();
+  EXPECT_NE(out.str().find("/29-/32"), std::string::npos);
+  EXPECT_NE(out.str().find("total up events"), std::string::npos);
+}
+
+TEST(Cli, HitlistEmitsOneAddressPerBlock) {
+  std::ostringstream out, err;
+  EXPECT_EQ(Main({"hitlist", DatasetPath()}, out, err), 0) << err.str();
+  // Every output line parses as an IPv4 address.
+  std::istringstream lines{out.str()};
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(ipscope::net::IPv4Addr::Parse(line).has_value()) << line;
+    ++count;
+  }
+  EXPECT_GT(count, 50);
+  EXPECT_NE(err.str().find("most-active"), std::string::npos);
+}
+
+TEST(Cli, HitlistRejectsUnknownStrategy) {
+  std::ostringstream out, err;
+  EXPECT_EQ(Main({"hitlist", DatasetPath(), "--strategy", "psychic"}, out,
+                 err),
+            2);
+}
+
+TEST(Cli, ExportWritesCsvFiles) {
+  std::string dir = ::testing::TempDir();
+  std::ostringstream out, err;
+  EXPECT_EQ(Main({"export", DatasetPath(), "--outdir", dir}, out, err), 0)
+      << err.str();
+  for (const char* name :
+       {"daily_counts.csv", "block_metrics.csv", "churn.csv"}) {
+    std::ifstream is{dir + "/" + name};
+    EXPECT_TRUE(is.good()) << name;
+    std::string header;
+    std::getline(is, header);
+    EXPECT_FALSE(header.empty()) << name;
+    EXPECT_NE(header.find(','), std::string::npos) << name;
+  }
+}
+
+TEST(Cli, ExportRequiresOutdir) {
+  std::ostringstream out, err;
+  EXPECT_EQ(Main({"export", DatasetPath()}, out, err), 2);
+}
+
+TEST(Cli, DescribePrintsWorldInventory) {
+  std::ostringstream out, err;
+  EXPECT_EQ(Main({"describe", "--blocks", "200", "--seed", "3"}, out, err),
+            0)
+      << err.str();
+  std::string text = out.str();
+  EXPECT_NE(text.find("seed 3"), std::string::npos);
+  EXPECT_NE(text.find("residential-isp"), std::string::npos);
+  EXPECT_NE(text.find("assignment policy"), std::string::npos);
+  EXPECT_NE(text.find("reconfigurations"), std::string::npos);
+}
+
+TEST(Cli, WeeklyGeneration) {
+  std::string path = ::testing::TempDir() + "/ipscope_cli_weekly." +
+                     std::to_string(getpid()) + ".bin";
+  std::ostringstream out, err;
+  ASSERT_EQ(Main({"generate", "--blocks", "100", "--weekly", "--out", path},
+                 out, err),
+            0)
+      << err.str();
+  std::ostringstream summary;
+  ASSERT_EQ(Main({"summary", path}, summary, err), 0);
+  EXPECT_NE(summary.str().find("52 snapshots"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipscope::cli

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geo/country.h"
+#include "geo/registry.h"
+
+namespace ipscope::geo {
+namespace {
+
+TEST(Country, TableSanity) {
+  auto countries = Countries();
+  EXPECT_GT(countries.size(), 25u);
+  std::set<std::string_view> codes;
+  bool rir_present[kRirCount] = {};
+  for (const CountryInfo& c : countries) {
+    EXPECT_TRUE(codes.insert(c.code).second) << c.code;
+    EXPECT_EQ(c.code.size(), 2u);
+    EXPECT_GT(c.address_share, 0.0);
+    EXPECT_GT(c.icmp_response_rate, 0.0);
+    EXPECT_LE(c.icmp_response_rate, 1.0);
+    EXPECT_GE(c.cgn_share, 0.0);
+    EXPECT_LE(c.cgn_share, 1.0);
+    rir_present[static_cast<int>(c.rir)] = true;
+  }
+  for (int r = 0; r < kRirCount; ++r) EXPECT_TRUE(rir_present[r]) << r;
+}
+
+TEST(Country, PaperShapedFacts) {
+  auto countries = Countries();
+  auto get = [&](const char* code) -> const CountryInfo& {
+    return countries[static_cast<std::size_t>(CountryIndex(code))];
+  };
+  // ICMP responsiveness: CN ~0.8 vs JP ~0.25 (paper Fig 3b discussion).
+  EXPECT_NEAR(get("CN").icmp_response_rate, 0.8, 0.05);
+  EXPECT_NEAR(get("JP").icmp_response_rate, 0.25, 0.05);
+  // Broadband ordering: CN > US > JP > DE (ITU ranks 1,2,3,4).
+  EXPECT_GT(get("CN").broadband_subs_m, get("US").broadband_subs_m);
+  EXPECT_GT(get("US").broadband_subs_m, get("JP").broadband_subs_m);
+  EXPECT_GT(get("JP").broadband_subs_m, get("DE").broadband_subs_m);
+  // Cellular diverges: IN ranks 2nd in cellular, 10th in broadband.
+  EXPECT_GT(get("IN").cellular_subs_m, get("US").cellular_subs_m);
+  EXPECT_LT(get("IN").broadband_subs_m, get("KR").broadband_subs_m * 1.2);
+}
+
+TEST(Country, IndexLookup) {
+  EXPECT_GE(CountryIndex("US"), 0);
+  EXPECT_EQ(CountryIndex("XX"), -1);
+}
+
+TEST(Country, RirNames) {
+  EXPECT_EQ(RirName(Rir::kArin), "ARIN");
+  EXPECT_EQ(RirName(Rir::kAfrinic), "AFRINIC");
+}
+
+TEST(Registry, AllocationsLandInCountryRegion) {
+  Registry registry{42};
+  int us = CountryIndex("US");
+  auto block = registry.AllocateBlock(us);
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(registry.CountryOf(block->network()), us);
+  EXPECT_EQ(registry.RirOf(block->network()), Rir::kArin);
+}
+
+TEST(Registry, ContiguousAllocation) {
+  Registry registry{42};
+  int de = CountryIndex("DE");
+  auto blocks = registry.AllocateContiguous(de, 8);
+  ASSERT_EQ(blocks.size(), 8u);
+  for (std::size_t i = 1; i < blocks.size(); ++i) {
+    EXPECT_EQ(net::BlockKeyOf(blocks[i]), net::BlockKeyOf(blocks[i - 1]) + 1);
+  }
+  for (const net::Prefix& block : blocks) {
+    EXPECT_EQ(registry.CountryOf(block.network()), de);
+  }
+}
+
+TEST(Registry, AllocationsDoNotOverlap) {
+  Registry registry{42};
+  int cn = CountryIndex("CN");
+  std::set<net::BlockKey> keys;
+  for (int i = 0; i < 100; ++i) {
+    auto block = registry.AllocateBlock(cn);
+    ASSERT_TRUE(block.has_value());
+    EXPECT_TRUE(keys.insert(net::BlockKeyOf(*block)).second);
+  }
+}
+
+TEST(Registry, AllocationsLeaveHoles) {
+  Registry registry{42};
+  int cn = CountryIndex("CN");
+  auto first = registry.AllocateBlock(cn);
+  net::BlockKey prev = net::BlockKeyOf(*first);
+  bool any_gap = false;
+  for (int i = 0; i < 50; ++i) {
+    auto block = registry.AllocateBlock(cn);
+    net::BlockKey key = net::BlockKeyOf(*block);
+    if (key > prev + 1) any_gap = true;
+    prev = key;
+  }
+  EXPECT_TRUE(any_gap);
+}
+
+TEST(Registry, UnallocatedLookupsAreEmpty) {
+  Registry registry{42};
+  // 192.0.0.0 is beyond the 5 RIR /3 regions (which end at 160.0.0.0).
+  EXPECT_FALSE(registry.CountryOf(net::IPv4Addr{192, 0, 2, 1}).has_value());
+  EXPECT_FALSE(registry.RirOf(net::IPv4Addr{192, 0, 2, 1}).has_value());
+}
+
+TEST(Registry, DeterministicLayout) {
+  Registry a{7}, b{7};
+  int br = CountryIndex("BR");
+  EXPECT_EQ(a.AllocateBlock(br), b.AllocateBlock(br));
+  EXPECT_EQ(a.CountryRegion(br).first_block, b.CountryRegion(br).first_block);
+}
+
+TEST(Registry, RegionsDisjointAcrossCountries) {
+  Registry registry{42};
+  auto countries = Countries();
+  for (std::size_t i = 0; i < countries.size(); ++i) {
+    for (std::size_t j = i + 1; j < countries.size(); ++j) {
+      auto a = registry.CountryRegion(static_cast<int>(i));
+      auto b = registry.CountryRegion(static_cast<int>(j));
+      bool disjoint = a.last_block < b.first_block ||
+                      b.last_block < a.first_block;
+      EXPECT_TRUE(disjoint) << countries[i].code << " vs "
+                            << countries[j].code;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ipscope::geo

@@ -1,0 +1,98 @@
+#include "measurement/hitlist.h"
+
+#include <gtest/gtest.h>
+
+#include "cdn/observatory.h"
+#include "sim/world.h"
+
+namespace ipscope::measurement {
+namespace {
+
+const activity::ActivityStore& TestStore() {
+  static const activity::ActivityStore store = [] {
+    sim::WorldConfig config;
+    config.target_client_blocks = 400;
+    static sim::World world{config};
+    return cdn::Observatory::Daily(world).BuildStore();
+  }();
+  return store;
+}
+
+TEST(Hitlist, OneEntryPerActiveBlock) {
+  auto hitlist =
+      BuildHitlist(TestStore(), 0, 56, HitlistStrategy::kMostActive);
+  EXPECT_EQ(hitlist.size(), TestStore().CountActiveBlocks(0, 56));
+  for (const HitlistEntry& entry : hitlist) {
+    EXPECT_EQ(net::BlockKeyOf(entry.address), entry.key);
+  }
+}
+
+TEST(Hitlist, MostActivePicksTheBusiestAddress) {
+  activity::ActivityStore store{10};
+  activity::ActivityMatrix& m = store.GetOrCreate(7);
+  for (int d = 0; d < 10; ++d) m.Set(d, 42);  // every day
+  m.Set(0, 99);                               // once
+  auto hitlist = BuildHitlist(store, 0, 10, HitlistStrategy::kMostActive);
+  ASSERT_EQ(hitlist.size(), 1u);
+  EXPECT_EQ(hitlist[0].address.value() & 0xFF, 42u);
+}
+
+TEST(Hitlist, MostRecentPicksLastActiveDay) {
+  activity::ActivityStore store{10};
+  activity::ActivityMatrix& m = store.GetOrCreate(7);
+  m.Set(2, 5);
+  m.Set(9, 200);
+  auto hitlist = BuildHitlist(store, 0, 10, HitlistStrategy::kMostRecent);
+  ASSERT_EQ(hitlist.size(), 1u);
+  EXPECT_EQ(hitlist[0].address.value() & 0xFF, 200u);
+}
+
+TEST(Hitlist, LowestActiveAndFixedOffset) {
+  activity::ActivityStore store{4};
+  activity::ActivityMatrix& m = store.GetOrCreate(7);
+  m.Set(0, 30);
+  m.Set(1, 20);
+  auto lowest = BuildHitlist(store, 0, 4, HitlistStrategy::kLowestActive);
+  ASSERT_EQ(lowest.size(), 1u);
+  EXPECT_EQ(lowest[0].address.value() & 0xFF, 20u);
+  auto fixed = BuildHitlist(store, 0, 4, HitlistStrategy::kFixedOffset);
+  ASSERT_EQ(fixed.size(), 1u);
+  EXPECT_EQ(fixed[0].address.value() & 0xFF, 1u);
+}
+
+TEST(Hitlist, EvaluateCountsFutureResponsiveness) {
+  activity::ActivityStore store{10};
+  activity::ActivityMatrix& m = store.GetOrCreate(7);
+  m.Set(0, 9);   // active early...
+  m.Set(8, 9);   // ...and again later
+  activity::ActivityMatrix& m2 = store.GetOrCreate(8);
+  m2.Set(0, 4);  // active early only
+  auto hitlist = BuildHitlist(store, 0, 5, HitlistStrategy::kMostActive);
+  ASSERT_EQ(hitlist.size(), 2u);
+  auto score = EvaluateHitlist(store, hitlist, 5, 10);
+  EXPECT_EQ(score.entries, 2u);
+  EXPECT_EQ(score.responsive, 1u);
+  EXPECT_DOUBLE_EQ(score.HitRate(), 0.5);
+}
+
+TEST(Hitlist, ActivityInformedBeatsNaiveOnRealWorld) {
+  const auto& store = TestStore();
+  // Train on the first 8 weeks, evaluate on the last 4.
+  auto most_active =
+      BuildHitlist(store, 0, 56, HitlistStrategy::kMostActive);
+  auto fixed = BuildHitlist(store, 0, 56, HitlistStrategy::kFixedOffset);
+  auto ma_score = EvaluateHitlist(store, most_active, 84, 112);
+  auto fx_score = EvaluateHitlist(store, fixed, 84, 112);
+  EXPECT_GT(ma_score.HitRate(), 0.6);
+  EXPECT_GT(ma_score.HitRate(), fx_score.HitRate() + 0.1);
+}
+
+TEST(Hitlist, StrategyNames) {
+  EXPECT_STREQ(HitlistStrategyName(HitlistStrategy::kMostActive),
+               "most-active");
+  EXPECT_STREQ(HitlistStrategyName(HitlistStrategy::kFixedOffset),
+               "fixed-.1");
+}
+
+}  // namespace
+}  // namespace ipscope::measurement

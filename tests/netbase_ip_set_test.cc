@@ -1,0 +1,199 @@
+#include "netbase/ip_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace ipscope::net {
+namespace {
+
+TEST(Ipv4Set, EmptySet) {
+  Ipv4Set set;
+  EXPECT_TRUE(set.Empty());
+  EXPECT_EQ(set.Count(), 0u);
+  EXPECT_EQ(set.CountBlocks(), 0u);
+  EXPECT_FALSE(set.Contains(IPv4Addr{1, 2, 3, 4}));
+  EXPECT_FALSE(set.Floor(IPv4Addr{1, 2, 3, 4}).has_value());
+  EXPECT_FALSE(set.Ceiling(IPv4Addr{1, 2, 3, 4}).has_value());
+}
+
+TEST(Ipv4Set, SingleAddress) {
+  Ipv4Set set;
+  set.Add(IPv4Addr{10, 0, 0, 5});
+  EXPECT_EQ(set.Count(), 1u);
+  EXPECT_TRUE(set.Contains(IPv4Addr{10, 0, 0, 5}));
+  EXPECT_FALSE(set.Contains(IPv4Addr{10, 0, 0, 4}));
+  EXPECT_EQ(set.CountBlocks(), 1u);
+}
+
+TEST(Ipv4Set, AdjacentAddressesCoalesce) {
+  Ipv4Set set;
+  set.Add(IPv4Addr{10u});
+  set.Add(IPv4Addr{12u});
+  set.Add(IPv4Addr{11u});
+  EXPECT_EQ(set.IntervalCount(), 1u);
+  EXPECT_EQ(set.Count(), 3u);
+}
+
+TEST(Ipv4Set, AddPrefix) {
+  Ipv4Set set;
+  set.Add(Prefix{IPv4Addr{192, 0, 2, 0}, 24});
+  EXPECT_EQ(set.Count(), 256u);
+  EXPECT_EQ(set.CountBlocks(), 1u);
+  EXPECT_TRUE(set.Contains(IPv4Addr{192, 0, 2, 128}));
+}
+
+TEST(Ipv4Set, OverlappingRangesMerge) {
+  Ipv4Set set;
+  set.AddRange(100, 200);
+  set.AddRange(150, 250);
+  set.AddRange(251, 300);  // adjacent
+  EXPECT_EQ(set.IntervalCount(), 1u);
+  EXPECT_EQ(set.Count(), 201u);
+}
+
+TEST(Ipv4Set, AddRangeAtAddressSpaceEnd) {
+  Ipv4Set set;
+  set.AddRange(0xFFFFFFF0u, 0xFFFFFFFFu);
+  set.Add(IPv4Addr{0xFFFFFFEFu});
+  EXPECT_EQ(set.Count(), 17u);
+  EXPECT_TRUE(set.Contains(IPv4Addr{0xFFFFFFFFu}));
+}
+
+TEST(Ipv4Set, FromValuesDeduplicates) {
+  Ipv4Set set = Ipv4Set::FromValues({5, 3, 5, 4, 100});
+  EXPECT_EQ(set.Count(), 4u);
+  EXPECT_EQ(set.IntervalCount(), 2u);
+}
+
+TEST(Ipv4Set, UnionIntersectSubtract) {
+  Ipv4Set a = Ipv4Set::FromValues({1, 2, 3, 10, 11, 20});
+  Ipv4Set b = Ipv4Set::FromValues({3, 4, 11, 12, 30});
+
+  Ipv4Set u = a.Union(b);
+  EXPECT_EQ(u.Count(), 9u);  // {1,2,3,4,10,11,12,20,30}
+
+  Ipv4Set i = a.Intersect(b);
+  EXPECT_EQ(i.Count(), 2u);  // {3, 11}
+  EXPECT_EQ(a.CountIntersect(b), 2u);
+
+  Ipv4Set d = a.Subtract(b);
+  EXPECT_EQ(d.Count(), 4u);  // {1,2,10,20}
+  EXPECT_TRUE(d.Contains(IPv4Addr{1u}));
+  EXPECT_FALSE(d.Contains(IPv4Addr{3u}));
+}
+
+TEST(Ipv4Set, FloorCeiling) {
+  Ipv4Set set = Ipv4Set::FromValues({10, 11, 12, 100});
+  EXPECT_EQ(set.Floor(IPv4Addr{11u})->value(), 11u);
+  EXPECT_EQ(set.Floor(IPv4Addr{50u})->value(), 12u);
+  EXPECT_EQ(set.Floor(IPv4Addr{9u}), std::nullopt);
+  EXPECT_EQ(set.Ceiling(IPv4Addr{11u})->value(), 11u);
+  EXPECT_EQ(set.Ceiling(IPv4Addr{50u})->value(), 100u);
+  EXPECT_EQ(set.Ceiling(IPv4Addr{101u}), std::nullopt);
+}
+
+TEST(Ipv4Set, IntersectsRange) {
+  Ipv4Set set = Ipv4Set::FromValues({100, 200});
+  EXPECT_TRUE(set.IntersectsRange(50, 100));
+  EXPECT_TRUE(set.IntersectsRange(150, 250));
+  EXPECT_FALSE(set.IntersectsRange(101, 199));
+  EXPECT_FALSE(set.IntersectsRange(0, 99));
+  EXPECT_FALSE(set.IntersectsRange(201, 0xFFFFFFFFu));
+}
+
+TEST(Ipv4Set, CountBlocksAcrossBoundaries) {
+  Ipv4Set set;
+  set.AddRange(0x0A0000FEu, 0x0A000101u);  // spans two /24s
+  EXPECT_EQ(set.CountBlocks(), 2u);
+  set.Add(IPv4Addr{0x0A000180u});  // same second block
+  EXPECT_EQ(set.CountBlocks(), 2u);
+  set.Add(IPv4Addr{0x0A000200u});
+  EXPECT_EQ(set.CountBlocks(), 3u);
+}
+
+TEST(Ipv4Set, ForEachBlockVisitsEachOnce) {
+  Ipv4Set set;
+  set.AddRange(0x0A0000FEu, 0x0A000101u);
+  std::vector<BlockKey> keys;
+  set.ForEachBlock([&](BlockKey key) { keys.push_back(key); });
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], 0x0A0000u);
+  EXPECT_EQ(keys[1], 0x0A0001u);
+}
+
+// Property test: set algebra agrees with std::set on random inputs.
+TEST(Ipv4Set, AlgebraAgreesWithStdSetOracle) {
+  rng::Xoshiro256 g{777};
+  for (int round = 0; round < 20; ++round) {
+    std::set<std::uint32_t> oa, ob;
+    std::vector<std::uint32_t> va, vb;
+    for (int i = 0; i < 300; ++i) {
+      // Narrow value range to force overlaps and adjacency.
+      std::uint32_t x = g.NextBounded(1000);
+      std::uint32_t y = g.NextBounded(1000);
+      oa.insert(x);
+      ob.insert(y);
+      va.push_back(x);
+      vb.push_back(y);
+    }
+    Ipv4Set a = Ipv4Set::FromValues(va);
+    Ipv4Set b = Ipv4Set::FromValues(vb);
+    EXPECT_EQ(a.Count(), oa.size());
+    EXPECT_EQ(b.Count(), ob.size());
+
+    std::set<std::uint32_t> ou = oa;
+    ou.insert(ob.begin(), ob.end());
+    EXPECT_EQ(a.Union(b).Count(), ou.size());
+
+    std::uint64_t inter = 0;
+    for (std::uint32_t x : oa) inter += ob.count(x);
+    EXPECT_EQ(a.CountIntersect(b), inter);
+    EXPECT_EQ(a.Intersect(b).Count(), inter);
+    EXPECT_EQ(a.Subtract(b).Count(), oa.size() - inter);
+
+    // Membership spot checks.
+    for (int probe = 0; probe < 100; ++probe) {
+      std::uint32_t x = g.NextBounded(1000);
+      EXPECT_EQ(a.Contains(IPv4Addr{x}), oa.count(x) > 0);
+    }
+  }
+}
+
+// Property test: Floor/Ceiling agree with std::set bounds.
+TEST(Ipv4Set, FloorCeilingAgreeWithOracle) {
+  rng::Xoshiro256 g{31337};
+  std::set<std::uint32_t> oracle;
+  std::vector<std::uint32_t> values;
+  for (int i = 0; i < 500; ++i) {
+    std::uint32_t x = g.NextBounded(100000);
+    oracle.insert(x);
+    values.push_back(x);
+  }
+  Ipv4Set set = Ipv4Set::FromValues(values);
+  for (int probe = 0; probe < 2000; ++probe) {
+    std::uint32_t x = g.NextBounded(100000);
+    auto ceil_it = oracle.lower_bound(x);
+    auto ceiling = set.Ceiling(IPv4Addr{x});
+    if (ceil_it == oracle.end()) {
+      EXPECT_FALSE(ceiling.has_value());
+    } else {
+      ASSERT_TRUE(ceiling.has_value());
+      EXPECT_EQ(ceiling->value(), *ceil_it);
+    }
+    auto floor = set.Floor(IPv4Addr{x});
+    auto floor_it = oracle.upper_bound(x);
+    if (floor_it == oracle.begin()) {
+      EXPECT_FALSE(floor.has_value());
+    } else {
+      ASSERT_TRUE(floor.has_value());
+      EXPECT_EQ(floor->value(), *std::prev(floor_it));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ipscope::net

@@ -1,0 +1,91 @@
+#include "netbase/ipv4.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace ipscope::net {
+namespace {
+
+TEST(IPv4Addr, DefaultIsZero) {
+  EXPECT_EQ(IPv4Addr{}.value(), 0u);
+  EXPECT_EQ(IPv4Addr{}.ToString(), "0.0.0.0");
+}
+
+TEST(IPv4Addr, OctetConstruction) {
+  IPv4Addr addr{192, 0, 2, 1};
+  EXPECT_EQ(addr.value(), 0xC0000201u);
+  EXPECT_EQ(addr.octet(0), 192);
+  EXPECT_EQ(addr.octet(1), 0);
+  EXPECT_EQ(addr.octet(2), 2);
+  EXPECT_EQ(addr.octet(3), 1);
+}
+
+TEST(IPv4Addr, ParseValid) {
+  auto addr = IPv4Addr::Parse("10.20.30.40");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(*addr, (IPv4Addr{10, 20, 30, 40}));
+  EXPECT_EQ(IPv4Addr::Parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(IPv4Addr::Parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+TEST(IPv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(IPv4Addr::Parse("").has_value());
+  EXPECT_FALSE(IPv4Addr::Parse("1.2.3").has_value());
+  EXPECT_FALSE(IPv4Addr::Parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(IPv4Addr::Parse("256.0.0.1").has_value());
+  EXPECT_FALSE(IPv4Addr::Parse("1.2.3.4 ").has_value());
+  EXPECT_FALSE(IPv4Addr::Parse(" 1.2.3.4").has_value());
+  EXPECT_FALSE(IPv4Addr::Parse("1..2.3").has_value());
+  EXPECT_FALSE(IPv4Addr::Parse("a.b.c.d").has_value());
+  EXPECT_FALSE(IPv4Addr::Parse("-1.2.3.4").has_value());
+}
+
+TEST(IPv4Addr, ParseRejectsLeadingZeros) {
+  EXPECT_FALSE(IPv4Addr::Parse("01.2.3.4").has_value());
+  EXPECT_FALSE(IPv4Addr::Parse("1.2.3.04").has_value());
+  // A single zero octet is fine.
+  EXPECT_TRUE(IPv4Addr::Parse("1.0.3.4").has_value());
+}
+
+TEST(IPv4Addr, RoundTripPropertyOverSamples) {
+  // Parse(ToString(x)) == x for a spread of values.
+  for (std::uint64_t v = 0; v <= 0xFFFFFFFFull; v += 0x01010173ull) {
+    IPv4Addr addr{static_cast<std::uint32_t>(v)};
+    auto parsed = IPv4Addr::Parse(addr.ToString());
+    ASSERT_TRUE(parsed.has_value()) << addr.ToString();
+    EXPECT_EQ(*parsed, addr);
+  }
+}
+
+TEST(IPv4Addr, Ordering) {
+  EXPECT_LT((IPv4Addr{1, 2, 3, 4}), (IPv4Addr{1, 2, 3, 5}));
+  EXPECT_LT((IPv4Addr{1, 2, 3, 4}), (IPv4Addr{2, 0, 0, 0}));
+  EXPECT_EQ((IPv4Addr{1, 2, 3, 4}), (IPv4Addr{1, 2, 3, 4}));
+}
+
+TEST(IPv4Addr, SaturatingArithmetic) {
+  EXPECT_EQ(SaturatingAdd(IPv4Addr{0xFFFFFFFFu}, 1).value(), 0xFFFFFFFFu);
+  EXPECT_EQ(SaturatingAdd(IPv4Addr{10u}, 5).value(), 15u);
+  EXPECT_EQ(SaturatingSub(IPv4Addr{0u}, 1).value(), 0u);
+  EXPECT_EQ(SaturatingSub(IPv4Addr{10u}, 5).value(), 5u);
+}
+
+TEST(IPv4Addr, StreamOutput) {
+  std::ostringstream os;
+  os << IPv4Addr{203, 0, 113, 9};
+  EXPECT_EQ(os.str(), "203.0.113.9");
+}
+
+TEST(IPv4Addr, HashSpreads) {
+  std::unordered_set<std::size_t> hashes;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    hashes.insert(std::hash<IPv4Addr>{}(IPv4Addr{i}));
+  }
+  // Sequential inputs must not collide for a well-mixed hash.
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace ipscope::net

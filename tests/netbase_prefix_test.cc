@@ -1,0 +1,148 @@
+#include "netbase/prefix.h"
+
+#include <gtest/gtest.h>
+
+namespace ipscope::net {
+namespace {
+
+TEST(Prefix, CanonicalizesHostBits) {
+  Prefix p{IPv4Addr{192, 0, 2, 77}, 24};
+  EXPECT_EQ(p.network(), (IPv4Addr{192, 0, 2, 0}));
+  EXPECT_EQ(p.length(), 24);
+  EXPECT_EQ(p, (Prefix{IPv4Addr{192, 0, 2, 0}, 24}));
+}
+
+TEST(Prefix, FirstLastSize) {
+  Prefix p{IPv4Addr{10, 0, 0, 0}, 8};
+  EXPECT_EQ(p.first(), (IPv4Addr{10, 0, 0, 0}));
+  EXPECT_EQ(p.last(), (IPv4Addr{10, 255, 255, 255}));
+  EXPECT_EQ(p.size(), 1u << 24);
+
+  Prefix host{IPv4Addr{1, 2, 3, 4}, 32};
+  EXPECT_EQ(host.first(), host.last());
+  EXPECT_EQ(host.size(), 1u);
+
+  Prefix all{IPv4Addr{0u}, 0};
+  EXPECT_EQ(all.size(), std::uint64_t{1} << 32);
+}
+
+TEST(Prefix, ContainsAddress) {
+  Prefix p{IPv4Addr{198, 51, 100, 0}, 24};
+  EXPECT_TRUE(p.Contains(IPv4Addr{198, 51, 100, 0}));
+  EXPECT_TRUE(p.Contains(IPv4Addr{198, 51, 100, 255}));
+  EXPECT_FALSE(p.Contains(IPv4Addr{198, 51, 101, 0}));
+  EXPECT_FALSE(p.Contains(IPv4Addr{198, 51, 99, 255}));
+}
+
+TEST(Prefix, ContainsPrefix) {
+  Prefix p16{IPv4Addr{10, 1, 0, 0}, 16};
+  Prefix p24{IPv4Addr{10, 1, 2, 0}, 24};
+  EXPECT_TRUE(p16.Contains(p24));
+  EXPECT_FALSE(p24.Contains(p16));
+  EXPECT_TRUE(p16.Contains(p16));
+  EXPECT_FALSE(p16.Contains(Prefix{IPv4Addr{10, 2, 0, 0}, 24}));
+}
+
+TEST(Prefix, Parent) {
+  Prefix p{IPv4Addr{192, 0, 3, 0}, 24};
+  EXPECT_EQ(p.Parent(), (Prefix{IPv4Addr{192, 0, 2, 0}, 23}));
+  Prefix root{IPv4Addr{0u}, 0};
+  EXPECT_EQ(root.Parent(), root);
+}
+
+TEST(Prefix, ParseValid) {
+  auto p = Prefix::Parse("203.0.113.0/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (Prefix{IPv4Addr{203, 0, 113, 0}, 24}));
+  EXPECT_TRUE(Prefix::Parse("0.0.0.0/0").has_value());
+  EXPECT_TRUE(Prefix::Parse("1.2.3.4/32").has_value());
+}
+
+TEST(Prefix, ParseRejectsNonCanonical) {
+  EXPECT_FALSE(Prefix::Parse("203.0.113.1/24").has_value());
+  EXPECT_FALSE(Prefix::Parse("203.0.113.0/33").has_value());
+  EXPECT_FALSE(Prefix::Parse("203.0.113.0/-1").has_value());
+  EXPECT_FALSE(Prefix::Parse("203.0.113.0").has_value());
+  EXPECT_FALSE(Prefix::Parse("/24").has_value());
+  EXPECT_FALSE(Prefix::Parse("203.0.113.0/24x").has_value());
+}
+
+TEST(Prefix, ToStringRoundTrip) {
+  for (int len : {0, 1, 8, 15, 24, 31, 32}) {
+    Prefix p{IPv4Addr{172, 16, 254, 0}, len};
+    auto parsed = Prefix::Parse(p.ToString());
+    ASSERT_TRUE(parsed.has_value()) << p.ToString();
+    EXPECT_EQ(*parsed, p);
+  }
+}
+
+TEST(Prefix, NetMaskValues) {
+  EXPECT_EQ(NetMask(0), 0u);
+  EXPECT_EQ(NetMask(8), 0xFF000000u);
+  EXPECT_EQ(NetMask(24), 0xFFFFFF00u);
+  EXPECT_EQ(NetMask(32), 0xFFFFFFFFu);
+}
+
+TEST(Prefix, CoverRangeSinglePrefix) {
+  auto cover = CoverRange(IPv4Addr{10, 0, 0, 0}, IPv4Addr{10, 0, 0, 255});
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], (Prefix{IPv4Addr{10, 0, 0, 0}, 24}));
+}
+
+TEST(Prefix, CoverRangeSingleAddress) {
+  auto cover = CoverRange(IPv4Addr{1, 2, 3, 4}, IPv4Addr{1, 2, 3, 4});
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].length(), 32);
+}
+
+TEST(Prefix, CoverRangeUnalignedSplits) {
+  // [10.0.0.1, 10.0.0.6] = .1/32 .2/31 .4/31 .6/32
+  auto cover = CoverRange(IPv4Addr{10, 0, 0, 1}, IPv4Addr{10, 0, 0, 6});
+  ASSERT_EQ(cover.size(), 4u);
+  EXPECT_EQ(cover[0], (Prefix{IPv4Addr{10, 0, 0, 1}, 32}));
+  EXPECT_EQ(cover[1], (Prefix{IPv4Addr{10, 0, 0, 2}, 31}));
+  EXPECT_EQ(cover[2], (Prefix{IPv4Addr{10, 0, 0, 4}, 31}));
+  EXPECT_EQ(cover[3], (Prefix{IPv4Addr{10, 0, 0, 6}, 32}));
+}
+
+TEST(Prefix, CoverRangeWholeSpace) {
+  auto cover = CoverRange(IPv4Addr{0u}, IPv4Addr{0xFFFFFFFFu});
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].length(), 0);
+}
+
+TEST(Prefix, CoverRangePropertyExactDisjointCover) {
+  // Random ranges: prefixes must tile the range exactly, in order.
+  std::uint64_t state = 99;
+  for (int round = 0; round < 200; ++round) {
+    auto r1 = static_cast<std::uint32_t>(state = state * 6364136223846793005ULL + 1442695040888963407ULL);
+    auto r2 = static_cast<std::uint32_t>(state = state * 6364136223846793005ULL + 1442695040888963407ULL);
+    std::uint32_t lo = std::min(r1, r2);
+    std::uint32_t hi = std::max(r1, r2);
+    auto cover = CoverRange(IPv4Addr{lo}, IPv4Addr{hi});
+    std::uint64_t cursor = lo;
+    std::uint64_t total = 0;
+    for (const Prefix& p : cover) {
+      ASSERT_EQ(p.first().value(), cursor);
+      cursor = static_cast<std::uint64_t>(p.last().value()) + 1;
+      total += p.size();
+    }
+    EXPECT_EQ(total, static_cast<std::uint64_t>(hi) - lo + 1);
+    EXPECT_EQ(cursor, static_cast<std::uint64_t>(hi) + 1);
+    // Minimality bound: a range never needs more than 62 prefixes.
+    EXPECT_LE(cover.size(), 62u);
+  }
+}
+
+TEST(Prefix, BlockKeyRoundTrip) {
+  IPv4Addr addr{100, 64, 7, 200};
+  BlockKey key = BlockKeyOf(addr);
+  Prefix block = BlockFromKey(key);
+  EXPECT_EQ(block, BlockOf(addr));
+  EXPECT_TRUE(block.Contains(addr));
+  EXPECT_EQ(block.length(), 24);
+  EXPECT_EQ(BlockKeyOf(block), key);
+}
+
+}  // namespace
+}  // namespace ipscope::net

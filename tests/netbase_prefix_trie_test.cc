@@ -1,0 +1,134 @@
+#include "netbase/prefix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace ipscope::net {
+namespace {
+
+TEST(PrefixTrie, EmptyTrie) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.Find(Prefix{IPv4Addr{10, 0, 0, 0}, 8}), nullptr);
+  EXPECT_FALSE(trie.LongestMatch(IPv4Addr{10, 0, 0, 1}).has_value());
+}
+
+TEST(PrefixTrie, InsertFindErase) {
+  PrefixTrie<int> trie;
+  Prefix p{IPv4Addr{10, 0, 0, 0}, 8};
+  EXPECT_TRUE(trie.Insert(p, 42));
+  ASSERT_NE(trie.Find(p), nullptr);
+  EXPECT_EQ(*trie.Find(p), 42);
+  EXPECT_EQ(trie.size(), 1u);
+
+  EXPECT_FALSE(trie.Insert(p, 43));  // overwrite, not new
+  EXPECT_EQ(*trie.Find(p), 43);
+  EXPECT_EQ(trie.size(), 1u);
+
+  EXPECT_TRUE(trie.Erase(p));
+  EXPECT_EQ(trie.Find(p), nullptr);
+  EXPECT_FALSE(trie.Erase(p));
+  EXPECT_TRUE(trie.empty());
+}
+
+TEST(PrefixTrie, LongestMatchPrefersMoreSpecific) {
+  PrefixTrie<int> trie;
+  trie.Insert(Prefix{IPv4Addr{10, 0, 0, 0}, 8}, 1);
+  trie.Insert(Prefix{IPv4Addr{10, 1, 0, 0}, 16}, 2);
+  trie.Insert(Prefix{IPv4Addr{10, 1, 2, 0}, 24}, 3);
+
+  auto m = trie.LongestMatch(IPv4Addr{10, 1, 2, 3});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->second, 3);
+  EXPECT_EQ(m->first.length(), 24);
+
+  m = trie.LongestMatch(IPv4Addr{10, 1, 3, 4});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->second, 2);
+
+  m = trie.LongestMatch(IPv4Addr{10, 200, 0, 1});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->second, 1);
+
+  EXPECT_FALSE(trie.LongestMatch(IPv4Addr{11, 0, 0, 0}).has_value());
+}
+
+TEST(PrefixTrie, DefaultRouteMatchesEverything) {
+  PrefixTrie<int> trie;
+  trie.Insert(Prefix{IPv4Addr{0u}, 0}, 7);
+  auto m = trie.LongestMatch(IPv4Addr{255, 255, 255, 255});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->second, 7);
+}
+
+TEST(PrefixTrie, HostRoute) {
+  PrefixTrie<int> trie;
+  trie.Insert(Prefix{IPv4Addr{1, 2, 3, 4}, 32}, 9);
+  EXPECT_TRUE(trie.LongestMatch(IPv4Addr{1, 2, 3, 4}).has_value());
+  EXPECT_FALSE(trie.LongestMatch(IPv4Addr{1, 2, 3, 5}).has_value());
+}
+
+TEST(PrefixTrie, ForEachVisitsAllInOrder) {
+  PrefixTrie<int> trie;
+  std::vector<Prefix> inserted = {
+      Prefix{IPv4Addr{10, 0, 0, 0}, 8},
+      Prefix{IPv4Addr{10, 1, 0, 0}, 16},
+      Prefix{IPv4Addr{192, 168, 0, 0}, 16},
+      Prefix{IPv4Addr{0u}, 0},
+  };
+  for (std::size_t i = 0; i < inserted.size(); ++i) {
+    trie.Insert(inserted[i], static_cast<int>(i));
+  }
+  std::vector<Prefix> visited;
+  trie.ForEach([&](Prefix p, int) { visited.push_back(p); });
+  EXPECT_EQ(visited.size(), inserted.size());
+  for (const Prefix& p : inserted) {
+    EXPECT_NE(std::find(visited.begin(), visited.end(), p), visited.end());
+  }
+}
+
+// Property test: LongestMatch agrees with a brute-force linear scan over a
+// random route table.
+TEST(PrefixTrie, LongestMatchAgreesWithLinearOracle) {
+  rng::Xoshiro256 g{12345};
+  PrefixTrie<std::uint32_t> trie;
+  std::vector<std::pair<Prefix, std::uint32_t>> routes;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    Prefix p{IPv4Addr{static_cast<std::uint32_t>(g())},
+             static_cast<int>(g.NextBounded(25)) + 8};
+    if (trie.Insert(p, i)) {
+      routes.emplace_back(p, i);
+    } else {
+      // Overwrite: update the oracle too.
+      for (auto& [rp, rv] : routes) {
+        if (rp == p) rv = i;
+      }
+    }
+  }
+  for (int probe = 0; probe < 5000; ++probe) {
+    IPv4Addr addr{static_cast<std::uint32_t>(g())};
+    const std::uint32_t* best = nullptr;
+    int best_len = -1;
+    for (const auto& [p, v] : routes) {
+      if (p.Contains(addr) && p.length() > best_len) {
+        best = &v;
+        best_len = p.length();
+      }
+    }
+    auto m = trie.LongestMatch(addr);
+    if (best == nullptr) {
+      EXPECT_FALSE(m.has_value());
+    } else {
+      ASSERT_TRUE(m.has_value());
+      EXPECT_EQ(*m->second, *best);
+      EXPECT_EQ(m->first.length(), best_len);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ipscope::net

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "rdns/ptr.h"
+#include "rdns/tagger.h"
+#include "sim/world.h"
+
+namespace ipscope::rdns {
+namespace {
+
+sim::World& TestWorld() {
+  static sim::World world{[] {
+    sim::WorldConfig config;
+    config.target_client_blocks = 800;
+    return config;
+  }()};
+  return world;
+}
+
+TEST(Ptr, Deterministic) {
+  PtrGenerator gen{TestWorld()};
+  net::IPv4Addr addr = TestWorld().blocks()[0].block.network();
+  EXPECT_EQ(gen.PtrName(addr), gen.PtrName(addr));
+}
+
+TEST(Ptr, UnallocatedSpaceHasNoRecords) {
+  PtrGenerator gen{TestWorld()};
+  EXPECT_EQ(gen.PtrName(net::IPv4Addr{255, 255, 255, 255}), "");
+}
+
+TEST(Ptr, NamesEmbedTheAddress) {
+  PtrGenerator gen{TestWorld()};
+  for (const sim::BlockPlan& plan : TestWorld().blocks()) {
+    auto names = gen.BlockNames(net::BlockKeyOf(plan.block));
+    if (names.empty()) continue;
+    // Dashed-quad of the network address appears in the first host's name.
+    std::string quad = plan.block.network().ToString();
+    std::replace(quad.begin(), quad.end(), '.', '-');
+    bool found = false;
+    for (const auto& name : names) {
+      if (name.find('-') != std::string::npos) found = true;
+    }
+    EXPECT_TRUE(found);
+    return;
+  }
+}
+
+TEST(Tagger, ClassifyName) {
+  EXPECT_EQ(Tagger::ClassifyName("host-1-2-3-4.static.as1.example.net"),
+            RdnsTag::kStatic);
+  EXPECT_EQ(Tagger::ClassifyName("pool-1-2-3-4.dynamic.as1.example.net"),
+            RdnsTag::kDynamic);
+  EXPECT_EQ(Tagger::ClassifyName("dsl-1-2-3-4.dyn.as1.example.net"),
+            RdnsTag::kDynamic);
+  EXPECT_EQ(Tagger::ClassifyName("ppp-1-2-3-4.dialup.as1.example.net"),
+            RdnsTag::kDynamic);
+  EXPECT_EQ(Tagger::ClassifyName("srv-1-2-3-4.dc.as1.example.net"),
+            RdnsTag::kUntagged);
+  EXPECT_EQ(Tagger::ClassifyName(""), RdnsTag::kUntagged);
+}
+
+TEST(Tagger, RequiresMinimumNames) {
+  Tagger tagger{8, 0.6};
+  std::vector<std::string> few{"a.static.x", "b.static.x"};
+  EXPECT_EQ(tagger.TagBlock(few), RdnsTag::kUntagged);
+}
+
+TEST(Tagger, RequiresConsistency) {
+  Tagger tagger{4, 0.6};
+  std::vector<std::string> mixed{"a.static.x", "b.dynamic.x", "c.static.x",
+                                 "d.dynamic.x"};
+  EXPECT_EQ(tagger.TagBlock(mixed), RdnsTag::kUntagged);
+  std::vector<std::string> consistent{"a.static.x", "b.static.x",
+                                      "c.static.x", "d.generic.x"};
+  EXPECT_EQ(tagger.TagBlock(consistent), RdnsTag::kStatic);
+}
+
+TEST(Tagger, GroundTruthPrecision) {
+  // The paper's methodology, validated: blocks tagged static/dynamic must
+  // overwhelmingly have the matching true policy.
+  const sim::World& world = TestWorld();
+  PtrGenerator gen{world};
+  Tagger tagger;
+
+  std::uint64_t static_right = 0, static_wrong = 0;
+  std::uint64_t dynamic_right = 0, dynamic_wrong = 0;
+  for (const sim::BlockPlan& plan : world.blocks()) {
+    auto names = gen.BlockNames(net::BlockKeyOf(plan.block));
+    RdnsTag tag = tagger.TagBlock(names);
+    bool truly_static = plan.base.kind == sim::PolicyKind::kStatic;
+    bool truly_dynamic = plan.base.kind == sim::PolicyKind::kDynamicShort ||
+                         plan.base.kind == sim::PolicyKind::kDynamicLong;
+    if (tag == RdnsTag::kStatic) {
+      (truly_static ? static_right : static_wrong) += 1;
+    } else if (tag == RdnsTag::kDynamic) {
+      (truly_dynamic ? dynamic_right : dynamic_wrong) += 1;
+    }
+  }
+  ASSERT_GT(static_right + static_wrong, 20u);
+  ASSERT_GT(dynamic_right + dynamic_wrong, 20u);
+  EXPECT_GT(static_right, 30 * static_wrong);
+  EXPECT_GT(dynamic_right, 30 * dynamic_wrong);
+}
+
+TEST(Tagger, CoverageIsRealisticallyIncomplete) {
+  // Some blocks have no PTR zone or generic names -> untagged.
+  const sim::World& world = TestWorld();
+  PtrGenerator gen{world};
+  Tagger tagger;
+  std::uint64_t client = 0, tagged = 0;
+  for (const sim::BlockPlan& plan : world.blocks()) {
+    if (!sim::IsClientPolicy(plan.base.kind)) continue;
+    ++client;
+    auto names = gen.BlockNames(net::BlockKeyOf(plan.block));
+    if (tagger.TagBlock(names) != RdnsTag::kUntagged) ++tagged;
+  }
+  EXPECT_GT(tagged, client / 3);
+  EXPECT_LT(tagged, client);  // CGN blocks and noisy zones stay untagged
+}
+
+TEST(Tagger, TagBlocksHelper) {
+  const sim::World& world = TestWorld();
+  PtrGenerator gen{world};
+  std::vector<net::BlockKey> keys;
+  for (const sim::BlockPlan& plan : world.blocks()) {
+    keys.push_back(net::BlockKeyOf(plan.block));
+  }
+  TaggedBlocks tagged = TagBlocks(gen, keys);
+  EXPECT_FALSE(tagged.static_blocks.empty());
+  EXPECT_FALSE(tagged.dynamic_blocks.empty());
+  EXPECT_LT(tagged.static_blocks.size() + tagged.dynamic_blocks.size(),
+            keys.size());
+}
+
+}  // namespace
+}  // namespace ipscope::rdns

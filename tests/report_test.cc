@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/csv.h"
+#include "report/table.h"
+#include "report/textplot.h"
+
+namespace ipscope::report {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "long-header"});
+  t.AddRow({"xxxxx", "1"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("| a     | long-header |"), std::string::npos);
+  EXPECT_NE(out.find("| xxxxx | 1           |"), std::string::npos);
+}
+
+TEST(Table, PadsMissingCells) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NE(os.str().find("| 1 |"), std::string::npos);
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1234567890), "1,234,567,890");
+}
+
+TEST(Format, Si) {
+  EXPECT_EQ(FormatSi(950), "950.0");
+  EXPECT_EQ(FormatSi(1500), "1.5K");
+  EXPECT_EQ(FormatSi(2500000), "2.5M");
+  EXPECT_EQ(FormatSi(1.2e9), "1.2B");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(FormatPercent(0.421), "42.1%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"a", "b"});
+  csv.AddRow({"plain", "with,comma"});
+  csv.AddRow({"with\"quote", "x"});
+  std::string out = os.str();
+  EXPECT_NE(out.find("a,b\n"), std::string::npos);
+  EXPECT_NE(out.find("plain,\"with,comma\"\n"), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\",x\n"), std::string::npos);
+}
+
+TEST(TextPlot, ActivityMatrixRendering) {
+  activity::ActivityMatrix m{10};
+  for (int d = 0; d < 10; ++d) m.Set(d, 0);
+  auto lines = RenderActivityMatrix(m, 4);
+  ASSERT_EQ(lines.size(), 64u);  // 256 / 4 rows
+  EXPECT_EQ(lines[0], "##########");
+  EXPECT_EQ(lines[1], "..........");
+}
+
+TEST(TextPlot, CdfRendering) {
+  std::vector<stats::CdfPoint> cdf{{0.0, 0.1}, {0.5, 0.5}, {1.0, 1.0}};
+  auto grid = RenderCdf(cdf, 10, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  // Highest CDF point lands in the top row, rightmost column.
+  EXPECT_EQ(grid[0][9], '*');
+  // Lowest point (f = 0.1) maps to row floor((1 - 0.1) * 4) = 3, column 0.
+  EXPECT_EQ(grid[3][0], '*');
+}
+
+TEST(TextPlot, BarsScaleToMax) {
+  std::vector<std::string> labels{"a", "bb"};
+  std::vector<double> values{1.0, 2.0};
+  auto bars = RenderBars(labels, values, 10);
+  ASSERT_EQ(bars.size(), 2u);
+  // The max value fills the full width; the half value, half of it.
+  EXPECT_NE(bars[1].find("##########"), std::string::npos);
+  EXPECT_NE(bars[0].find("#####"), std::string::npos);
+  EXPECT_EQ(bars[0].find("######"), std::string::npos);
+}
+
+TEST(TextPlot, Sparkline) {
+  std::vector<double> flat{1, 1, 1};
+  std::string s = RenderSparkline(flat);
+  EXPECT_EQ(s.size(), 3u);
+  std::vector<double> ramp{0, 1, 2, 3};
+  std::string r = RenderSparkline(ramp);
+  EXPECT_EQ(r.front(), ' ');
+  EXPECT_EQ(r.back(), '#');
+  EXPECT_EQ(RenderSparkline({}), "");
+}
+
+}  // namespace
+}  // namespace ipscope::report

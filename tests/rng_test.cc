@@ -1,0 +1,139 @@
+#include "rng/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ipscope::rng {
+namespace {
+
+TEST(Rng, SplitMixDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(SplitMix64Next(s1), SplitMix64Next(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Rng, SubstreamIsDeterministicAndTagSensitive) {
+  EXPECT_EQ(Substream(1, 2, 3), Substream(1, 2, 3));
+  EXPECT_NE(Substream(1, 2, 3), Substream(1, 3, 2));
+  EXPECT_NE(Substream(1, 2, 3), Substream(2, 2, 3));
+  EXPECT_NE(Substream(1, 2), Substream(1, 2, 0));
+}
+
+TEST(Rng, XoshiroDeterministic) {
+  Xoshiro256 a{7}, b{7};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, XoshiroDifferentSeedsDiverge) {
+  Xoshiro256 a{7}, b{8};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 g{1};
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = g.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoundedInRange) {
+  Xoshiro256 g{2};
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    std::uint32_t v = g.NextBounded(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_GT(c, 800);  // roughly uniform
+}
+
+TEST(Rng, NormalMoments) {
+  Xoshiro256 g{3};
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = NextNormal(g);
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, BinomialMeanSmallAndLarge) {
+  Xoshiro256 g{4};
+  // Small n: exact per-trial path.
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    sum += static_cast<double>(NextBinomial(g, 20, 0.3));
+  }
+  EXPECT_NEAR(sum / 5000, 6.0, 0.15);
+  // Large n, small p: inversion path.
+  sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    sum += static_cast<double>(NextBinomial(g, 10000, 0.001));
+  }
+  EXPECT_NEAR(sum / 5000, 10.0, 0.4);
+  // Large n, large np: normal approximation path.
+  sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    auto v = NextBinomial(g, 1000, 0.5);
+    ASSERT_LE(v, 1000u);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / 5000, 500.0, 3.0);
+}
+
+TEST(Rng, BinomialEdgeCases) {
+  Xoshiro256 g{5};
+  EXPECT_EQ(NextBinomial(g, 0, 0.5), 0u);
+  EXPECT_EQ(NextBinomial(g, 100, 0.0), 0u);
+  EXPECT_EQ(NextBinomial(g, 100, 1.0), 100u);
+  EXPECT_EQ(NextBinomial(g, 100, -0.1), 0u);
+}
+
+TEST(Rng, PoissonMean) {
+  Xoshiro256 g{6};
+  for (double lambda : {0.5, 5.0, 100.0}) {
+    double sum = 0;
+    for (int i = 0; i < 5000; ++i) {
+      sum += static_cast<double>(NextPoisson(g, lambda));
+    }
+    EXPECT_NEAR(sum / 5000, lambda, std::max(0.1, lambda * 0.05)) << lambda;
+  }
+  EXPECT_EQ(NextPoisson(g, 0.0), 0u);
+}
+
+TEST(Rng, LogNormalMedian) {
+  Xoshiro256 g{7};
+  std::vector<double> values;
+  for (int i = 0; i < 10001; ++i) values.push_back(NextLogNormal(g, 3.0, 1.0));
+  std::nth_element(values.begin(), values.begin() + 5000, values.end());
+  // Median of lognormal(mu, sigma) is exp(mu).
+  EXPECT_NEAR(values[5000], std::exp(3.0), std::exp(3.0) * 0.1);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Xoshiro256 g{8};
+  ZipfSampler zipf{1000, 1.0};
+  std::uint64_t low = 0, total = 5000;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    std::uint32_t k = zipf(g);
+    ASSERT_LT(k, 1000u);
+    low += k < 10;
+  }
+  // Under Zipf(s=1) the top-10 ranks carry far more than 1% of the mass.
+  EXPECT_GT(low, total / 10);
+}
+
+}  // namespace
+}  // namespace ipscope::rng

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "cdn/observatory.h"
+#include "geo/country.h"
+#include "scan/icmp.h"
+#include "scan/portscan.h"
+#include "scan/traceroute.h"
+#include "sim/world.h"
+
+namespace ipscope::scan {
+namespace {
+
+sim::World& TestWorld() {
+  static sim::World world{[] {
+    sim::WorldConfig config;
+    // Large enough that per-country response-rate estimates stabilize.
+    config.target_client_blocks = 1200;
+    return config;
+  }()};
+  return world;
+}
+
+TEST(IcmpScan, Deterministic) {
+  IcmpScanner scanner{TestWorld()};
+  EXPECT_EQ(scanner.Scan(280), scanner.Scan(280));
+}
+
+TEST(IcmpScan, MonthUnionSupersetOfSingleScan) {
+  IcmpScanner scanner{TestWorld()};
+  net::Ipv4Set single = scanner.Scan(273);
+  net::Ipv4Set month = scanner.ScanMonth(273, 31, 8);
+  EXPECT_GE(month.Count(), single.Count());
+  // Every address in the first snapshot appears in the union.
+  EXPECT_EQ(single.CountIntersect(month), single.Count());
+}
+
+TEST(IcmpScan, InfrastructureRespondsWithoutCdnActivity) {
+  const sim::World& world = TestWorld();
+  IcmpScanner scanner{world};
+  net::Ipv4Set scan = scanner.Scan(280);
+  // Find a middlebox block: nearly the whole /24 must respond.
+  for (const sim::BlockPlan& plan : world.blocks()) {
+    if (plan.base.kind == sim::PolicyKind::kMiddlebox) {
+      std::uint64_t responders = 0;
+      for (int h = 0; h < 256; ++h) {
+        responders += scan.Contains(net::IPv4Addr{
+            plan.block.network().value() + static_cast<std::uint32_t>(h)});
+      }
+      EXPECT_GT(responders, 200u) << plan.block;
+      return;
+    }
+  }
+  GTEST_SKIP() << "no middlebox block in this world";
+}
+
+TEST(IcmpScan, UnusedSpaceIsSilent) {
+  const sim::World& world = TestWorld();
+  IcmpScanner scanner{world};
+  net::Ipv4Set scan = scanner.Scan(280);
+  for (const sim::BlockPlan& plan : world.blocks()) {
+    if (plan.base.kind == sim::PolicyKind::kUnused &&
+        !plan.HasReconfiguration()) {
+      EXPECT_FALSE(scan.Intersects(plan.block)) << plan.block;
+    }
+  }
+}
+
+TEST(IcmpScan, CountryResponseRatesOrdered) {
+  // CN-like (0.8) client blocks must respond far more than JP-like (0.25).
+  const sim::World& world = TestWorld();
+  IcmpScanner scanner{world};
+  net::Ipv4Set month = scanner.ScanMonth(273, 31, 8);
+  auto store = cdn::Observatory::Daily(world).BuildStore();
+  net::Ipv4Set cdn = store.ActiveSet(45, 76);
+
+  auto rate_for = [&](const char* code) {
+    int ci = geo::CountryIndex(code);
+    auto region = world.registry().CountryRegion(ci);
+    net::Ipv4Set country;
+    country.AddRange(region.first_block << 8,
+                     (region.last_block << 8) | 0xFFu);
+    net::Ipv4Set active = cdn.Intersect(country);
+    if (active.Count() < 2000) return -1.0;  // not enough signal
+    return static_cast<double>(active.CountIntersect(month)) /
+           static_cast<double>(active.Count());
+  };
+  double cn = rate_for("CN");
+  double jp = rate_for("JP");
+  if (cn < 0 || jp < 0) GTEST_SKIP() << "world too small for country rates";
+  EXPECT_GT(cn, jp + 0.2);
+  EXPECT_GT(cn, 0.5);
+  EXPECT_LT(jp, 0.45);
+}
+
+TEST(PortScan, OnlyServersRespond) {
+  const sim::World& world = TestWorld();
+  PortScanner scanner{world};
+  net::Ipv4Set services = scanner.ScanServices(280);
+  EXPECT_FALSE(services.Empty());
+  for (const sim::BlockPlan& plan : world.blocks()) {
+    if (plan.base.kind == sim::PolicyKind::kDynamicShort ||
+        plan.base.kind == sim::PolicyKind::kCgnGateway) {
+      EXPECT_FALSE(services.Intersects(plan.block)) << plan.block;
+    }
+    if (plan.base.kind == sim::PolicyKind::kServerFarm) {
+      EXPECT_TRUE(services.Intersects(plan.block)) << plan.block;
+    }
+  }
+}
+
+TEST(Traceroute, RouterBlocksDominate) {
+  const sim::World& world = TestWorld();
+  TracerouteCampaign campaign{world};
+  net::Ipv4Set routers = campaign.RouterAddresses(273);
+  EXPECT_FALSE(routers.Empty());
+  std::uint64_t in_router_blocks = 0;
+  for (const sim::BlockPlan& plan : world.blocks()) {
+    if (plan.base.kind == sim::PolicyKind::kRouterInfra) {
+      net::Ipv4Set block;
+      block.Add(plan.block);
+      in_router_blocks += routers.CountIntersect(block);
+    }
+    if (plan.base.kind == sim::PolicyKind::kMiddlebox) {
+      EXPECT_FALSE(routers.Intersects(plan.block));
+    }
+  }
+  EXPECT_GT(in_router_blocks, routers.Count() / 2);
+}
+
+TEST(IcmpScan, ClientVisibilityRequiresRecentActivity) {
+  // The census claim: a large share of CDN-active clients do NOT respond
+  // (NAT/firewalls), and infra-only responders exist.
+  const sim::World& world = TestWorld();
+  IcmpScanner scanner{world};
+  auto store = cdn::Observatory::Daily(world).BuildStore();
+  net::Ipv4Set cdn = store.ActiveSet(45, 76);
+  net::Ipv4Set icmp = scanner.ScanMonth(273, 31, 8);
+  std::uint64_t both = cdn.CountIntersect(icmp);
+  std::uint64_t cdn_only = cdn.Count() - both;
+  std::uint64_t icmp_only = icmp.Count() - both;
+  EXPECT_GT(cdn_only, cdn.Count() / 4);  // paper: >40% — we require >25%
+  EXPECT_GT(icmp_only, 0u);
+  EXPECT_GT(both, 0u);
+}
+
+}  // namespace
+}  // namespace ipscope::scan

@@ -1,0 +1,138 @@
+#include "scan/trinocular.h"
+
+#include <gtest/gtest.h>
+
+namespace ipscope::scan {
+namespace {
+
+sim::World& TestWorld() {
+  static sim::World world{[] {
+    sim::WorldConfig config;
+    config.target_client_blocks = 400;
+    // Plenty of deactivations to detect.
+    config.deactivate_rate_per_year = 0.15;
+    return config;
+  }()};
+  return world;
+}
+
+TEST(IcmpProbe, ConsistentWithFullScan) {
+  IcmpScanner scanner{TestWorld()};
+  net::Ipv4Set scan = scanner.Scan(280);
+  // Every sampled member responds to a targeted probe, and vice versa.
+  int checked = 0;
+  scan.ForEach([&](net::IPv4Addr addr) {
+    if (checked < 200) {
+      EXPECT_TRUE(scanner.Probe(addr, 280)) << addr;
+      ++checked;
+    }
+  });
+  EXPECT_GT(checked, 50);
+  // Spot-check non-responders.
+  int negatives = 0;
+  for (const sim::BlockPlan& plan : TestWorld().blocks()) {
+    net::IPv4Addr addr{plan.block.network().value() + 200};
+    if (!scan.Contains(addr)) {
+      EXPECT_FALSE(scanner.Probe(addr, 280)) << addr;
+      if (++negatives > 50) break;
+    }
+  }
+  EXPECT_GT(negatives, 10);
+}
+
+TEST(IcmpProbe, UnallocatedAddressNeverResponds) {
+  IcmpScanner scanner{TestWorld()};
+  EXPECT_FALSE(scanner.Probe(net::IPv4Addr{203, 0, 113, 1}, 280));
+}
+
+TEST(Trinocular, CoversRespondingBlocks) {
+  TrinocularMonitor monitor{TestWorld()};
+  EXPECT_GT(monitor.covered_blocks(), 100u);
+}
+
+TEST(Trinocular, StableBlocksReportedUpCheaply) {
+  TrinocularConfig config;
+  TrinocularMonitor monitor{TestWorld(), config};
+  auto result = monitor.Monitor(230, 260);
+  ASSERT_FALSE(result.timelines.empty());
+  EXPECT_EQ(result.days, 30);
+
+  // Collect ground-truth "up for the whole window" blocks.
+  std::uint64_t up_days = 0, total_days = 0, down_days = 0;
+  for (const BlockTimeline& timeline : result.timelines) {
+    const sim::BlockPlan* plan = nullptr;
+    for (const sim::BlockPlan& p : TestWorld().blocks()) {
+      if (net::BlockKeyOf(p.block) == timeline.key) {
+        plan = &p;
+        break;
+      }
+    }
+    ASSERT_NE(plan, nullptr);
+    bool truly_up_throughout =
+        plan->active_from <= 230 && plan->active_until >= 260;
+    if (!truly_up_throughout) continue;
+    for (BlockState s : timeline.state) {
+      ++total_days;
+      if (s == BlockState::kUp) ++up_days;
+      if (s == BlockState::kDown) ++down_days;
+    }
+  }
+  ASSERT_GT(total_days, 500u);
+  // False-outage rate must be small. It is not zero: the survey-learned
+  // tracked set E(b) itself churns (customer turnover), so some up blocks
+  // stop answering on their tracked addresses — the real system's
+  // motivation for periodically re-learning E(b).
+  EXPECT_LT(static_cast<double>(down_days) / total_days, 0.05);
+  EXPECT_GT(static_cast<double>(up_days) / total_days, 0.90);
+  // Adaptive probing: far below the 256 probes of a full block scan, and
+  // even well below the 15-probe budget on average.
+  EXPECT_LT(result.MeanProbesPerBlockDay(), 8.0);
+}
+
+TEST(Trinocular, DetectsDeactivation) {
+  TrinocularMonitor monitor{TestWorld()};
+  // Find client blocks deactivating inside the monitoring window.
+  int found = 0, detected = 0;
+  auto result = monitor.Monitor(230, 330);
+  for (const BlockTimeline& timeline : result.timelines) {
+    const sim::BlockPlan* plan = nullptr;
+    for (const sim::BlockPlan& p : TestWorld().blocks()) {
+      if (net::BlockKeyOf(p.block) == timeline.key) {
+        plan = &p;
+        break;
+      }
+    }
+    ASSERT_NE(plan, nullptr);
+    if (!sim::IsClientPolicy(plan->base.kind)) continue;
+    std::int32_t down_day = plan->active_until;
+    if (down_day < 240 || down_day > 320) continue;
+    ++found;
+    // Inferred down at some point after the true event (within 10 days).
+    bool saw_down = false;
+    for (int d = static_cast<int>(down_day) - 230;
+         d < std::min(result.days, static_cast<int>(down_day) - 230 + 10);
+         ++d) {
+      if (timeline.state[static_cast<std::size_t>(d)] == BlockState::kDown) {
+        saw_down = true;
+      }
+    }
+    detected += saw_down;
+  }
+  ASSERT_GT(found, 3);
+  EXPECT_GE(detected * 10, found * 7);  // >= 70% detected within 10 days
+}
+
+TEST(Trinocular, Deterministic) {
+  TrinocularMonitor a{TestWorld()};
+  TrinocularMonitor b{TestWorld()};
+  auto ra = a.Monitor(240, 250);
+  auto rb = b.Monitor(240, 250);
+  ASSERT_EQ(ra.timelines.size(), rb.timelines.size());
+  EXPECT_EQ(ra.total_probes, rb.total_probes);
+  for (std::size_t i = 0; i < ra.timelines.size(); ++i) {
+    EXPECT_EQ(ra.timelines[i].state, rb.timelines[i].state);
+  }
+}
+
+}  // namespace
+}  // namespace ipscope::scan

@@ -1,0 +1,74 @@
+#include "scan/zmap_order.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ipscope::scan {
+namespace {
+
+TEST(ZmapOrder, InverseRoundTrip) {
+  AddressPermutation perm{42};
+  for (std::uint64_t i = 0; i < 0x100000000ull; i += 0x01234567ull) {
+    auto index = static_cast<std::uint32_t>(i);
+    net::IPv4Addr addr = perm.AddressAt(index);
+    EXPECT_EQ(perm.IndexOf(addr), index);
+  }
+}
+
+TEST(ZmapOrder, NoDuplicatesInWindow) {
+  AddressPermutation perm{7};
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t i = 0; i < 100000; ++i) {
+    EXPECT_TRUE(seen.insert(perm.AddressAt(i).value()).second) << i;
+  }
+}
+
+TEST(ZmapOrder, SeedsProduceDifferentOrders) {
+  AddressPermutation a{1}, b{2};
+  int same = 0;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    same += a.AddressAt(i) == b.AddressAt(i);
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(ZmapOrder, ConsecutiveIndicesScatterAcrossSpace) {
+  // The scanner property: neighbouring scan positions must not probe
+  // neighbouring networks. Check that consecutive outputs land in many
+  // distinct /8s.
+  AddressPermutation perm{99};
+  std::set<int> first_octets;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    first_octets.insert(perm.AddressAt(i).octet(0));
+  }
+  EXPECT_GT(first_octets.size(), 150u);
+}
+
+TEST(ZmapOrder, CoverageOfSmallPrefixIsProportional) {
+  // Scanning ~1/256 of the index space should hit ~1/256 of any /8.
+  AddressPermutation perm{1234};
+  std::uint32_t budget = 1u << 24;  // 1/256 of the space
+  std::uint64_t in_ten_slash8 = 0;
+  // Sample every 64th index to keep the test fast (2^18 probes).
+  for (std::uint32_t i = 0; i < budget; i += 64) {
+    if (perm.AddressAt(i).octet(0) == 10) ++in_ten_slash8;
+  }
+  double expected = (budget / 64.0) / 256.0;
+  EXPECT_NEAR(static_cast<double>(in_ten_slash8), expected, expected * 0.15);
+}
+
+TEST(ZmapOrder, ForScanChunkVisitsInOrder) {
+  AddressPermutation perm{5};
+  std::vector<net::IPv4Addr> chunk;
+  ForScanChunk(perm, 1000, 16,
+               [&](net::IPv4Addr addr) { chunk.push_back(addr); });
+  ASSERT_EQ(chunk.size(), 16u);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(chunk[i], perm.AddressAt(1000 + i));
+  }
+}
+
+}  // namespace
+}  // namespace ipscope::scan

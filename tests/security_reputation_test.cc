@@ -1,0 +1,103 @@
+#include "security/reputation.h"
+
+#include <gtest/gtest.h>
+
+namespace ipscope::security {
+namespace {
+
+TEST(ReputationStore, MarkAndExpire) {
+  ReputationStore store;
+  net::IPv4Addr addr{10, 0, 0, 1};
+  EXPECT_FALSE(store.IsBad(addr, 100, 30));
+  store.MarkBad(addr, 100);
+  EXPECT_TRUE(store.IsBad(addr, 100, 30));
+  EXPECT_TRUE(store.IsBad(addr, 130, 30));
+  EXPECT_FALSE(store.IsBad(addr, 131, 30));
+  // Re-marking refreshes the clock.
+  store.MarkBad(addr, 140);
+  EXPECT_TRUE(store.IsBad(addr, 160, 30));
+}
+
+TEST(ReputationStore, MarkBadKeepsLatestDay) {
+  ReputationStore store;
+  net::IPv4Addr addr{10, 0, 0, 2};
+  store.MarkBad(addr, 100);
+  store.MarkBad(addr, 50);  // older evidence must not rewind expiry
+  EXPECT_TRUE(store.IsBad(addr, 120, 30));
+}
+
+TEST(ReputationStore, ResetBlockDropsOnlyThatBlock) {
+  ReputationStore store;
+  store.MarkBad(net::IPv4Addr{10, 0, 0, 1}, 10);
+  store.MarkBad(net::IPv4Addr{10, 0, 0, 2}, 10);
+  store.MarkBad(net::IPv4Addr{10, 0, 1, 1}, 10);
+  EXPECT_EQ(store.size(), 3u);
+  store.ResetBlock(net::BlockKeyOf(net::IPv4Addr{10, 0, 0, 0}));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_FALSE(store.IsBad(net::IPv4Addr{10, 0, 0, 1}, 11, 1e9));
+  EXPECT_TRUE(store.IsBad(net::IPv4Addr{10, 0, 1, 1}, 11, 1e9));
+}
+
+TEST(Reputation, PatternTtlOrdering) {
+  using activity::BlockPattern;
+  EXPECT_LT(PatternTtlDays(BlockPattern::kFullyUtilized),
+            PatternTtlDays(BlockPattern::kDynamicShortLease));
+  EXPECT_LT(PatternTtlDays(BlockPattern::kDynamicShortLease),
+            PatternTtlDays(BlockPattern::kDynamicLongLease));
+  EXPECT_LT(PatternTtlDays(BlockPattern::kDynamicLongLease),
+            PatternTtlDays(BlockPattern::kStaticSparse));
+}
+
+class ReputationSim : public ::testing::Test {
+ protected:
+  static const cdn::Observatory& Daily() {
+    static sim::WorldConfig config = [] {
+      sim::WorldConfig c;
+      c.target_client_blocks = 400;
+      return c;
+    }();
+    static sim::World world{config};
+    static cdn::Observatory daily = cdn::Observatory::Daily(world);
+    return daily;
+  }
+};
+
+TEST_F(ReputationSim, NeverExpireMaximizesCollateralDamage) {
+  auto never = EvaluateReputationPolicy(Daily(), TtlPolicy::kNever);
+  auto one_day = EvaluateReputationPolicy(Daily(), TtlPolicy::kFixed, 1.0);
+  ASSERT_GT(never.abuse_events, 100u);
+  // Same abuse stream in both runs (determinism across policies).
+  EXPECT_EQ(never.abuse_events, one_day.abuse_events);
+  // Never-expiring reputations punish far more innocent interactions...
+  EXPECT_GT(never.FalsePositiveRate(), one_day.FalsePositiveRate() * 3);
+  // ...while catching at least as many abusers.
+  EXPECT_GE(never.blocked_abuser, one_day.blocked_abuser);
+}
+
+TEST_F(ReputationSim, PatternTtlBeatsFixedTradeoff) {
+  auto fixed30 = EvaluateReputationPolicy(Daily(), TtlPolicy::kFixed, 30.0);
+  auto pattern = EvaluateReputationPolicy(Daily(), TtlPolicy::kPattern);
+  // Pattern-aware TTLs cut collateral damage dramatically vs a 30-day TTL.
+  EXPECT_LT(pattern.FalsePositiveRate(), fixed30.FalsePositiveRate() * 0.6);
+  // Abuser coverage cannot collapse: the miss-rate penalty stays bounded.
+  EXPECT_LT(pattern.MissRate(), fixed30.MissRate() + 0.35);
+}
+
+TEST_F(ReputationSim, ChangeTriggeredResetsReduceFalsePositives) {
+  auto pattern = EvaluateReputationPolicy(Daily(), TtlPolicy::kPattern);
+  auto with_reset =
+      EvaluateReputationPolicy(Daily(), TtlPolicy::kPatternReset);
+  EXPECT_LE(with_reset.blocked_innocent, pattern.blocked_innocent);
+}
+
+TEST_F(ReputationSim, RatesAreRates) {
+  auto eval = EvaluateReputationPolicy(Daily(), TtlPolicy::kFixed, 7.0);
+  EXPECT_GE(eval.FalsePositiveRate(), 0.0);
+  EXPECT_LE(eval.FalsePositiveRate(), 1.0);
+  EXPECT_GE(eval.MissRate(), 0.0);
+  EXPECT_LE(eval.MissRate(), 1.0);
+  EXPECT_GT(eval.innocent_queries, 1000u);
+}
+
+}  // namespace
+}  // namespace ipscope::security

@@ -1,0 +1,101 @@
+#include "sim/growth.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/ipv6note.h"
+
+namespace ipscope::sim {
+namespace {
+
+TEST(Growth, SeriesSpans2008To2016) {
+  auto growth = GenerateGrowthHistory(1);
+  ASSERT_FALSE(growth.series.empty());
+  EXPECT_EQ(growth.series.front().year, 2008);
+  EXPECT_EQ(growth.series.front().month, 1);
+  EXPECT_EQ(growth.series.back().year, 2016);
+  EXPECT_EQ(growth.series.back().month, 6);
+  EXPECT_EQ(growth.series.size(), 102u);
+}
+
+TEST(Growth, Deterministic) {
+  auto a = GenerateGrowthHistory(7);
+  auto b = GenerateGrowthHistory(7);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.series[i].active_ips, b.series[i].active_ips);
+  }
+}
+
+TEST(Growth, LinearGrowthThenStagnation) {
+  auto growth = GenerateGrowthHistory(42);
+  // The pre-2014 fit should be strongly linear with positive slope.
+  EXPECT_GT(growth.pre2014_fit.slope, 5e6);
+  EXPECT_GT(growth.pre2014_fit.r_squared, 0.98);
+
+  // Post-2014 observed values fall increasingly below the extrapolation.
+  double last_predicted =
+      growth.pre2014_fit.At(static_cast<double>(growth.series.size() - 1));
+  double last_observed = growth.series.back().active_ips;
+  EXPECT_LT(last_observed, last_predicted * 0.92);
+
+  // But 2013 values track the fit closely.
+  for (std::size_t m = 60; m < 72; ++m) {
+    double predicted = growth.pre2014_fit.At(static_cast<double>(m));
+    EXPECT_NEAR(growth.series[m].active_ips, predicted, predicted * 0.06);
+  }
+}
+
+TEST(Growth, ScaleMultiplies) {
+  auto full = GenerateGrowthHistory(9, 1.0);
+  auto small = GenerateGrowthHistory(9, 0.01);
+  for (std::size_t i = 0; i < full.series.size(); ++i) {
+    EXPECT_NEAR(small.series[i].active_ips,
+                full.series[i].active_ips * 0.01,
+                full.series[i].active_ips * 0.01 * 1e-9);
+  }
+}
+
+TEST(Growth, PeakNearPaperScale) {
+  auto growth = GenerateGrowthHistory(3);
+  // Monthly actives peak near ~800M at paper scale.
+  double max_v = 0;
+  for (const auto& mc : growth.series) max_v = std::max(max_v, mc.active_ips);
+  EXPECT_GT(max_v, 7e8);
+  EXPECT_LT(max_v, 9.5e8);
+}
+
+TEST(Ipv6Note, DoublesAcrossTheYear) {
+  auto v6 = GenerateIpv6Growth(42);
+  ASSERT_EQ(v6.series.size(), 53u);
+  EXPECT_NEAR(v6.series.front().active_slash64s, 200e6, 20e6);
+  EXPECT_NEAR(v6.yearly_growth_factor, 2.0, 0.25);
+  // Monotone-ish growth: end far above start, no collapse in between.
+  for (const auto& wc : v6.series) {
+    EXPECT_GT(wc.active_slash64s, 150e6);
+    EXPECT_LT(wc.active_slash64s, 500e6);
+  }
+}
+
+TEST(Ipv6Note, DeterministicAndScalable) {
+  auto a = GenerateIpv6Growth(7);
+  auto b = GenerateIpv6Growth(7);
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.series[i].active_slash64s,
+                     b.series[i].active_slash64s);
+  }
+  auto small = GenerateIpv6Growth(7, 0.001);
+  EXPECT_NEAR(small.series[0].active_slash64s,
+              a.series[0].active_slash64s * 0.001, 1.0);
+}
+
+TEST(Growth, ExhaustionDatesAnnotated) {
+  auto dates = RirExhaustionDates();
+  ASSERT_EQ(dates.size(), 5u);
+  EXPECT_STREQ(dates[0].rir, "IANA");
+  EXPECT_EQ(dates[0].year, 2011);
+  EXPECT_STREQ(dates[4].rir, "ARIN");
+  EXPECT_EQ(dates[4].year, 2015);
+}
+
+}  // namespace
+}  // namespace ipscope::sim

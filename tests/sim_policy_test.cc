@@ -1,0 +1,402 @@
+#include "sim/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "rng/rng.h"
+#include "timeutil/date.h"
+
+namespace ipscope::sim {
+namespace {
+
+BlockPlan MakePlan(PolicyKind kind) {
+  BlockPlan plan;
+  plan.block = net::Prefix{net::IPv4Addr{10, 1, 2, 0}, 24};
+  plan.asn = 1234;
+  plan.country = 0;
+  plan.block_seed = 0xDEADBEEF;
+  for (std::size_t i = 0; i < plan.host_perm.size(); ++i) {
+    plan.host_perm[i] = static_cast<std::uint8_t>(i);
+  }
+  PolicyParams& p = plan.base;
+  p.kind = kind;
+  p.pool_size = 256;
+  p.subscribers = 256;
+  p.daily_p = 0.5f;
+  p.weekend_factor = 1.0f;
+  p.lease_days = 30;
+  p.occupancy = 0.9f;
+  p.hits_mu = 3.0f;
+  p.hits_sigma = 1.0f;
+  return plan;
+}
+
+StepSpec DailySpec() {
+  StepSpec spec;
+  spec.start_day = 228;
+  spec.step_days = 1;
+  spec.steps = 112;
+  spec.world_seed = 42;
+  spec.gateway_growth = 0.15;
+  return spec;
+}
+
+TEST(Policy, BitsAreDeterministic) {
+  BlockPlan plan = MakePlan(PolicyKind::kDynamicShort);
+  StepSpec spec = DailySpec();
+  activity::DayBits a, b;
+  GenerateStep(plan, spec, 17, a, nullptr);
+  GenerateStep(plan, spec, 17, b, nullptr);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Policy, BitsIndependentOfHitsRequest) {
+  // The invariant that lets the observatory regenerate hits on demand.
+  for (PolicyKind kind :
+       {PolicyKind::kStatic, PolicyKind::kDynamicShort,
+        PolicyKind::kDynamicLong, PolicyKind::kCgnGateway,
+        PolicyKind::kCrawlerBots, PolicyKind::kServerFarm}) {
+    BlockPlan plan = MakePlan(kind);
+    StepSpec spec = DailySpec();
+    std::uint32_t hits[256];
+    for (int step : {0, 5, 60, 111}) {
+      activity::DayBits without, with;
+      GenerateStep(plan, spec, step, without, nullptr);
+      GenerateStep(plan, spec, step, with, hits);
+      EXPECT_EQ(without, with) << PolicyKindName(kind) << " step " << step;
+    }
+  }
+}
+
+TEST(Policy, HitsOnlyOnActiveAddresses) {
+  BlockPlan plan = MakePlan(PolicyKind::kDynamicShort);
+  StepSpec spec = DailySpec();
+  std::uint32_t hits[256];
+  activity::DayBits bits;
+  GenerateStep(plan, spec, 3, bits, hits);
+  for (int h = 0; h < 256; ++h) {
+    if (activity::TestBit(bits, h)) {
+      EXPECT_GE(hits[h], 1u) << h;
+    } else {
+      EXPECT_EQ(hits[h], 0u) << h;
+    }
+  }
+}
+
+TEST(Policy, InfraPoliciesGenerateNoCdnActivity) {
+  for (PolicyKind kind : {PolicyKind::kUnused, PolicyKind::kRouterInfra,
+                          PolicyKind::kMiddlebox}) {
+    BlockPlan plan = MakePlan(kind);
+    StepSpec spec = DailySpec();
+    activity::DayBits bits;
+    for (int step = 0; step < 112; ++step) {
+      GenerateStep(plan, spec, step, bits, nullptr);
+      EXPECT_EQ(activity::PopCount(bits), 0) << PolicyKindName(kind);
+    }
+  }
+}
+
+TEST(Policy, StaticUsesOnlyPoolSlotsViaPermutation) {
+  BlockPlan plan = MakePlan(PolicyKind::kStatic);
+  plan.base.pool_size = 10;
+  // Reverse permutation: slots 0..9 map to hosts 255..246.
+  for (std::size_t i = 0; i < 256; ++i) {
+    plan.host_perm[i] = static_cast<std::uint8_t>(255 - i);
+  }
+  StepSpec spec = DailySpec();
+  activity::DayBits acc{};
+  for (int step = 0; step < 112; ++step) {
+    activity::DayBits bits;
+    GenerateStep(plan, spec, step, bits, nullptr);
+    acc = activity::OrBits(acc, bits);
+  }
+  for (int h = 0; h < 246; ++h) EXPECT_FALSE(activity::TestBit(acc, h));
+  EXPECT_GT(activity::PopCount(acc), 0);
+}
+
+TEST(Policy, CgnGatewayIsNearlyAlwaysFullyActive) {
+  BlockPlan plan = MakePlan(PolicyKind::kCgnGateway);
+  StepSpec spec = DailySpec();
+  std::int64_t total = 0;
+  for (int step = 0; step < 112; ++step) {
+    activity::DayBits bits;
+    GenerateStep(plan, spec, step, bits, nullptr);
+    total += activity::PopCount(bits);
+  }
+  EXPECT_GT(total, 112 * 256 * 0.99);
+}
+
+TEST(Policy, GatewayTrafficGrowsAcrossYear) {
+  BlockPlan plan = MakePlan(PolicyKind::kCgnGateway);
+  StepSpec spec = DailySpec();
+  spec.start_day = 0;
+  spec.steps = 364;
+  spec.gateway_growth = 0.5;
+  std::uint32_t hits[256];
+  activity::DayBits bits;
+  auto total_at = [&](int step) {
+    GenerateStep(plan, spec, step, bits, hits);
+    return std::accumulate(hits, hits + 256, std::uint64_t{0});
+  };
+  // Average a few steps at the start and end of the year.
+  std::uint64_t early = 0, late = 0;
+  for (int s = 0; s < 10; ++s) early += total_at(s);
+  for (int s = 350; s < 360; ++s) late += total_at(s);
+  EXPECT_GT(static_cast<double>(late),
+            1.2 * static_cast<double>(early));  // e^0.5 ~ 1.65 expected
+}
+
+TEST(Policy, DynamicShortCyclesEntirePool) {
+  BlockPlan plan = MakePlan(PolicyKind::kDynamicShort);
+  plan.base.rotating = false;
+  plan.base.daily_p = 0.8f;
+  StepSpec spec = DailySpec();
+  activity::DayBits acc{};
+  for (int step = 0; step < 112; ++step) {
+    activity::DayBits bits;
+    GenerateStep(plan, spec, step, bits, nullptr);
+    acc = activity::OrBits(acc, bits);
+  }
+  EXPECT_EQ(activity::PopCount(acc), 256);  // filling degree reaches the whole pool
+}
+
+TEST(Policy, RotatingPoolBandIsContiguous) {
+  BlockPlan plan = MakePlan(PolicyKind::kDynamicShort);
+  plan.base.rotating = true;
+  plan.base.subscribers = 60;
+  plan.base.daily_p = 0.5f;
+  StepSpec spec = DailySpec();
+  activity::DayBits bits;
+  GenerateStep(plan, spec, 10, bits, nullptr);
+  int n = activity::PopCount(bits);
+  ASSERT_GT(n, 0);
+  ASSERT_LT(n, 256);
+  // A contiguous band modulo 256 has exactly one 0->1 transition.
+  int transitions = 0;
+  for (int h = 0; h < 256; ++h) {
+    bool cur = activity::TestBit(bits, h);
+    bool prev = activity::TestBit(bits, (h + 255) % 256);
+    if (cur && !prev) ++transitions;
+  }
+  EXPECT_EQ(transitions, 1);
+}
+
+TEST(Policy, ActiveWindowRespected) {
+  BlockPlan plan = MakePlan(PolicyKind::kDynamicShort);
+  plan.active_from = 280;
+  plan.active_until = 300;
+  StepSpec spec = DailySpec();  // starts day 228
+  activity::DayBits bits;
+  GenerateStep(plan, spec, 0, bits, nullptr);  // day 228 < 280
+  EXPECT_EQ(activity::PopCount(bits), 0);
+  GenerateStep(plan, spec, 60, bits, nullptr);  // day 288: active
+  EXPECT_GT(activity::PopCount(bits), 0);
+  GenerateStep(plan, spec, 80, bits, nullptr);  // day 308 >= 300
+  EXPECT_EQ(activity::PopCount(bits), 0);
+}
+
+TEST(Policy, ReconfigurationSwitchesParams) {
+  BlockPlan plan = MakePlan(PolicyKind::kStatic);
+  plan.base.pool_size = 16;
+  PolicyParams dense;
+  dense.kind = PolicyKind::kDynamicShort;
+  dense.pool_size = 256;
+  dense.subscribers = 300;
+  dense.daily_p = 0.8f;
+  dense.weekend_factor = 1.0f;
+  dense.hits_mu = 3.0f;
+  dense.hits_sigma = 1.0f;
+  plan.events[0] = BlockEvent{280, dense};
+
+  EXPECT_EQ(plan.ParamsOn(279).kind, PolicyKind::kStatic);
+  EXPECT_EQ(plan.ParamsOn(280).kind, PolicyKind::kDynamicShort);
+
+  StepSpec spec = DailySpec();
+  activity::DayBits bits;
+  GenerateStep(plan, spec, 100, bits, nullptr);  // day 328: dense regime
+  EXPECT_GT(activity::PopCount(bits), 100);
+}
+
+TEST(Policy, WeeklyGranularityRaisesActivationProbability) {
+  BlockPlan plan = MakePlan(PolicyKind::kStatic);
+  plan.base.occupancy = 1.0f;
+  StepSpec daily = DailySpec();
+  StepSpec weekly = DailySpec();
+  weekly.start_day = 0;
+  weekly.step_days = 7;
+  weekly.steps = 52;
+  auto active_fraction = [&](const StepSpec& spec) {
+    std::int64_t total = 0;
+    activity::DayBits bits;
+    for (int s = 0; s < spec.steps; ++s) {
+      GenerateStep(plan, spec, s, bits, nullptr);
+      total += activity::PopCount(bits);
+    }
+    return static_cast<double>(total) / (256.0 * spec.steps);
+  };
+  // Probability of >=1 active day in a week exceeds a single day's.
+  EXPECT_GT(active_fraction(weekly), active_fraction(daily) * 1.3);
+}
+
+TEST(Policy, WeekendFactorReducesBusinessActivity) {
+  BlockPlan plan = MakePlan(PolicyKind::kStatic);
+  plan.base.weekend_factor = 0.2f;
+  plan.base.occupancy = 1.0f;
+  StepSpec spec = DailySpec();  // day 228 = Monday 2015-08-17
+  activity::DayBits bits;
+  std::int64_t weekday_total = 0, weekend_total = 0;
+  int weekdays = 0, weekends = 0;
+  for (int s = 0; s < 112; ++s) {
+    GenerateStep(plan, spec, s, bits, nullptr);
+    int dow = (s + 0) % 7;  // day 228 is a Monday
+    if (dow >= 5) {
+      weekend_total += activity::PopCount(bits);
+      ++weekends;
+    } else {
+      weekday_total += activity::PopCount(bits);
+      ++weekdays;
+    }
+  }
+  double weekday_avg = static_cast<double>(weekday_total) / weekdays;
+  double weekend_avg = static_cast<double>(weekend_total) / weekends;
+  EXPECT_LT(weekend_avg, weekday_avg * 0.6);
+}
+
+TEST(Policy, StaticMarginalActivityMatchesPropensityMixture) {
+  // The run-persistence mechanism must preserve per-day marginals: mean
+  // daily activity across a fully-occupied static block equals the mean of
+  // the subscriber propensity mixture (~0.43: 20% heavy 0.75-0.95, 50%
+  // medium 0.30-0.60, 30% light 0.03-0.20).
+  BlockPlan plan = MakePlan(PolicyKind::kStatic);
+  plan.base.occupancy = 1.0f;
+  plan.base.weekend_factor = 1.0f;
+  StepSpec spec = DailySpec();
+  spec.start_day = 0;
+  spec.steps = 364;
+  std::int64_t active = 0;
+  activity::DayBits bits;
+  for (int step = 0; step < spec.steps; ++step) {
+    GenerateStep(plan, spec, step, bits, nullptr);
+    active += activity::PopCount(bits);
+  }
+  double mean = static_cast<double>(active) / (256.0 * spec.steps);
+  EXPECT_GT(mean, 0.38);
+  EXPECT_LT(mean, 0.48);
+}
+
+TEST(Policy, WeekendFactorScalesWeekendMarginal) {
+  BlockPlan plan = MakePlan(PolicyKind::kStatic);
+  plan.base.occupancy = 1.0f;
+  plan.base.weekend_factor = 0.5f;
+  StepSpec spec = DailySpec();
+  spec.start_day = 0;  // Jan 1 2015, a Thursday
+  spec.steps = 364;
+  std::int64_t weekday = 0, weekend = 0;
+  int weekdays = 0, weekends = 0;
+  activity::DayBits bits;
+  for (int step = 0; step < spec.steps; ++step) {
+    GenerateStep(plan, spec, step, bits, nullptr);
+    bool is_weekend = (timeutil::kWeeklyPeriodStart + step).IsWeekend();
+    (is_weekend ? weekend : weekday) += activity::PopCount(bits);
+    (is_weekend ? weekends : weekdays) += 1;
+  }
+  double weekday_mean = static_cast<double>(weekday) / weekdays;
+  double weekend_mean = static_cast<double>(weekend) / weekends;
+  EXPECT_NEAR(weekend_mean / weekday_mean, 0.5, 0.08);
+}
+
+TEST(Policy, WeeklyMarginalMatchesClosedForm) {
+  // At 7-day steps, P(active in step) = 1 - (1-p)^7; its mixture mean is
+  // ~0.86 for the standard propensity mixture.
+  BlockPlan plan = MakePlan(PolicyKind::kStatic);
+  plan.base.occupancy = 1.0f;
+  plan.base.weekend_factor = 1.0f;
+  StepSpec spec = DailySpec();
+  spec.start_day = 0;
+  spec.step_days = 7;
+  spec.steps = 52;
+  std::int64_t active = 0;
+  activity::DayBits bits;
+  for (int step = 0; step < spec.steps; ++step) {
+    GenerateStep(plan, spec, step, bits, nullptr);
+    active += activity::PopCount(bits);
+  }
+  double mean = static_cast<double>(active) / (256.0 * spec.steps);
+  EXPECT_GT(mean, 0.80);
+  EXPECT_LT(mean, 0.92);
+}
+
+TEST(Policy, PartialEventSplitsTheBlock) {
+  // Lower half keeps a sparse static policy; from day 280 the upper half
+  // becomes a dense pool (the paper's Fig 7b spatial inconsistency).
+  BlockPlan plan = MakePlan(PolicyKind::kStatic);
+  plan.base.pool_size = 40;
+  plan.base.occupancy = 1.0f;
+  PolicyParams dense;
+  dense.kind = PolicyKind::kDynamicShort;
+  dense.pool_size = 256;
+  dense.subscribers = 300;
+  dense.daily_p = 0.9f;
+  dense.weekend_factor = 1.0f;
+  dense.hits_mu = 3.0f;
+  dense.hits_sigma = 1.0f;
+  plan.events[0] = BlockEvent{280, dense, /*host_first=*/128,
+                              /*host_last=*/255};
+
+  StepSpec spec = DailySpec();
+  activity::DayBits bits;
+
+  // Before the event: static activity only in the low 40 hosts.
+  GenerateStep(plan, spec, 10, bits, nullptr);  // day 238
+  for (int h = 128; h < 256; ++h) EXPECT_FALSE(activity::TestBit(bits, h));
+
+  // After the event: dense fill in the upper half, static continues below.
+  int upper = 0, lower_static = 0;
+  for (int step = 60; step < 80; ++step) {  // days 288..307
+    GenerateStep(plan, spec, step, bits, nullptr);
+    for (int h = 128; h < 256; ++h) upper += activity::TestBit(bits, h);
+    for (int h = 0; h < 40; ++h) lower_static += activity::TestBit(bits, h);
+  }
+  EXPECT_GT(upper, 20 * 128 / 2);  // dense upper half
+  EXPECT_GT(lower_static, 20);     // the old practice survives below
+}
+
+TEST(Policy, PartialEventMatchesFullEventOutsideItsRange) {
+  // Hosts below the split must behave exactly as if no event existed.
+  BlockPlan with_split = MakePlan(PolicyKind::kStatic);
+  with_split.base.pool_size = 256;
+  PolicyParams dense = with_split.base;
+  dense.kind = PolicyKind::kDynamicShort;
+  with_split.events[0] = BlockEvent{250, dense, 128, 255};
+  BlockPlan without = MakePlan(PolicyKind::kStatic);
+  without.base.pool_size = 256;
+
+  StepSpec spec = DailySpec();
+  activity::DayBits a, b;
+  for (int step : {40, 70, 100}) {
+    GenerateStep(with_split, spec, step, a, nullptr);
+    GenerateStep(without, spec, step, b, nullptr);
+    for (int h = 0; h < 128; ++h) {
+      // Identity permutation: static slot h maps to host h.
+      EXPECT_EQ(activity::TestBit(a, h), activity::TestBit(b, h))
+          << "step " << step << " host " << h;
+    }
+  }
+}
+
+TEST(Policy, ParamsOnHonorsMultipleEvents) {
+  BlockPlan plan = MakePlan(PolicyKind::kStatic);
+  PolicyParams p1 = plan.base;
+  p1.kind = PolicyKind::kDynamicShort;
+  PolicyParams p2 = plan.base;
+  p2.kind = PolicyKind::kUnused;
+  plan.events[0] = BlockEvent{100, p1};
+  plan.events[1] = BlockEvent{200, p2};
+  EXPECT_EQ(plan.ParamsOn(50).kind, PolicyKind::kStatic);
+  EXPECT_EQ(plan.ParamsOn(150).kind, PolicyKind::kDynamicShort);
+  EXPECT_EQ(plan.ParamsOn(250).kind, PolicyKind::kUnused);
+}
+
+}  // namespace
+}  // namespace ipscope::sim

@@ -1,0 +1,177 @@
+#include "sim/world.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace ipscope::sim {
+namespace {
+
+WorldConfig SmallConfig() {
+  WorldConfig config;
+  config.target_client_blocks = 400;
+  return config;
+}
+
+TEST(World, DeterministicInSeed) {
+  World a{SmallConfig()};
+  World b{SmallConfig()};
+  ASSERT_EQ(a.blocks().size(), b.blocks().size());
+  for (std::size_t i = 0; i < a.blocks().size(); ++i) {
+    EXPECT_EQ(a.blocks()[i].block, b.blocks()[i].block);
+    EXPECT_EQ(a.blocks()[i].asn, b.blocks()[i].asn);
+    EXPECT_EQ(a.blocks()[i].base.kind, b.blocks()[i].base.kind);
+    EXPECT_EQ(a.blocks()[i].block_seed, b.blocks()[i].block_seed);
+  }
+  ASSERT_EQ(a.bgp_events().size(), b.bgp_events().size());
+}
+
+TEST(World, DifferentSeedsDiffer) {
+  WorldConfig c1 = SmallConfig();
+  WorldConfig c2 = SmallConfig();
+  c2.seed = c1.seed + 1;
+  World a{c1}, b{c2};
+  // At minimum, the block plans should not be identical.
+  bool any_diff = a.blocks().size() != b.blocks().size();
+  for (std::size_t i = 0; !any_diff && i < a.blocks().size(); ++i) {
+    any_diff = a.blocks()[i].block != b.blocks()[i].block ||
+               a.blocks()[i].base.kind != b.blocks()[i].base.kind;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(World, ReachesClientTarget) {
+  World world{SmallConfig()};
+  EXPECT_GE(world.client_block_count(), 400u);
+  EXPECT_LT(world.client_block_count(), 600u);  // not wildly overshooting
+}
+
+TEST(World, BlocksAreUniqueAndOwned) {
+  World world{SmallConfig()};
+  std::set<net::BlockKey> keys;
+  for (const BlockPlan& plan : world.blocks()) {
+    EXPECT_TRUE(keys.insert(net::BlockKeyOf(plan.block)).second)
+        << "duplicate block " << plan.block;
+    EXPECT_GE(plan.asn, 1000u);
+    EXPECT_GE(plan.country, 0);
+    EXPECT_EQ(plan.block.length(), 24);
+  }
+  // Every block is referenced by exactly one AS.
+  std::size_t referenced = 0;
+  std::unordered_set<std::uint32_t> seen;
+  for (const AsPlan& as : world.ases()) {
+    for (std::uint32_t bi : as.block_indices) {
+      EXPECT_TRUE(seen.insert(bi).second);
+      EXPECT_EQ(world.blocks()[bi].asn, as.asn);
+      ++referenced;
+    }
+  }
+  EXPECT_EQ(referenced, world.blocks().size());
+}
+
+TEST(World, HostPermIsPermutation) {
+  World world{SmallConfig()};
+  for (const BlockPlan& plan : world.blocks()) {
+    std::array<bool, 256> seen{};
+    for (std::uint8_t v : plan.host_perm) {
+      EXPECT_FALSE(seen[v]);
+      seen[v] = true;
+    }
+  }
+}
+
+TEST(World, PolicyParamsWithinBounds) {
+  World world{SmallConfig()};
+  for (const BlockPlan& plan : world.blocks()) {
+    const PolicyParams& p = plan.base;
+    EXPECT_LE(p.pool_size, 256);
+    if (p.kind != PolicyKind::kUnused) {
+      EXPECT_GE(p.pool_size, 1);
+    }
+    EXPECT_GE(p.occupancy, 0.0f);
+    EXPECT_LE(p.occupancy, 1.0f);
+    EXPECT_GE(p.daily_p, 0.0f);
+    EXPECT_LE(p.daily_p, 1.0f);
+    if (p.kind == PolicyKind::kDynamicLong) {
+      EXPECT_GE(p.lease_days, 1);
+    }
+  }
+}
+
+TEST(World, ReconfigurationFractionRoughlyHonored) {
+  WorldConfig config = SmallConfig();
+  config.target_client_blocks = 1000;
+  config.reconfig_fraction = 0.10;
+  World world{config};
+  std::size_t reconfigured = 0, clients = 0;
+  for (const BlockPlan& plan : world.blocks()) {
+    if (IsClientPolicy(plan.base.kind)) {
+      ++clients;
+      if (plan.HasReconfiguration()) ++reconfigured;
+    }
+  }
+  double frac = static_cast<double>(reconfigured) /
+                static_cast<double>(clients);
+  EXPECT_NEAR(frac, 0.10, 0.03);
+  // Reconfigurations land inside the daily observation window.
+  for (const BlockPlan& plan : world.blocks()) {
+    if (plan.HasReconfiguration()) {
+      EXPECT_GE(plan.events[0].day, 228);
+      EXPECT_LT(plan.events[0].day, 340);
+    }
+  }
+}
+
+TEST(World, YearEventsAreScheduled) {
+  WorldConfig config = SmallConfig();
+  config.target_client_blocks = 1000;
+  World world{config};
+  std::size_t activations = 0, deactivations = 0;
+  for (const BlockPlan& plan : world.blocks()) {
+    if (plan.active_from > 0) ++activations;
+    if (plan.active_until < std::numeric_limits<std::int32_t>::max()) {
+      ++deactivations;
+    }
+  }
+  EXPECT_GT(activations, 30u);
+  EXPECT_GT(deactivations, 30u);
+  EXPECT_FALSE(world.bgp_events().empty());
+  // Events are sorted by (key, day).
+  for (std::size_t i = 1; i < world.bgp_events().size(); ++i) {
+    EXPECT_FALSE(world.bgp_events()[i] < world.bgp_events()[i - 1]);
+  }
+}
+
+TEST(World, PlannedAsnLookup) {
+  World world{SmallConfig()};
+  const BlockPlan& plan = world.blocks()[0];
+  auto asn = world.PlannedAsnOf(net::BlockKeyOf(plan.block));
+  ASSERT_TRUE(asn.has_value());
+  EXPECT_EQ(*asn, plan.asn);
+  EXPECT_FALSE(world.PlannedAsnOf(0xFFFFFF).has_value());
+}
+
+TEST(World, PolicyMixIsDiverse) {
+  WorldConfig config = SmallConfig();
+  config.target_client_blocks = 1500;
+  World world{config};
+  std::array<int, 9> kind_counts{};
+  for (const BlockPlan& plan : world.blocks()) {
+    ++kind_counts[static_cast<std::size_t>(plan.base.kind)];
+  }
+  // All the main policy kinds must be represented at this scale.
+  EXPECT_GT(kind_counts[static_cast<std::size_t>(PolicyKind::kStatic)], 50);
+  EXPECT_GT(kind_counts[static_cast<std::size_t>(PolicyKind::kDynamicShort)],
+            50);
+  EXPECT_GT(kind_counts[static_cast<std::size_t>(PolicyKind::kDynamicLong)],
+            20);
+  EXPECT_GT(kind_counts[static_cast<std::size_t>(PolicyKind::kCgnGateway)],
+            20);
+  EXPECT_GT(kind_counts[static_cast<std::size_t>(PolicyKind::kServerFarm)], 5);
+  EXPECT_GT(kind_counts[static_cast<std::size_t>(PolicyKind::kRouterInfra)],
+            5);
+}
+
+}  // namespace
+}  // namespace ipscope::sim

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "timeutil/date.h"
+#include "timeutil/window.h"
+
+namespace ipscope::timeutil {
+namespace {
+
+TEST(Date, EpochIsJan1970) {
+  Day epoch{0};
+  CivilDate c = epoch.ToCivil();
+  EXPECT_EQ(c.year, 1970);
+  EXPECT_EQ(c.month, 1);
+  EXPECT_EQ(c.day, 1);
+  EXPECT_EQ(Day::FromCivil({1970, 1, 1}).value(), 0);
+}
+
+TEST(Date, KnownDates) {
+  EXPECT_EQ(Day::FromCivil({2015, 1, 1}).value(), 16436);
+  EXPECT_EQ(Day::FromCivil({2015, 8, 17}) - Day::FromCivil({2015, 1, 1}),
+            228);
+  EXPECT_EQ(Day::FromCivil({2015, 12, 6}) - Day::FromCivil({2015, 8, 17}),
+            111);  // 112-day inclusive period
+}
+
+TEST(Date, RoundTripProperty) {
+  for (std::int32_t d = -400000; d <= 400000; d += 37) {
+    Day day{d};
+    EXPECT_EQ(Day::FromCivil(day.ToCivil()).value(), d);
+  }
+}
+
+TEST(Date, LeapYearHandling) {
+  EXPECT_EQ(Day::FromCivil({2016, 2, 29}) - Day::FromCivil({2016, 2, 28}), 1);
+  EXPECT_EQ(Day::FromCivil({2016, 3, 1}) - Day::FromCivil({2016, 2, 29}), 1);
+  // 2015 is not a leap year: Feb 28 -> Mar 1.
+  EXPECT_EQ(Day::FromCivil({2015, 3, 1}) - Day::FromCivil({2015, 2, 28}), 1);
+  // Century rule: 2000 was a leap year.
+  EXPECT_EQ(Day::FromCivil({2000, 3, 1}) - Day::FromCivil({2000, 2, 28}), 2);
+}
+
+TEST(Date, Weekday) {
+  // 1970-01-01 was a Thursday.
+  EXPECT_EQ(Day::FromCivil({1970, 1, 1}).Weekday(), 3);
+  // 2015-08-17 was a Monday.
+  EXPECT_EQ(Day::FromCivil({2015, 8, 17}).Weekday(), 0);
+  // 2015-08-22 was a Saturday.
+  EXPECT_TRUE(Day::FromCivil({2015, 8, 22}).IsWeekend());
+  EXPECT_TRUE(Day::FromCivil({2015, 8, 23}).IsWeekend());
+  EXPECT_FALSE(Day::FromCivil({2015, 8, 24}).IsWeekend());
+  // Negative day values (pre-1970) must not produce negative weekdays.
+  EXPECT_GE(Day{-1}.Weekday(), 0);
+  EXPECT_EQ(Day{-1}.Weekday(), 2);  // 1969-12-31 was a Wednesday
+}
+
+TEST(Date, ToStringFormat) {
+  EXPECT_EQ(Day::FromCivil({2015, 8, 17}).ToString(), "2015-08-17");
+  EXPECT_EQ(Day::FromCivil({2015, 12, 6}).ToString(), "2015-12-06");
+}
+
+TEST(Window, PartitionExact) {
+  DayRange period{Day{100}, 28};
+  auto windows = PartitionWindows(period, 7);
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_EQ(windows[0].start.value(), 100);
+  EXPECT_EQ(windows[3].start.value(), 121);
+  EXPECT_EQ(windows[3].end().value(), 128);
+}
+
+TEST(Window, PartitionDiscardsPartialTail) {
+  DayRange period{Day{0}, 30};
+  auto windows = PartitionWindows(period, 7);
+  EXPECT_EQ(windows.size(), 4u);  // 28 days used, 2 discarded
+}
+
+TEST(Window, PartitionDegenerateCases) {
+  EXPECT_TRUE(PartitionWindows(DayRange{Day{0}, 5}, 7).empty());
+  EXPECT_TRUE(PartitionWindows(DayRange{Day{0}, 10}, 0).empty());
+  EXPECT_TRUE(PartitionWindows(DayRange{Day{0}, 10}, -1).empty());
+}
+
+TEST(Window, PaperPeriods) {
+  DayRange daily = DailyPeriod2015();
+  EXPECT_EQ(daily.start, Day::FromCivil({2015, 8, 17}));
+  EXPECT_EQ(daily.length, 112);
+  EXPECT_EQ((daily.end() - 1), Day::FromCivil({2015, 12, 6}));
+
+  DayRange weekly = WeeklyPeriod2015();
+  EXPECT_EQ(weekly.start, Day::FromCivil({2015, 1, 1}));
+  EXPECT_EQ(weekly.length, 364);
+
+  EXPECT_EQ(WeekOfYear2015(0).start, weekly.start);
+  EXPECT_EQ(WeekOfYear2015(51).end(), weekly.end());
+}
+
+TEST(Window, ContainsBoundaries) {
+  DayRange r{Day{10}, 5};
+  EXPECT_TRUE(r.Contains(Day{10}));
+  EXPECT_TRUE(r.Contains(Day{14}));
+  EXPECT_FALSE(r.Contains(Day{15}));
+  EXPECT_FALSE(r.Contains(Day{9}));
+}
+
+}  // namespace
+}  // namespace ipscope::timeutil

@@ -1,0 +1,68 @@
+#include "whois/whois.h"
+
+#include <gtest/gtest.h>
+
+namespace ipscope::whois {
+namespace {
+
+sim::World& TestWorld() {
+  static sim::World world{[] {
+    sim::WorldConfig config;
+    config.target_client_blocks = 300;
+    return config;
+  }()};
+  return world;
+}
+
+TEST(Whois, EveryAllocatedBlockHasARecord) {
+  WhoisDirectory directory{TestWorld()};
+  for (const sim::BlockPlan& plan : TestWorld().blocks()) {
+    auto record = directory.Lookup(net::BlockKeyOf(plan.block));
+    ASSERT_TRUE(record.has_value()) << plan.block;
+    EXPECT_EQ(record->asn, plan.asn);
+    EXPECT_FALSE(record->org_name.empty());
+    EXPECT_FALSE(record->org_type.empty());
+    EXPECT_EQ(record->country.size(), 2u);
+  }
+}
+
+TEST(Whois, UnallocatedSpaceHasNoRecord) {
+  WhoisDirectory directory{TestWorld()};
+  EXPECT_FALSE(directory.Lookup(0xFFFFFF).has_value());
+}
+
+TEST(Whois, OrgTypeMatchesAsType) {
+  WhoisDirectory directory{TestWorld()};
+  for (const sim::AsPlan& as : TestWorld().ases()) {
+    if (as.block_indices.empty()) continue;
+    auto record = directory.Lookup(net::BlockKeyOf(
+        TestWorld().blocks()[as.block_indices[0]].block));
+    ASSERT_TRUE(record.has_value());
+    EXPECT_EQ(record->org_type, OrgTypeName(as.type));
+  }
+}
+
+TEST(Whois, CountryMatchesRegistryDelegation) {
+  // WHOIS country must agree with the address-range delegation.
+  WhoisDirectory directory{TestWorld()};
+  const geo::Registry& registry = TestWorld().registry();
+  int checked = 0;
+  for (const sim::BlockPlan& plan : TestWorld().blocks()) {
+    auto record = directory.Lookup(net::BlockKeyOf(plan.block));
+    ASSERT_TRUE(record.has_value());
+    auto country = registry.CountryOf(plan.block.network());
+    ASSERT_TRUE(country.has_value());
+    EXPECT_EQ(record->country,
+              geo::Countries()[static_cast<std::size_t>(*country)].code);
+    if (++checked > 100) break;
+  }
+}
+
+TEST(Whois, OrgTypeNames) {
+  EXPECT_EQ(OrgTypeName(sim::AsType::kCellular), "cellular-operator");
+  EXPECT_EQ(OrgTypeName(sim::AsType::kResidentialIsp), "residential-isp");
+  EXPECT_EQ(OrgTypeName(sim::AsType::kTransit), "transit-carrier");
+}
+
+}  // namespace
+}  // namespace ipscope::whois

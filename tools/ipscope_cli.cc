@@ -1,0 +1,12 @@
+// ipscope command-line tool. All logic lives in src/cli/commands.cc so it
+// can be unit-tested; this is only the process entry point.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return ipscope::cli::Main(args, std::cout, std::cerr);
+}
