@@ -4,27 +4,88 @@
 // blocks; default 4000) and an optional seed as argv[2]. The harness prints
 // the world scale first so readers can interpret absolute counts, then the
 // experiment's measured-vs-paper rows.
+//
+// When the IPSCOPE_METRICS_OUT environment variable is set, every harness
+// writes the process-global metrics registry (world-build timings, store
+// sizes, analysis counters — see src/obs/) to that path as JSON at exit, so
+// perf trajectories can be collected across runs without changing any
+// harness.
 #pragma once
 
+#include <charconv>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <mutex>
+#include <string>
 
+#include "obs/registry.h"
 #include "sim/config.h"
 #include "sim/world.h"
 
 namespace ipscope::bench {
 
+namespace detail {
+
+// Whole-string checked parse: rejects empty input, trailing junk, and
+// out-of-range values (unlike the atoi/atoll this replaced, which silently
+// turned garbage into 0).
+template <typename T>
+inline bool ParseNumber(const char* text, T& out) {
+  const char* last = text + std::strlen(text);
+  if (text == last) return false;
+  auto [ptr, ec] = std::from_chars(text, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+[[noreturn]] inline void UsageExit(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [client_blocks] [seed]\n"
+            << "  client_blocks  positive integer world scale "
+               "(default 4000)\n"
+            << "  seed           unsigned integer RNG seed\n";
+  std::exit(2);
+}
+
+}  // namespace detail
+
+// Registers an atexit hook (once per process) that dumps the global metrics
+// registry to $IPSCOPE_METRICS_OUT, if set.
+inline void InstallMetricsDump() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* path = std::getenv("IPSCOPE_METRICS_OUT");
+    if (path == nullptr || *path == '\0') return;
+    static std::string out_path;
+    out_path = path;
+    std::atexit(+[] {
+      try {
+        obs::GlobalRegistry().WriteJsonFile(out_path);
+      } catch (const std::exception& e) {
+        std::cerr << "metrics dump failed: " << e.what() << "\n";
+      }
+    });
+  });
+}
+
 inline sim::WorldConfig ConfigFromArgs(int argc, char** argv,
                                        int default_blocks = 4000) {
+  InstallMetricsDump();
   sim::WorldConfig config;
-  config.target_client_blocks =
-      argc > 1 ? std::atoi(argv[1]) : default_blocks;
-  if (config.target_client_blocks <= 0) {
-    config.target_client_blocks = default_blocks;
+  config.target_client_blocks = default_blocks;
+  if (argc > 1) {
+    int blocks = 0;
+    if (!detail::ParseNumber(argv[1], blocks) || blocks <= 0) {
+      detail::UsageExit(argv[0]);
+    }
+    config.target_client_blocks = blocks;
   }
   if (argc > 2) {
-    config.seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+    std::uint64_t seed = 0;
+    if (!detail::ParseNumber(argv[2], seed)) {
+      detail::UsageExit(argv[0]);
+    }
+    config.seed = seed;
   }
   return config;
 }

@@ -7,6 +7,15 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build -j"$(nproc)"
 
+# One sanitizer pass over the test suite (ASan + UBSan) so concurrent code —
+# notably the obs metrics registry — is race/UB-checked on every full run.
+# Set IPSCOPE_SKIP_SANITIZERS=1 to skip (e.g. on memory-constrained hosts).
+if [ "${IPSCOPE_SKIP_SANITIZERS:-0}" != "1" ]; then
+  cmake -B build-san -G Ninja -DIPSCOPE_ASAN=ON -DIPSCOPE_UBSAN=ON
+  cmake --build build-san --target ipscope_tests
+  ctest --test-dir build-san -j"$(nproc)"
+fi
+
 mkdir -p results
 for bench in build/bench/*; do
   name="$(basename "$bench")"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/timer.h"
 #include "stats/quantile.h"
 
 namespace ipscope::activity {
@@ -34,6 +35,7 @@ MinMedianMax Summarize(std::vector<double> values) {
 }
 
 WindowChurnSeries ChurnAnalyzer::Churn(int window_days) const {
+  obs::Span span{"activity.churn.compute_seconds"};
   WindowChurnSeries series;
   series.window_days = window_days;
   int num_windows = store_.days() / window_days;
@@ -45,7 +47,9 @@ WindowChurnSeries ChurnAnalyzer::Churn(int window_days) const {
   std::vector<std::uint64_t> size_prev(static_cast<std::size_t>(pairs), 0);
   std::vector<std::uint64_t> size_next(static_cast<std::size_t>(pairs), 0);
 
+  std::uint64_t blocks_processed = 0;
   store_.ForEach([&](net::BlockKey, const ActivityMatrix& m) {
+    ++blocks_processed;
     auto unions = WindowUnions(m, window_days, num_windows);
     for (int p = 0; p < pairs; ++p) {
       const DayBits& w0 = unions[static_cast<std::size_t>(p)];
@@ -73,6 +77,12 @@ WindowChurnSeries ChurnAnalyzer::Churn(int window_days) const {
   }
   series.up = Summarize(series.up_pct);
   series.down = Summarize(series.down_pct);
+
+  auto& registry = obs::GlobalRegistry();
+  registry.GetCounter("activity.churn.runs").Add(1);
+  registry.GetCounter("activity.churn.windows_processed")
+      .Add(static_cast<std::uint64_t>(num_windows));
+  registry.GetCounter("activity.churn.blocks_processed").Add(blocks_processed);
   return series;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/timer.h"
+
 namespace ipscope::activity {
 
 double EventSizeHistogram::FractionInMaskRange(int lo, int hi) const {
@@ -66,6 +68,7 @@ EventSizeHistogram EventSizesStrict(const ActivityStore& store, int w0_first,
 EventSizeHistogram EventSizes(const ActivityStore& store, int w0_first,
                               int w0_last, int w1_first, int w1_last,
                               bool up) {
+  obs::Span span{"activity.eventsize.compute_seconds"};
   // Reference = the window whose activity disqualifies a prefix: window 0
   // for up events, window 1 for down events.
   net::Ipv4Set active0 = store.ActiveSet(w0_first, w0_last);
@@ -80,6 +83,9 @@ EventSizeHistogram EventSizes(const ActivityStore& store, int w0_first,
     ++hist.by_mask[static_cast<std::size_t>(mask)];
     ++hist.total;
   });
+  obs::GlobalRegistry()
+      .GetCounter("activity.eventsize.events_aggregated")
+      .Add(hist.total);
   return hist;
 }
 

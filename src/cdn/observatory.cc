@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/timer.h"
+
 namespace ipscope::cdn {
 
 namespace {
@@ -39,14 +41,20 @@ Observatory Observatory::Weekly(const sim::World& world) {
 }
 
 activity::ActivityStore Observatory::BuildStore(int threads) const {
+  obs::Span span{"cdn.observatory.build_seconds"};
   // Generate each block's matrix independently (possibly concurrently),
   // then append non-empty blocks in key order. Results are identical for
   // any thread count because blocks never share generator state.
   std::vector<activity::ActivityMatrix> matrices(
       order_.size(), activity::ActivityMatrix{spec_.steps});
   std::vector<char> non_empty(order_.size(), 0);
+  // Non-empty row counts per generation call, accumulated lock-free (each
+  // worker owns a disjoint range) and flushed to the registry once.
+  std::vector<std::uint64_t> rows_in_range(order_.size() ? order_.size() : 1,
+                                           0);
 
   auto generate_range = [&](std::size_t first, std::size_t last) {
+    std::uint64_t rows = 0;
     for (std::size_t i = first; i < last; ++i) {
       const sim::BlockPlan& plan = world_.blocks()[order_[i]];
       bool any = false;
@@ -56,9 +64,11 @@ activity::ActivityStore Observatory::BuildStore(int threads) const {
         if ((bits[0] | bits[1] | bits[2] | bits[3]) == 0) continue;
         matrices[i].Row(s) = bits;
         any = true;
+        ++rows;
       }
       non_empty[i] = any ? 1 : 0;
     }
+    if (first < rows_in_range.size()) rows_in_range[first] = rows;
   };
 
   threads = std::max(1, threads);
@@ -78,12 +88,23 @@ activity::ActivityStore Observatory::BuildStore(int threads) const {
   }
 
   activity::ActivityStore store{spec_.steps};
+  std::uint64_t blocks_emitted = 0;
   for (std::size_t i = 0; i < order_.size(); ++i) {
     if (!non_empty[i]) continue;
     // Ascending key order makes this append O(1).
     store.GetOrCreate(net::BlockKeyOf(world_.blocks()[order_[i]].block)) =
         std::move(matrices[i]);
+    ++blocks_emitted;
   }
+
+  std::uint64_t rows_emitted = 0;
+  for (std::uint64_t rows : rows_in_range) rows_emitted += rows;
+  auto& registry = obs::GlobalRegistry();
+  registry.GetCounter("cdn.observatory.builds").Add(1);
+  registry.GetCounter("cdn.observatory.blocks_emitted").Add(blocks_emitted);
+  registry.GetCounter("cdn.observatory.rows_emitted").Add(rows_emitted);
+  registry.GetCounter("cdn.observatory.bytes_emitted")
+      .Add(rows_emitted * sizeof(activity::DayBits));
   return store;
 }
 

@@ -1,6 +1,11 @@
 #include "cli/commands.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <ostream>
@@ -13,6 +18,9 @@
 #include "cdn/observatory.h"
 #include "io/store_io.h"
 #include "measurement/hitlist.h"
+#include "obs/registry.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 #include "report/csv.h"
 #include "report/table.h"
 #include "report/textplot.h"
@@ -46,8 +54,18 @@ commands:
   describe [--blocks N] [--seed S]
       Inventory of the simulated world that the given parameters produce:
       AS types, assignment-policy mix, scheduled events.
+  profile [--blocks N] [--seed S] [--keep PATH]
+      Run a standard generate -> save -> load -> analyze pipeline and print
+      a per-stage wall-time table from the metrics registry. --keep saves
+      the intermediate dataset to PATH instead of a deleted temp file.
   help
       This message.
+
+global flags (any command):
+  --metrics-out PATH   Dump the metrics registry as JSON on exit.
+  --trace-out PATH     Record pipeline stage spans as a Chrome
+                       trace-event-format file (open in about://tracing
+                       or https://ui.perfetto.dev).
 )";
 
 int CmdGenerate(const CommandLine& cmd, std::ostream& out,
@@ -59,9 +77,7 @@ int CmdGenerate(const CommandLine& cmd, std::ostream& out,
   }
   sim::WorldConfig config;
   config.target_client_blocks = cmd.IntFlag("blocks", 4000);
-  if (auto seed = cmd.Flag("seed")) {
-    config.seed = static_cast<std::uint64_t>(std::stoull(*seed));
-  }
+  config.seed = cmd.Uint64Flag("seed", config.seed);
   sim::World world{config};
   bool weekly = cmd.Flag("weekly").has_value();
   auto store = weekly ? cdn::Observatory::Weekly(world).BuildStore()
@@ -313,9 +329,7 @@ int CmdHitlist(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
 int CmdDescribe(const CommandLine& cmd, std::ostream& out, std::ostream&) {
   sim::WorldConfig config;
   config.target_client_blocks = cmd.IntFlag("blocks", 4000);
-  if (auto seed = cmd.Flag("seed")) {
-    config.seed = static_cast<std::uint64_t>(std::stoull(*seed));
-  }
+  config.seed = cmd.Uint64Flag("seed", config.seed);
   sim::World world{config};
 
   out << "world: seed " << config.seed << ", " << world.blocks().size()
@@ -361,6 +375,72 @@ int CmdDescribe(const CommandLine& cmd, std::ostream& out, std::ostream&) {
   return 0;
 }
 
+// Formats a seconds value for the stage table (ms below 1s).
+std::string FormatStageTime(double seconds) {
+  if (seconds < 1.0) return report::FormatDouble(seconds * 1e3, 3) + " ms";
+  return report::FormatDouble(seconds, 3) + " s";
+}
+
+int CmdProfile(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
+  sim::WorldConfig config;
+  config.target_client_blocks = cmd.IntFlag("blocks", 2000);
+  config.seed = cmd.Uint64Flag("seed", config.seed);
+
+  auto keep = cmd.Flag("keep");
+  std::string path =
+      keep && !keep->empty()
+          ? *keep
+          : (std::filesystem::temp_directory_path() /
+             ("ipscope_profile_" + std::to_string(::getpid()) + ".bin"))
+                .string();
+
+  {
+    // Every stage below is instrumented at the library layer; this scope
+    // only sequences the canonical pipeline.
+    obs::Span pipeline{"cli.profile.pipeline_seconds"};
+    sim::World world{config};
+    auto store = cdn::Observatory::Daily(world).BuildStore();
+    io::SaveStoreFile(store, path);
+    auto loaded = io::LoadStoreFile(path);
+
+    activity::ChurnAnalyzer churn{loaded};
+    churn.Churn(7);
+    int window = 28;
+    int num_windows = loaded.days() / window;
+    for (int p = 0; p + 1 < num_windows; ++p) {
+      activity::EventSizes(loaded, p * window, (p + 1) * window,
+                           (p + 1) * window, (p + 2) * window, true);
+    }
+    activity::ComputeBlockMetrics(loaded);
+  }
+  if (!keep) std::remove(path.c_str());
+
+  auto& registry = obs::GlobalRegistry();
+  report::Table stages({"stage", "runs", "total", "p50", "p90", "p99"});
+  for (const auto& [name, snap] : registry.HistogramSnapshots()) {
+    if (snap.count == 0) continue;
+    stages.AddRow({name, std::to_string(snap.count), FormatStageTime(snap.sum),
+                   FormatStageTime(snap.p50), FormatStageTime(snap.p90),
+                   FormatStageTime(snap.p99)});
+  }
+  out << "profile: " << config.target_client_blocks
+      << " client blocks, seed " << config.seed << "\n\n";
+  stages.Print(out);
+
+  report::Table counters({"counter", "value"});
+  for (const auto& [name, value] : registry.CounterValues()) {
+    counters.AddRow({name, report::FormatCount(value)});
+  }
+  if (counters.rows() > 0) {
+    out << "\n";
+    counters.Print(out);
+  }
+  if (keep) {
+    err << "profile: kept dataset at " << path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 std::optional<std::string> CommandLine::Flag(const std::string& name) const {
@@ -369,14 +449,35 @@ std::optional<std::string> CommandLine::Flag(const std::string& name) const {
   return it->second;
 }
 
+namespace {
+
+// Whole-string checked parse; from_chars accepts no leading whitespace,
+// no trailing junk, and no "0x" prefixes — exactly what flag values need.
+template <typename T>
+T ParseNumberOrThrow(const std::string& flag_name, const std::string& text) {
+  T value{};
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), last, value);
+  if (ec != std::errc{} || ptr != last || text.empty()) {
+    throw FlagError("--" + flag_name + ": expected a number, got '" + text +
+                    "'");
+  }
+  return value;
+}
+
+}  // namespace
+
 int CommandLine::IntFlag(const std::string& name, int fallback) const {
   auto value = Flag(name);
   if (!value) return fallback;
-  try {
-    return std::stoi(*value);
-  } catch (const std::exception&) {
-    return fallback;
-  }
+  return ParseNumberOrThrow<int>(name, *value);
+}
+
+std::uint64_t CommandLine::Uint64Flag(const std::string& name,
+                                      std::uint64_t fallback) const {
+  auto value = Flag(name);
+  if (!value) return fallback;
+  return ParseNumberOrThrow<std::uint64_t>(name, *value);
 }
 
 std::optional<CommandLine> Parse(const std::vector<std::string>& args,
@@ -406,27 +507,59 @@ std::optional<CommandLine> Parse(const std::vector<std::string>& args,
   return cmd;
 }
 
-int Run(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
-  try {
-    if (cmd.command == "generate") return CmdGenerate(cmd, out, err);
-    if (cmd.command == "summary") return CmdSummary(cmd, out, err);
-    if (cmd.command == "churn") return CmdChurn(cmd, out, err);
-    if (cmd.command == "blocks") return CmdBlocks(cmd, out, err);
-    if (cmd.command == "render") return CmdRender(cmd, out, err);
-    if (cmd.command == "events") return CmdEvents(cmd, out, err);
-    if (cmd.command == "export") return CmdExport(cmd, out, err);
-    if (cmd.command == "hitlist") return CmdHitlist(cmd, out, err);
-    if (cmd.command == "describe") return CmdDescribe(cmd, out, err);
-    if (cmd.command == "help" || cmd.command == "--help") {
-      out << kUsage;
-      return 0;
-    }
-  } catch (const std::exception& e) {
-    err << "error: " << e.what() << "\n";
-    return 1;
+namespace {
+
+int Dispatch(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
+  if (cmd.command == "generate") return CmdGenerate(cmd, out, err);
+  if (cmd.command == "summary") return CmdSummary(cmd, out, err);
+  if (cmd.command == "churn") return CmdChurn(cmd, out, err);
+  if (cmd.command == "blocks") return CmdBlocks(cmd, out, err);
+  if (cmd.command == "render") return CmdRender(cmd, out, err);
+  if (cmd.command == "events") return CmdEvents(cmd, out, err);
+  if (cmd.command == "export") return CmdExport(cmd, out, err);
+  if (cmd.command == "hitlist") return CmdHitlist(cmd, out, err);
+  if (cmd.command == "describe") return CmdDescribe(cmd, out, err);
+  if (cmd.command == "profile") return CmdProfile(cmd, out, err);
+  if (cmd.command == "help" || cmd.command == "--help") {
+    out << kUsage;
+    return 0;
   }
   err << "unknown command '" << cmd.command << "'\n" << kUsage;
   return 2;
+}
+
+}  // namespace
+
+int Run(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
+  auto metrics_out = cmd.Flag("metrics-out");
+  auto trace_out = cmd.Flag("trace-out");
+  if (trace_out && !trace_out->empty()) obs::GlobalTrace().Enable();
+
+  int rc;
+  try {
+    rc = Dispatch(cmd, out, err);
+  } catch (const FlagError& e) {
+    err << "error: " << e.what() << "\n";
+    rc = 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    rc = 1;
+  }
+
+  // Dump even when the command failed: partial metrics still tell the
+  // operator how far the pipeline got.
+  try {
+    if (metrics_out && !metrics_out->empty()) {
+      obs::GlobalRegistry().WriteJsonFile(*metrics_out);
+    }
+    if (trace_out && !trace_out->empty()) {
+      obs::GlobalTrace().WriteFile(*trace_out);
+    }
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    if (rc == 0) rc = 1;
+  }
+  return rc;
 }
 
 int Main(const std::vector<std::string>& args, std::ostream& out,

@@ -9,18 +9,28 @@
 //   ipscope_cli blocks daily.ipscope --top 20 --sort stu
 //   ipscope_cli render daily.ipscope --block 40.112.7.0/24
 //   ipscope_cli events daily.ipscope --window 28
+//   ipscope_cli profile --blocks 2000 --metrics-out m.json --trace-out t.json
 //
 // All command logic lives here (stream-parameterized) so it is unit-tested;
 // tools/ipscope_cli.cc is a thin main().
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace ipscope::cli {
+
+// Thrown by the numeric flag accessors on malformed values (e.g.
+// `--seed banana`). Run() catches it and turns it into exit code 2 with
+// the message on stderr, so commands can parse flags without try blocks.
+struct FlagError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 // Parsed command line: subcommand, positional args, and --flag[=| ]value
 // options. Bare "--flag" stores an empty value.
@@ -30,7 +40,11 @@ struct CommandLine {
   std::map<std::string, std::string> flags;
 
   std::optional<std::string> Flag(const std::string& name) const;
+  // Numeric accessors return `fallback` when the flag is absent and throw
+  // FlagError when it is present but not a number.
   int IntFlag(const std::string& name, int fallback) const;
+  std::uint64_t Uint64Flag(const std::string& name,
+                           std::uint64_t fallback) const;
 };
 
 // Parses argv[1..]; returns nullopt (and writes a message to err) when the

@@ -1,11 +1,15 @@
 #include "io/store_io.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
+
+#include "obs/timer.h"
 
 namespace ipscope::io {
 
@@ -42,6 +46,8 @@ T ReadInt(std::istream& is, const char* what) {
 }  // namespace
 
 void SaveStore(const activity::ActivityStore& store, std::ostream& os) {
+  obs::Span span{"io.store.save_seconds"};
+  const std::streampos start_pos = os.tellp();
   os.write(kMagic, sizeof(kMagic));
   WriteInt<std::uint32_t>(os, static_cast<std::uint32_t>(store.days()));
   WriteInt<std::uint64_t>(os, store.BlockCount());
@@ -61,9 +67,24 @@ void SaveStore(const activity::ActivityStore& store, std::ostream& os) {
     }
   });
   if (!os) throw std::runtime_error("ipscope store: write failed");
+
+  // Streams that cannot report a position (tellp == -1) just skip the byte
+  // accounting; the duration histogram is recorded either way.
+  const std::streampos end_pos = os.tellp();
+  double seconds = std::max(span.Stop(), 1e-9);
+  if (start_pos != std::streampos(-1) && end_pos != std::streampos(-1)) {
+    auto bytes = static_cast<std::uint64_t>(end_pos - start_pos);
+    auto& registry = obs::GlobalRegistry();
+    registry.GetCounter("io.store.saves").Add(1);
+    registry.GetCounter("io.store.save_bytes").Add(bytes);
+    registry.GetGauge("io.store.save_mb_per_s")
+        .Set(static_cast<double>(bytes) / 1e6 / seconds);
+  }
 }
 
 activity::ActivityStore LoadStore(std::istream& is) {
+  obs::Span span{"io.store.load_seconds"};
+  const std::streampos start_pos = is.tellg();
   char magic[8];
   if (!is.read(magic, sizeof(magic)) ||
       std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
@@ -108,6 +129,17 @@ activity::ActivityStore LoadStore(std::istream& is) {
       activity::DayBits& row = m.Row(day);
       for (auto& word : row) word = ReadInt<std::uint64_t>(is, "bitmap");
     }
+  }
+
+  const std::streampos end_pos = is.tellg();
+  double seconds = std::max(span.Stop(), 1e-9);
+  if (start_pos != std::streampos(-1) && end_pos != std::streampos(-1)) {
+    auto bytes = static_cast<std::uint64_t>(end_pos - start_pos);
+    auto& registry = obs::GlobalRegistry();
+    registry.GetCounter("io.store.loads").Add(1);
+    registry.GetCounter("io.store.load_bytes").Add(bytes);
+    registry.GetGauge("io.store.load_mb_per_s")
+        .Set(static_cast<double>(bytes) / 1e6 / seconds);
   }
   return store;
 }

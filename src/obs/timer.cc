@@ -1,0 +1,36 @@
+#include "obs/timer.h"
+
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace ipscope::obs {
+
+double ScopedTimer::Stop() {
+  if (stopped_) return elapsed_;
+  stopped_ = true;
+  elapsed_ = watch_.Seconds();
+  hist_->Record(elapsed_);
+  return elapsed_;
+}
+
+Span::Span(std::string name, std::string category)
+    : name_(std::move(name)),
+      category_(std::move(category)),
+      hist_(&GlobalRegistry().GetHistogram(name_)),
+      start_us_(GlobalTrace().NowMicros()) {}
+
+double Span::Stop() {
+  if (stopped_) return elapsed_;
+  stopped_ = true;
+  elapsed_ = watch_.Seconds();
+  hist_->Record(elapsed_);
+  TraceRecorder& trace = GlobalTrace();
+  if (trace.enabled()) {
+    trace.AddComplete(name_, category_, start_us_,
+                      static_cast<std::int64_t>(elapsed_ * 1e6));
+  }
+  return elapsed_;
+}
+
+}  // namespace ipscope::obs

@@ -1,0 +1,81 @@
+// Wall-time instrumentation built on obs::Registry and obs::TraceRecorder.
+//
+// Three layers of convenience, cheapest first:
+//   Stopwatch    — raw steady-clock interval, for manual accumulation
+//                  inside hot loops (no registry traffic per lap).
+//   ScopedTimer  — records elapsed seconds into one Histogram at scope
+//                  exit; the instrument is resolved once at construction.
+//   Span         — ScopedTimer against the global registry that also emits
+//                  a Chrome trace event (when GlobalTrace() is enabled);
+//                  the span name doubles as the histogram name, e.g.
+//                  `obs::Span span{"cdn.observatory.build_seconds"};`.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "obs/registry.h"
+
+namespace ipscope::obs {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Records wall seconds into `hist` when the scope ends (or at Stop()).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist) : hist_(&hist) {}
+  ScopedTimer(Registry& registry, const std::string& histogram_name)
+      : hist_(&registry.GetHistogram(histogram_name)) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { Stop(); }
+
+  double ElapsedSeconds() const { return watch_.Seconds(); }
+
+  // Records now instead of at destruction; later calls (and the destructor)
+  // are no-ops. Returns the recorded elapsed seconds.
+  double Stop();
+
+ private:
+  Histogram* hist_;
+  Stopwatch watch_;
+  bool stopped_ = false;
+  double elapsed_ = 0;
+};
+
+// A named pipeline stage: histogram record in GlobalRegistry() plus a trace
+// event in GlobalTrace() when tracing is on.
+class Span {
+ public:
+  explicit Span(std::string name, std::string category = "ipscope");
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { Stop(); }
+
+  double ElapsedSeconds() const { return watch_.Seconds(); }
+  double Stop();
+
+ private:
+  std::string name_;
+  std::string category_;
+  Histogram* hist_;
+  Stopwatch watch_;
+  std::int64_t start_us_ = 0;
+  bool stopped_ = false;
+  double elapsed_ = 0;
+};
+
+}  // namespace ipscope::obs

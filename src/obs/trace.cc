@@ -1,0 +1,112 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+namespace ipscope::obs {
+
+namespace {
+
+std::int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint32_t CurrentTid() {
+  return static_cast<std::uint32_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0x7FFFFFFF);
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_ns_(SteadyNowNanos()) {}
+
+std::int64_t TraceRecorder::NowMicros() const {
+  return (SteadyNowNanos() - epoch_ns_) / 1000;
+}
+
+void TraceRecorder::AddComplete(const std::string& name,
+                                const std::string& category,
+                                std::int64_t ts_us, std::int64_t dur_us) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.ts_us = std::max<std::int64_t>(ts_us, 0);
+  event.dur_us = std::max<std::int64_t>(dur_us, 0);
+  event.tid = CurrentTid();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+void TraceRecorder::Write(std::ostream& os) const {
+  std::vector<TraceEvent> events = Events();
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    os << (first ? "\n" : ",\n") << "  {\"name\": \"" << EscapeJson(e.name)
+       << "\", \"cat\": \"" << EscapeJson(e.category)
+       << "\", \"ph\": \"X\", \"ts\": " << e.ts_us
+       << ", \"dur\": " << e.dur_us << ", \"pid\": 1, \"tid\": " << e.tid
+       << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n") << "]}\n";
+}
+
+void TraceRecorder::WriteFile(const std::string& path) const {
+  std::ofstream os{path};
+  if (!os) {
+    throw std::runtime_error("obs: cannot open trace output: " + path);
+  }
+  Write(os);
+  if (!os) throw std::runtime_error("obs: trace write failed: " + path);
+}
+
+TraceRecorder& GlobalTrace() {
+  static TraceRecorder* recorder = new TraceRecorder;  // atexit-safe
+  return *recorder;
+}
+
+}  // namespace ipscope::obs

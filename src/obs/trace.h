@@ -1,0 +1,67 @@
+// Chrome trace-event-format recording for the pipeline's stage spans.
+//
+// When enabled, obs::Span (see obs/timer.h) appends one complete ("ph":"X")
+// event per scope. The serialized file loads directly in about://tracing or
+// https://ui.perfetto.dev:
+//
+//   obs::GlobalTrace().Enable();
+//   ... run pipeline ...
+//   obs::GlobalTrace().WriteFile("trace.json");
+//
+// Timestamps are microseconds on the steady clock, relative to recorder
+// construction, so `ts` is non-negative and `ts + dur` never exceeds the
+// recorder's current NowMicros().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ipscope::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::int64_t ts_us = 0;   // start, microseconds since recorder epoch
+  std::int64_t dur_us = 0;  // duration, microseconds
+  std::uint32_t tid = 0;    // hashed std::thread::id
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Microseconds elapsed since recorder construction (steady clock).
+  std::int64_t NowMicros() const;
+
+  // Records a complete event for the calling thread. No-op when disabled.
+  void AddComplete(const std::string& name, const std::string& category,
+                   std::int64_t ts_us, std::int64_t dur_us);
+
+  std::vector<TraceEvent> Events() const;
+  std::size_t size() const;
+  void Clear();
+
+  // {"displayTimeUnit": "ms", "traceEvents": [...]} with events sorted by
+  // start timestamp.
+  void Write(std::ostream& os) const;
+  void WriteFile(const std::string& path) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::int64_t epoch_ns_ = 0;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+// The process-global recorder obs::Span reports into; disabled by default.
+TraceRecorder& GlobalTrace();
+
+}  // namespace ipscope::obs

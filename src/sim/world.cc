@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/timer.h"
 #include "rng/rng.h"
 #include "timeutil/date.h"
 
@@ -295,6 +296,12 @@ const char* AsTypeName(AsType type) {
 
 World::World(const WorldConfig& config)
     : config_(config), registry_(config.seed) {
+  obs::Span build_span{"sim.world.build_seconds"};
+  obs::Span synthesis_span{"sim.world.as_synthesis_seconds"};
+  // Policy-assignment time is accumulated per block (it is interleaved with
+  // AS synthesis; the RNG draw order must not change) and recorded once.
+  double policy_seconds = 0;
+
   rng::Xoshiro256 g{rng::Substream(config_.seed, 0x3017)};
   const double infra_scale = config_.infra_block_fraction / 0.12;
   auto countries = geo::Countries();
@@ -331,6 +338,7 @@ World::World(const WorldConfig& config)
         plan.country = as.country;
         plan.block_seed =
             rng::Substream(config_.seed, 0xB10C, net::BlockKeyOf(prefix));
+        obs::Stopwatch policy_watch;
         PolicyKind kind = SampleKind(weights, g);
         plan.base = MakeParams(kind, as.type, g);
         for (std::size_t i = 0; i < plan.host_perm.size(); ++i) {
@@ -340,6 +348,7 @@ World::World(const WorldConfig& config)
           rng::Xoshiro256 pg{rng::Substream(plan.block_seed, 0x9e47)};
           std::shuffle(plan.host_perm.begin(), plan.host_perm.end(), pg);
         }
+        policy_seconds += policy_watch.Seconds();
         if (IsClientPolicy(kind) || kind == PolicyKind::kCrawlerBots) {
           ++client_blocks;
         }
@@ -352,6 +361,11 @@ World::World(const WorldConfig& config)
     if (!as.block_indices.empty()) ases_.push_back(std::move(as));
   }
   client_block_count_ = client_blocks;
+  synthesis_span.Stop();
+  obs::GlobalRegistry()
+      .GetHistogram("sim.world.policy_seconds")
+      .Record(policy_seconds);
+  obs::Span events_span{"sim.world.events_seconds"};
 
   // ---- Year-scale events over disjoint slices of the client blocks ------
   std::vector<std::uint32_t> candidates;
@@ -446,6 +460,13 @@ World::World(const WorldConfig& config)
   }
 
   std::sort(bgp_events_.begin(), bgp_events_.end());
+  events_span.Stop();
+
+  auto& registry = obs::GlobalRegistry();
+  registry.GetCounter("sim.world.builds").Add(1);
+  registry.GetCounter("sim.world.blocks").Add(blocks_.size());
+  registry.GetCounter("sim.world.ases").Add(ases_.size());
+  registry.GetCounter("sim.world.bgp_events").Add(bgp_events_.size());
 }
 
 std::optional<std::uint32_t> World::PlannedAsnOf(net::BlockKey key) const {

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "netbase/ipv4.h"
@@ -207,6 +208,56 @@ TEST(Cli, DescribePrintsWorldInventory) {
   EXPECT_NE(text.find("residential-isp"), std::string::npos);
   EXPECT_NE(text.find("assignment policy"), std::string::npos);
   EXPECT_NE(text.find("reconfigurations"), std::string::npos);
+}
+
+TEST(Cli, GenerateRejectsNonNumericSeed) {
+  std::ostringstream out, err;
+  EXPECT_EQ(Main({"generate", "--blocks", "10", "--seed", "banana", "--out",
+                  "/tmp/never_written.bin"},
+                 out, err),
+            2);
+  EXPECT_NE(err.str().find("--seed"), std::string::npos);
+}
+
+TEST(Cli, MalformedIntFlagFails) {
+  std::ostringstream out, err;
+  EXPECT_EQ(Main({"churn", DatasetPath(), "--window", "soon"}, out, err), 2);
+  EXPECT_NE(err.str().find("--window"), std::string::npos);
+  std::ostringstream out2, err2;
+  EXPECT_EQ(Main({"describe", "--blocks", "12x"}, out2, err2), 2);
+  EXPECT_NE(err2.str().find("--blocks"), std::string::npos);
+}
+
+TEST(Cli, ProfileRunsPipelineAndWritesMetrics) {
+  std::string metrics = ::testing::TempDir() + "/ipscope_cli_metrics." +
+                        std::to_string(getpid()) + ".json";
+  std::string trace = ::testing::TempDir() + "/ipscope_cli_trace." +
+                      std::to_string(getpid()) + ".json";
+  std::ostringstream out, err;
+  ASSERT_EQ(Main({"profile", "--blocks", "150", "--metrics-out", metrics,
+                  "--trace-out", trace},
+                 out, err),
+            0)
+      << err.str();
+  // The stage table names the canonical histograms.
+  for (const char* stage :
+       {"sim.world.build_seconds", "cdn.observatory.build_seconds",
+        "io.store.save_seconds", "io.store.load_seconds",
+        "activity.churn.compute_seconds", "p50", "p99"}) {
+    EXPECT_NE(out.str().find(stage), std::string::npos) << stage;
+  }
+  std::ifstream mis{metrics};
+  ASSERT_TRUE(mis.good());
+  std::string mjson{std::istreambuf_iterator<char>(mis),
+                    std::istreambuf_iterator<char>()};
+  EXPECT_NE(mjson.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(mjson.find("\"p99\""), std::string::npos);
+  std::ifstream tis{trace};
+  ASSERT_TRUE(tis.good());
+  std::string tjson{std::istreambuf_iterator<char>(tis),
+                    std::istreambuf_iterator<char>()};
+  EXPECT_NE(tjson.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(tjson.find("\"ph\": \"X\""), std::string::npos);
 }
 
 TEST(Cli, WeeklyGeneration) {

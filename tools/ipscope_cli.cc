@@ -1,5 +1,9 @@
 // ipscope command-line tool. All logic lives in src/cli/commands.cc so it
 // can be unit-tested; this is only the process entry point.
+//
+// Every command accepts global --metrics-out/--trace-out flags (see the
+// README's "Observability" section); `ipscope_cli profile` exercises the
+// whole pipeline and prints the per-stage wall-time table.
 #include <iostream>
 #include <string>
 #include <vector>
