@@ -12,11 +12,17 @@ ctest --test-dir build -j"$(nproc)"
 # Set IPSCOPE_SKIP_SANITIZERS=1 to skip (e.g. on memory-constrained hosts).
 if [ "${IPSCOPE_SKIP_SANITIZERS:-0}" != "1" ]; then
   cmake -B build-san -G Ninja -DIPSCOPE_ASAN=ON -DIPSCOPE_UBSAN=ON
-  cmake --build build-san --target ipscope_tests
+  cmake --build build-san --target ipscope_tests ipscope_fault_tests
   ctest --test-dir build-san -j"$(nproc)"
 fi
 
 mkdir -p results
+
+# Chaos smoke pass: the full pipeline under the default fault schedule
+# (dropped log days + store truncation + a killed scan snapshot) must
+# survive, salvage every intact block, and pass its own scorecard.
+echo "== chaos smoke"
+build/tools/ipscope_cli chaos --seed 7 --blocks 800 | tee results/chaos.txt
 for bench in build/bench/*; do
   name="$(basename "$bench")"
   echo "== $name"

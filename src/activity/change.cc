@@ -5,18 +5,45 @@
 
 namespace ipscope::activity {
 
+namespace {
+
+// Covered-day STU of one month window: active (address, day) pairs over
+// 256 x covered days. Uncovered days have all-zero rows, so the numerator
+// needs no masking; only the denominator must shrink, otherwise a
+// collector outage reads as an activity drop.
+double MonthStu(const ActivityStore& store, const ActivityMatrix& m,
+                int day_first, int day_last, double hosts) {
+  int covered = store.CoveredDaysIn(day_first, day_last);
+  if (covered == 0) return 0.0;
+  return static_cast<double>(m.SpatioTemporalActivity(day_first, day_last)) /
+         (hosts * covered);
+}
+
+}  // namespace
+
 std::vector<BlockStuChange> MaxMonthlyStuChange(const ActivityStore& store,
                                                 int month_days) {
   std::vector<BlockStuChange> out;
   int months = store.days() / month_days;
   if (months < 2) return out;
+  // Months without a single covered day carry no signal: deltas are taken
+  // between consecutive *observed* months, bridging the gap.
+  std::vector<int> observed;
+  for (int mo = 0; mo < months; ++mo) {
+    if (store.CoveredDaysIn(mo * month_days, (mo + 1) * month_days) > 0) {
+      observed.push_back(mo);
+    }
+  }
+  if (observed.size() < 2) return out;
   out.reserve(store.BlockCount());
   store.ForEach([&](net::BlockKey key, const ActivityMatrix& m) {
     if (m.FillingDegree(0, store.days()) == 0) return;
-    double prev = m.Stu(0, month_days);
+    double prev = MonthStu(store, m, observed[0] * month_days,
+                           (observed[0] + 1) * month_days, 256.0);
     double best = 0.0;
-    for (int mo = 1; mo < months; ++mo) {
-      double cur = m.Stu(mo * month_days, (mo + 1) * month_days);
+    for (std::size_t i = 1; i < observed.size(); ++i) {
+      double cur = MonthStu(store, m, observed[i] * month_days,
+                            (observed[i] + 1) * month_days, 256.0);
       double delta = cur - prev;
       if (std::abs(delta) > std::abs(best)) best = delta;
       prev = cur;
@@ -29,22 +56,29 @@ std::vector<BlockStuChange> MaxMonthlyStuChange(const ActivityStore& store,
 namespace {
 
 // Max-magnitude signed month-to-month change of the mean activity of one
-// host half (computed from 128-host day slices).
-double HalfMaxDelta(const ActivityMatrix& m, int month_days, bool upper) {
-  int months = m.days() / month_days;
+// host half (computed from 128-host day slices). Follows the same
+// covered-day denominator and observed-month bridging as
+// MaxMonthlyStuChange.
+double HalfMaxDelta(const ActivityStore& store, const ActivityMatrix& m,
+                    const std::vector<int>& observed, int month_days,
+                    bool upper) {
   auto half_stu = [&](int first, int last) {
+    int covered = store.CoveredDaysIn(first, last);
+    if (covered == 0) return 0.0;
     std::int64_t active = 0;
     for (int d = first; d < last; ++d) {
       const DayBits& row = m.Row(d);
       active += upper ? std::popcount(row[2]) + std::popcount(row[3])
                       : std::popcount(row[0]) + std::popcount(row[1]);
     }
-    return static_cast<double>(active) / (128.0 * (last - first));
+    return static_cast<double>(active) / (128.0 * covered);
   };
-  double prev = half_stu(0, month_days);
+  double prev = half_stu(observed[0] * month_days,
+                         (observed[0] + 1) * month_days);
   double best = 0.0;
-  for (int mo = 1; mo < months; ++mo) {
-    double cur = half_stu(mo * month_days, (mo + 1) * month_days);
+  for (std::size_t i = 1; i < observed.size(); ++i) {
+    double cur = half_stu(observed[i] * month_days,
+                          (observed[i] + 1) * month_days);
     if (std::abs(cur - prev) > std::abs(best)) best = cur - prev;
     prev = cur;
   }
@@ -56,13 +90,21 @@ double HalfMaxDelta(const ActivityMatrix& m, int month_days, bool upper) {
 std::vector<BlockSpatialChange> SpatialStuChanges(const ActivityStore& store,
                                                   int month_days) {
   std::vector<BlockSpatialChange> out;
-  if (store.days() / month_days < 2) return out;
+  int months = store.days() / month_days;
+  if (months < 2) return out;
+  std::vector<int> observed;
+  for (int mo = 0; mo < months; ++mo) {
+    if (store.CoveredDaysIn(mo * month_days, (mo + 1) * month_days) > 0) {
+      observed.push_back(mo);
+    }
+  }
+  if (observed.size() < 2) return out;
   out.reserve(store.BlockCount());
   store.ForEach([&](net::BlockKey key, const ActivityMatrix& m) {
     if (m.FillingDegree(0, store.days()) == 0) return;
-    out.push_back(BlockSpatialChange{key,
-                                     HalfMaxDelta(m, month_days, false),
-                                     HalfMaxDelta(m, month_days, true)});
+    out.push_back(BlockSpatialChange{
+        key, HalfMaxDelta(store, m, observed, month_days, false),
+        HalfMaxDelta(store, m, observed, month_days, true)});
   });
   return out;
 }

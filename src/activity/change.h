@@ -6,6 +6,11 @@
 // the month-to-month difference with the largest magnitude (keeping its
 // sign), and threshold at |delta| > 0.25 — the paper's empirically chosen
 // cut that retains heavy in-situ variation but catches reconfiguration.
+//
+// Data gaps: monthly STU uses covered-day denominators (see
+// activity/metrics.h) and months without a single covered day are skipped,
+// with deltas bridged between consecutive observed months — so an outage
+// is never misread as a reconfiguration.
 #pragma once
 
 #include <cstdint>

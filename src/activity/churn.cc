@@ -34,6 +34,22 @@ MinMedianMax Summarize(std::vector<double> values) {
   return out;
 }
 
+namespace {
+
+// Windows with at least one covered day; an uncovered window contributes
+// no evidence and must not read as "everything deactivated".
+std::vector<bool> CoveredWindows(const ActivityStore& store, int window_days,
+                                 int num_windows) {
+  std::vector<bool> covered(static_cast<std::size_t>(num_windows));
+  for (int w = 0; w < num_windows; ++w) {
+    covered[static_cast<std::size_t>(w)] =
+        store.CoveredDaysIn(w * window_days, (w + 1) * window_days) > 0;
+  }
+  return covered;
+}
+
+}  // namespace
+
 WindowChurnSeries ChurnAnalyzer::Churn(int window_days) const {
   obs::Span span{"activity.churn.compute_seconds"};
   WindowChurnSeries series;
@@ -41,6 +57,8 @@ WindowChurnSeries ChurnAnalyzer::Churn(int window_days) const {
   int num_windows = store_.days() / window_days;
   if (num_windows < 2) return series;
   int pairs = num_windows - 1;
+  std::vector<bool> window_ok =
+      CoveredWindows(store_, window_days, num_windows);
 
   std::vector<std::uint64_t> up(static_cast<std::size_t>(pairs), 0);
   std::vector<std::uint64_t> down(static_cast<std::size_t>(pairs), 0);
@@ -62,10 +80,13 @@ WindowChurnSeries ChurnAnalyzer::Churn(int window_days) const {
     }
   });
 
+  series.pairs.reserve(static_cast<std::size_t>(pairs));
   series.up_pct.reserve(static_cast<std::size_t>(pairs));
   series.down_pct.reserve(static_cast<std::size_t>(pairs));
   for (int p = 0; p < pairs; ++p) {
     auto pi = static_cast<std::size_t>(p);
+    if (!window_ok[pi] || !window_ok[pi + 1]) continue;  // data gap
+    series.pairs.push_back(p);
     series.up_pct.push_back(
         size_next[pi] ? 100.0 * static_cast<double>(up[pi]) /
                             static_cast<double>(size_next[pi])
@@ -103,6 +124,17 @@ DailyEventSeries ChurnAnalyzer::DailyEvents() const {
       series.down[static_cast<std::size_t>(d)] += PopCount(AndNotBits(a, b));
     }
   });
+  // Overwrite, rather than skip, so the block loop above stays branch-free:
+  // gaps are rare, days are few.
+  for (int d = 0; d < days; ++d) {
+    if (!store_.DayCovered(d)) {
+      series.active[static_cast<std::size_t>(d)] = -1;
+      if (d > 0) series.up[static_cast<std::size_t>(d - 1)] = -1;
+      if (d + 1 < days) series.up[static_cast<std::size_t>(d)] = -1;
+      if (d > 0) series.down[static_cast<std::size_t>(d - 1)] = -1;
+      if (d + 1 < days) series.down[static_cast<std::size_t>(d)] = -1;
+    }
+  }
   return series;
 }
 
@@ -114,12 +146,14 @@ VersusFirstSeries ChurnAnalyzer::VersusFirst(int window_days) const {
   series.appear.assign(static_cast<std::size_t>(num_windows), 0);
   series.disappear.assign(static_cast<std::size_t>(num_windows), 0);
   series.active.assign(static_cast<std::size_t>(num_windows), 0);
+  series.window_covered = CoveredWindows(store_, window_days, num_windows);
   store_.ForEach([&](net::BlockKey, const ActivityMatrix& m) {
     auto unions = WindowUnions(m, window_days, num_windows);
     const DayBits& w0 = unions[0];
     for (int w = 0; w < num_windows; ++w) {
-      const DayBits& wi = unions[static_cast<std::size_t>(w)];
       auto wiu = static_cast<std::size_t>(w);
+      if (!series.window_covered[wiu]) continue;  // no data, not "empty"
+      const DayBits& wi = unions[wiu];
       series.appear[wiu] +=
           static_cast<std::uint64_t>(PopCount(AndNotBits(wi, w0)));
       series.disappear[wiu] +=
@@ -137,6 +171,8 @@ std::vector<GroupChurn> ChurnAnalyzer::PerGroupChurn(
   int num_windows = store_.days() / window_days;
   if (num_windows < 2) return {};
   int pairs = num_windows - 1;
+  std::vector<bool> window_ok =
+      CoveredWindows(store_, window_days, num_windows);
 
   struct Acc {
     std::vector<std::uint64_t> up, down, size_prev, size_next;
@@ -172,6 +208,7 @@ std::vector<GroupChurn> ChurnAnalyzer::PerGroupChurn(
     std::vector<double> up_pcts, down_pcts;
     for (int p = 0; p < pairs; ++p) {
       auto pi = static_cast<std::size_t>(p);
+      if (!window_ok[pi] || !window_ok[pi + 1]) continue;  // data gap
       if (acc.size_next[pi] > 0) {
         up_pcts.push_back(100.0 * static_cast<double>(acc.up[pi]) /
                           static_cast<double>(acc.size_next[pi]));

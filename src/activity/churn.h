@@ -8,6 +8,14 @@
 //    i and absent from i+1.
 //  * Up-event percentage for the pair = 100 * |W_{i+1} \ W_i| / |W_{i+1}|;
 //    down-event percentage = 100 * |W_i \ W_{i+1}| / |W_i|.
+//
+// Data gaps (ActivityStore coverage mask): a day the platform never
+// observed carries no evidence of deactivation, so — mirroring the paper's
+// exclusion of unreliable collection periods — windows without a single
+// covered day are excluded from event computation entirely. A window pair
+// is reported only when both windows contain at least one covered day;
+// WindowChurnSeries::pairs records which pairs survived. On fully covered
+// datasets the output is identical to the pre-coverage behavior.
 #pragma once
 
 #include <cstdint>
@@ -27,18 +35,24 @@ struct MinMedianMax {
 // Churn between every consecutive pair of windows of one size (Fig 4b).
 struct WindowChurnSeries {
   int window_days = 0;
-  std::vector<double> up_pct;    // one per window pair
-  std::vector<double> down_pct;  // one per window pair
+  // pairs[i] is the window index w of the i-th reported pair (w -> w+1).
+  // Equal to 0..n-2 on fully covered datasets; pairs touching a window
+  // with no covered day are omitted.
+  std::vector<int> pairs;
+  std::vector<double> up_pct;    // one per reported pair
+  std::vector<double> down_pct;  // one per reported pair
   MinMedianMax up;
   MinMedianMax down;
 };
 
 // Absolute daily event counts (Fig 4a): up[d] / down[d] are the number of
-// addresses with an up/down event between day d and day d+1.
+// addresses with an up/down event between day d and day d+1. Entries
+// touching an uncovered day are -1 ("no data"), never 0.
 struct DailyEventSeries {
-  std::vector<std::int64_t> active;  // per day
-  std::vector<std::int64_t> up;      // per day pair (size days-1)
-  std::vector<std::int64_t> down;    // per day pair
+  std::vector<std::int64_t> active;  // per day; -1 where the day is uncovered
+  std::vector<std::int64_t> up;      // per day pair (size days-1); -1 where
+                                     // either endpoint day is uncovered
+  std::vector<std::int64_t> down;    // per day pair; -1 as above
 };
 
 // Long-term appear/disappear vs the first window (Fig 4c): appear[i] is the
@@ -49,6 +63,9 @@ struct VersusFirstSeries {
   std::vector<std::uint64_t> appear;
   std::vector<std::uint64_t> disappear;
   std::vector<std::uint64_t> active;  // |W_i|
+  // False where the window has no covered day; such windows report
+  // appear/disappear/active as 0 (meaning "no data", not "empty").
+  std::vector<bool> window_covered;
 };
 
 // Per-group churn (Fig 5a; groups are ASes in the paper). Only groups with

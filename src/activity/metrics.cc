@@ -5,11 +5,19 @@ namespace ipscope::activity {
 std::vector<BlockMetrics> ComputeBlockMetrics(const ActivityStore& store,
                                               int day_first, int day_last) {
   std::vector<BlockMetrics> out;
+  // STU over the days actually observed: uncovered days contribute no
+  // activity by construction, so only the denominator needs adjusting —
+  // with a full coverage mask this is exactly m.Stu(day_first, day_last).
+  const int covered = store.CoveredDaysIn(day_first, day_last);
+  if (covered == 0) return out;  // the window holds no data at all
   out.reserve(store.BlockCount());
   store.ForEach([&](net::BlockKey key, const ActivityMatrix& m) {
     int fd = m.FillingDegree(day_first, day_last);
     if (fd == 0) return;
-    out.push_back(BlockMetrics{key, fd, m.Stu(day_first, day_last)});
+    double stu =
+        static_cast<double>(m.SpatioTemporalActivity(day_first, day_last)) /
+        (256.0 * covered);
+    out.push_back(BlockMetrics{key, fd, stu});
   });
   return out;
 }

@@ -4,6 +4,10 @@
 // an observation window — range 1..256 for active blocks.
 // Spatio-temporal utilization (STU): active (address, day) pairs divided by
 // the maximum possible (256 x window days) — range (0, 1].
+//
+// When the store carries data gaps (ActivityStore coverage mask), the STU
+// denominator counts only covered days, so a collector outage does not
+// depress utilization; a window with zero covered days yields no metrics.
 #pragma once
 
 #include <cstdint>

@@ -14,6 +14,36 @@ ActivityMatrix& ActivityStore::GetOrCreate(net::BlockKey key) {
   return matrices_[idx];
 }
 
+void ActivityStore::SetDayCovered(int day, bool covered) {
+  covered_[static_cast<std::size_t>(day)] = covered;
+  if (!covered) {
+    for (ActivityMatrix& m : matrices_) m.Row(day) = DayBits{};
+  }
+}
+
+bool ActivityStore::FullyCovered() const {
+  for (bool c : covered_) {
+    if (!c) return false;
+  }
+  return true;
+}
+
+int ActivityStore::CoveredDaysIn(int day_first, int day_last) const {
+  int n = 0;
+  for (int d = day_first; d < day_last; ++d) {
+    if (covered_[static_cast<std::size_t>(d)]) ++n;
+  }
+  return n;
+}
+
+std::vector<int> ActivityStore::MissingDayList() const {
+  std::vector<int> out;
+  for (int d = 0; d < days_; ++d) {
+    if (!covered_[static_cast<std::size_t>(d)]) out.push_back(d);
+  }
+  return out;
+}
+
 const ActivityMatrix* ActivityStore::Find(net::BlockKey key) const {
   auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
   if (it == keys_.end() || *it != key) return nullptr;

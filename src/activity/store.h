@@ -4,6 +4,16 @@
 // collection of ActivityMatrix objects sharing one observation period.
 // It supports the whole-dataset reductions the paper's analyses need:
 // per-day totals, windowed active sets, and per-block iteration.
+//
+// Coverage mask: real measurement substrates lose whole days (collector
+// outages, failed snapshot transfers — paper §3.2), and "no data for day
+// d" must not be conflated with "every address was down on day d". The
+// store therefore carries a per-day coverage bit: uncovered days have
+// all-zero rows by construction and the analyses (churn, change
+// detection, STU metrics) exclude them from event computation and
+// denominators instead of reading them as mass deactivation. Freshly
+// built stores are fully covered; fault::Injector and IPSCOPE2 loading
+// are what introduce gaps.
 #pragma once
 
 #include <cstdint>
@@ -20,10 +30,26 @@ namespace ipscope::activity {
 class ActivityStore {
  public:
   // `days` is the shared observation-period length of all matrices.
-  explicit ActivityStore(int days) : days_(days) {}
+  explicit ActivityStore(int days)
+      : days_(days), covered_(static_cast<std::size_t>(days), true) {}
 
   int days() const { return days_; }
   std::size_t BlockCount() const { return keys_.size(); }
+
+  // --- Per-day coverage --------------------------------------------------
+  // A day is covered when the collection platform actually observed it.
+  // Marking a day uncovered also clears its row in every matrix: an
+  // unobserved day cannot carry activity, and keeping the invariant here
+  // means union-based reductions need no special casing.
+  bool DayCovered(int day) const {
+    return covered_[static_cast<std::size_t>(day)];
+  }
+  void SetDayCovered(int day, bool covered);
+  bool FullyCovered() const;
+  // Covered days in [day_first, day_last).
+  int CoveredDaysIn(int day_first, int day_last) const;
+  int MissingDays() const { return days_ - CoveredDaysIn(0, days_); }
+  std::vector<int> MissingDayList() const;
 
   // Returns the matrix for `key`, creating an empty one if absent.
   // Insertions may arrive in any order; the store keeps blocks sorted.
@@ -55,6 +81,7 @@ class ActivityStore {
 
  private:
   int days_;
+  std::vector<bool> covered_;             // per day; see DayCovered
   std::vector<net::BlockKey> keys_;       // ascending
   std::vector<ActivityMatrix> matrices_;  // parallel to keys_
 };

@@ -1,0 +1,106 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+
+#include "obs/registry.h"
+
+namespace ipscope::fault {
+
+void Injector::CountInjected(std::uint64_t n, Report* report) {
+  if (n == 0) return;
+  obs::GlobalRegistry().GetCounter("fault.injected_total").Add(n);
+  if (report != nullptr) report->faults_injected += n;
+}
+
+std::vector<int> Injector::PickDistinct(int n, int count,
+                                        std::uint64_t tag) const {
+  std::vector<int> picked;
+  if (n <= 0 || count <= 0) return picked;
+  if (count > n) count = n;
+  rng::Xoshiro256 g{rng::Substream(schedule_.seed, tag)};
+  // Floyd's algorithm: exactly `count` draws, no shuffling of [0, n).
+  for (int j = n - count; j < n; ++j) {
+    int v = static_cast<int>(g.NextBounded(static_cast<std::uint32_t>(j + 1)));
+    if (std::find(picked.begin(), picked.end(), v) != picked.end()) v = j;
+    picked.push_back(v);
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+std::vector<int> Injector::ApplyToStore(activity::ActivityStore& store,
+                                        Report* report) {
+  std::vector<int> days;
+  int random_count =
+      static_cast<int>(schedule_.TotalValue(FaultKind::kDropDays));
+  for (int d : PickDistinct(store.days(), random_count, kTagDropDays)) {
+    days.push_back(d);
+  }
+  for (const FaultSpec& f : schedule_.faults) {
+    if (f.kind == FaultKind::kDropDay) {
+      int d = static_cast<int>(f.value);
+      if (d >= 0 && d < store.days()) days.push_back(d);
+    }
+  }
+  std::sort(days.begin(), days.end());
+  days.erase(std::unique(days.begin(), days.end()), days.end());
+  for (int d : days) store.SetDayCovered(d, false);
+  // The gauge reflects the store's current state (load-time gaps included),
+  // not just this injector's drops.
+  obs::GlobalRegistry()
+      .GetGauge("activity.days_missing")
+      .Set(static_cast<double>(store.MissingDays()));
+  CountInjected(days.size(), report);
+  if (report != nullptr) {
+    report->dropped_days.insert(report->dropped_days.end(), days.begin(),
+                                days.end());
+  }
+  return days;
+}
+
+void Injector::ApplyToBytes(std::string& bytes, Report* report) {
+  double keep_fraction = schedule_.TotalValue(FaultKind::kTruncateStore);
+  if (schedule_.Has(FaultKind::kTruncateStore) && keep_fraction < 1.0 &&
+      !bytes.empty()) {
+    auto keep = static_cast<std::size_t>(
+        keep_fraction * static_cast<double>(bytes.size()));
+    bytes.resize(keep);
+    CountInjected(1, report);
+    if (report != nullptr) report->truncated_to_bytes = keep;
+  }
+
+  int flips = static_cast<int>(schedule_.TotalValue(FaultKind::kFlipBytes));
+  // Leave the 8-byte magic alone: flipping it exercises format detection,
+  // not checksum coverage, and a magic byte is not "data corruption" in
+  // any interesting sense.
+  constexpr std::size_t kFirstFlippable = 8;
+  if (flips > 0 && bytes.size() > kFirstFlippable) {
+    rng::Xoshiro256 g{rng::Substream(schedule_.seed, kTagFlips)};
+    for (int i = 0; i < flips; ++i) {
+      auto offset = kFirstFlippable +
+                    g.NextBounded(static_cast<std::uint32_t>(
+                        bytes.size() - kFirstFlippable));
+      // A non-zero mask guarantees the byte actually changes.
+      auto mask = static_cast<char>(1u << g.NextBounded(8));
+      bytes[offset] ^= mask;
+      CountInjected(1, report);
+      if (report != nullptr) report->flipped_offsets.push_back(offset);
+    }
+  }
+}
+
+std::vector<int> Injector::PickSnapshotsToDrop(int num_snapshots,
+                                               Report* report) {
+  int count =
+      static_cast<int>(schedule_.TotalValue(FaultKind::kDropSnapshots));
+  if (count >= num_snapshots) count = num_snapshots - 1;
+  std::vector<int> picked = PickDistinct(num_snapshots, count, kTagSnapshots);
+  CountInjected(picked.size(), report);
+  if (report != nullptr) {
+    report->dropped_snapshots.insert(report->dropped_snapshots.end(),
+                                     picked.begin(), picked.end());
+  }
+  return picked;
+}
+
+}  // namespace ipscope::fault

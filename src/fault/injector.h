@@ -1,0 +1,97 @@
+// Deterministic fault injection over observed datasets.
+//
+// The Injector applies a fault::Schedule to the artifacts of a pipeline
+// run *before* analysis: it drops whole days of CDN log coverage
+// (collector outage), kills scan snapshots, truncates or bit-flips
+// serialized store bytes, and duplicates raw log rows. Every choice
+// derives from rng::Substream(schedule.seed, fault-tag, ...), so a chaos
+// run is reproducible from its seed alone and two injectors built from
+// the same schedule perturb identically.
+//
+// Each applied fault increments the `fault.injected_total` counter in the
+// global obs registry; the Report returned by the batch entry points
+// records exactly what was done so a scorecard can assert against it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "activity/store.h"
+#include "fault/schedule.h"
+#include "rng/rng.h"
+
+namespace ipscope::fault {
+
+class Injector {
+ public:
+  explicit Injector(const Schedule& schedule) : schedule_(schedule) {}
+
+  const Schedule& schedule() const { return schedule_; }
+
+  struct Report {
+    std::vector<int> dropped_days;          // ascending
+    std::vector<int> dropped_snapshots;     // ascending indices
+    std::uint64_t truncated_to_bytes = 0;   // 0 = store not truncated
+    std::vector<std::uint64_t> flipped_offsets;
+    std::uint64_t duplicated_rows = 0;
+    std::uint64_t faults_injected = 0;      // total individual fault events
+  };
+
+  // Applies the kDropDays/kDropDay entries: clears the chosen days in
+  // every block and marks them uncovered in the store's coverage mask.
+  // Returns the dropped day indices (ascending, deduplicated).
+  std::vector<int> ApplyToStore(activity::ActivityStore& store,
+                                Report* report = nullptr);
+
+  // Applies kTruncateStore then kFlipBytes to a serialized store image.
+  // Truncation keeps floor(fraction * size) bytes; flips XOR a seeded
+  // non-zero mask into seeded offsets past the 8-byte magic (flipping the
+  // magic would test format detection, not corruption detection).
+  void ApplyToBytes(std::string& bytes, Report* report = nullptr);
+
+  // Picks the snapshot indices the kDropSnapshots entries kill from a
+  // campaign of `num_snapshots` (ascending, deduplicated; at most
+  // num_snapshots - 1 so a campaign never silently vanishes entirely).
+  std::vector<int> PickSnapshotsToDrop(int num_snapshots,
+                                       Report* report = nullptr);
+
+  // Applies kDupRows to a row vector (any element type): each row is
+  // re-appended with the configured probability, modelling the at-least-
+  // once delivery of a distributed log collector. Returns the number of
+  // duplicates appended. Aggregation must be idempotent under this.
+  template <typename T>
+  std::uint64_t DuplicateRows(std::vector<T>& rows, Report* report = nullptr) {
+    double p = schedule_.TotalValue(FaultKind::kDupRows);
+    if (p <= 0.0 || rows.empty()) return 0;
+    rng::Xoshiro256 g{rng::Substream(schedule_.seed, kTagDupRows)};
+    std::size_t original = rows.size();
+    std::uint64_t duplicated = 0;
+    for (std::size_t i = 0; i < original; ++i) {
+      if (g.NextBool(p)) {
+        rows.push_back(rows[i]);
+        ++duplicated;
+      }
+    }
+    CountInjected(duplicated, report);
+    if (report != nullptr) report->duplicated_rows += duplicated;
+    return duplicated;
+  }
+
+  // Deterministic choice of `count` distinct values in [0, n); `tag`
+  // separates the substreams of independent decisions. Exposed for tests
+  // and for callers composing faults the batch entry points don't cover.
+  std::vector<int> PickDistinct(int n, int count, std::uint64_t tag) const;
+
+ private:
+  static constexpr std::uint64_t kTagDropDays = 0xDA75;
+  static constexpr std::uint64_t kTagSnapshots = 0x5CA9;
+  static constexpr std::uint64_t kTagFlips = 0xF11B;
+  static constexpr std::uint64_t kTagDupRows = 0xD0B5;
+
+  void CountInjected(std::uint64_t n, Report* report);
+
+  Schedule schedule_;
+};
+
+}  // namespace ipscope::fault

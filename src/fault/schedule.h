@@ -1,0 +1,67 @@
+// Declarative fault schedules for deterministic chaos runs.
+//
+// The measurement substrates the paper builds on were inherently lossy:
+// CDN log collection lost whole days to collector outages, ZMap campaigns
+// lost snapshots to failed or partial scans, and nothing guarantees a
+// serialized dataset survives storage intact. A fault::Schedule describes
+// such damage declaratively so that every chaos run is reproducible from
+// a single seed — same schedule + same seed = byte-identical perturbation
+// (see fault/injector.h for the application side).
+//
+// Grammar: a comma- or semicolon-separated list of `name=value` entries
+// (value optional where a default exists):
+//
+//   drop-days=N        drop N whole days of log coverage (collector outage)
+//   drop-day=D         drop the specific day index D
+//   drop-snapshots=K   kill K scan snapshots of a campaign
+//   truncate-store=F   truncate the serialized store to fraction F (0,1)
+//                      of its bytes — lands mid-block by construction
+//   flip-bytes=N       N single-byte bit flips at seeded offsets
+//   dup-rows=F         duplicate each raw log row with probability F
+//
+// Example: "drop-days=2,truncate-store=0.6,drop-snapshots=1"
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipscope::fault {
+
+enum class FaultKind {
+  kDropDays,       // value = count of days
+  kDropDay,        // value = explicit day index
+  kDropSnapshots,  // value = count of snapshots
+  kTruncateStore,  // value = byte fraction kept, in (0, 1)
+  kFlipBytes,      // value = count of single-byte flips
+  kDupRows,        // value = duplication probability, in (0, 1]
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDropDays;
+  double value = 0.0;
+};
+
+struct Schedule {
+  // Seed of every random choice the injector makes for this schedule
+  // (which days, which offsets, which rows).
+  std::uint64_t seed = 0;
+  std::vector<FaultSpec> faults;
+
+  bool Has(FaultKind kind) const;
+  // Sum of values across entries of `kind` (0 when absent) — lets a
+  // schedule say drop-days=1 twice and mean two outages.
+  double TotalValue(FaultKind kind) const;
+
+  // Canonical round-trippable rendering of the grammar above.
+  std::string ToString() const;
+};
+
+// Parses the grammar; on failure returns false and describes the problem
+// in *error. An empty string parses to an empty (no-fault) schedule.
+bool ParseSchedule(const std::string& text, Schedule* schedule,
+                   std::string* error);
+
+}  // namespace ipscope::fault

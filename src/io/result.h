@@ -1,0 +1,55 @@
+// ipscope::Result<T, E> — a minimal expected-style sum type.
+//
+// The non-throwing side of the io error taxonomy: functions that can fail
+// on bad input return Result<Value, io::StoreError> instead of throwing,
+// so callers that expect damaged data (salvage paths, the chaos harness)
+// can branch on the error without exception machinery, while the classic
+// throwing wrappers remain available for callers that treat corruption as
+// fatal. Deliberately tiny — no monadic combinators, just ok()/value()/
+// error() — because call sites here are all immediate branches.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+namespace ipscope {
+
+template <typename T, typename E>
+class Result {
+ public:
+  // Implicit construction from either alternative keeps call sites clean:
+  //   return LoadResult{...};   return StoreError{...};
+  Result(T value) : v_(std::in_place_index<0>, std::move(value)) {}
+  Result(E error) : v_(std::in_place_index<1>, std::move(error)) {}
+
+  bool ok() const { return v_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & {
+    assert(ok());
+    return std::get<0>(v_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(v_));
+  }
+
+  E& error() & {
+    assert(!ok());
+    return std::get<1>(v_);
+  }
+  const E& error() const& {
+    assert(!ok());
+    return std::get<1>(v_);
+  }
+
+ private:
+  std::variant<T, E> v_;
+};
+
+}  // namespace ipscope

@@ -1,0 +1,28 @@
+#include "io/store_error.h"
+
+namespace ipscope::io {
+
+const char* StoreErrorKindName(StoreErrorKind kind) {
+  switch (kind) {
+    case StoreErrorKind::kOpenFailed:
+      return "open-failed";
+    case StoreErrorKind::kBadMagic:
+      return "bad-magic";
+    case StoreErrorKind::kTruncated:
+      return "truncated";
+    case StoreErrorKind::kMalformed:
+      return "malformed";
+    case StoreErrorKind::kChecksumMismatch:
+      return "checksum-mismatch";
+    case StoreErrorKind::kWriteFailed:
+      return "write-failed";
+  }
+  return "unknown";
+}
+
+std::string StoreError::ToString() const {
+  return "ipscope store: " + message + " [" + StoreErrorKindName(kind) +
+         " at byte " + std::to_string(offset) + "]";
+}
+
+}  // namespace ipscope::io

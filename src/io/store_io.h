@@ -4,7 +4,9 @@
 // to a compact stream and reloaded later, so expensive worlds need to be
 // generated once and analyses can run out-of-process (see tools/ipscope_cli).
 //
-// Format (little-endian):
+// Two on-disk formats, both little-endian:
+//
+// IPSCOPE1 (legacy, still readable; written with StoreFormat::kV1):
 //   8 bytes  magic "IPSCOPE1"
 //   u32      days (steps) per matrix
 //   u64      block count
@@ -13,24 +15,96 @@
 //     u32    number of non-empty days
 //     then per non-empty day: u16 day index + 4 x u64 bitmap words
 //
-// Loading validates the header, bounds, ordering, and truncation, and
-// throws std::runtime_error with a descriptive message on malformed input.
+// IPSCOPE2 (default): the same block payloads, hardened for corruption
+// detection and partial recovery, and carrying the per-day coverage mask:
+//   8 bytes  magic "IPSCOPE2"
+//   u32      days
+//   u64      block count
+//   bytes    coverage bitmap, ceil(days/8) bytes (bit d set = day d covered)
+//   u32      header CRC32C (over everything above)
+//   then per block, in ascending key order:
+//     u32 key | u32 non-empty days | per-day payload as in v1
+//     u32 block CRC32C (over this block's key/count/payload bytes)
+//   footer:
+//     4 bytes "END2" | u64 block count echo
+//     u32 stream CRC32C (over every byte from offset 0 through the echo)
+//
+// Every byte of a v2 stream is covered by at least one checksum, so any
+// single-byte corruption is detected (property-swept in
+// tests/io_fault_test.cc). Per-block checksums make salvage possible:
+// TryLoadStore with salvage=true recovers all intact blocks up to the
+// first truncated/corrupt record instead of failing outright.
+//
+// Error handling comes in two flavors:
+//   * TryLoadStore returns ipscope::Result<LoadResult, StoreError> — a
+//     typed error with kind + absolute byte offset, never throws on bad
+//     input.
+//   * LoadStore/LoadStoreFile keep the classic throwing API
+//     (std::runtime_error whose message includes the kind and offset).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "activity/store.h"
+#include "io/result.h"
+#include "io/store_error.h"
 
 namespace ipscope::io {
 
-void SaveStore(const activity::ActivityStore& store, std::ostream& os);
+enum class StoreFormat {
+  kV1,  // legacy "IPSCOPE1": no checksums, no coverage mask
+  kV2,  // "IPSCOPE2": checksummed, carries the coverage mask (default)
+};
+
+struct LoadOptions {
+  // When true, a truncated or corrupt block stops the load but the intact
+  // prefix is returned (stats.complete = false, stats.error set) instead
+  // of the whole load failing. Header corruption is never salvageable:
+  // without trustworthy dimensions nothing can be decoded.
+  bool salvage = false;
+};
+
+struct LoadStats {
+  int format_version = 0;            // 1 or 2
+  std::uint64_t blocks_expected = 0; // from the header
+  std::uint64_t blocks_loaded = 0;
+  // Blocks recovered by a salvage load that hit an error; 0 on clean loads.
+  std::uint64_t blocks_salvaged = 0;
+  bool complete = true;
+  // The error salvage stopped at (set iff !complete).
+  std::optional<StoreError> error;
+};
+
+struct LoadResult {
+  activity::ActivityStore store;
+  LoadStats stats;
+};
+
+// Serializes `store`. StoreFormat::kV1 writes the legacy byte stream
+// exactly as the original writer did (the coverage mask is dropped — the
+// format cannot carry it); kV2 is the default for all new data.
+void SaveStore(const activity::ActivityStore& store, std::ostream& os,
+               StoreFormat format = StoreFormat::kV2);
+
+// Non-throwing load; dispatches on the magic, accepting both formats.
+Result<LoadResult, StoreError> TryLoadStore(std::istream& is,
+                                            const LoadOptions& options = {});
+
+// Throwing load (strict: salvage disabled). The runtime_error message is
+// StoreError::ToString(), i.e. includes kind and absolute byte offset.
 activity::ActivityStore LoadStore(std::istream& is);
 
-// File-path conveniences (binary mode). Throw std::runtime_error when the
-// file cannot be opened.
+// File-path conveniences (binary mode). Open failures report
+// errno/strerror detail; the Try variant returns them as
+// StoreErrorKind::kOpenFailed.
 void SaveStoreFile(const activity::ActivityStore& store,
-                   const std::string& path);
+                   const std::string& path,
+                   StoreFormat format = StoreFormat::kV2);
+Result<LoadResult, StoreError> TryLoadStoreFile(
+    const std::string& path, const LoadOptions& options = {});
 activity::ActivityStore LoadStoreFile(const std::string& path);
 
 }  // namespace ipscope::io

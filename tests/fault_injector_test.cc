@@ -1,0 +1,211 @@
+// fault::Schedule grammar and fault::Injector determinism tests.
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/injector.h"
+#include "fault/schedule.h"
+#include "io/store_io.h"
+#include "obs/registry.h"
+
+namespace ipscope::fault {
+namespace {
+
+Schedule MustParse(const std::string& text, std::uint64_t seed = 1) {
+  Schedule schedule;
+  schedule.seed = seed;
+  std::string error;
+  EXPECT_TRUE(ParseSchedule(text, &schedule, &error)) << error;
+  return schedule;
+}
+
+TEST(FaultSchedule, ParsesTheDocumentedGrammar) {
+  auto s = MustParse("drop-days=2, truncate-store=0.6; drop-snapshots=1", 99);
+  ASSERT_EQ(s.faults.size(), 3u);
+  EXPECT_EQ(s.seed, 99u);  // parsing preserves the caller's seed
+  EXPECT_EQ(s.faults[0].kind, FaultKind::kDropDays);
+  EXPECT_DOUBLE_EQ(s.faults[0].value, 2.0);
+  EXPECT_EQ(s.faults[1].kind, FaultKind::kTruncateStore);
+  EXPECT_DOUBLE_EQ(s.faults[1].value, 0.6);
+  EXPECT_EQ(s.faults[2].kind, FaultKind::kDropSnapshots);
+  EXPECT_DOUBLE_EQ(s.faults[2].value, 1.0);
+  // Canonical rendering round-trips.
+  auto again = MustParse(s.ToString());
+  ASSERT_EQ(again.faults.size(), s.faults.size());
+  for (std::size_t i = 0; i < s.faults.size(); ++i) {
+    EXPECT_EQ(again.faults[i].kind, s.faults[i].kind);
+    EXPECT_DOUBLE_EQ(again.faults[i].value, s.faults[i].value);
+  }
+}
+
+TEST(FaultSchedule, ValuelessEntriesUseDefaults) {
+  auto s = MustParse("flip-bytes,dup-rows");
+  ASSERT_EQ(s.faults.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.faults[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(s.faults[1].value, 0.1);
+}
+
+TEST(FaultSchedule, EmptyStringIsNoFaults) {
+  auto s = MustParse("");
+  EXPECT_TRUE(s.faults.empty());
+  EXPECT_FALSE(s.Has(FaultKind::kDropDays));
+  EXPECT_DOUBLE_EQ(s.TotalValue(FaultKind::kDropDays), 0.0);
+}
+
+TEST(FaultSchedule, RepeatedEntriesAccumulate) {
+  auto s = MustParse("drop-days=1,drop-days=2");
+  EXPECT_DOUBLE_EQ(s.TotalValue(FaultKind::kDropDays), 3.0);
+}
+
+TEST(FaultSchedule, RejectsMalformedInput) {
+  Schedule s;
+  std::string error;
+  EXPECT_FALSE(ParseSchedule("explode-disk=1", &s, &error));
+  EXPECT_NE(error.find("unknown fault"), std::string::npos);
+  EXPECT_FALSE(ParseSchedule("drop-days=-1", &s, &error));
+  EXPECT_FALSE(ParseSchedule("drop-days=1.5", &s, &error));
+  EXPECT_FALSE(ParseSchedule("drop-days=abc", &s, &error));
+  EXPECT_FALSE(ParseSchedule("truncate-store=0", &s, &error));
+  EXPECT_FALSE(ParseSchedule("truncate-store=1.5", &s, &error));
+  EXPECT_FALSE(ParseSchedule("dup-rows=2", &s, &error));
+}
+
+activity::ActivityStore DenseStore(int days, int blocks) {
+  activity::ActivityStore store{days};
+  for (int b = 0; b < blocks; ++b) {
+    activity::ActivityMatrix& m =
+        store.GetOrCreate(static_cast<net::BlockKey>(b * 17 + 3));
+    for (int d = 0; d < days; ++d) m.Set(d, (b + d) % 256);
+  }
+  return store;
+}
+
+TEST(FaultInjector, DropDaysClearsCoverageAndRows) {
+  auto store = DenseStore(30, 5);
+  Injector injector{MustParse("drop-days=3,drop-day=7,drop-day=7", 42)};
+  Injector::Report report;
+  auto dropped = injector.ApplyToStore(store, &report);
+  // 3 random days plus the explicit day 7 (deduplicated) — day 7 may also
+  // be one of the random picks, so 3 or 4 distinct days.
+  EXPECT_GE(dropped.size(), 3u);
+  EXPECT_LE(dropped.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(dropped.begin(), dropped.end()));
+  EXPECT_TRUE(std::binary_search(dropped.begin(), dropped.end(), 7));
+  EXPECT_EQ(store.MissingDays(), static_cast<int>(dropped.size()));
+  EXPECT_EQ(report.dropped_days, dropped);
+  for (int d : dropped) {
+    EXPECT_FALSE(store.DayCovered(d));
+    store.ForEach([&](net::BlockKey, const activity::ActivityMatrix& m) {
+      EXPECT_EQ(m.ActiveOnDay(d), 0);
+    });
+  }
+  // The data-quality gauge tracks the store state.
+  EXPECT_EQ(obs::GlobalRegistry().GetGauge("activity.days_missing").value(),
+            static_cast<double>(dropped.size()));
+}
+
+TEST(FaultInjector, SameSeedSamePerturbation) {
+  auto schedule = MustParse("drop-days=4,flip-bytes=6,truncate-store=0.7", 7);
+  auto store_a = DenseStore(40, 8);
+  auto store_b = DenseStore(40, 8);
+  Injector a{schedule}, b{schedule};
+  EXPECT_EQ(a.ApplyToStore(store_a), b.ApplyToStore(store_b));
+
+  std::stringstream buf;
+  io::SaveStore(store_a, buf);
+  std::string bytes_a = buf.str();
+  std::string bytes_b = bytes_a;
+  a.ApplyToBytes(bytes_a);
+  b.ApplyToBytes(bytes_b);
+  EXPECT_EQ(bytes_a, bytes_b);
+
+  EXPECT_EQ(a.PickDistinct(100, 10, 0x1234), b.PickDistinct(100, 10, 0x1234));
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  auto s1 = MustParse("drop-days=5", 1);
+  auto s2 = MustParse("drop-days=5", 2);
+  EXPECT_NE(Injector{s1}.PickDistinct(365, 5, 0xDA75),
+            Injector{s2}.PickDistinct(365, 5, 0xDA75));
+}
+
+TEST(FaultInjector, PickDistinctIsDistinctSortedInRange) {
+  Injector injector{MustParse("", 9)};
+  auto picked = injector.PickDistinct(50, 20, 0xAB);
+  ASSERT_EQ(picked.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(picked.begin(), picked.end()));
+  EXPECT_EQ(std::adjacent_find(picked.begin(), picked.end()), picked.end());
+  EXPECT_GE(picked.front(), 0);
+  EXPECT_LT(picked.back(), 50);
+  // Asking for more than exist yields everything.
+  EXPECT_EQ(injector.PickDistinct(5, 99, 0xAB).size(), 5u);
+}
+
+TEST(FaultInjector, TruncateAndFlipRespectFormatBoundaries) {
+  Injector injector{MustParse("truncate-store=0.5,flip-bytes=8", 21)};
+  std::string bytes(200, '\x5A');
+  std::string original = bytes;
+  Injector::Report report;
+  injector.ApplyToBytes(bytes, &report);
+  EXPECT_EQ(bytes.size(), 100u);
+  EXPECT_EQ(report.truncated_to_bytes, 100u);
+  ASSERT_EQ(report.flipped_offsets.size(), 8u);
+  for (std::uint64_t off : report.flipped_offsets) {
+    EXPECT_GE(off, 8u);  // the magic is never flipped
+    EXPECT_LT(off, 100u);
+  }
+  EXPECT_NE(bytes, original.substr(0, 100));
+}
+
+TEST(FaultInjector, SnapshotDropsAreCappedBelowCampaignSize) {
+  Injector injector{MustParse("drop-snapshots=50", 3)};
+  Injector::Report report;
+  auto killed = injector.PickSnapshotsToDrop(8, &report);
+  EXPECT_EQ(killed.size(), 7u);  // never kills the whole campaign
+  EXPECT_TRUE(std::is_sorted(killed.begin(), killed.end()));
+  EXPECT_LT(killed.back(), 8);
+}
+
+TEST(FaultInjector, DuplicateRowsAppendsCopiesDeterministically) {
+  std::vector<int> rows(1000);
+  for (int i = 0; i < 1000; ++i) rows[i] = i;
+  Injector injector{MustParse("dup-rows=0.25", 5)};
+  Injector::Report report;
+  std::uint64_t n = injector.DuplicateRows(rows, &report);
+  EXPECT_EQ(rows.size(), 1000 + n);
+  EXPECT_EQ(report.duplicated_rows, n);
+  // ~250 expected; generous determinism-friendly bounds.
+  EXPECT_GT(n, 150u);
+  EXPECT_LT(n, 350u);
+  // Every appended row is a copy of an original.
+  for (std::size_t i = 1000; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i], 0);
+    EXPECT_LT(rows[i], 1000);
+  }
+  // Same schedule, fresh injector: identical duplication.
+  std::vector<int> rows2(1000);
+  for (int i = 0; i < 1000; ++i) rows2[i] = i;
+  Injector{MustParse("dup-rows=0.25", 5)}.DuplicateRows(rows2);
+  EXPECT_EQ(rows, rows2);
+}
+
+TEST(FaultInjector, CountsEveryInjectedFault) {
+  auto& counter =
+      obs::GlobalRegistry().GetCounter("fault.injected_total");
+  std::uint64_t before = counter.value();
+  auto store = DenseStore(20, 3);
+  Injector injector{MustParse("drop-days=2,truncate-store=0.5,flip-bytes=3", 8)};
+  Injector::Report report;
+  injector.ApplyToStore(store, &report);
+  std::string bytes(100, 'x');
+  injector.ApplyToBytes(bytes, &report);
+  EXPECT_EQ(report.faults_injected, 2u + 1u + 3u);
+  EXPECT_EQ(counter.value() - before, report.faults_injected);
+}
+
+}  // namespace
+}  // namespace ipscope::fault

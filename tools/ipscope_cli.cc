@@ -3,7 +3,9 @@
 //
 // Every command accepts global --metrics-out/--trace-out flags (see the
 // README's "Observability" section); `ipscope_cli profile` exercises the
-// whole pipeline and prints the per-stage wall-time table.
+// whole pipeline and prints the per-stage wall-time table, and
+// `ipscope_cli chaos` runs it under an injected fault schedule.
+#include <exception>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -12,5 +14,17 @@
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  return ipscope::cli::Main(args, std::cout, std::cerr);
+  // cli::Run catches command-level failures itself; anything that still
+  // escapes (parse-stage throws, allocation failure, a bug) must not
+  // terminate() — print one structured line and exit 2 like other flag
+  // and usage errors.
+  try {
+    return ipscope::cli::Main(args, std::cout, std::cerr);
+  } catch (const std::exception& e) {
+    std::cerr << "ipscope_cli: fatal: " << e.what() << "\n";
+    return 2;
+  } catch (...) {
+    std::cerr << "ipscope_cli: fatal: unknown exception\n";
+    return 2;
+  }
 }
