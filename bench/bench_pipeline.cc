@@ -1,0 +1,236 @@
+// Canonical end-to-end pipeline benchmark: world build -> store build ->
+// save/load -> churn -> change detection -> pattern classification, swept
+// over thread counts {1, N}. Prints a per-stage table and writes
+// BENCH_pipeline.json (per-stage wall seconds, MB/s where a byte volume is
+// defined, and parallel speedup) so perf trajectories can be compared
+// across commits. Every stage result is fingerprinted and cross-checked
+// between the serial and parallel runs: the benchmark fails loudly if
+// parallelism changes a single output bit.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "activity/change.h"
+#include "activity/churn.h"
+#include "analysis/fig6_patterns.h"
+#include "cdn/observatory.h"
+#include "common.h"
+#include "io/store_io.h"
+#include "par/pool.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct StageResult {
+  std::string name;
+  double seconds = 0;
+  double mbytes = 0;  // bytes processed / 1e6, 0 when not meaningful
+};
+
+struct RunResult {
+  int threads = 1;
+  std::vector<StageResult> stages;
+  double total_seconds = 0;
+  // Output fingerprint: any cross-thread-count divergence is a determinism
+  // bug, not noise.
+  std::uint64_t fingerprint = 0;
+};
+
+void Mix(std::uint64_t& fp, std::uint64_t v) {
+  fp ^= v + 0x9e3779b97f4a7c15ULL + (fp << 6) + (fp >> 2);
+}
+
+void MixDouble(std::uint64_t& fp, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  Mix(fp, bits);
+}
+
+RunResult RunPipeline(const ipscope::sim::WorldConfig& config, int threads) {
+  namespace par = ipscope::par;
+  par::GlobalPool().Resize(threads);
+  RunResult run;
+  run.threads = threads;
+  auto stage = [&](const std::string& name, double mbytes, auto&& fn) {
+    auto start = Clock::now();
+    fn();
+    run.stages.push_back(StageResult{name, SecondsSince(start), mbytes});
+    run.total_seconds += run.stages.back().seconds;
+  };
+
+  // Stage 1: world build (serial by design; included so the end-to-end
+  // total reflects what a CLI user actually waits for).
+  std::unique_ptr<ipscope::sim::World> world;
+  stage("world_build", 0, [&] {
+    world = std::make_unique<ipscope::sim::World>(config);
+  });
+
+  // Stage 2: activity-store build (the pool's flagship consumer).
+  ipscope::activity::ActivityStore store{1};
+  stage("store_build", 0, [&] {
+    store = ipscope::cdn::Observatory::Daily(*world).BuildStore();
+  });
+
+  // Stages 3-4: serialize + parse the IPSCOPE2 image in memory, so the
+  // numbers measure the codec, not the container's filesystem.
+  std::string image;
+  stage("store_save", 0, [&] {
+    std::ostringstream os;
+    ipscope::io::SaveStore(store, os);
+    image = std::move(os).str();
+  });
+  double store_mb = static_cast<double>(image.size()) / 1e6;
+  run.stages.back().mbytes = store_mb;   // store_save
+  run.stages[1].mbytes = store_mb;       // store_build emits the same volume
+  stage("store_load", store_mb, [&] {
+    std::istringstream is{image};
+    auto loaded = ipscope::io::TryLoadStore(is);
+    if (!loaded.ok()) throw std::runtime_error("store reload failed");
+    Mix(run.fingerprint, loaded.value().store.CountActive(0, store.days()));
+  });
+
+  // Stage 5: churn analyses (Fig 4 family).
+  stage("churn", 0, [&] {
+    ipscope::activity::ChurnAnalyzer analyzer{store};
+    auto weekly = analyzer.Churn(7);
+    auto daily = analyzer.DailyEvents();
+    auto versus = analyzer.VersusFirst(7);
+    for (double v : weekly.up_pct) MixDouble(run.fingerprint, v);
+    for (double v : weekly.down_pct) MixDouble(run.fingerprint, v);
+    for (std::int64_t v : daily.active) {
+      Mix(run.fingerprint, static_cast<std::uint64_t>(v));
+    }
+    for (std::uint64_t v : versus.appear) Mix(run.fingerprint, v);
+  });
+
+  // Stage 6: change detection (Table 2 family).
+  stage("change", 0, [&] {
+    auto stu = ipscope::activity::MaxMonthlyStuChange(store, 28);
+    auto spatial = ipscope::activity::SpatialStuChanges(store, 28);
+    for (const auto& c : stu) MixDouble(run.fingerprint, c.max_delta);
+    for (const auto& c : spatial) {
+      MixDouble(run.fingerprint, c.lower_delta);
+      MixDouble(run.fingerprint, c.upper_delta);
+    }
+  });
+
+  // Stage 7: pattern classification (Fig 6/7).
+  stage("patterns", 0, [&] {
+    auto fig6 = ipscope::analysis::RunFig6(*world, store);
+    for (const auto& row : fig6.confusion) {
+      for (std::uint64_t v : row) Mix(run.fingerprint, v);
+    }
+    Mix(run.fingerprint, fig6.exemplars.size());
+  });
+
+  return run;
+}
+
+void WriteJson(const std::string& path, const ipscope::sim::WorldConfig& cfg,
+               const std::vector<RunResult>& runs) {
+  std::ofstream os{path};
+  os << "{\n  \"bench\": \"pipeline\",\n"
+     << "  \"client_blocks\": " << cfg.target_client_blocks << ",\n"
+     << "  \"seed\": " << cfg.seed << ",\n"
+     << "  \"hardware_threads\": " << ipscope::par::HardwareThreads() << ",\n"
+     << "  \"runs\": [\n";
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const RunResult& run = runs[r];
+    os << "    {\"threads\": " << run.threads << ", \"total_seconds\": "
+       << run.total_seconds << ", \"stages\": {\n";
+    for (std::size_t s = 0; s < run.stages.size(); ++s) {
+      const StageResult& st = run.stages[s];
+      os << "      \"" << st.name << "\": {\"seconds\": " << st.seconds;
+      if (st.mbytes > 0) {
+        os << ", \"mb\": " << st.mbytes
+           << ", \"mb_per_s\": " << st.mbytes / st.seconds;
+      }
+      os << "}" << (s + 1 < run.stages.size() ? "," : "") << "\n";
+    }
+    os << "    }}" << (r + 1 < runs.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"speedup\": {\n";
+  const RunResult& serial = runs.front();
+  const RunResult& parallel = runs.back();
+  for (std::size_t s = 0; s < serial.stages.size(); ++s) {
+    double speedup = parallel.stages[s].seconds > 0
+                         ? serial.stages[s].seconds / parallel.stages[s].seconds
+                         : 0.0;
+    os << "    \"" << serial.stages[s].name << "\": " << speedup << ",\n";
+  }
+  os << "    \"total\": "
+     << (parallel.total_seconds > 0
+             ? serial.total_seconds / parallel.total_seconds
+             : 0.0)
+     << "\n  }\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto config = ipscope::bench::ConfigFromArgs(argc, argv);
+  int max_threads = ipscope::par::DefaultThreads();
+
+  std::vector<int> sweep{1};
+  if (max_threads > 1) sweep.push_back(max_threads);
+
+  std::vector<RunResult> runs;
+  for (int t : sweep) {
+    std::cout << "pipeline: " << config.target_client_blocks
+              << " client blocks, threads=" << t << "\n";
+    runs.push_back(RunPipeline(config, t));
+  }
+  ipscope::par::GlobalPool().Resize(0);  // back to the default size
+
+  std::printf("\n%-12s", "stage");
+  for (const RunResult& run : runs) std::printf("  t=%-10d", run.threads);
+  if (runs.size() > 1) std::printf("  speedup");
+  std::printf("\n");
+  for (std::size_t s = 0; s < runs.front().stages.size(); ++s) {
+    std::printf("%-12s", runs.front().stages[s].name.c_str());
+    for (const RunResult& run : runs) {
+      std::printf("  %9.3fs  ", run.stages[s].seconds);
+    }
+    if (runs.size() > 1 && runs.back().stages[s].seconds > 0) {
+      std::printf("  %5.2fx",
+                  runs.front().stages[s].seconds / runs.back().stages[s].seconds);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-12s", "total");
+  for (const RunResult& run : runs) std::printf("  %9.3fs  ", run.total_seconds);
+  if (runs.size() > 1 && runs.back().total_seconds > 0) {
+    std::printf("  %5.2fx",
+                runs.front().total_seconds / runs.back().total_seconds);
+  }
+  std::printf("\n");
+
+  for (const RunResult& run : runs) {
+    if (run.fingerprint != runs.front().fingerprint) {
+      std::cerr << "FAIL: results at threads=" << run.threads
+                << " diverge from serial run (fingerprint "
+                << run.fingerprint << " != " << runs.front().fingerprint
+                << ")\n";
+      return 1;
+    }
+  }
+  std::cout << "\ndeterminism: all thread counts produced bit-identical "
+               "results (fingerprint "
+            << runs.front().fingerprint << ")\n";
+
+  WriteJson("BENCH_pipeline.json", config, runs);
+  std::cout << "wrote BENCH_pipeline.json\n";
+  return 0;
+}

@@ -14,6 +14,14 @@ if [ "${IPSCOPE_SKIP_SANITIZERS:-0}" != "1" ]; then
   cmake -B build-san -G Ninja -DIPSCOPE_ASAN=ON -DIPSCOPE_UBSAN=ON
   cmake --build build-san --target ipscope_tests ipscope_fault_tests
   ctest --test-dir build-san -j"$(nproc)"
+
+  # TSAN is incompatible with ASan, so it gets its own tree. The pass
+  # covers the concurrency-bearing suites: the obs registry (Obs*), the
+  # par::Pool scheduler, and the parallel determinism tests (Par*), with
+  # oversubscribed thread counts to force real interleavings.
+  cmake -B build-tsan -G Ninja -DIPSCOPE_TSAN=ON
+  cmake --build build-tsan --target ipscope_tests ipscope_par_tests
+  ctest --test-dir build-tsan -j"$(nproc)" -R '^(Obs|Par)'
 fi
 
 mkdir -p results

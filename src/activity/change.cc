@@ -3,9 +3,17 @@
 #include <bit>
 #include <cmath>
 
+#include "par/pool.h"
+
 namespace ipscope::activity {
 
 namespace {
+
+// Blocks per parallel shard (see store.cc rationale). Per-block change
+// detection is pure in the block's own matrix, and partial output vectors
+// concatenate in shard order, so results are bit-identical to the serial
+// scan for any thread count.
+constexpr std::size_t kBlockGrain = 16;
 
 // Covered-day STU of one month window: active (address, day) pairs over
 // 256 x covered days. Uncovered days have all-zero rows, so the numerator
@@ -35,22 +43,30 @@ std::vector<BlockStuChange> MaxMonthlyStuChange(const ActivityStore& store,
     }
   }
   if (observed.size() < 2) return out;
-  out.reserve(store.BlockCount());
-  store.ForEach([&](net::BlockKey key, const ActivityMatrix& m) {
-    if (m.FillingDegree(0, store.days()) == 0) return;
-    double prev = MonthStu(store, m, observed[0] * month_days,
-                           (observed[0] + 1) * month_days, 256.0);
-    double best = 0.0;
-    for (std::size_t i = 1; i < observed.size(); ++i) {
-      double cur = MonthStu(store, m, observed[i] * month_days,
-                            (observed[i] + 1) * month_days, 256.0);
-      double delta = cur - prev;
-      if (std::abs(delta) > std::abs(best)) best = delta;
-      prev = cur;
-    }
-    out.push_back(BlockStuChange{key, best});
-  });
-  return out;
+  return par::ParallelReduce(
+      std::size_t{0}, store.BlockCount(), std::vector<BlockStuChange>{},
+      [&](std::vector<BlockStuChange>& acc, std::size_t first,
+          std::size_t last) {
+        store.ForEachShard(
+            first, last, [&](net::BlockKey key, const ActivityMatrix& m) {
+              if (m.FillingDegree(0, store.days()) == 0) return;
+              double prev = MonthStu(store, m, observed[0] * month_days,
+                                     (observed[0] + 1) * month_days, 256.0);
+              double best = 0.0;
+              for (std::size_t i = 1; i < observed.size(); ++i) {
+                double cur = MonthStu(store, m, observed[i] * month_days,
+                                      (observed[i] + 1) * month_days, 256.0);
+                double delta = cur - prev;
+                if (std::abs(delta) > std::abs(best)) best = delta;
+                prev = cur;
+              }
+              acc.push_back(BlockStuChange{key, best});
+            });
+      },
+      [](std::vector<BlockStuChange>& acc, std::vector<BlockStuChange>&& p) {
+        acc.insert(acc.end(), p.begin(), p.end());
+      },
+      kBlockGrain);
 }
 
 namespace {
@@ -99,14 +115,23 @@ std::vector<BlockSpatialChange> SpatialStuChanges(const ActivityStore& store,
     }
   }
   if (observed.size() < 2) return out;
-  out.reserve(store.BlockCount());
-  store.ForEach([&](net::BlockKey key, const ActivityMatrix& m) {
-    if (m.FillingDegree(0, store.days()) == 0) return;
-    out.push_back(BlockSpatialChange{
-        key, HalfMaxDelta(store, m, observed, month_days, false),
-        HalfMaxDelta(store, m, observed, month_days, true)});
-  });
-  return out;
+  return par::ParallelReduce(
+      std::size_t{0}, store.BlockCount(), std::vector<BlockSpatialChange>{},
+      [&](std::vector<BlockSpatialChange>& acc, std::size_t first,
+          std::size_t last) {
+        store.ForEachShard(
+            first, last, [&](net::BlockKey key, const ActivityMatrix& m) {
+              if (m.FillingDegree(0, store.days()) == 0) return;
+              acc.push_back(BlockSpatialChange{
+                  key, HalfMaxDelta(store, m, observed, month_days, false),
+                  HalfMaxDelta(store, m, observed, month_days, true)});
+            });
+      },
+      [](std::vector<BlockSpatialChange>& acc,
+         std::vector<BlockSpatialChange>&& p) {
+        acc.insert(acc.end(), p.begin(), p.end());
+      },
+      kBlockGrain);
 }
 
 double MajorChangeFraction(const std::vector<BlockStuChange>& changes,

@@ -4,11 +4,15 @@
 #include <unordered_map>
 
 #include "obs/timer.h"
+#include "par/pool.h"
 #include "stats/quantile.h"
 
 namespace ipscope::activity {
 
 namespace {
+
+// Blocks per parallel shard (see store.cc rationale).
+constexpr std::size_t kBlockGrain = 16;
 
 // Per-block window unions for a given window size; the trailing partial
 // window is discarded (see timeutil::PartitionWindows rationale).
@@ -48,6 +52,41 @@ std::vector<bool> CoveredWindows(const ActivityStore& store, int window_days,
   return covered;
 }
 
+// Per-shard accumulator for window-pair churn sums. All fields are integer
+// event counts, merged elementwise in shard order — bit-identical for any
+// thread count.
+struct PairCountsAcc {
+  std::vector<std::uint64_t> up, down, size_prev, size_next;
+  std::uint64_t blocks = 0;
+
+  explicit PairCountsAcc(std::size_t pairs = 0)
+      : up(pairs, 0), down(pairs, 0), size_prev(pairs, 0),
+        size_next(pairs, 0) {}
+
+  void Merge(PairCountsAcc&& other) {
+    for (std::size_t p = 0; p < up.size(); ++p) {
+      up[p] += other.up[p];
+      down[p] += other.down[p];
+      size_prev[p] += other.size_prev[p];
+      size_next[p] += other.size_next[p];
+    }
+    blocks += other.blocks;
+  }
+
+  void Consume(const ActivityMatrix& m, int window_days, int num_windows) {
+    ++blocks;
+    auto unions = WindowUnions(m, window_days, num_windows);
+    for (std::size_t p = 0; p + 1 < unions.size(); ++p) {
+      const DayBits& w0 = unions[p];
+      const DayBits& w1 = unions[p + 1];
+      up[p] += static_cast<std::uint64_t>(PopCount(AndNotBits(w1, w0)));
+      down[p] += static_cast<std::uint64_t>(PopCount(AndNotBits(w0, w1)));
+      size_prev[p] += static_cast<std::uint64_t>(PopCount(w0));
+      size_next[p] += static_cast<std::uint64_t>(PopCount(w1));
+    }
+  }
+};
+
 }  // namespace
 
 WindowChurnSeries ChurnAnalyzer::Churn(int window_days) const {
@@ -60,25 +99,19 @@ WindowChurnSeries ChurnAnalyzer::Churn(int window_days) const {
   std::vector<bool> window_ok =
       CoveredWindows(store_, window_days, num_windows);
 
-  std::vector<std::uint64_t> up(static_cast<std::size_t>(pairs), 0);
-  std::vector<std::uint64_t> down(static_cast<std::size_t>(pairs), 0);
-  std::vector<std::uint64_t> size_prev(static_cast<std::size_t>(pairs), 0);
-  std::vector<std::uint64_t> size_next(static_cast<std::size_t>(pairs), 0);
-
-  std::uint64_t blocks_processed = 0;
-  store_.ForEach([&](net::BlockKey, const ActivityMatrix& m) {
-    ++blocks_processed;
-    auto unions = WindowUnions(m, window_days, num_windows);
-    for (int p = 0; p < pairs; ++p) {
-      const DayBits& w0 = unions[static_cast<std::size_t>(p)];
-      const DayBits& w1 = unions[static_cast<std::size_t>(p + 1)];
-      auto pi = static_cast<std::size_t>(p);
-      up[pi] += static_cast<std::uint64_t>(PopCount(AndNotBits(w1, w0)));
-      down[pi] += static_cast<std::uint64_t>(PopCount(AndNotBits(w0, w1)));
-      size_prev[pi] += static_cast<std::uint64_t>(PopCount(w0));
-      size_next[pi] += static_cast<std::uint64_t>(PopCount(w1));
-    }
-  });
+  PairCountsAcc sums = par::ParallelReduce(
+      std::size_t{0}, store_.BlockCount(),
+      PairCountsAcc{static_cast<std::size_t>(pairs)},
+      [&](PairCountsAcc& acc, std::size_t first, std::size_t last) {
+        store_.ForEachShard(first, last,
+                            [&](net::BlockKey, const ActivityMatrix& m) {
+                              acc.Consume(m, window_days, num_windows);
+                            });
+      },
+      [](PairCountsAcc& acc, PairCountsAcc&& part) {
+        acc.Merge(std::move(part));
+      },
+      kBlockGrain);
 
   series.pairs.reserve(static_cast<std::size_t>(pairs));
   series.up_pct.reserve(static_cast<std::size_t>(pairs));
@@ -88,13 +121,13 @@ WindowChurnSeries ChurnAnalyzer::Churn(int window_days) const {
     if (!window_ok[pi] || !window_ok[pi + 1]) continue;  // data gap
     series.pairs.push_back(p);
     series.up_pct.push_back(
-        size_next[pi] ? 100.0 * static_cast<double>(up[pi]) /
-                            static_cast<double>(size_next[pi])
-                      : 0.0);
+        sums.size_next[pi] ? 100.0 * static_cast<double>(sums.up[pi]) /
+                                 static_cast<double>(sums.size_next[pi])
+                           : 0.0);
     series.down_pct.push_back(
-        size_prev[pi] ? 100.0 * static_cast<double>(down[pi]) /
-                            static_cast<double>(size_prev[pi])
-                      : 0.0);
+        sums.size_prev[pi] ? 100.0 * static_cast<double>(sums.down[pi]) /
+                                 static_cast<double>(sums.size_prev[pi])
+                           : 0.0);
   }
   series.up = Summarize(series.up_pct);
   series.down = Summarize(series.down_pct);
@@ -103,29 +136,61 @@ WindowChurnSeries ChurnAnalyzer::Churn(int window_days) const {
   registry.GetCounter("activity.churn.runs").Add(1);
   registry.GetCounter("activity.churn.windows_processed")
       .Add(static_cast<std::uint64_t>(num_windows));
-  registry.GetCounter("activity.churn.blocks_processed").Add(blocks_processed);
+  registry.GetCounter("activity.churn.blocks_processed").Add(sums.blocks);
   return series;
 }
+
+namespace {
+
+// Per-shard accumulator for the daily event series (all integer sums).
+struct DailyAcc {
+  std::vector<std::int64_t> active, up, down;
+
+  explicit DailyAcc(std::size_t days = 0)
+      : active(days, 0), up(days > 0 ? days - 1 : 0, 0),
+        down(days > 0 ? days - 1 : 0, 0) {}
+
+  void Merge(DailyAcc&& other) {
+    for (std::size_t d = 0; d < active.size(); ++d) active[d] += other.active[d];
+    for (std::size_t d = 0; d < up.size(); ++d) {
+      up[d] += other.up[d];
+      down[d] += other.down[d];
+    }
+  }
+};
+
+}  // namespace
 
 DailyEventSeries ChurnAnalyzer::DailyEvents() const {
   DailyEventSeries series;
   int days = store_.days();
-  series.active.assign(static_cast<std::size_t>(days), 0);
-  series.up.assign(static_cast<std::size_t>(days - 1), 0);
-  series.down.assign(static_cast<std::size_t>(days - 1), 0);
-  store_.ForEach([&](net::BlockKey, const ActivityMatrix& m) {
-    for (int d = 0; d < days; ++d) {
-      series.active[static_cast<std::size_t>(d)] += m.ActiveOnDay(d);
-    }
-    for (int d = 0; d + 1 < days; ++d) {
-      const DayBits& a = m.Row(d);
-      const DayBits& b = m.Row(d + 1);
-      series.up[static_cast<std::size_t>(d)] += PopCount(AndNotBits(b, a));
-      series.down[static_cast<std::size_t>(d)] += PopCount(AndNotBits(a, b));
-    }
-  });
+  DailyAcc sums = par::ParallelReduce(
+      std::size_t{0}, store_.BlockCount(),
+      DailyAcc{static_cast<std::size_t>(days)},
+      [&](DailyAcc& acc, std::size_t first, std::size_t last) {
+        store_.ForEachShard(
+            first, last, [&](net::BlockKey, const ActivityMatrix& m) {
+              for (int d = 0; d < days; ++d) {
+                acc.active[static_cast<std::size_t>(d)] += m.ActiveOnDay(d);
+              }
+              for (int d = 0; d + 1 < days; ++d) {
+                const DayBits& a = m.Row(d);
+                const DayBits& b = m.Row(d + 1);
+                acc.up[static_cast<std::size_t>(d)] +=
+                    PopCount(AndNotBits(b, a));
+                acc.down[static_cast<std::size_t>(d)] +=
+                    PopCount(AndNotBits(a, b));
+              }
+            });
+      },
+      [](DailyAcc& acc, DailyAcc&& part) { acc.Merge(std::move(part)); },
+      kBlockGrain);
+  series.active = std::move(sums.active);
+  series.up = std::move(sums.up);
+  series.down = std::move(sums.down);
   // Overwrite, rather than skip, so the block loop above stays branch-free:
-  // gaps are rare, days are few.
+  // gaps are rare, days are few. The -1 "no data" sentinel contract is
+  // enforced here, after the merge, so it holds for any thread count.
   for (int d = 0; d < days; ++d) {
     if (!store_.DayCovered(d)) {
       series.active[static_cast<std::size_t>(d)] = -1;
@@ -138,29 +203,60 @@ DailyEventSeries ChurnAnalyzer::DailyEvents() const {
   return series;
 }
 
+namespace {
+
+// Per-shard accumulator for appear/disappear-vs-first sums.
+struct VersusAcc {
+  std::vector<std::uint64_t> appear, disappear, active;
+
+  explicit VersusAcc(std::size_t windows = 0)
+      : appear(windows, 0), disappear(windows, 0), active(windows, 0) {}
+
+  void Merge(VersusAcc&& other) {
+    for (std::size_t w = 0; w < appear.size(); ++w) {
+      appear[w] += other.appear[w];
+      disappear[w] += other.disappear[w];
+      active[w] += other.active[w];
+    }
+  }
+};
+
+}  // namespace
+
 VersusFirstSeries ChurnAnalyzer::VersusFirst(int window_days) const {
   VersusFirstSeries series;
   series.window_days = window_days;
   int num_windows = store_.days() / window_days;
   if (num_windows < 1) return series;
-  series.appear.assign(static_cast<std::size_t>(num_windows), 0);
-  series.disappear.assign(static_cast<std::size_t>(num_windows), 0);
-  series.active.assign(static_cast<std::size_t>(num_windows), 0);
   series.window_covered = CoveredWindows(store_, window_days, num_windows);
-  store_.ForEach([&](net::BlockKey, const ActivityMatrix& m) {
-    auto unions = WindowUnions(m, window_days, num_windows);
-    const DayBits& w0 = unions[0];
-    for (int w = 0; w < num_windows; ++w) {
-      auto wiu = static_cast<std::size_t>(w);
-      if (!series.window_covered[wiu]) continue;  // no data, not "empty"
-      const DayBits& wi = unions[wiu];
-      series.appear[wiu] +=
-          static_cast<std::uint64_t>(PopCount(AndNotBits(wi, w0)));
-      series.disappear[wiu] +=
-          static_cast<std::uint64_t>(PopCount(AndNotBits(w0, wi)));
-      series.active[wiu] += static_cast<std::uint64_t>(PopCount(wi));
-    }
-  });
+  const std::vector<bool>& covered = series.window_covered;
+
+  VersusAcc sums = par::ParallelReduce(
+      std::size_t{0}, store_.BlockCount(),
+      VersusAcc{static_cast<std::size_t>(num_windows)},
+      [&](VersusAcc& acc, std::size_t first, std::size_t last) {
+        store_.ForEachShard(
+            first, last, [&](net::BlockKey, const ActivityMatrix& m) {
+              auto unions = WindowUnions(m, window_days, num_windows);
+              const DayBits& w0 = unions[0];
+              for (int w = 0; w < num_windows; ++w) {
+                auto wiu = static_cast<std::size_t>(w);
+                if (!covered[wiu]) continue;  // no data, not "empty"
+                const DayBits& wi = unions[wiu];
+                acc.appear[wiu] +=
+                    static_cast<std::uint64_t>(PopCount(AndNotBits(wi, w0)));
+                acc.disappear[wiu] +=
+                    static_cast<std::uint64_t>(PopCount(AndNotBits(w0, wi)));
+                acc.active[wiu] +=
+                    static_cast<std::uint64_t>(PopCount(wi));
+              }
+            });
+      },
+      [](VersusAcc& acc, VersusAcc&& part) { acc.Merge(std::move(part)); },
+      kBlockGrain);
+  series.appear = std::move(sums.appear);
+  series.disappear = std::move(sums.disappear);
+  series.active = std::move(sums.active);
   return series;
 }
 
@@ -178,29 +274,56 @@ std::vector<GroupChurn> ChurnAnalyzer::PerGroupChurn(
     std::vector<std::uint64_t> up, down, size_prev, size_next;
     std::uint64_t total_active = 0;
   };
-  std::unordered_map<std::uint32_t, Acc> groups;
-
-  store_.ForEach([&](net::BlockKey key, const ActivityMatrix& m) {
-    Acc& acc = groups[group_of(key)];
-    if (acc.up.empty()) {
-      acc.up.assign(static_cast<std::size_t>(pairs), 0);
-      acc.down.assign(static_cast<std::size_t>(pairs), 0);
-      acc.size_prev.assign(static_cast<std::size_t>(pairs), 0);
-      acc.size_next.assign(static_cast<std::size_t>(pairs), 0);
-    }
-    auto unions = WindowUnions(m, window_days, num_windows);
-    acc.total_active += static_cast<std::uint64_t>(
-        PopCount(m.UnionOver(0, store_.days())));
-    for (int p = 0; p < pairs; ++p) {
-      auto pi = static_cast<std::size_t>(p);
-      const DayBits& w0 = unions[pi];
-      const DayBits& w1 = unions[pi + 1];
-      acc.up[pi] += static_cast<std::uint64_t>(PopCount(AndNotBits(w1, w0)));
-      acc.down[pi] += static_cast<std::uint64_t>(PopCount(AndNotBits(w0, w1)));
-      acc.size_prev[pi] += static_cast<std::uint64_t>(PopCount(w0));
-      acc.size_next[pi] += static_cast<std::uint64_t>(PopCount(w1));
-    }
-  });
+  // Per-shard group maps merged in shard order. Merging is elementwise
+  // integer addition, so the final map contents (and the key-sorted output
+  // below) are independent of sharding and thread count.
+  using GroupMap = std::unordered_map<std::uint32_t, Acc>;
+  GroupMap groups = par::ParallelReduce(
+      std::size_t{0}, store_.BlockCount(), GroupMap{},
+      [&](GroupMap& local, std::size_t first, std::size_t last) {
+        store_.ForEachShard(
+            first, last, [&](net::BlockKey key, const ActivityMatrix& m) {
+              Acc& acc = local[group_of(key)];
+              if (acc.up.empty()) {
+                acc.up.assign(static_cast<std::size_t>(pairs), 0);
+                acc.down.assign(static_cast<std::size_t>(pairs), 0);
+                acc.size_prev.assign(static_cast<std::size_t>(pairs), 0);
+                acc.size_next.assign(static_cast<std::size_t>(pairs), 0);
+              }
+              auto unions = WindowUnions(m, window_days, num_windows);
+              acc.total_active += static_cast<std::uint64_t>(
+                  PopCount(m.UnionOver(0, store_.days())));
+              for (int p = 0; p < pairs; ++p) {
+                auto pi = static_cast<std::size_t>(p);
+                const DayBits& w0 = unions[pi];
+                const DayBits& w1 = unions[pi + 1];
+                acc.up[pi] +=
+                    static_cast<std::uint64_t>(PopCount(AndNotBits(w1, w0)));
+                acc.down[pi] +=
+                    static_cast<std::uint64_t>(PopCount(AndNotBits(w0, w1)));
+                acc.size_prev[pi] +=
+                    static_cast<std::uint64_t>(PopCount(w0));
+                acc.size_next[pi] +=
+                    static_cast<std::uint64_t>(PopCount(w1));
+              }
+            });
+      },
+      [](GroupMap& acc, GroupMap&& part) {
+        for (auto& [group, src] : part) {
+          auto [it, inserted] = acc.try_emplace(group, std::move(src));
+          if (inserted) continue;
+          // try_emplace left `src` untouched when the key already existed.
+          Acc& dst = it->second;
+          for (std::size_t p = 0; p < dst.up.size(); ++p) {
+            dst.up[p] += src.up[p];
+            dst.down[p] += src.down[p];
+            dst.size_prev[p] += src.size_prev[p];
+            dst.size_next[p] += src.size_next[p];
+          }
+          dst.total_active += src.total_active;
+        }
+      },
+      kBlockGrain);
 
   std::vector<GroupChurn> out;
   for (auto& [group, acc] : groups) {

@@ -4,8 +4,47 @@
 #include <bit>
 
 #include "obs/timer.h"
+#include "par/pool.h"
 
 namespace ipscope::activity {
+
+namespace {
+
+// Event-set intervals per parallel shard. Interval sizes are heavily
+// skewed (one CGN block can contribute a 256-address run, a static block a
+// singleton), so shards stay small and the pool's stealing balances them.
+constexpr std::size_t kIntervalGrain = 8;
+
+// Per-address mask aggregation over the members of `events`, parallel over
+// the set's intervals. `mask_of` must be a pure function of the address:
+// per-chunk histograms are plain integer sums, so the elementwise merge is
+// bit-identical for any thread count.
+template <typename MaskFn>
+EventSizeHistogram AggregateMasks(const net::Ipv4Set& events,
+                                  const MaskFn& mask_of) {
+  std::span<const net::Ipv4Set::Interval> intervals = events.Intervals();
+  return par::ParallelReduce(
+      std::size_t{0}, intervals.size(), EventSizeHistogram{},
+      [&](EventSizeHistogram& hist, std::size_t first, std::size_t last) {
+        for (std::size_t i = first; i < last; ++i) {
+          const net::Ipv4Set::Interval& iv = intervals[i];
+          for (std::uint64_t v = iv.first; v <= iv.last; ++v) {
+            net::IPv4Addr addr{static_cast<std::uint32_t>(v)};
+            ++hist.by_mask[static_cast<std::size_t>(mask_of(addr))];
+            ++hist.total;
+          }
+        }
+      },
+      [](EventSizeHistogram& acc, EventSizeHistogram&& part) {
+        for (std::size_t m = 0; m < acc.by_mask.size(); ++m) {
+          acc.by_mask[m] += part.by_mask[m];
+        }
+        acc.total += part.total;
+      },
+      kIntervalGrain);
+}
+
+}  // namespace
 
 double EventSizeHistogram::FractionInMaskRange(int lo, int hi) const {
   if (total == 0) return 0.0;
@@ -57,12 +96,9 @@ EventSizeHistogram EventSizesStrict(const ActivityStore& store, int w0_first,
   net::Ipv4Set active1 = store.ActiveSet(w1_first, w1_last);
   net::Ipv4Set events =
       up ? active1.Subtract(active0) : active0.Subtract(active1);
-  EventSizeHistogram hist;
-  events.ForEach([&](net::IPv4Addr addr) {
-    ++hist.by_mask[static_cast<std::size_t>(SmallestStrictMask(events, addr))];
-    ++hist.total;
+  return AggregateMasks(events, [&](net::IPv4Addr addr) {
+    return SmallestStrictMask(events, addr);
   });
-  return hist;
 }
 
 EventSizeHistogram EventSizes(const ActivityStore& store, int w0_first,
@@ -77,11 +113,8 @@ EventSizeHistogram EventSizes(const ActivityStore& store, int w0_first,
   net::Ipv4Set events =
       up ? active1.Subtract(active0) : active0.Subtract(active1);
 
-  EventSizeHistogram hist;
-  events.ForEach([&](net::IPv4Addr addr) {
-    int mask = SmallestIsolatingMask(reference, addr);
-    ++hist.by_mask[static_cast<std::size_t>(mask)];
-    ++hist.total;
+  EventSizeHistogram hist = AggregateMasks(events, [&](net::IPv4Addr addr) {
+    return SmallestIsolatingMask(reference, addr);
   });
   obs::GlobalRegistry()
       .GetCounter("activity.eventsize.events_aggregated")

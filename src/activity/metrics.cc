@@ -1,25 +1,37 @@
 #include "activity/metrics.h"
 
+#include "par/pool.h"
+
 namespace ipscope::activity {
 
 std::vector<BlockMetrics> ComputeBlockMetrics(const ActivityStore& store,
                                               int day_first, int day_last) {
-  std::vector<BlockMetrics> out;
   // STU over the days actually observed: uncovered days contribute no
   // activity by construction, so only the denominator needs adjusting —
   // with a full coverage mask this is exactly m.Stu(day_first, day_last).
   const int covered = store.CoveredDaysIn(day_first, day_last);
-  if (covered == 0) return out;  // the window holds no data at all
-  out.reserve(store.BlockCount());
-  store.ForEach([&](net::BlockKey key, const ActivityMatrix& m) {
-    int fd = m.FillingDegree(day_first, day_last);
-    if (fd == 0) return;
-    double stu =
-        static_cast<double>(m.SpatioTemporalActivity(day_first, day_last)) /
-        (256.0 * covered);
-    out.push_back(BlockMetrics{key, fd, stu});
-  });
-  return out;
+  if (covered == 0) return {};  // the window holds no data at all
+  // Each block's metrics depend only on its own matrix; shards cover
+  // ascending key ranges and partials concatenate in shard order, so the
+  // output order (and every double in it) matches the serial scan exactly.
+  return par::ParallelReduce(
+      std::size_t{0}, store.BlockCount(), std::vector<BlockMetrics>{},
+      [&](std::vector<BlockMetrics>& out, std::size_t first,
+          std::size_t last) {
+        store.ForEachShard(
+            first, last, [&](net::BlockKey key, const ActivityMatrix& m) {
+              int fd = m.FillingDegree(day_first, day_last);
+              if (fd == 0) return;
+              double stu = static_cast<double>(
+                               m.SpatioTemporalActivity(day_first, day_last)) /
+                           (256.0 * covered);
+              out.push_back(BlockMetrics{key, fd, stu});
+            });
+      },
+      [](std::vector<BlockMetrics>& acc, std::vector<BlockMetrics>&& part) {
+        acc.insert(acc.end(), part.begin(), part.end());
+      },
+      /*grain=*/16);
 }
 
 std::vector<BlockMetrics> ComputeBlockMetrics(const ActivityStore& store) {

@@ -2,7 +2,18 @@
 
 #include <algorithm>
 
+#include "par/pool.h"
+
 namespace ipscope::activity {
+
+namespace {
+
+// Blocks per parallel shard for whole-store reductions. Small enough for
+// the pool's stealing to balance skewed blocks, big enough to amortize the
+// per-chunk accumulator.
+constexpr std::size_t kBlockGrain = 16;
+
+}  // namespace
 
 ActivityMatrix& ActivityStore::GetOrCreate(net::BlockKey key) {
   auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
@@ -51,51 +62,78 @@ const ActivityMatrix* ActivityStore::Find(net::BlockKey key) const {
 }
 
 std::vector<std::int64_t> ActivityStore::DailyActiveCounts() const {
-  std::vector<std::int64_t> totals(static_cast<std::size_t>(days_), 0);
-  for (const ActivityMatrix& m : matrices_) {
-    for (int d = 0; d < days_; ++d) {
-      totals[static_cast<std::size_t>(d)] += m.ActiveOnDay(d);
-    }
-  }
-  return totals;
+  return par::ParallelReduce(
+      std::size_t{0}, matrices_.size(),
+      std::vector<std::int64_t>(static_cast<std::size_t>(days_), 0),
+      [&](std::vector<std::int64_t>& totals, std::size_t first,
+          std::size_t last) {
+        for (std::size_t i = first; i < last; ++i) {
+          for (int d = 0; d < days_; ++d) {
+            totals[static_cast<std::size_t>(d)] +=
+                matrices_[i].ActiveOnDay(d);
+          }
+        }
+      },
+      [](std::vector<std::int64_t>& acc, std::vector<std::int64_t>&& part) {
+        for (std::size_t d = 0; d < acc.size(); ++d) acc[d] += part[d];
+      },
+      kBlockGrain);
 }
 
 net::Ipv4Set ActivityStore::ActiveSet(int day_first, int day_last) const {
-  std::vector<std::uint32_t> values;
-  for (std::size_t i = 0; i < keys_.size(); ++i) {
-    DayBits u = matrices_[i].UnionOver(day_first, day_last);
-    std::uint32_t base = keys_[i] << 8;
-    for (int w = 0; w < 4; ++w) {
-      std::uint64_t word = u[static_cast<std::size_t>(w)];
-      while (word != 0) {
-        int bit = std::countr_zero(word);
-        values.push_back(base + static_cast<std::uint32_t>(w * 64 + bit));
-        word &= word - 1;
-      }
-    }
-  }
-  // Values are produced in ascending order already, so the canonical
-  // interval construction in FromValues does no extra sorting work.
+  // Per-shard value vectors are each ascending (blocks are key-sorted and
+  // hosts enumerate low-to-high), and shards cover ascending key ranges, so
+  // ordered concatenation of the partials reproduces the serial output
+  // exactly — FromValues still sees a sorted stream.
+  std::vector<std::uint32_t> values = par::ParallelReduce(
+      std::size_t{0}, keys_.size(), std::vector<std::uint32_t>{},
+      [&](std::vector<std::uint32_t>& vals, std::size_t first,
+          std::size_t last) {
+        for (std::size_t i = first; i < last; ++i) {
+          DayBits u = matrices_[i].UnionOver(day_first, day_last);
+          std::uint32_t base = keys_[i] << 8;
+          for (int w = 0; w < 4; ++w) {
+            std::uint64_t word = u[static_cast<std::size_t>(w)];
+            while (word != 0) {
+              int bit = std::countr_zero(word);
+              vals.push_back(base + static_cast<std::uint32_t>(w * 64 + bit));
+              word &= word - 1;
+            }
+          }
+        }
+      },
+      [](std::vector<std::uint32_t>& acc, std::vector<std::uint32_t>&& part) {
+        acc.insert(acc.end(), part.begin(), part.end());
+      },
+      kBlockGrain);
   return net::Ipv4Set::FromValues(std::move(values));
 }
 
 std::uint64_t ActivityStore::CountActive(int day_first, int day_last) const {
-  std::uint64_t n = 0;
-  for (const ActivityMatrix& m : matrices_) {
-    n += static_cast<std::uint64_t>(
-        PopCount(m.UnionOver(day_first, day_last)));
-  }
-  return n;
+  return par::ParallelReduce(
+      std::size_t{0}, matrices_.size(), std::uint64_t{0},
+      [&](std::uint64_t& n, std::size_t first, std::size_t last) {
+        for (std::size_t i = first; i < last; ++i) {
+          n += static_cast<std::uint64_t>(
+              PopCount(matrices_[i].UnionOver(day_first, day_last)));
+        }
+      },
+      [](std::uint64_t& acc, std::uint64_t part) { acc += part; },
+      kBlockGrain);
 }
 
 std::uint64_t ActivityStore::CountActiveBlocks(int day_first,
                                                int day_last) const {
-  std::uint64_t n = 0;
-  for (const ActivityMatrix& m : matrices_) {
-    DayBits u = m.UnionOver(day_first, day_last);
-    if ((u[0] | u[1] | u[2] | u[3]) != 0) ++n;
-  }
-  return n;
+  return par::ParallelReduce(
+      std::size_t{0}, matrices_.size(), std::uint64_t{0},
+      [&](std::uint64_t& n, std::size_t first, std::size_t last) {
+        for (std::size_t i = first; i < last; ++i) {
+          DayBits u = matrices_[i].UnionOver(day_first, day_last);
+          if ((u[0] | u[1] | u[2] | u[3]) != 0) ++n;
+        }
+      },
+      [](std::uint64_t& acc, std::uint64_t part) { acc += part; },
+      kBlockGrain);
 }
 
 }  // namespace ipscope::activity

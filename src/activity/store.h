@@ -64,6 +64,20 @@ class ActivityStore {
     for (std::size_t i = 0; i < keys_.size(); ++i) fn(keys_[i], matrices_[i]);
   }
 
+  // --- Sharded iteration -------------------------------------------------
+  // Blocks are index-addressable in key order, so a whole-store scan
+  // decomposes into disjoint [first, last) shards — the unit the parallel
+  // analyses hand to par::ParallelReduce. ForEach is exactly
+  // ForEachShard(0, BlockCount()).
+  net::BlockKey KeyAt(std::size_t i) const { return keys_[i]; }
+  const ActivityMatrix& MatrixAt(std::size_t i) const { return matrices_[i]; }
+
+  // Visits blocks with indices in [first, last) in increasing key order.
+  template <typename Fn>
+  void ForEachShard(std::size_t first, std::size_t last, Fn&& fn) const {
+    for (std::size_t i = first; i < last; ++i) fn(keys_[i], matrices_[i]);
+  }
+
   std::span<const net::BlockKey> keys() const { return keys_; }
 
   // Total active addresses per day across all blocks (Fig 4a's red series).

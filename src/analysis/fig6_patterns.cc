@@ -1,7 +1,10 @@
 #include "analysis/fig6_patterns.h"
 
+#include <algorithm>
+#include <limits>
 #include <ostream>
 
+#include "par/pool.h"
 #include "report/table.h"
 #include "report/textplot.h"
 
@@ -48,56 +51,112 @@ bool Matches(int truth, activity::BlockPattern pattern) {
 
 }  // namespace
 
+namespace {
+
+constexpr std::size_t kNoBlock = std::numeric_limits<std::size_t>::max();
+
+// Per-shard classification tallies. Exemplars are not materialized in the
+// shards — only the lowest qualifying block index per exemplar slot is
+// tracked, and the in-order merge keeps the overall lowest. Since the
+// serial scan picked the *first* qualifying block in world order, building
+// the exemplars from these winners afterwards reproduces its output
+// exactly for any thread count.
+struct Fig6Acc {
+  std::array<std::array<std::uint64_t, 6>, Fig6Result::kTruthKinds>
+      confusion{};
+  std::uint64_t total = 0, matched = 0;
+  std::size_t reconfig_idx = kNoBlock;  // Fig 7 exemplar candidate
+  std::array<std::size_t, Fig6Result::kTruthKinds> truth_idx{};
+
+  Fig6Acc() { truth_idx.fill(kNoBlock); }
+
+  void Merge(const Fig6Acc& other) {
+    for (std::size_t t = 0; t < confusion.size(); ++t) {
+      for (std::size_t p = 0; p < confusion[t].size(); ++p) {
+        confusion[t][p] += other.confusion[t][p];
+      }
+    }
+    total += other.total;
+    matched += other.matched;
+    reconfig_idx = std::min(reconfig_idx, other.reconfig_idx);
+    for (std::size_t t = 0; t < truth_idx.size(); ++t) {
+      truth_idx[t] = std::min(truth_idx[t], other.truth_idx[t]);
+    }
+  }
+};
+
+}  // namespace
+
 Fig6Result RunFig6(const sim::World& world,
                    const activity::ActivityStore& daily_store) {
   Fig6Result out;
-  std::uint64_t total = 0, matched = 0;
-  std::array<bool, Fig6Result::kTruthKinds> have_exemplar{};
-  bool have_reconfig_exemplar = false;
+  std::span<const sim::BlockPlan> blocks = world.blocks();
 
-  for (const sim::BlockPlan& plan : world.blocks()) {
+  Fig6Acc acc = par::ParallelReduce(
+      std::size_t{0}, blocks.size(), Fig6Acc{},
+      [&](Fig6Acc& a, std::size_t first, std::size_t last) {
+        for (std::size_t i = first; i < last; ++i) {
+          const sim::BlockPlan& plan = blocks[i];
+          const activity::ActivityMatrix* m =
+              daily_store.Find(net::BlockKeyOf(plan.block));
+          if (m == nullptr) continue;
+
+          if (plan.HasReconfiguration() && a.reconfig_idx == kNoBlock &&
+              m->FillingDegree() > 32) {
+            a.reconfig_idx = i;
+          }
+
+          int truth = TruthIndex(plan);
+          if (truth < 0) continue;
+          activity::PatternFeatures features = activity::ComputeFeatures(*m);
+          activity::BlockPattern pattern = activity::ClassifyPattern(features);
+          a.confusion[static_cast<std::size_t>(truth)]
+                     [static_cast<std::size_t>(pattern)] += 1;
+          ++a.total;
+          if (Matches(truth, pattern)) ++a.matched;
+
+          if (a.truth_idx[static_cast<std::size_t>(truth)] == kNoBlock &&
+              features.filling_degree > 16) {
+            a.truth_idx[static_cast<std::size_t>(truth)] = i;
+          }
+        }
+      },
+      [](Fig6Acc& dst, Fig6Acc&& part) { dst.Merge(part); },
+      /*grain=*/16);
+
+  // Re-derive the winning exemplars (a handful of blocks at most) and emit
+  // them in ascending block-index order — the order the serial scan
+  // encountered, and appended, them.
+  std::vector<std::size_t> winners;
+  if (acc.reconfig_idx != kNoBlock) winners.push_back(acc.reconfig_idx);
+  for (std::size_t idx : acc.truth_idx) {
+    if (idx != kNoBlock) winners.push_back(idx);
+  }
+  std::sort(winners.begin(), winners.end());
+  for (std::size_t i : winners) {
+    const sim::BlockPlan& plan = blocks[i];
     net::BlockKey key = net::BlockKeyOf(plan.block);
     const activity::ActivityMatrix* m = daily_store.Find(key);
-    if (m == nullptr) continue;
-
-    // Fig 7 exemplar: a reconfigured block.
-    if (plan.HasReconfiguration() && !have_reconfig_exemplar &&
-        m->FillingDegree() > 32) {
-      Fig6Result::Exemplar ex;
-      ex.key = key;
+    Fig6Result::Exemplar ex;
+    ex.key = key;
+    if (i == acc.reconfig_idx) {
       ex.truth = std::string{"reconfigured: "} +
                  sim::PolicyKindName(plan.base.kind) + " -> " +
                  sim::PolicyKindName(plan.events[0].params.kind);
-      ex.features = activity::ComputeFeatures(*m);
-      ex.classified = activity::ClassifyPattern(ex.features);
-      ex.rendering = report::RenderActivityMatrix(*m);
-      out.exemplars.push_back(std::move(ex));
-      have_reconfig_exemplar = true;
+    } else {
+      ex.truth = Fig6Result::kTruthNames[TruthIndex(plan)];
     }
-
-    int truth = TruthIndex(plan);
-    if (truth < 0) continue;
-    activity::PatternFeatures features = activity::ComputeFeatures(*m);
-    activity::BlockPattern pattern = activity::ClassifyPattern(features);
-    out.confusion[static_cast<std::size_t>(truth)]
-                 [static_cast<std::size_t>(pattern)] += 1;
-    ++total;
-    if (Matches(truth, pattern)) ++matched;
-
-    if (!have_exemplar[static_cast<std::size_t>(truth)] &&
-        features.filling_degree > 16) {
-      Fig6Result::Exemplar ex;
-      ex.key = key;
-      ex.truth = Fig6Result::kTruthNames[truth];
-      ex.features = features;
-      ex.classified = pattern;
-      ex.rendering = report::RenderActivityMatrix(*m);
-      out.exemplars.push_back(std::move(ex));
-      have_exemplar[static_cast<std::size_t>(truth)] = true;
-    }
+    ex.features = activity::ComputeFeatures(*m);
+    ex.classified = activity::ClassifyPattern(ex.features);
+    ex.rendering = report::RenderActivityMatrix(*m);
+    out.exemplars.push_back(std::move(ex));
   }
+
+  out.confusion = acc.confusion;
   out.overall_agreement =
-      total ? static_cast<double>(matched) / static_cast<double>(total) : 0.0;
+      acc.total ? static_cast<double>(acc.matched) /
+                      static_cast<double>(acc.total)
+                : 0.0;
   return out;
 }
 

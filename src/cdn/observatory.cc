@@ -1,9 +1,9 @@
 #include "cdn/observatory.h"
 
 #include <algorithm>
-#include <thread>
 
 #include "obs/timer.h"
+#include "par/pool.h"
 
 namespace ipscope::cdn {
 
@@ -42,50 +42,37 @@ Observatory Observatory::Weekly(const sim::World& world) {
 
 activity::ActivityStore Observatory::BuildStore(int threads) const {
   obs::Span span{"cdn.observatory.build_seconds"};
-  // Generate each block's matrix independently (possibly concurrently),
-  // then append non-empty blocks in key order. Results are identical for
-  // any thread count because blocks never share generator state.
+  // Generate each block's matrix independently (concurrently on the shared
+  // pool), then append non-empty blocks in key order. Results are
+  // bit-identical for any thread count: blocks never share generator state
+  // and each writes only its own slots. Block cost varies wildly by policy
+  // kind (a CGN block fills 256 hosts daily, a sparse static block a few),
+  // so the pool's dynamic chunk stealing does the load balancing.
   std::vector<activity::ActivityMatrix> matrices(
       order_.size(), activity::ActivityMatrix{spec_.steps});
   std::vector<char> non_empty(order_.size(), 0);
-  // Non-empty row counts per generation call, accumulated lock-free (each
-  // worker owns a disjoint range) and flushed to the registry once.
-  std::vector<std::uint64_t> rows_in_range(order_.size() ? order_.size() : 1,
-                                           0);
 
-  auto generate_range = [&](std::size_t first, std::size_t last) {
-    std::uint64_t rows = 0;
-    for (std::size_t i = first; i < last; ++i) {
-      const sim::BlockPlan& plan = world_.blocks()[order_[i]];
-      bool any = false;
-      for (int s = 0; s < spec_.steps; ++s) {
-        activity::DayBits bits;
-        sim::GenerateStep(plan, spec_, s, bits, nullptr);
-        if ((bits[0] | bits[1] | bits[2] | bits[3]) == 0) continue;
-        matrices[i].Row(s) = bits;
-        any = true;
-        ++rows;
-      }
-      non_empty[i] = any ? 1 : 0;
-    }
-    if (first < rows_in_range.size()) rows_in_range[first] = rows;
-  };
-
-  threads = std::max(1, threads);
-  if (threads == 1 || order_.size() < 64) {
-    generate_range(0, order_.size());
-  } else {
-    std::vector<std::thread> workers;
-    std::size_t chunk = (order_.size() + threads - 1) /
-                        static_cast<std::size_t>(threads);
-    for (int t = 0; t < threads; ++t) {
-      std::size_t first = static_cast<std::size_t>(t) * chunk;
-      std::size_t last = std::min(order_.size(), first + chunk);
-      if (first >= last) break;
-      workers.emplace_back(generate_range, first, last);
-    }
-    for (std::thread& worker : workers) worker.join();
-  }
+  // Non-empty row counts fold through the reduce's per-chunk accumulators —
+  // summed after the join, so the count is exact for any decomposition.
+  std::uint64_t rows_emitted = par::ParallelReduce(
+      std::size_t{0}, order_.size(), std::uint64_t{0},
+      [&](std::uint64_t& rows, std::size_t first, std::size_t last) {
+        for (std::size_t i = first; i < last; ++i) {
+          const sim::BlockPlan& plan = world_.blocks()[order_[i]];
+          bool any = false;
+          for (int s = 0; s < spec_.steps; ++s) {
+            activity::DayBits bits;
+            sim::GenerateStep(plan, spec_, s, bits, nullptr);
+            if ((bits[0] | bits[1] | bits[2] | bits[3]) == 0) continue;
+            matrices[i].Row(s) = bits;
+            any = true;
+            ++rows;
+          }
+          non_empty[i] = any ? 1 : 0;
+        }
+      },
+      [](std::uint64_t& acc, std::uint64_t part) { acc += part; },
+      /*grain=*/4, /*max_threads=*/threads);
 
   activity::ActivityStore store{spec_.steps};
   std::uint64_t blocks_emitted = 0;
@@ -97,8 +84,6 @@ activity::ActivityStore Observatory::BuildStore(int threads) const {
     ++blocks_emitted;
   }
 
-  std::uint64_t rows_emitted = 0;
-  for (std::uint64_t rows : rows_in_range) rows_emitted += rows;
   auto& registry = obs::GlobalRegistry();
   registry.GetCounter("cdn.observatory.builds").Add(1);
   registry.GetCounter("cdn.observatory.blocks_emitted").Add(blocks_emitted);

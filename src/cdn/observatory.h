@@ -36,10 +36,12 @@ class Observatory {
 
   // Materializes the activity bitmaps of every observed block. Blocks with
   // zero activity over the whole period are omitted (the CDN never saw
-  // them, so the dataset cannot contain them). `threads` > 1 generates
-  // blocks concurrently; the result is bit-identical regardless of thread
-  // count (blocks are independent by construction).
-  activity::ActivityStore BuildStore(int threads = 1) const;
+  // them, so the dataset cannot contain them). Generation runs on the
+  // shared par::GlobalPool() (parallel by default); `threads` >= 1 caps
+  // the worker count for this build (1 = serial). The result is
+  // bit-identical regardless of thread count (blocks are independent by
+  // construction and merged in key order).
+  activity::ActivityStore BuildStore(int threads = 0) const;
 
   // Streams every CDN-visible block with its activity matrix and per-step
   // per-host hit counts (row-major: hits[step * 256 + host], zero where

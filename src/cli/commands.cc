@@ -27,6 +27,7 @@
 #include "obs/registry.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
+#include "par/pool.h"
 #include "report/csv.h"
 #include "report/table.h"
 #include "report/textplot.h"
@@ -62,8 +63,10 @@ commands:
       AS types, assignment-policy mix, scheduled events.
   profile [--blocks N] [--seed S] [--keep PATH]
       Run a standard generate -> save -> load -> analyze pipeline and print
-      a per-stage wall-time table from the metrics registry. --keep saves
-      the intermediate dataset to PATH instead of a deleted temp file.
+      a per-stage wall-time table from the metrics registry, once serially
+      and once on the shared thread pool (the threads column tells the rows
+      apart). --keep saves the intermediate dataset to PATH instead of a
+      deleted temp file.
   chaos [--blocks N] [--seed S] [--fault-seed S] [--schedule SPEC]
         [--window DAYS]
       Run the generate -> save -> corrupt -> salvage -> analyze pipeline
@@ -75,6 +78,9 @@ commands:
       This message.
 
 global flags (any command):
+  --threads N          Size of the shared worker pool (default:
+                       $IPSCOPE_THREADS, else hardware concurrency).
+                       Results are bit-identical for any value.
   --metrics-out PATH   Dump the metrics registry as JSON on exit.
   --trace-out PATH     Record pipeline stage spans as a Chrome
                        trace-event-format file (open in about://tracing
@@ -413,7 +419,7 @@ int CmdProfile(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
              ("ipscope_profile_" + std::to_string(::getpid()) + ".bin"))
                 .string();
 
-  {
+  auto run_pipeline = [&] {
     // Every stage below is instrumented at the library layer; this scope
     // only sequences the canonical pipeline.
     obs::Span pipeline{"cli.profile.pipeline_seconds"};
@@ -431,16 +437,46 @@ int CmdProfile(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
                            (p + 1) * window, (p + 2) * window, true);
     }
     activity::ComputeBlockMetrics(loaded);
-  }
-  if (!keep) std::remove(path.c_str());
+  };
 
   auto& registry = obs::GlobalRegistry();
-  report::Table stages({"stage", "runs", "total", "p50", "p90", "p99"});
-  for (const auto& [name, snap] : registry.HistogramSnapshots()) {
+  auto snapshot = [&] {
+    std::map<std::string, obs::Histogram::Snapshot> snaps;
+    for (const auto& [name, snap] : registry.HistogramSnapshots()) {
+      snaps[name] = snap;
+    }
+    return snaps;
+  };
+
+  // The pipeline runs twice: serially, then on the pool at its configured
+  // size (--threads / $IPSCOPE_THREADS / hardware). The instruments are
+  // cumulative, so the parallel rows are deltas between the two snapshots
+  // (quantiles don't subtract; those cells stay blank).
+  int pool_threads = par::GlobalPool().threads();
+  par::GlobalPool().Resize(1);
+  run_pipeline();
+  auto serial_snaps = snapshot();
+  if (pool_threads > 1) {
+    par::GlobalPool().Resize(pool_threads);
+    run_pipeline();
+  }
+  auto final_snaps = snapshot();
+  par::GlobalPool().Resize(pool_threads);
+  if (!keep) std::remove(path.c_str());
+
+  report::Table stages(
+      {"stage", "threads", "runs", "total", "p50", "p90", "p99"});
+  for (const auto& [name, snap] : serial_snaps) {
     if (snap.count == 0) continue;
-    stages.AddRow({name, std::to_string(snap.count), FormatStageTime(snap.sum),
-                   FormatStageTime(snap.p50), FormatStageTime(snap.p90),
-                   FormatStageTime(snap.p99)});
+    stages.AddRow({name, "1", std::to_string(snap.count),
+                   FormatStageTime(snap.sum), FormatStageTime(snap.p50),
+                   FormatStageTime(snap.p90), FormatStageTime(snap.p99)});
+    if (pool_threads <= 1) continue;
+    const obs::Histogram::Snapshot& after = final_snaps[name];
+    if (after.count <= snap.count) continue;
+    stages.AddRow({name, std::to_string(pool_threads),
+                   std::to_string(after.count - snap.count),
+                   FormatStageTime(after.sum - snap.sum), "-", "-", "-"});
   }
   out << "profile: " << config.target_client_blocks
       << " client blocks, seed " << config.seed << "\n\n";
@@ -857,6 +893,11 @@ int Run(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
 
   int rc;
   try {
+    // Resize inside the try block: a malformed --threads value reports
+    // like any other flag error.
+    int threads = cmd.IntFlag("threads", 0);
+    if (threads < 0) throw FlagError("--threads must be positive");
+    if (threads > 0) par::GlobalPool().Resize(threads);
     rc = Dispatch(cmd, out, err);
   } catch (const FlagError& e) {
     err << "error: " << e.what() << "\n";

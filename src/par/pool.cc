@@ -1,0 +1,261 @@
+#include "par/pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+
+#include "obs/registry.h"
+
+namespace ipscope::par {
+
+namespace {
+
+// True while this thread is executing chunks of some region (worker or
+// submitter). Nested RunChunks calls from such a thread run inline.
+thread_local bool tl_in_region = false;
+
+// Save/restore rather than set/clear: an inline nested region ends before
+// the enclosing chunk body does, and clearing the flag there would let the
+// *next* nested region take the parallel path and self-deadlock on
+// region_mu_.
+struct RegionGuard {
+  bool prev;
+  RegionGuard() : prev(tl_in_region) { tl_in_region = true; }
+  ~RegionGuard() { tl_in_region = prev; }
+};
+
+}  // namespace
+
+int HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int DefaultThreads() {
+  static const int threads = [] {
+    if (const char* env = std::getenv("IPSCOPE_THREADS")) {
+      int n = std::atoi(env);
+      if (n > 0) return n;
+    }
+    return HardwareThreads();
+  }();
+  return threads;
+}
+
+ChunkLayout ChunkLayout::Of(std::size_t first, std::size_t last,
+                            std::size_t grain) {
+  ChunkLayout layout;
+  layout.first = first;
+  layout.count = last > first ? last - first : 0;
+  if (layout.count == 0) return layout;
+  if (grain == 0) grain = 1;
+  layout.chunks = std::min((layout.count + grain - 1) / grain, kMaxChunks);
+  return layout;
+}
+
+// One parallel region: chunk indices [0, chunks) dealt into `participants`
+// bands, each with an atomic claim cursor. A participant drains its own
+// band first, then steals from the other bands' cursors.
+struct Pool::Job {
+  std::size_t chunks = 0;
+  std::size_t participants = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::unique_ptr<std::atomic<std::size_t>[]> cursor;  // per band
+  std::vector<std::size_t> band_last;                  // per band, exclusive
+  std::atomic<std::size_t> joined{0};  // participant slots handed out
+  std::atomic<std::size_t> done{0};    // chunks finished or cancelled
+  std::atomic<std::uint64_t> steals{0};
+  std::size_t active = 0;  // workers inside Participate; guarded by pool mu_
+  std::mutex err_mu;
+  std::exception_ptr error;
+
+  Job(std::size_t chunks_in, std::size_t participants_in,
+      const std::function<void(std::size_t)>* fn_in)
+      : chunks(chunks_in), participants(participants_in), fn(fn_in) {
+    cursor = std::make_unique<std::atomic<std::size_t>[]>(participants);
+    band_last.resize(participants);
+    std::size_t base = chunks / participants;
+    std::size_t rem = chunks % participants;
+    std::size_t pos = 0;
+    for (std::size_t b = 0; b < participants; ++b) {
+      cursor[b].store(pos, std::memory_order_relaxed);
+      pos += base + (b < rem ? 1 : 0);
+      band_last[b] = pos;
+    }
+  }
+
+  // Cancels every unclaimed chunk (after a chunk threw): swing each band
+  // cursor to its end and account the skipped chunks as done so the
+  // submitter's completion wait still converges.
+  void Cancel() {
+    for (std::size_t b = 0; b < participants; ++b) {
+      std::size_t old = cursor[b].exchange(band_last[b]);
+      if (old < band_last[b]) {
+        done.fetch_add(band_last[b] - old, std::memory_order_acq_rel);
+      }
+    }
+  }
+};
+
+Pool::Pool(int threads) {
+  if (threads <= 0) threads = DefaultThreads();
+  std::unique_lock region(region_mu_);
+  SpawnLocked(threads);
+}
+
+Pool::~Pool() { StopAndJoin(); }
+
+void Pool::SpawnLocked(int threads) {
+  threads_.store(threads, std::memory_order_relaxed);
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+  obs::GlobalRegistry().GetGauge("par.pool.threads").Set(threads);
+}
+
+void Pool::StopAndJoin() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  {
+    std::lock_guard lk(mu_);
+    stop_ = false;
+  }
+}
+
+void Pool::Resize(int threads) {
+  if (threads <= 0) threads = DefaultThreads();
+  std::unique_lock region(region_mu_);
+  if (threads == threads_.load(std::memory_order_relaxed)) return;
+  StopAndJoin();
+  SpawnLocked(threads);
+}
+
+void Pool::WorkerMain() {
+  std::unique_lock lk(mu_);
+  std::uint64_t seen_generation = generation_;
+  for (;;) {
+    cv_.wait(lk, [&] {
+      return stop_ || (job_ != nullptr && generation_ != seen_generation);
+    });
+    if (stop_) return;
+    Job* job = job_;
+    seen_generation = generation_;
+    ++job->active;  // pins the job: the submitter waits for active == 0
+    lk.unlock();
+    Participate(*job);
+    lk.lock();
+    --job->active;
+    done_cv_.notify_all();
+    // Wait for this job's retirement before looking for the next one, so a
+    // worker never re-enters a region it already finished.
+    cv_.wait(lk, [&] { return stop_ || generation_ != seen_generation; });
+    if (stop_) return;
+    seen_generation = generation_;
+  }
+}
+
+void Pool::Participate(Job& job) {
+  std::size_t slot = job.joined.fetch_add(1, std::memory_order_acq_rel);
+  if (slot >= job.participants) return;  // more helpers than bands
+  RegionGuard guard;
+  for (std::size_t offset = 0; offset < job.participants; ++offset) {
+    std::size_t band = (slot + offset) % job.participants;
+    for (;;) {
+      std::size_t c = job.cursor[band].fetch_add(1, std::memory_order_acq_rel);
+      if (c >= job.band_last[band]) break;
+      if (offset != 0) job.steals.fetch_add(1, std::memory_order_relaxed);
+      try {
+        (*job.fn)(c);
+      } catch (...) {
+        {
+          std::lock_guard elk(job.err_mu);
+          if (!job.error) job.error = std::current_exception();
+        }
+        job.done.fetch_add(1, std::memory_order_acq_rel);
+        job.Cancel();
+        return;
+      }
+      job.done.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+}
+
+void Pool::RunChunks(std::size_t chunks,
+                     const std::function<void(std::size_t)>& fn,
+                     int max_threads) {
+  if (chunks == 0) return;
+  auto& registry = obs::GlobalRegistry();
+  int cap = threads_.load(std::memory_order_relaxed);
+  if (max_threads > 0) cap = std::min(cap, max_threads);
+
+  if (tl_in_region || chunks == 1 || cap <= 1) {
+    // Inline path: nested region, trivial region, or an effectively serial
+    // pool. Shares the chunk decomposition with the parallel path, so the
+    // work (and any exception) is identical.
+    RegionGuard guard;
+    for (std::size_t c = 0; c < chunks; ++c) fn(c);
+    registry.GetCounter("par.pool.regions").Add(1);
+    registry.GetCounter("par.pool.tasks_executed").Add(chunks);
+    registry.GetGauge("par.pool.region_participants").Set(1);
+    return;
+  }
+
+  std::unique_lock region(region_mu_);
+  // Re-read under the region lock: Resize also takes it, so the size is
+  // stable for the whole region.
+  cap = threads_.load(std::memory_order_relaxed);
+  if (max_threads > 0) cap = std::min(cap, max_threads);
+  std::size_t participants =
+      std::min(static_cast<std::size_t>(cap), chunks);
+
+  Job job{chunks, participants, &fn};
+  {
+    std::lock_guard lk(mu_);
+    job_ = &job;
+    ++generation_;
+  }
+  cv_.notify_all();
+  Participate(job);
+  {
+    std::unique_lock lk(mu_);
+    done_cv_.wait(lk, [&] {
+      return job.done.load(std::memory_order_acquire) == chunks &&
+             job.active == 0;
+    });
+    job_ = nullptr;
+    ++generation_;
+  }
+  cv_.notify_all();  // release workers parked on "job retired"
+
+  registry.GetCounter("par.pool.regions").Add(1);
+  registry.GetCounter("par.pool.tasks_executed").Add(chunks);
+  registry.GetCounter("par.pool.steals")
+      .Add(job.steals.load(std::memory_order_relaxed));
+  registry.GetGauge("par.pool.region_participants")
+      .Set(static_cast<double>(participants));
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+Pool& GlobalPool() {
+  static Pool pool{DefaultThreads()};
+  return pool;
+}
+
+void ParallelFor(Pool& pool, std::size_t first, std::size_t last,
+                 const std::function<void(std::size_t, std::size_t)>& body,
+                 std::size_t grain, int max_threads) {
+  ChunkLayout layout = ChunkLayout::Of(first, last, grain);
+  if (layout.chunks == 0) return;
+  pool.RunChunks(
+      layout.chunks,
+      [&](std::size_t c) { body(layout.ChunkFirst(c), layout.ChunkLast(c)); },
+      max_threads);
+}
+
+}  // namespace ipscope::par

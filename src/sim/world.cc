@@ -462,6 +462,12 @@ World::World(const WorldConfig& config)
   std::sort(bgp_events_.begin(), bgp_events_.end());
   events_span.Stop();
 
+  asn_index_.reserve(blocks_.size());
+  for (const BlockPlan& plan : blocks_) {
+    asn_index_.emplace_back(net::BlockKeyOf(plan.block), plan.asn);
+  }
+  std::sort(asn_index_.begin(), asn_index_.end());
+
   auto& registry = obs::GlobalRegistry();
   registry.GetCounter("sim.world.builds").Add(1);
   registry.GetCounter("sim.world.blocks").Add(blocks_.size());
@@ -470,14 +476,15 @@ World::World(const WorldConfig& config)
 }
 
 std::optional<std::uint32_t> World::PlannedAsnOf(net::BlockKey key) const {
-  // Blocks are appended in allocation order, which is not globally sorted
-  // across countries; binary search needs a sorted index. Build lazily-free:
-  // a linear scan is fine for the call rates in analysis setup, but the BGP
-  // table builder uses blocks() directly.
-  for (const BlockPlan& plan : blocks_) {
-    if (net::BlockKeyOf(plan.block) == key) return plan.asn;
-  }
-  return std::nullopt;
+  // Binary search on the key-sorted index built at construction. The old
+  // linear scan over blocks_ made per-block lookups O(n) and turned callers
+  // that resolve every block (per-AS churn grouping) quadratic.
+  auto it = std::lower_bound(
+      asn_index_.begin(), asn_index_.end(), key,
+      [](const std::pair<net::BlockKey, std::uint32_t>& entry,
+         net::BlockKey k) { return entry.first < k; });
+  if (it == asn_index_.end() || it->first != key) return std::nullopt;
+  return it->second;
 }
 
 }  // namespace ipscope::sim

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "geo/registry.h"
@@ -68,6 +69,9 @@ class World {
   std::vector<AsPlan> ases_;
   std::vector<BlockPlan> blocks_;
   std::vector<BgpScheduledEvent> bgp_events_;
+  // (key, asn) sorted by key; blocks_ itself is in allocation order, which
+  // is not globally key-sorted, so PlannedAsnOf needs its own index.
+  std::vector<std::pair<net::BlockKey, std::uint32_t>> asn_index_;
   std::size_t client_block_count_ = 0;
 };
 

@@ -1,0 +1,218 @@
+// Whole-pipeline determinism under parallel execution: every analysis must
+// produce bit-identical output for any thread count, including on stores
+// with coverage gaps (the PR-3 fault-injection semantics).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "activity/change.h"
+#include "activity/churn.h"
+#include "activity/eventsize.h"
+#include "activity/metrics.h"
+#include "analysis/fig6_patterns.h"
+#include "cdn/observatory.h"
+#include "io/store_io.h"
+#include "par/pool.h"
+#include "sim/world.h"
+
+namespace ipscope {
+namespace {
+
+const std::vector<int>& ThreadSweep() {
+  static std::vector<int> sweep = [] {
+    std::vector<int> s{1, 2};
+    int hw = par::HardwareThreads();
+    if (hw > 2) s.push_back(hw);
+    s.push_back(8);  // oversubscribed: forces real interleavings on any host
+    return s;
+  }();
+  return sweep;
+}
+
+sim::World& SmallWorld() {
+  static sim::World world{[] {
+    sim::WorldConfig config;
+    config.target_client_blocks = 300;
+    return config;
+  }()};
+  return world;
+}
+
+activity::ActivityStore& DailyStore() {
+  static activity::ActivityStore store =
+      cdn::Observatory::Daily(SmallWorld()).BuildStore();
+  return store;
+}
+
+// A store with coverage gaps: analyses must keep their -1 sentinels and
+// covered-day denominators intact on every parallel path.
+activity::ActivityStore& GappedStore() {
+  static activity::ActivityStore store = [] {
+    activity::ActivityStore s =
+        cdn::Observatory::Daily(SmallWorld()).BuildStore();
+    // Day 0, all of week 1 (days 7..13 — a whole churn window), and one
+    // isolated mid-period day.
+    for (int day : {0, 7, 8, 9, 10, 11, 12, 13, 60}) {
+      s.SetDayCovered(day, false);
+    }
+    return s;
+  }();
+  return store;
+}
+
+std::string Serialized(const activity::ActivityStore& store) {
+  std::ostringstream os;
+  io::SaveStore(store, os);
+  return std::move(os).str();
+}
+
+// Runs `fn` once per sweep entry with the global pool resized, asserting
+// every result equals the serial one via `eq`.
+template <typename Fn>
+void ExpectInvariantAcrossThreads(const Fn& fn) {
+  par::GlobalPool().Resize(1);
+  auto reference = fn();
+  for (int threads : ThreadSweep()) {
+    par::GlobalPool().Resize(threads);
+    auto got = fn();
+    EXPECT_TRUE(got == reference) << "diverged at threads=" << threads;
+  }
+  par::GlobalPool().Resize(0);
+}
+
+TEST(ParDeterminism, BuildStoreBitIdenticalAcrossThreadCounts) {
+  cdn::Observatory daily = cdn::Observatory::Daily(SmallWorld());
+  std::string reference = Serialized(daily.BuildStore(1));
+  for (int threads : ThreadSweep()) {
+    EXPECT_EQ(Serialized(daily.BuildStore(threads)), reference)
+        << "threads=" << threads;
+  }
+  // Via the global pool (threads = 0 delegates to its current size).
+  par::GlobalPool().Resize(4);
+  EXPECT_EQ(Serialized(daily.BuildStore()), reference);
+  par::GlobalPool().Resize(0);
+}
+
+TEST(ParDeterminism, StoreReductionsMatchSerial) {
+  const activity::ActivityStore& store = DailyStore();
+  ExpectInvariantAcrossThreads([&] {
+    return std::tuple{store.DailyActiveCounts(), store.CountActive(0, 112),
+                      store.CountActiveBlocks(0, 112),
+                      store.ActiveSet(0, 112)};
+  });
+}
+
+TEST(ParDeterminism, ChurnFamilyMatchesSerial) {
+  activity::ChurnAnalyzer analyzer{DailyStore()};
+  ExpectInvariantAcrossThreads([&] {
+    auto churn = analyzer.Churn(7);
+    auto daily = analyzer.DailyEvents();
+    auto versus = analyzer.VersusFirst(7);
+    return std::tuple{churn.pairs,   churn.up_pct,  churn.down_pct,
+                      daily.active,  daily.up,      daily.down,
+                      versus.appear, versus.disappear, versus.active};
+  });
+}
+
+TEST(ParDeterminism, PerGroupChurnMatchesSerial) {
+  const sim::World& world = SmallWorld();
+  activity::ChurnAnalyzer analyzer{DailyStore()};
+  auto group_of = [&](net::BlockKey key) {
+    return world.PlannedAsnOf(key).value_or(0);
+  };
+  ExpectInvariantAcrossThreads([&] {
+    auto groups = analyzer.PerGroupChurn(7, group_of, /*min_active_ips=*/1);
+    std::vector<std::tuple<std::uint32_t, std::uint64_t, double, double>> out;
+    for (const auto& g : groups) {
+      out.emplace_back(g.group, g.total_active_ips, g.median_up_pct,
+                       g.median_down_pct);
+    }
+    return out;
+  });
+}
+
+TEST(ParDeterminism, EventSizesMatchSerial) {
+  const activity::ActivityStore& store = DailyStore();
+  ExpectInvariantAcrossThreads([&] {
+    auto up = activity::EventSizes(store, 0, 7, 7, 14, /*up=*/true);
+    auto down = activity::EventSizes(store, 0, 7, 7, 14, /*up=*/false);
+    auto strict = activity::EventSizesStrict(store, 0, 7, 7, 14, true);
+    return std::tuple{up.by_mask, up.total, down.by_mask, down.total,
+                      strict.by_mask, strict.total};
+  });
+}
+
+TEST(ParDeterminism, BlockMetricsAndChangesMatchSerial) {
+  const activity::ActivityStore& store = DailyStore();
+  ExpectInvariantAcrossThreads([&] {
+    auto metrics = activity::ComputeBlockMetrics(store);
+    auto stu = activity::MaxMonthlyStuChange(store, 28);
+    auto spatial = activity::SpatialStuChanges(store, 28);
+    std::vector<std::tuple<net::BlockKey, int, double>> m;
+    for (const auto& bm : metrics) {
+      m.emplace_back(bm.key, bm.filling_degree, bm.stu);
+    }
+    std::vector<std::pair<net::BlockKey, double>> c;
+    for (const auto& bc : stu) c.emplace_back(bc.key, bc.max_delta);
+    std::vector<std::tuple<net::BlockKey, double, double>> s;
+    for (const auto& bc : spatial) {
+      s.emplace_back(bc.key, bc.lower_delta, bc.upper_delta);
+    }
+    return std::tuple{m, c, s};
+  });
+}
+
+TEST(ParDeterminism, PatternClassificationMatchesSerial) {
+  ExpectInvariantAcrossThreads([&] {
+    auto fig6 = analysis::RunFig6(SmallWorld(), DailyStore());
+    std::vector<std::tuple<net::BlockKey, std::string, int>> exemplars;
+    for (const auto& ex : fig6.exemplars) {
+      exemplars.emplace_back(ex.key, ex.truth,
+                             static_cast<int>(ex.classified));
+    }
+    return std::tuple{fig6.confusion, fig6.overall_agreement, exemplars};
+  });
+}
+
+TEST(ParDeterminism, GappedStoreKeepsCoverageSemantics) {
+  const activity::ActivityStore& store = GappedStore();
+  activity::ChurnAnalyzer analyzer{store};
+
+  // Coverage contract spot-checks, independent of thread count.
+  par::GlobalPool().Resize(8);
+  auto daily = analyzer.DailyEvents();
+  EXPECT_EQ(daily.active[0], -1);
+  EXPECT_EQ(daily.active[7], -1);
+  EXPECT_EQ(daily.up[6], -1);    // pair (6,7) touches uncovered day 7
+  EXPECT_EQ(daily.up[13], -1);   // pair (13,14) touches uncovered day 13
+  EXPECT_NE(daily.active[30], -1);
+  auto churn = analyzer.Churn(7);
+  for (int p : churn.pairs) {
+    EXPECT_NE(p, 0) << "pairs touching the uncovered week 1 must drop";
+    EXPECT_NE(p, 1) << "pairs touching the uncovered week 1 must drop";
+  }
+  par::GlobalPool().Resize(0);
+
+  // And the whole family is still thread-count invariant on gapped data.
+  ExpectInvariantAcrossThreads([&] {
+    auto events = analyzer.DailyEvents();
+    auto weekly = analyzer.Churn(7);
+    auto versus = analyzer.VersusFirst(7);
+    auto metrics = activity::ComputeBlockMetrics(store);
+    auto stu = activity::MaxMonthlyStuChange(store, 28);
+    std::vector<double> stus;
+    for (const auto& bm : metrics) stus.push_back(bm.stu);
+    std::vector<double> deltas;
+    for (const auto& bc : stu) deltas.push_back(bc.max_delta);
+    return std::tuple{events.active, events.up,     events.down,
+                      weekly.pairs,  weekly.up_pct, weekly.down_pct,
+                      versus.appear, stus,          deltas};
+  });
+}
+
+}  // namespace
+}  // namespace ipscope
