@@ -26,6 +26,16 @@ fi
 
 mkdir -p results
 
+# Correctness gate: the differential sweep re-derives every figure series
+# with the naive check::reference oracles and compares the optimized
+# pipeline exactly (seeds x thread counts x fault schedules), then verifies
+# the committed golden snapshots in tests/golden/ against their CRC
+# manifest. Non-zero exit on any divergence or stale golden fails the run
+# (set -e). Refresh goldens deliberately with
+# `build/tools/ipscope_cli check --update-goldens`.
+echo "== differential check"
+build/tools/ipscope_cli check | tee results/check.txt
+
 # Chaos smoke pass: the full pipeline under the default fault schedule
 # (dropped log days + store truncation + a killed scan snapshot) must
 # survive, salvage every intact block, and pass its own scorecard.

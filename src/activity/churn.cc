@@ -341,11 +341,20 @@ std::vector<GroupChurn> ChurnAnalyzer::PerGroupChurn(
                             static_cast<double>(acc.size_prev[pi]));
       }
     }
+    // Coverage gaps can invalidate every window pair: such a group carries
+    // no churn evidence at all and is omitted rather than reported with
+    // made-up medians (stats::Median of an empty sample is NaN by
+    // contract). A group with evidence on only one side had zero observable
+    // events on the other — that side's window sets were empty, so 0% is
+    // the factual value, chosen explicitly here rather than inherited from
+    // a sentinel.
+    if (up_pcts.empty() && down_pcts.empty()) continue;
     GroupChurn gc;
     gc.group = group;
     gc.total_active_ips = acc.total_active;
-    gc.median_up_pct = stats::Median(std::move(up_pcts));
-    gc.median_down_pct = stats::Median(std::move(down_pcts));
+    gc.median_up_pct = up_pcts.empty() ? 0.0 : stats::Median(std::move(up_pcts));
+    gc.median_down_pct =
+        down_pcts.empty() ? 0.0 : stats::Median(std::move(down_pcts));
     out.push_back(gc);
   }
   std::sort(out.begin(), out.end(),

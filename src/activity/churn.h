@@ -70,7 +70,10 @@ struct VersusFirstSeries {
 
 // Per-group churn (Fig 5a; groups are ASes in the paper). Only groups with
 // at least `min_active_ips` distinct active addresses over the whole period
-// are reported, mirroring the paper's >1000-IP filter.
+// are reported, mirroring the paper's >1000-IP filter. On gapped stores a
+// group whose every window pair was excluded is omitted entirely (no
+// churn evidence at all); a group observable on only one side reports 0%
+// for the other (its windows there were empty — zero observable events).
 struct GroupChurn {
   std::uint32_t group = 0;
   std::uint64_t total_active_ips = 0;

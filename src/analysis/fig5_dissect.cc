@@ -78,12 +78,16 @@ void PrintFig5(const Fig5Result& result, std::ostream& os) {
   report::Table ast({"window", "ASes (>1K IPs)", "frac < 5%", "frac >= 10%",
                      "median of medians"});
   for (const auto& pa : result.per_as) {
+    // Small worlds can leave no AS above the >1K-IP filter; Median of an
+    // empty sample is NaN by contract, so print "n/a" instead of "nan%".
     ast.AddRow({std::to_string(pa.window_days) + "d",
                 report::FormatCount(pa.median_up_pcts.size()),
                 report::FormatPercent(pa.frac_below_5pct),
                 report::FormatPercent(pa.frac_above_10pct),
-                report::FormatDouble(
-                    stats::Median(pa.median_up_pcts)) + "%"});
+                pa.median_up_pcts.empty()
+                    ? "n/a"
+                    : report::FormatDouble(
+                          stats::Median(pa.median_up_pcts)) + "%"});
   }
   ast.Print(os);
   os << "[paper: about half of ASes < 5%, 10-20% of ASes >= 10% — churn is "

@@ -1,0 +1,64 @@
+#include "check/diff.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "obs/registry.h"
+
+namespace ipscope::check {
+
+std::string FormatValue(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string FormatValue(std::int64_t v) { return std::to_string(v); }
+std::string FormatValue(std::uint64_t v) { return std::to_string(v); }
+
+Diff::Diff(std::string case_name) : case_name_(std::move(case_name)) {}
+
+void Diff::Record(const std::string& series, const std::string& coordinate,
+                  std::string expected, std::string actual) {
+  ++mismatches_;
+  obs::GlobalRegistry().GetCounter("check.diffs_total").Add(1);
+  if (divergences_.size() >= kMaxStored) return;
+  divergences_.push_back(Divergence{case_name_, series, coordinate,
+                                    std::move(expected), std::move(actual)});
+}
+
+void Diff::ExpectEq(const std::string& series, const std::string& coordinate,
+                    double expected, double actual) {
+  bool both_nan = std::isnan(expected) && std::isnan(actual);
+  if (expected == actual || both_nan) return;
+  Record(series, coordinate, FormatValue(expected), FormatValue(actual));
+}
+
+void Diff::ExpectEq(const std::string& series, const std::string& coordinate,
+                    std::int64_t expected, std::int64_t actual) {
+  if (expected == actual) return;
+  Record(series, coordinate, FormatValue(expected), FormatValue(actual));
+}
+
+void Diff::ExpectEq(const std::string& series, const std::string& coordinate,
+                    std::uint64_t expected, std::uint64_t actual) {
+  if (expected == actual) return;
+  Record(series, coordinate, FormatValue(expected), FormatValue(actual));
+}
+
+void Diff::ExpectEq(const std::string& series, const std::string& coordinate,
+                    const std::string& expected, const std::string& actual) {
+  if (expected == actual) return;
+  Record(series, coordinate, expected, actual);
+}
+
+void Diff::ExpectNear(const std::string& series, const std::string& coordinate,
+                      double expected, double actual, double tol) {
+  if (std::abs(actual - expected) <= tol) return;  // false for NaN operands
+  Record(series, coordinate,
+         FormatValue(expected) + " (tol " + FormatValue(tol) + ")",
+         FormatValue(actual));
+}
+
+}  // namespace ipscope::check

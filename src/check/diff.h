@@ -1,0 +1,77 @@
+// check::Diff — structural comparison of optimized vs. reference outputs.
+//
+// A Diff accumulates scalar comparisons for one sweep case (one world /
+// fault schedule / thread count). Every mismatch is recorded as a
+// Divergence carrying full coordinates: which case, which series, which
+// element, expected (reference) and actual (optimized) values — enough to
+// reproduce the failure with no further digging. The first divergences are
+// kept verbatim (capped, so a systematic break does not flood the report);
+// every mismatch still counts toward `mismatches()` and the global
+// `check.diffs_total` counter.
+//
+// Comparison semantics are exact, not tolerance-based: the optimized
+// pipeline promises bit-identical results to a serial scan (see
+// par::ParallelReduce), so the only legitimate double difference is *no*
+// difference. The one wrinkle is NaN: NaN != NaN would turn an agreed-upon
+// "undefined" into a divergence, so two NaNs compare equal here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipscope::check {
+
+struct Divergence {
+  std::string case_name;   // e.g. "seed=11 fault=drop-days=2 threads=4"
+  std::string series;      // e.g. "churn.up_pct"
+  std::string coordinate;  // e.g. "pair=3"
+  std::string expected;    // reference (oracle) value
+  std::string actual;      // optimized (pipeline) value
+};
+
+// Round-trippable text form of a double for divergence reports: %.17g
+// distinguishes any two distinct doubles, so "expected vs actual" never
+// prints two equal-looking numbers.
+std::string FormatValue(double v);
+std::string FormatValue(std::int64_t v);
+std::string FormatValue(std::uint64_t v);
+
+class Diff {
+ public:
+  // Divergences beyond this many are counted but not stored.
+  static constexpr std::size_t kMaxStored = 16;
+
+  explicit Diff(std::string case_name);
+
+  // Exact comparisons; `expected` is always the reference side. The double
+  // overload treats two NaNs as equal (see header comment).
+  void ExpectEq(const std::string& series, const std::string& coordinate,
+                double expected, double actual);
+  void ExpectEq(const std::string& series, const std::string& coordinate,
+                std::int64_t expected, std::int64_t actual);
+  void ExpectEq(const std::string& series, const std::string& coordinate,
+                std::uint64_t expected, std::uint64_t actual);
+  void ExpectEq(const std::string& series, const std::string& coordinate,
+                const std::string& expected, const std::string& actual);
+
+  // |actual - expected| <= tol, for the one genuinely statistical check
+  // (capture–recapture vs. true population). NaN on either side diverges.
+  void ExpectNear(const std::string& series, const std::string& coordinate,
+                  double expected, double actual, double tol);
+
+  bool ok() const { return mismatches_ == 0; }
+  std::uint64_t mismatches() const { return mismatches_; }
+  const std::string& case_name() const { return case_name_; }
+  const std::vector<Divergence>& divergences() const { return divergences_; }
+
+ private:
+  void Record(const std::string& series, const std::string& coordinate,
+              std::string expected, std::string actual);
+
+  std::string case_name_;
+  std::uint64_t mismatches_ = 0;
+  std::vector<Divergence> divergences_;
+};
+
+}  // namespace ipscope::check

@@ -1,0 +1,61 @@
+// check sweep — differential cases: optimized pipeline vs. check::reference.
+//
+// One CaseSpec describes one randomized world: simulation seed, world size,
+// thread count, and an optional fault::Schedule spec applied to the store
+// before analysis (so both sides see the same coverage gaps). RunCase
+// builds the store once, runs every optimized analysis and its oracle
+// counterpart, and returns the Diff. RunSweep drives a list of cases and
+// aggregates.
+//
+// The comparisons are exact (see diff.h); the single tolerance check is
+// the capture–recapture estimate against the simulator's true active
+// population, which is statistical by nature.
+//
+// `perturb` exists so the harness can prove it would catch a real bug: it
+// flips one activity bit on the copy of the store handed to the optimized
+// side only, which must surface as divergences. A sweep with perturbation
+// that reports zero divergences is itself a harness failure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "check/diff.h"
+
+namespace ipscope::check {
+
+struct CaseSpec {
+  std::uint64_t seed = 1;
+  int blocks = 300;     // sim::WorldConfig::target_client_blocks
+  int threads = 1;      // shared-pool size for the optimized side
+  std::string fault;    // fault::Schedule spec text; "" = fully covered
+  int window_days = 7;
+  int month_days = 28;
+  // Per-group churn filter, scaled down from the paper's 1000 because the
+  // sweep worlds are small.
+  std::uint64_t group_min_ips = 64;
+  bool perturb = false;
+
+  std::string Name() const;
+};
+
+// Runs one differential case; increments check.cases_run. Throws
+// std::invalid_argument on an unparseable fault spec.
+Diff RunCase(const CaseSpec& spec);
+
+struct SweepResult {
+  std::uint64_t cases = 0;
+  std::uint64_t mismatches = 0;
+  std::vector<Divergence> divergences;  // capped per case; see Diff
+};
+
+SweepResult RunSweep(std::span<const CaseSpec> specs);
+
+// The default sweep matrix: `seeds` x {1, `max_threads`} x {no fault,
+// "drop-days=2"}.
+std::vector<CaseSpec> DefaultSweep(std::span<const std::uint64_t> seeds,
+                                   int blocks, int max_threads);
+
+}  // namespace ipscope::check

@@ -19,6 +19,8 @@
 #include "activity/pattern.h"
 #include "cdn/observatory.h"
 #include "cdn/rawlog.h"
+#include "check/golden.h"
+#include "check/sweep.h"
 #include "fault/injector.h"
 #include "fault/schedule.h"
 #include "io/store_io.h"
@@ -74,6 +76,17 @@ commands:
       the grammar; default "drop-days=2,truncate-store=0.6,
       drop-snapshots=1") and print a robustness scorecard. Exits 0 iff
       every scorecard check passes.
+  check [--goldens DIR] [--update-goldens] [--blocks N] [--threads-max N]
+        [--perturb flip-bit]
+      Differential correctness sweep: re-derives every figure series with
+      the naive check::reference oracles and compares the optimized
+      pipeline against them exactly, across seeds x thread counts x fault
+      schedules, then verifies the committed golden snapshots in DIR
+      (default tests/golden). --update-goldens rewrites the snapshots and
+      manifest instead. --perturb flip-bit flips one activity bit on the
+      optimized side of the first case to prove the harness detects it
+      (the run then exits non-zero by design). Exits 0 iff no divergence
+      and no golden issue.
   help
       This message.
 
@@ -796,6 +809,73 @@ int CmdChaos(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   return all_ok ? 0 : 1;
 }
 
+int CmdCheck(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
+  std::string goldens_dir = cmd.Flag("goldens").value_or("tests/golden");
+  check::GoldenConfig gconfig;
+
+  if (cmd.Flag("update-goldens")) {
+    check::WriteGoldens(goldens_dir, gconfig);
+    out << "check: wrote golden snapshots (seed " << gconfig.seed << ", "
+        << gconfig.blocks << " client blocks) to " << goldens_dir << "\n";
+    return 0;
+  }
+
+  std::string perturb = cmd.Flag("perturb").value_or("");
+  if (!perturb.empty() && perturb != "flip-bit") {
+    err << "check: unknown --perturb mode '" << perturb
+        << "' (supported: flip-bit)\n";
+    return 2;
+  }
+
+  const std::uint64_t seeds[] = {11, 23, 47};
+  std::vector<check::CaseSpec> specs = check::DefaultSweep(
+      seeds, cmd.IntFlag("blocks", 300), cmd.IntFlag("threads-max", 4));
+  if (perturb == "flip-bit") specs.front().perturb = true;
+
+  report::Table card({"case", "status", "diffs"});
+  std::uint64_t total_mismatches = 0;
+  std::vector<check::Divergence> divergences;
+  for (const check::CaseSpec& spec : specs) {
+    check::Diff diff = check::RunCase(spec);
+    total_mismatches += diff.mismatches();
+    for (const check::Divergence& d : diff.divergences()) {
+      divergences.push_back(d);
+    }
+    card.AddRow({spec.Name(), diff.ok() ? "PASS" : "FAIL",
+                 std::to_string(diff.mismatches())});
+  }
+  card.Print(out);
+
+  if (!divergences.empty()) {
+    out << "\nfirst divergences (optimized vs reference):\n";
+    for (const check::Divergence& d : divergences) {
+      out << "  " << d.series << " [" << d.coordinate
+          << "]: reference=" << d.expected << " optimized=" << d.actual
+          << "  (" << d.case_name << ")\n";
+    }
+  }
+
+  std::vector<check::GoldenIssue> issues =
+      check::VerifyGoldens(goldens_dir, gconfig);
+  out << "\ngolden snapshots (" << goldens_dir << "): "
+      << (issues.empty() ? "clean" : "ISSUES") << "\n";
+  for (const check::GoldenIssue& issue : issues) {
+    out << "  " << check::GoldenIssueKindName(issue.kind) << ": "
+        << issue.file << " — " << issue.detail << "\n";
+  }
+
+  auto& registry = obs::GlobalRegistry();
+  out << "\ncheck: " << registry.GetCounter("check.cases_run").value()
+      << " cases, " << registry.GetCounter("check.diffs_total").value()
+      << " diffs, "
+      << registry.GetCounter("check.golden_files_checked").value()
+      << " golden files checked\n";
+
+  bool ok = total_mismatches == 0 && issues.empty();
+  out << "check: " << (ok ? "PASS" : "FAIL") << "\n";
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 std::optional<std::string> CommandLine::Flag(const std::string& name) const {
@@ -876,6 +956,7 @@ int Dispatch(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   if (cmd.command == "describe") return CmdDescribe(cmd, out, err);
   if (cmd.command == "profile") return CmdProfile(cmd, out, err);
   if (cmd.command == "chaos") return CmdChaos(cmd, out, err);
+  if (cmd.command == "check") return CmdCheck(cmd, out, err);
   if (cmd.command == "help" || cmd.command == "--help") {
     out << kUsage;
     return 0;

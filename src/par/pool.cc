@@ -1,6 +1,8 @@
 #include "par/pool.h"
 
 #include <algorithm>
+#include <charconv>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 
@@ -31,11 +33,36 @@ int HardwareThreads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
+std::optional<int> ParseThreadsEnv(std::string_view text, std::string* error) {
+  // Whole-string checked parse (PR 1's policy for CLI flags, applied to the
+  // environment too): no leading whitespace, no trailing junk, no silent
+  // truncation of "banana" to 0 or "-3" to a fallback.
+  int value = 0;
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), last, value);
+  if (text.empty() || ec == std::errc::invalid_argument || ptr != last) {
+    if (error != nullptr) *error = "not a number";
+    return std::nullopt;
+  }
+  if (ec == std::errc::result_out_of_range || value < 1 ||
+      value > kMaxThreadsEnv) {
+    if (error != nullptr) {
+      *error = "out of range [1, " + std::to_string(kMaxThreadsEnv) + "]";
+    }
+    return std::nullopt;
+  }
+  return value;
+}
+
 int DefaultThreads() {
   static const int threads = [] {
     if (const char* env = std::getenv("IPSCOPE_THREADS")) {
-      int n = std::atoi(env);
-      if (n > 0) return n;
+      std::string error;
+      if (auto n = ParseThreadsEnv(env, &error)) return *n;
+      std::fprintf(stderr,
+                   "ipscope: ignoring IPSCOPE_THREADS='%s' (%s); using %d "
+                   "hardware threads\n",
+                   env, error.c_str(), HardwareThreads());
     }
     return HardwareThreads();
   }();

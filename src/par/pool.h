@@ -40,6 +40,9 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -48,8 +51,19 @@ namespace ipscope::par {
 // std::thread::hardware_concurrency(), clamped to at least 1.
 int HardwareThreads();
 
-// Pool size for GlobalPool(): $IPSCOPE_THREADS when set to a positive
-// integer, HardwareThreads() otherwise. Read once per process.
+// Checked parse of an $IPSCOPE_THREADS value: the whole string must be a
+// base-10 integer in [1, kMaxThreadsEnv]. On failure returns nullopt and,
+// when `error` is non-null, describes the problem ("not a number",
+// "out of range [1, 4096]"). Exposed for tests; DefaultThreads() is the
+// consumer.
+inline constexpr int kMaxThreadsEnv = 4096;
+std::optional<int> ParseThreadsEnv(std::string_view text,
+                                   std::string* error = nullptr);
+
+// Pool size for GlobalPool(): $IPSCOPE_THREADS when set to a valid positive
+// integer, HardwareThreads() otherwise. A malformed or out-of-range value
+// is ignored with a one-line stderr warning (never a silent fallback).
+// Read once per process.
 int DefaultThreads();
 
 // How [first, last) splits into chunks. The decomposition depends only on

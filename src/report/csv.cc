@@ -1,6 +1,7 @@
 #include "report/csv.h"
 
 #include <ostream>
+#include <stdexcept>
 
 namespace ipscope::report {
 
@@ -10,7 +11,9 @@ CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> headers)
 }
 
 std::string CsvWriter::Escape(const std::string& cell) {
-  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  // '\r' must trigger quoting too: an unquoted bare CR splits the record on
+  // CRLF-normalizing readers (RFC 4180 treats CR as part of the line break).
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
   std::string out = "\"";
   for (char c : cell) {
     if (c == '"') out += "\"\"";
@@ -21,6 +24,11 @@ std::string CsvWriter::Escape(const std::string& cell) {
 }
 
 void CsvWriter::AddRow(const std::vector<std::string>& cells) {
+  if (cells.size() > columns_) {
+    throw std::invalid_argument(
+        "CsvWriter::AddRow: " + std::to_string(cells.size()) +
+        " cells for a " + std::to_string(columns_) + "-column header");
+  }
   for (std::size_t i = 0; i < columns_; ++i) {
     if (i > 0) os_ << ',';
     if (i < cells.size()) os_ << Escape(cells[i]);

@@ -1,4 +1,10 @@
 // Minimal CSV emission for figure series (one file or stream per figure).
+//
+// AddRow enforces the header width: a row with more cells than the header
+// throws std::invalid_argument (silently dropping data would corrupt the
+// exported figure series); a narrower row is padded with empty cells, like
+// report::Table. Cells containing commas, quotes, CR, or LF are quoted per
+// RFC 4180.
 #pragma once
 
 #include <iosfwd>
@@ -11,6 +17,7 @@ class CsvWriter {
  public:
   CsvWriter(std::ostream& os, std::vector<std::string> headers);
 
+  // Throws std::invalid_argument if cells.size() exceeds the header width.
   void AddRow(const std::vector<std::string>& cells);
 
  private:

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace ipscope::stats {
 
 double QuantileSorted(std::span<const double> sorted, double q) {
-  if (sorted.empty()) return 0.0;
+  // NaN, not 0: an empty sample has no quantile, and 0.0 is a legitimate
+  // value for every series this project computes (churn percentages, STU
+  // deltas). Callers that want a sentinel must check for emptiness.
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
   if (q <= 0) return sorted.front();
   if (q >= 1) return sorted.back();
   double pos = q * static_cast<double>(sorted.size() - 1);
@@ -26,7 +30,7 @@ std::vector<double> Quantiles(std::vector<double> values,
 }
 
 double Median(std::vector<double> values) {
-  if (values.empty()) return 0.0;
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
   std::sort(values.begin(), values.end());
   return QuantileSorted(values, 0.5);
 }

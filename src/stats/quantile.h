@@ -10,14 +10,17 @@
 
 namespace ipscope::stats {
 
-// Quantile q in [0,1] of `sorted` (must be ascending, non-empty).
+// Quantile q in [0,1] of `sorted` (must be ascending). An empty input has
+// no quantile and returns NaN — 0.0 would be indistinguishable from a
+// genuine zero quantile, which several analyses produce legitimately.
 double QuantileSorted(std::span<const double> sorted, double q);
 
 // Convenience: copies, sorts, and evaluates several quantiles at once.
+// Each entry is NaN when `values` is empty.
 std::vector<double> Quantiles(std::vector<double> values,
                               std::span<const double> qs);
 
-// Median convenience wrapper (returns 0 for an empty input).
+// Median convenience wrapper (NaN for an empty input, like QuantileSorted).
 double Median(std::vector<double> values);
 
 // Empirical CDF evaluated at each sample: returns sorted (x, F(x)) pairs

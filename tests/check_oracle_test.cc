@@ -1,0 +1,203 @@
+// Tests for check::reference (the naive oracles), check::Diff, and the
+// differential sweep itself.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "activity/store.h"
+#include "check/diff.h"
+#include "check/reference.h"
+#include "check/sweep.h"
+#include "obs/registry.h"
+#include "stats/capture_recapture.h"
+
+namespace ipscope {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(Diff, RecordsFullCoordinatesOnMismatch) {
+  check::Diff diff{"case-x"};
+  diff.ExpectEq("series-a", "day=3", std::int64_t{5}, std::int64_t{5});
+  EXPECT_TRUE(diff.ok());
+  diff.ExpectEq("series-a", "day=4", std::int64_t{5}, std::int64_t{6});
+  ASSERT_EQ(diff.mismatches(), 1u);
+  ASSERT_EQ(diff.divergences().size(), 1u);
+  const check::Divergence& d = diff.divergences()[0];
+  EXPECT_EQ(d.case_name, "case-x");
+  EXPECT_EQ(d.series, "series-a");
+  EXPECT_EQ(d.coordinate, "day=4");
+  EXPECT_EQ(d.expected, "5");
+  EXPECT_EQ(d.actual, "6");
+}
+
+TEST(Diff, NanEqualsNan) {
+  check::Diff diff{"nan"};
+  diff.ExpectEq("s", "c", kNaN, kNaN);
+  EXPECT_TRUE(diff.ok());
+  diff.ExpectEq("s", "c", kNaN, 0.0);
+  EXPECT_EQ(diff.mismatches(), 1u);
+  diff.ExpectEq("s", "c", 0.0, kNaN);
+  EXPECT_EQ(diff.mismatches(), 2u);
+}
+
+TEST(Diff, StoredDivergencesAreCappedButAllCounted) {
+  check::Diff diff{"cap"};
+  for (std::uint64_t i = 0; i < check::Diff::kMaxStored + 10; ++i) {
+    diff.ExpectEq("s", "i=" + std::to_string(i), i, i + 1);
+  }
+  EXPECT_EQ(diff.mismatches(), check::Diff::kMaxStored + 10);
+  EXPECT_EQ(diff.divergences().size(), check::Diff::kMaxStored);
+}
+
+TEST(Diff, ExpectNearTolerance) {
+  check::Diff diff{"near"};
+  diff.ExpectNear("s", "c", 100.0, 104.9, 5.0);
+  EXPECT_TRUE(diff.ok());
+  diff.ExpectNear("s", "c", 100.0, 106.0, 5.0);
+  EXPECT_EQ(diff.mismatches(), 1u);
+  diff.ExpectNear("s", "c", 100.0, kNaN, 5.0);  // NaN always diverges here
+  EXPECT_EQ(diff.mismatches(), 2u);
+}
+
+TEST(Diff, MismatchIncrementsGlobalCounter) {
+  auto& counter = obs::GlobalRegistry().GetCounter("check.diffs_total");
+  std::uint64_t before = counter.value();
+  check::Diff diff{"ctr"};
+  diff.ExpectEq("s", "c", std::uint64_t{1}, std::uint64_t{2});
+  EXPECT_EQ(counter.value(), before + 1);
+}
+
+TEST(RefChapman, MatchesClosedFormAndOptimized) {
+  EXPECT_DOUBLE_EQ(check::RefChapman(0, 0, 0), 0.0);
+  // (10+1)(8+1)/(4+1) - 1 = 99/5 - 1 = 18.8
+  EXPECT_DOUBLE_EQ(check::RefChapman(10, 8, 4), 18.8);
+  EXPECT_DOUBLE_EQ(check::RefChapman(10, 8, 4),
+                   stats::Chapman(10, 8, 4).population);
+}
+
+// A tiny hand-checkable store: 1 block, 4 days.
+//   day 0: hosts {1, 2}
+//   day 1: hosts {2, 3}
+//   day 2: hosts {}
+//   day 3: hosts {3}
+activity::ActivityStore TinyStore() {
+  activity::ActivityStore store{4};
+  activity::ActivityMatrix& m = store.GetOrCreate(0x0A0A0A);
+  m.Set(0, 1);
+  m.Set(0, 2);
+  m.Set(1, 2);
+  m.Set(1, 3);
+  m.Set(3, 3);
+  return store;
+}
+
+TEST(Reference, DailyActiveCountsByHand) {
+  auto counts = check::RefDailyActiveCounts(TinyStore());
+  EXPECT_EQ(counts, (std::vector<std::int64_t>{2, 2, 0, 1}));
+}
+
+TEST(Reference, DailyEventsByHandWithGap) {
+  activity::ActivityStore store = TinyStore();
+  check::RefDailyEvents events = check::RefDailyEventSeries(store);
+  // ups: d0->d1 host 3 appears; d1->d2 none; d2->d3 host 3 appears.
+  EXPECT_EQ(events.up, (std::vector<std::int64_t>{1, 0, 1}));
+  // downs: d0->d1 host 1; d1->d2 hosts 2,3; d2->d3 none.
+  EXPECT_EQ(events.down, (std::vector<std::int64_t>{1, 2, 0}));
+
+  store.SetDayCovered(2, false);
+  events = check::RefDailyEventSeries(store);
+  EXPECT_EQ(events.active, (std::vector<std::int64_t>{2, 2, -1, 1}));
+  EXPECT_EQ(events.up, (std::vector<std::int64_t>{1, -1, -1}));
+  EXPECT_EQ(events.down, (std::vector<std::int64_t>{1, -1, -1}));
+}
+
+TEST(Reference, WindowChurnByHand) {
+  // windows of 2 days: W0 = {1,2,3}, W1 = {3}.
+  check::RefChurn churn = check::RefWindowChurn(TinyStore(), 2);
+  ASSERT_EQ(churn.pairs, (std::vector<int>{0}));
+  EXPECT_DOUBLE_EQ(churn.up_pct[0], 0.0);             // W1 \ W0 = {}
+  EXPECT_DOUBLE_EQ(churn.down_pct[0], 200.0 / 3.0);   // {1,2} of 3
+}
+
+TEST(Reference, EventSizeMasksByHand) {
+  // Up events between 2-day windows: none. Down events: hosts 1, 2 with
+  // reference W1 = {3}. Host 2 (addr ...0102 vs ref ...0103) first isolates
+  // at /32; host 1 (...0101) differs from 3 in bit 1 -> /31.
+  check::RefEventSizeHistogram down =
+      check::RefEventSizes(TinyStore(), 0, 2, 2, 4, /*up=*/false);
+  EXPECT_EQ(down.total, 2u);
+  EXPECT_EQ(down.by_mask[31], 1u);
+  EXPECT_EQ(down.by_mask[32], 1u);
+  check::RefEventSizeHistogram up =
+      check::RefEventSizes(TinyStore(), 0, 2, 2, 4, /*up=*/true);
+  EXPECT_EQ(up.total, 0u);
+}
+
+TEST(Reference, ActiveAddressesSortedAndComplete) {
+  auto addrs = check::RefActiveAddresses(TinyStore(), 0, 4);
+  std::uint32_t base = 0x0A0A0Au << 8;
+  EXPECT_EQ(addrs,
+            (std::vector<std::uint32_t>{base | 1, base | 2, base | 3}));
+}
+
+TEST(Sweep, CleanCaseHasNoDivergence) {
+  check::CaseSpec spec;
+  spec.seed = 5;
+  spec.blocks = 60;
+  spec.threads = 2;
+  check::Diff diff = check::RunCase(spec);
+  std::string first = diff.divergences().empty()
+                          ? std::string()
+                          : diff.divergences()[0].series + " " +
+                                diff.divergences()[0].coordinate;
+  EXPECT_TRUE(diff.ok()) << first;
+}
+
+TEST(Sweep, GappedCaseHasNoDivergence) {
+  check::CaseSpec spec;
+  spec.seed = 7;
+  spec.blocks = 60;
+  spec.threads = 3;
+  spec.fault = "drop-days=2";
+  check::Diff diff = check::RunCase(spec);
+  EXPECT_TRUE(diff.ok());
+}
+
+TEST(Sweep, PerturbedCaseDiverges) {
+  check::CaseSpec spec;
+  spec.seed = 5;
+  spec.blocks = 60;
+  spec.threads = 1;
+  spec.perturb = true;
+  check::Diff diff = check::RunCase(spec);
+  EXPECT_FALSE(diff.ok());
+  // The flipped bit must surface with usable coordinates.
+  ASSERT_FALSE(diff.divergences().empty());
+  EXPECT_FALSE(diff.divergences()[0].series.empty());
+  EXPECT_FALSE(diff.divergences()[0].coordinate.empty());
+  EXPECT_NE(diff.divergences()[0].expected, diff.divergences()[0].actual);
+}
+
+TEST(Sweep, CasesRunCounterAdvances) {
+  auto& counter = obs::GlobalRegistry().GetCounter("check.cases_run");
+  std::uint64_t before = counter.value();
+  check::CaseSpec spec;
+  spec.seed = 3;
+  spec.blocks = 40;
+  check::RunCase(spec);
+  EXPECT_EQ(counter.value(), before + 1);
+}
+
+TEST(Sweep, DefaultSweepShape) {
+  const std::uint64_t seeds[] = {11, 23};
+  auto specs = check::DefaultSweep(seeds, 100, 4);
+  EXPECT_EQ(specs.size(), 8u);  // 2 seeds x 2 faults x 2 thread counts
+  auto serial = check::DefaultSweep(seeds, 100, 1);
+  EXPECT_EQ(serial.size(), 4u);  // threads axis collapses to {1}
+  for (const check::CaseSpec& s : serial) EXPECT_EQ(s.threads, 1);
+}
+
+}  // namespace
+}  // namespace ipscope

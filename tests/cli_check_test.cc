@@ -1,0 +1,110 @@
+// End-to-end tests of `ipscope_cli check` — the differential oracle sweep
+// plus golden-snapshot verification.
+#include "cli/commands.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ipscope::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Small worlds keep the sweep to a couple of seconds across all cases.
+constexpr const char* kBlocks = "60";
+
+class CliCheck : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ipscope_cli_check_" + std::string(::testing::UnitTest::
+                                                   GetInstance()
+                                                       ->current_test_info()
+                                                       ->name()));
+    fs::remove_all(dir_);
+    std::ostringstream out, err;
+    ASSERT_EQ(Main({"check", "--update-goldens", "--goldens", dir_.string()},
+                   out, err),
+              0)
+        << err.str();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(CliCheck, CleanTreePassesSweepAndGoldens) {
+  std::ostringstream out, err;
+  int rc = Main({"check", "--blocks", kBlocks, "--threads-max", "2",
+                 "--goldens", dir_.string()},
+                out, err);
+  EXPECT_EQ(rc, 0) << out.str() << err.str();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("fault=none"), std::string::npos);
+  EXPECT_NE(text.find("fault=drop-days=2"), std::string::npos);
+  EXPECT_NE(text.find("threads=1"), std::string::npos);
+  EXPECT_NE(text.find("threads=2"), std::string::npos);
+  EXPECT_NE(text.find("golden snapshots"), std::string::npos);
+  EXPECT_NE(text.find("check: PASS"), std::string::npos);
+  EXPECT_EQ(text.find("FAIL"), std::string::npos);
+}
+
+TEST_F(CliCheck, SeededMutationExitsNonZeroWithCoordinates) {
+  std::ostringstream out, err;
+  int rc = Main({"check", "--blocks", kBlocks, "--threads-max", "1",
+                 "--goldens", dir_.string(), "--perturb", "flip-bit"},
+                out, err);
+  EXPECT_EQ(rc, 1) << out.str();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("perturb=flip-bit"), std::string::npos);
+  EXPECT_NE(text.find("reference="), std::string::npos);
+  EXPECT_NE(text.find("optimized="), std::string::npos);
+  EXPECT_NE(text.find("check: FAIL"), std::string::npos);
+}
+
+TEST_F(CliCheck, CorruptedGoldenExitsNonZero) {
+  // Perturb one digit of a committed churn value; the CRC manifest must
+  // flag the file as stale and the command must fail.
+  fs::path churn = dir_ / "churn.csv";
+  std::string contents;
+  {
+    std::ifstream is{churn, std::ios::binary};
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    contents = buf.str();
+  }
+  auto digit = contents.find_first_of("0123456789", contents.find('\n'));
+  ASSERT_NE(digit, std::string::npos);
+  contents[digit] = contents[digit] == '9' ? '8' : contents[digit] + 1;
+  {
+    std::ofstream os{churn, std::ios::binary};
+    os << contents;
+  }
+  std::ostringstream out, err;
+  int rc = Main({"check", "--blocks", kBlocks, "--threads-max", "1",
+                 "--goldens", dir_.string()},
+                out, err);
+  EXPECT_EQ(rc, 1) << out.str();
+  EXPECT_NE(out.str().find("stale-golden"), std::string::npos);
+  EXPECT_NE(out.str().find("churn.csv"), std::string::npos);
+}
+
+TEST_F(CliCheck, UnknownPerturbModeIsFlagError) {
+  std::ostringstream out, err;
+  int rc = Main({"check", "--perturb", "banana"}, out, err);
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err.str().find("unknown --perturb"), std::string::npos);
+}
+
+TEST_F(CliCheck, UsageMentionsCheck) {
+  std::ostringstream out, err;
+  EXPECT_EQ(Main({"help"}, out, err), 0);
+  EXPECT_NE(out.str().find("check ["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipscope::cli

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 namespace ipscope::net {
 namespace {
 
@@ -131,6 +136,101 @@ TEST(Prefix, CoverRangePropertyExactDisjointCover) {
     EXPECT_EQ(cursor, static_cast<std::uint64_t>(hi) + 1);
     // Minimality bound: a range never needs more than 62 prefixes.
     EXPECT_LE(cover.size(), 62u);
+  }
+}
+
+// Independent minimal aligned cover of [lo, hi], by recursive binary-trie
+// descent: emit a node iff it lies entirely inside the range, otherwise
+// split. The result is the unique minimal disjoint cover by aligned
+// prefixes, computed with none of CoverRange's bit tricks — the oracle the
+// property test below compares against.
+void MinimalCoverRec(std::uint64_t node_first, std::uint64_t node_last,
+                     std::uint64_t lo, std::uint64_t hi, int len,
+                     std::vector<std::pair<std::uint64_t, int>>* out) {
+  if (node_last < lo || node_first > hi) return;
+  if (node_first >= lo && node_last <= hi) {
+    out->emplace_back(node_first, len);
+    return;
+  }
+  std::uint64_t mid = node_first + (node_last - node_first) / 2;
+  MinimalCoverRec(node_first, mid, lo, hi, len + 1, out);
+  MinimalCoverRec(mid + 1, node_last, lo, hi, len + 1, out);
+}
+
+std::vector<std::pair<std::uint64_t, int>> MinimalCover(std::uint32_t lo,
+                                                        std::uint32_t hi) {
+  std::vector<std::pair<std::uint64_t, int>> out;
+  MinimalCoverRec(0, 0xFFFFFFFFull, lo, hi, 0, &out);
+  return out;
+}
+
+TEST(Prefix, CoverRangePropertyAlignedAndCountMinimal) {
+  // CoverRange must return exactly the unique minimal cover (same prefixes,
+  // same ascending order), every prefix aligned to its own size. Includes
+  // the 0.0.0.0 edge, the 255.255.255.255 edge, and the full range.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges = {
+      {0u, 0u},
+      {0u, 1u},
+      {0u, 0xFFFFFFFFu},
+      {0u, 0x00FFFFFFu},
+      {1u, 0xFFFFFFFFu},
+      {0xFFFFFFFFu, 0xFFFFFFFFu},
+      {0xFFFFFF00u, 0xFFFFFFFFu},
+      {0x0A000001u, 0x0A000006u},
+  };
+  std::uint64_t state = 2016;
+  for (int round = 0; round < 300; ++round) {
+    auto r1 = static_cast<std::uint32_t>(
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL);
+    auto r2 = static_cast<std::uint32_t>(
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL);
+    ranges.emplace_back(std::min(r1, r2), std::max(r1, r2));
+  }
+  for (auto [lo, hi] : ranges) {
+    auto cover = CoverRange(IPv4Addr{lo}, IPv4Addr{hi});
+    auto minimal = MinimalCover(lo, hi);
+    ASSERT_EQ(cover.size(), minimal.size()) << lo << "-" << hi;
+    for (std::size_t i = 0; i < cover.size(); ++i) {
+      EXPECT_EQ(cover[i].first().value(), minimal[i].first);
+      EXPECT_EQ(cover[i].length(), minimal[i].second);
+      // Alignment: the network address is a multiple of the prefix size.
+      if (cover[i].length() < 32) {
+        EXPECT_EQ(cover[i].first().value() % cover[i].size(), 0u);
+      }
+    }
+  }
+}
+
+TEST(Prefix, ParseRejectionCorpus) {
+  // Malformed inputs that a permissive parser (atoi-style) would wave
+  // through; Parse must reject every one.
+  const char* corpus[] = {
+      "",
+      " ",
+      "1.2.3.4",
+      "1.2.3/24",
+      "1.2.3.4.5/8",
+      "256.0.0.0/8",
+      "300.0.0.0/8",
+      "-1.2.3.4/8",
+      "+1.2.3.4/8",
+      "1.2.3.4/",
+      "1.2.3.4//8",
+      "1.2.3.4/+8",
+      "1.2.3.4/-0",
+      "1.2.3.4/33",
+      "1.2.3.4/999",
+      "1.2.3.4/0x8",
+      "1.2.3.4/ 8",
+      " 1.2.3.0/24",
+      "1.2.3.0/24 ",
+      "1.2.3.0/24\n",
+      "a.b.c.d/8",
+      "1..2.3/8",
+      "banana",
+  };
+  for (const char* text : corpus) {
+    EXPECT_FALSE(Prefix::Parse(text).has_value()) << "'" << text << "'";
   }
 }
 

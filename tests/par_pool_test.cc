@@ -228,5 +228,35 @@ TEST(ParReduce, FloatingPointBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ParseThreadsEnv, AcceptsWholeNumbersInRange) {
+  std::string error;
+  EXPECT_EQ(ParseThreadsEnv("1", &error), 1);
+  EXPECT_EQ(ParseThreadsEnv("8", &error), 8);
+  EXPECT_EQ(ParseThreadsEnv("4096", &error), kMaxThreadsEnv);
+}
+
+TEST(ParseThreadsEnv, RejectsNonNumbers) {
+  for (const char* text :
+       {"", "banana", "3x", "x3", " 3", "3 ", "1.5", "0x4", "++2"}) {
+    std::string error;
+    EXPECT_FALSE(ParseThreadsEnv(text, &error).has_value()) << text;
+    EXPECT_NE(error.find("not a number"), std::string::npos) << text;
+  }
+}
+
+TEST(ParseThreadsEnv, RejectsOutOfRange) {
+  for (const char* text :
+       {"0", "-3", "4097", "99999999999999999999999999"}) {
+    std::string error;
+    EXPECT_FALSE(ParseThreadsEnv(text, &error).has_value()) << text;
+    EXPECT_NE(error.find("out of range"), std::string::npos) << text;
+  }
+}
+
+TEST(ParseThreadsEnv, ErrorPointerIsOptional) {
+  EXPECT_FALSE(ParseThreadsEnv("banana").has_value());
+  EXPECT_EQ(ParseThreadsEnv("2"), 2);
+}
+
 }  // namespace
 }  // namespace ipscope::par

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 
 #include "report/csv.h"
 #include "report/table.h"
@@ -56,6 +57,32 @@ TEST(Csv, EscapesSpecialCharacters) {
   EXPECT_NE(out.find("a,b\n"), std::string::npos);
   EXPECT_NE(out.find("plain,\"with,comma\"\n"), std::string::npos);
   EXPECT_NE(out.find("\"with\"\"quote\",x\n"), std::string::npos);
+}
+
+TEST(Csv, QuotesCarriageReturn) {
+  // A bare \r in a cell corrupts the row structure for strict RFC 4180
+  // readers unless quoted, same as \n.
+  std::ostringstream os;
+  CsvWriter csv(os, {"a", "b"});
+  csv.AddRow({"line\rbreak", "line\nbreak"});
+  std::string out = os.str();
+  EXPECT_NE(out.find("\"line\rbreak\""), std::string::npos);
+  EXPECT_NE(out.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(Csv, OverWideRowThrowsInsteadOfDroppingCells) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"a", "b"});
+  EXPECT_THROW(csv.AddRow({"1", "2", "3"}), std::invalid_argument);
+  // The header must not have been followed by a truncated data row.
+  EXPECT_EQ(os.str(), "a,b\n");
+}
+
+TEST(Csv, NarrowRowIsPadded) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"a", "b", "c"});
+  csv.AddRow({"1"});
+  EXPECT_NE(os.str().find("1,,\n"), std::string::npos);
 }
 
 TEST(TextPlot, ActivityMatrixRendering) {

@@ -82,8 +82,20 @@ TEST(Quantile, LinearInterpolation) {
 TEST(Quantile, MedianOddEven) {
   EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
   EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
-  EXPECT_DOUBLE_EQ(Median({}), 0.0);
   EXPECT_DOUBLE_EQ(Median({7}), 7.0);
+}
+
+// Regression: an empty sample used to report 0.0, indistinguishable from a
+// genuine zero quantile (e.g. a 0% churn median). The contract is now NaN.
+TEST(Quantile, EmptyInputIsNaN) {
+  EXPECT_TRUE(std::isnan(Median({})));
+  EXPECT_TRUE(std::isnan(QuantileSorted(std::vector<double>{}, 0.5)));
+  EXPECT_TRUE(std::isnan(QuantileSorted(std::vector<double>{}, 0.0)));
+  EXPECT_TRUE(std::isnan(QuantileSorted(std::vector<double>{}, 1.0)));
+  auto qs = Quantiles({}, std::vector<double>{0.25, 0.75});
+  ASSERT_EQ(qs.size(), 2u);
+  EXPECT_TRUE(std::isnan(qs[0]));
+  EXPECT_TRUE(std::isnan(qs[1]));
 }
 
 TEST(Quantile, EmpiricalCdf) {
