@@ -54,10 +54,10 @@ inline bool ParseNumber(const char* text, T& out) {
 inline void InstallMetricsDump() {
   static std::once_flag once;
   std::call_once(once, [] {
-    const char* path = std::getenv("IPSCOPE_METRICS_OUT");
-    if (path == nullptr || *path == '\0') return;
+    auto path = obs::EnvString("IPSCOPE_METRICS_OUT");
+    if (!path) return;
     static std::string out_path;
-    out_path = path;
+    out_path = *path;
     std::atexit(+[] {
       try {
         obs::GlobalRegistry().WriteJsonFile(out_path);

@@ -26,6 +26,20 @@ fi
 
 mkdir -p results
 
+# Static-analysis gate: the project-contract linter must (a) prove every
+# rule still fires on the committed corpus (--self-test) and (b) find zero
+# unsuppressed violations in the tree. Either failure exits non-zero and
+# fails the run (set -e). clang-tidy additionally runs inside lint.sh when
+# installed. Findings print as file:line:rule; silence one only with an
+# inline `// lint: <tag>(<justification>)` — see DESIGN.md §4.10.
+echo "== lint gate"
+build/tools/lint/ipscope_lint --self-test --corpus tests/lint_corpus \
+  | tee results/lint_selftest.txt
+build/tools/lint/ipscope_lint --root . \
+  --metrics-out results/lint_metrics.json | tee results/lint.txt
+# clang-tidy pass (skipped with a warning when clang-tidy is absent).
+scripts/lint.sh build >/dev/null
+
 # Correctness gate: the differential sweep re-derives every figure series
 # with the naive check::reference oracles and compares the optimized
 # pipeline exactly (seeds x thread counts x fault schedules), then verifies

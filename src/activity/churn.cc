@@ -309,6 +309,9 @@ std::vector<GroupChurn> ChurnAnalyzer::PerGroupChurn(
             });
       },
       [](GroupMap& acc, GroupMap&& part) {
+        // lint: ordered(merge is elementwise integer addition keyed by
+        // group, so the final map contents are identical for any visit
+        // order; only the key-sorted vector below is observable)
         for (auto& [group, src] : part) {
           auto [it, inserted] = acc.try_emplace(group, std::move(src));
           if (inserted) continue;
@@ -326,6 +329,8 @@ std::vector<GroupChurn> ChurnAnalyzer::PerGroupChurn(
       kBlockGrain);
 
   std::vector<GroupChurn> out;
+  // lint: ordered(each group row is computed independently and out is
+  // sorted by group key before returning, so visit order cannot leak)
   for (auto& [group, acc] : groups) {
     if (acc.total_active < min_active_ips) continue;
     std::vector<double> up_pcts, down_pcts;

@@ -27,9 +27,14 @@ int TruthIndex(const sim::BlockPlan& plan) {
       return 3;
     case sim::PolicyKind::kCgnGateway:
       return 4;
-    default:
-      return -1;
+    case sim::PolicyKind::kUnused:
+    case sim::PolicyKind::kCrawlerBots:
+    case sim::PolicyKind::kServerFarm:
+    case sim::PolicyKind::kRouterInfra:
+    case sim::PolicyKind::kMiddlebox:
+      return -1;  // not part of the Fig 6 ground-truth classes
   }
+  return -1;
 }
 
 // The classifier output we consider "correct" for each truth flavour.
@@ -44,7 +49,7 @@ bool Matches(int truth, activity::BlockPattern pattern) {
       return pattern == activity::BlockPattern::kDynamicLongLease;
     case 4:
       return pattern == activity::BlockPattern::kFullyUtilized;
-    default:
+    default:  // lint: default(switch is over the int truth id, not an enum; -1 marks excluded blocks and any unknown id is factually a mismatch)
       return false;
   }
 }

@@ -21,10 +21,17 @@ constexpr std::int32_t kLateDayFirst = 301, kLateDayLast = 364;
 
 std::vector<std::uint32_t> TopAsns(
     const std::unordered_map<std::uint32_t, std::uint64_t>& counts, int n) {
+  // lint: ordered(the vector is immediately sorted below with a total
+  // order — count desc, ASN asc — so the hash-dependent construction
+  // order cannot reach the result)
   std::vector<std::pair<std::uint32_t, std::uint64_t>> all(counts.begin(),
                                                            counts.end());
+  // Tie-break on the ASN: with count-only ordering, equal counts would
+  // inherit the unordered_map's iteration order and the top-N cut could
+  // differ across standard-library versions.
   std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
-    return a.second > b.second;
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
   });
   std::vector<std::uint32_t> top;
   for (int i = 0; i < n && i < static_cast<int>(all.size()); ++i) {
@@ -102,7 +109,11 @@ Table2Result RunTable2(const activity::ActivityStore& weekly_store,
                        frac(disappear_withdraw, out.disappear_total)};
 
   std::unordered_set<std::uint32_t> volatile_ases;
+  // lint: ordered(set union then .size: the result is the same for any
+  // insertion order)
   for (const auto& [asn, n] : appear_by_as) volatile_ases.insert(asn);
+  // lint: ordered(set union then .size: the result is the same for any
+  // insertion order)
   for (const auto& [asn, n] : disappear_by_as) volatile_ases.insert(asn);
   out.volatile_ases = volatile_ases.size();
 

@@ -88,6 +88,8 @@ VisibilityResult RunVisibility(const sim::World& world,
     flags.first = flags.first || in_cdn;
     flags.second = flags.second || in_icmp;
   }
+  // lint: ordered(the loop only increments commutative integer counters,
+  // one bucket per AS; totals are independent of visit order)
   for (const auto& [asn, flags] : as_seen) {
     if (flags.first && flags.second) {
       ++out.ases.both;

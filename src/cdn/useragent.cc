@@ -33,9 +33,12 @@ std::uint64_t UserAgentSampler::UaPoolSize(const sim::BlockPlan& plan) {
       return 1 + (plan.block_seed % 3);
     case sim::PolicyKind::kServerFarm:
       return p.pool_size;  // one client string per updating server
-    default:
-      return 0;
+    case sim::PolicyKind::kUnused:
+    case sim::PolicyKind::kRouterInfra:
+    case sim::PolicyKind::kMiddlebox:
+      return 0;  // no client devices behind these addresses
   }
+  return 0;
 }
 
 BlockUaSample UserAgentSampler::Sample(const sim::BlockPlan& plan,

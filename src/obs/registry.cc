@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -233,6 +234,15 @@ void Registry::WriteJsonFile(const std::string& path) const {
 Registry& GlobalRegistry() {
   static Registry* registry = new Registry;  // never destroyed: atexit-safe
   return *registry;
+}
+
+std::optional<std::string> EnvString(const char* name) {
+  // lint: getenv(blessed wrapper: EnvString is the single audited getenv
+  // call site for string-valued variables; empty values are normalized to
+  // nullopt so callers cannot mistake them for a configured path)
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return std::string(value);
 }
 
 }  // namespace ipscope::obs

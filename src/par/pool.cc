@@ -56,9 +56,15 @@ std::optional<int> ParseThreadsEnv(std::string_view text, std::string* error) {
 
 int DefaultThreads() {
   static const int threads = [] {
+    // lint: getenv(blessed wrapper: DefaultThreads is the single audited
+    // reader of IPSCOPE_THREADS and feeds it through the checked
+    // ParseThreadsEnv parse below)
     if (const char* env = std::getenv("IPSCOPE_THREADS")) {
       std::string error;
       if (auto n = ParseThreadsEnv(env, &error)) return *n;
+      // lint: io(contract from PR 5: a malformed IPSCOPE_THREADS is never
+      // a silent fallback — this one-line stderr warning is the report,
+      // and obs is not yet initialized this early in process startup)
       std::fprintf(stderr,
                    "ipscope: ignoring IPSCOPE_THREADS='%s' (%s); using %d "
                    "hardware threads\n",

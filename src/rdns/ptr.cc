@@ -39,9 +39,11 @@ Scheme SchemeFor(const sim::BlockPlan& plan) {
       return Scheme::kServer;
     case sim::PolicyKind::kRouterInfra:
       return Scheme::kRouter;
-    default:
-      return Scheme::kNone;
+    case sim::PolicyKind::kUnused:
+    case sim::PolicyKind::kMiddlebox:
+      return Scheme::kNone;  // no PTR naming convention exists for these
   }
+  return Scheme::kNone;
 }
 
 std::string NameFor(Scheme scheme, const sim::BlockPlan& plan,

@@ -61,9 +61,11 @@ double PatternTtlDays(activity::BlockPattern pattern) {
       return 14.0;
     case activity::BlockPattern::kStaticSparse:
       return 45.0;
-    default:
-      return 7.0;
+    case activity::BlockPattern::kInactive:
+    case activity::BlockPattern::kMixed:
+      return 7.0;  // no lease evidence: a neutral one-week listing
   }
+  return 7.0;
 }
 
 ReputationEvaluation EvaluateReputationPolicy(const cdn::Observatory& daily,

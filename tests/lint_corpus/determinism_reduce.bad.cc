@@ -1,0 +1,12 @@
+// lint-corpus-as: src/check/corpus.cc
+// Violation corpus: std::reduce reassociates floating-point sums.
+#include <numeric>
+#include <vector>
+
+namespace corpus {
+
+double Total(const std::vector<double>& xs) {
+  return std::reduce(xs.begin(), xs.end(), 0.0);  // finding
+}
+
+}  // namespace corpus

@@ -1,0 +1,12 @@
+// lint-corpus-as: src/check/corpus.cc
+// Clean twin: std::accumulate folds left-to-right, deterministically.
+#include <numeric>
+#include <vector>
+
+namespace corpus {
+
+double Total(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+}  // namespace corpus

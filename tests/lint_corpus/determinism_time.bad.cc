@@ -1,0 +1,29 @@
+// lint-corpus-as: src/sim/corpus.cc
+// Violation corpus: wall-clock and entropy sources outside src/obs and
+// bench/ make runs unreproducible.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace corpus {
+
+int Roll() {
+  return std::rand() % 6;  // finding: std::rand
+}
+
+unsigned Seed() {
+  std::random_device rd;  // finding: random_device
+  return rd();
+}
+
+long Stamp() {
+  return time(nullptr);  // finding: wall clock
+}
+
+double Elapsed() {
+  auto t0 = std::chrono::steady_clock::now();  // finding: argless now()
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+}  // namespace corpus

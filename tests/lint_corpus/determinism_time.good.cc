@@ -1,0 +1,20 @@
+// lint-corpus-as: src/sim/corpus.cc
+// Clean twin: deterministic seeded PRNG, timestamps threaded through
+// configuration instead of read from the wall clock.
+#include <cstdint>
+
+namespace corpus {
+
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t Next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  }
+};
+
+int Roll(Rng& rng) { return static_cast<int>(rng.Next() % 6); }
+
+long Stamp(long configured_unix_time) { return configured_unix_time; }
+
+}  // namespace corpus

@@ -1,0 +1,30 @@
+// lint-corpus-as: src/analysis/corpus.cc
+// Violation corpus: iterating unordered containers in a result layer.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace corpus {
+
+int SumValues(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  for (const auto& [key, value] : counts) {  // finding: range-for
+    total += key * value;
+  }
+  return total;
+}
+
+int FirstElement(std::unordered_set<int>& seen) {
+  return *seen.begin();  // finding: explicit iterator walk
+}
+
+using AliasMap = std::unordered_map<int, double>;
+
+double SumAlias(AliasMap& m) {
+  double total = 0;
+  for (const auto& [key, value] : m) {  // finding: via alias
+    total += value;
+  }
+  return total;
+}
+
+}  // namespace corpus

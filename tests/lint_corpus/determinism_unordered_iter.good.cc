@@ -1,0 +1,34 @@
+// lint-corpus-as: src/analysis/corpus.cc
+// Clean twin: lookups into unordered containers are fine, iteration over
+// ordered containers is fine, and a justified suppression silences a
+// commutative accumulation.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace corpus {
+
+int Lookup(const std::unordered_map<int, int>& counts, int key) {
+  auto it = counts.find(key);  // lookup, not iteration
+  return it == counts.end() ? 0 : it->second;
+}
+
+int SumOrdered(const std::map<int, int>& sorted_counts) {
+  int total = 0;
+  for (const auto& [key, value] : sorted_counts) {  // std::map: ordered
+    total += key * value;
+  }
+  return total;
+}
+
+int SumSuppressed(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  // lint: ordered(integer addition is commutative, the total is identical
+  // for any visit order)
+  for (const auto& [key, value] : counts) {
+    total += value;
+  }
+  return total;
+}
+
+}  // namespace corpus

@@ -1,0 +1,16 @@
+// lint-corpus-as: src/stats/corpus.cc
+// Violation corpus: stdio writes from library code.
+#include <cstdio>
+#include <iostream>
+
+namespace corpus {
+
+void Report(double value) {
+  printf("value=%f\n", value);  // finding: printf
+}
+
+void Warn(const char* what) {
+  std::cerr << "warning: " << what << "\n";  // finding: std::cerr
+}
+
+}  // namespace corpus

@@ -1,0 +1,18 @@
+// lint-corpus-as: src/stats/corpus.cc
+// Clean twin: library code takes an ostream& from the caller; snprintf
+// into a buffer is formatting, not stream I/O.
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace corpus {
+
+void Report(double value, std::ostream& os) { os << "value=" << value; }
+
+std::string Format(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+}  // namespace corpus

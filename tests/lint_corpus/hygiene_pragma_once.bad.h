@@ -1,0 +1,7 @@
+// lint-corpus-as: src/netbase/corpus.h
+// Violation corpus: a header that opens with code instead of #pragma once.
+#include <cstdint>
+
+namespace corpus {
+using BlockKey = std::uint32_t;
+}  // namespace corpus

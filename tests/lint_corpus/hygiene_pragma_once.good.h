@@ -1,0 +1,9 @@
+// lint-corpus-as: src/netbase/corpus.h
+// Clean twin: comments may precede the guard; code may not.
+#pragma once
+
+#include <cstdint>
+
+namespace corpus {
+using BlockKey = std::uint32_t;
+}  // namespace corpus

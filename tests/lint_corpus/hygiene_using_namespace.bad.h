@@ -1,0 +1,11 @@
+// lint-corpus-as: src/stats/corpus.h
+// Violation corpus: `using namespace` in a header leaks into includers.
+#pragma once
+
+#include <string>
+
+using namespace std;  // finding
+
+namespace corpus {
+inline string Name() { return "corpus"; }
+}  // namespace corpus

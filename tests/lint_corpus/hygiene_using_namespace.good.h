@@ -1,0 +1,10 @@
+// lint-corpus-as: src/stats/corpus.h
+// Clean twin: qualified names; narrow using-declarations are fine.
+#pragma once
+
+#include <string>
+
+namespace corpus {
+using std::string;  // a using-declaration, not a using-directive
+inline string Name() { return "corpus"; }
+}  // namespace corpus

@@ -1,0 +1,17 @@
+// lint-corpus-as: src/analysis/corpus.cc
+// Violation corpus: a suppression with an empty justification suppresses
+// nothing and is itself a finding — the why is mandatory.
+#include <unordered_map>
+
+namespace corpus {
+
+int Sum(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  // lint: ordered()
+  for (const auto& [key, value] : counts) {
+    total += value;
+  }
+  return total;
+}
+
+}  // namespace corpus

@@ -1,0 +1,17 @@
+// lint-corpus-as: src/analysis/corpus.cc
+// Clean twin: the justification says why the contract holds.
+#include <unordered_map>
+
+namespace corpus {
+
+int Sum(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  // lint: ordered(integer addition is commutative, so the total is the
+  // same for any visit order)
+  for (const auto& [key, value] : counts) {
+    total += value;
+  }
+  return total;
+}
+
+}  // namespace corpus

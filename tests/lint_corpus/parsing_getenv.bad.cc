@@ -1,0 +1,13 @@
+// lint-corpus-as: src/io/corpus.cc
+// Violation corpus: raw environment reads scattered through the code.
+#include <cstdlib>
+#include <string>
+
+namespace corpus {
+
+std::string OutputDir() {
+  const char* dir = std::getenv("IPSCOPE_OUT_DIR");  // finding: getenv
+  return dir ? dir : ".";
+}
+
+}  // namespace corpus

@@ -1,0 +1,14 @@
+// lint-corpus-as: src/io/corpus.cc
+// Clean twin: environment reads go through the blessed wrapper.
+#include <optional>
+#include <string>
+
+namespace corpus {
+
+std::optional<std::string> EnvString(const char* name);  // obs::EnvString
+
+std::string OutputDir() {
+  return EnvString("IPSCOPE_OUT_DIR").value_or(".");
+}
+
+}  // namespace corpus

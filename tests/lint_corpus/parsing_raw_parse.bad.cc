@@ -1,0 +1,22 @@
+// lint-corpus-as: src/cli/corpus.cc
+// Violation corpus: unchecked parses silently turn garbage into 0 (atoi)
+// or abort the process (stoull on junk).
+#include <cstdlib>
+#include <string>
+
+namespace corpus {
+
+int BlocksFromArg(const char* arg) {
+  return atoi(arg);  // finding: atoi
+}
+
+unsigned long long SeedFromFlag(const std::string& flag) {
+  return std::stoull(flag);  // finding: stoull
+}
+
+long PortFrom(const char* text) {
+  char* end = nullptr;
+  return strtol(text, &end, 10);  // finding: strtol
+}
+
+}  // namespace corpus

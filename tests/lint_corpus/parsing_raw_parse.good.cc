@@ -1,0 +1,19 @@
+// lint-corpus-as: src/cli/corpus.cc
+// Clean twin: whole-string checked parse via std::from_chars, mirroring
+// the blessed wrappers (cli parsers, par::ParseThreadsEnv).
+#include <charconv>
+#include <optional>
+#include <string>
+
+namespace corpus {
+
+std::optional<int> BlocksFromArg(const std::string& arg) {
+  int value = 0;
+  const char* first = arg.data();
+  const char* last = first + arg.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+}  // namespace corpus

@@ -1,0 +1,18 @@
+// lint-corpus-as: src/io/corpus.cc
+// Violation corpus: a catch-all that swallows the exception entirely —
+// the caller can no longer distinguish success from failure.
+#include <string>
+
+namespace corpus {
+
+bool Save(const std::string& path);
+
+bool TrySave(const std::string& path) {
+  try {
+    return Save(path);
+  } catch (...) {  // finding: swallows without rethrow or report
+    return false;
+  }
+}
+
+}  // namespace corpus

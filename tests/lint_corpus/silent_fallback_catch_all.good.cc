@@ -1,0 +1,27 @@
+// lint-corpus-as: src/io/corpus.cc
+// Clean twin: catch-alls that rethrow, capture for rethrow, or report.
+#include <exception>
+#include <string>
+
+namespace corpus {
+
+bool Save(const std::string& path);
+
+bool SaveOrRethrow(const std::string& path) {
+  try {
+    return Save(path);
+  } catch (...) {
+    throw;  // rethrown: the caller sees the failure
+  }
+}
+
+std::exception_ptr SaveCapturing(const std::string& path) {
+  try {
+    Save(path);
+  } catch (...) {
+    return std::current_exception();  // captured for a later rethrow
+  }
+  return nullptr;
+}
+
+}  // namespace corpus

@@ -1,0 +1,20 @@
+// lint-corpus-as: src/scan/corpus.cc
+// Violation corpus: `default: return <value>;` in an enum switch — a
+// future enum member silently inherits the fallback instead of tripping
+// -Wswitch.
+namespace corpus {
+
+enum class Kind { kAlpha, kBeta, kGamma };
+
+int Weight(Kind kind) {
+  switch (kind) {
+    case Kind::kAlpha:
+      return 3;
+    case Kind::kBeta:
+      return 5;
+    default:
+      return 0;  // finding: silent fallback value
+  }
+}
+
+}  // namespace corpus

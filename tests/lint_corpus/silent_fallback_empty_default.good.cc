@@ -1,0 +1,33 @@
+// lint-corpus-as: src/scan/corpus.cc
+// Clean twin: every enum member enumerated (so -Wswitch flags additions);
+// a default that does work, or a bare `return;`, is not a silent value.
+namespace corpus {
+
+enum class Kind { kAlpha, kBeta, kGamma };
+
+int Weight(Kind kind) {
+  switch (kind) {
+    case Kind::kAlpha:
+      return 3;
+    case Kind::kBeta:
+      return 5;
+    case Kind::kGamma:
+      return 0;
+  }
+  return 0;
+}
+
+void Log(int code);
+
+int WeightLogged(Kind kind) {
+  switch (kind) {
+    case Kind::kAlpha:
+      return 3;
+    default: {
+      Log(static_cast<int>(kind));  // default with a body is deliberate
+      return 0;
+    }
+  }
+}
+
+}  // namespace corpus

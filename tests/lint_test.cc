@@ -1,0 +1,292 @@
+// Tests for the ipscope_lint lexer and rule engine (tools/lint/).
+//
+// The lexer tests pin the C++ lexical edge cases a token-level analyzer
+// must not trip over (raw strings, multi-line comments, digit separators);
+// the rule tests drive AnalyzeFile directly over inline snippets, so the
+// committed corpus (tests/lint_corpus/, exercised by the LintSelfTest
+// ctest entry) stays the end-to-end check while these stay fast and
+// pinpointed.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lexer.h"
+#include "rules.h"
+#include "sarif.h"
+
+namespace lint = ipscope::lint;
+
+namespace {
+
+std::vector<std::string> CodeTexts(const std::string& src) {
+  std::vector<std::string> out;
+  for (const lint::Token& t : lint::Lex(src).code) out.push_back(t.text);
+  return out;
+}
+
+// --- Lexer -----------------------------------------------------------------
+
+TEST(LintLexer, SplitsIdentifiersNumbersPunct) {
+  auto toks = CodeTexts("int x = a1+2;");
+  EXPECT_EQ(toks,
+            (std::vector<std::string>{"int", "x", "=", "a1", "+", "2", ";"}));
+}
+
+TEST(LintLexer, BannedNameInsideStringIsNotAnIdentifier) {
+  lint::LexResult r = lint::Lex("f(\"atoi(getenv)\");");
+  for (const lint::Token& t : r.code) {
+    EXPECT_NE(t.kind == lint::TokKind::kIdent ? t.text : "", "atoi");
+    EXPECT_NE(t.kind == lint::TokKind::kIdent ? t.text : "", "getenv");
+  }
+}
+
+TEST(LintLexer, RawStringSwallowsEverythingToDelimiter) {
+  // The ")" inside the raw string must not close anything, and the banned
+  // identifier inside must not leak into the code stream.
+  std::string src = "auto s = R\"(atoi(\"7\") // not a comment)\"; g();";
+  lint::LexResult r = lint::Lex(src);
+  ASSERT_TRUE(r.comments.empty());
+  bool saw_g = false;
+  for (const lint::Token& t : r.code) {
+    if (t.kind == lint::TokKind::kIdent) {
+      EXPECT_NE(t.text, "atoi");
+      if (t.text == "g") saw_g = true;
+    }
+  }
+  EXPECT_TRUE(saw_g);
+}
+
+TEST(LintLexer, RawStringCustomDelimiter) {
+  std::string src = "auto s = R\"ab()\" trap )ab\"; h();";
+  lint::LexResult r = lint::Lex(src);
+  bool saw_h = false, saw_trap = false;
+  for (const lint::Token& t : r.code) {
+    if (t.text == "h") saw_h = true;
+    if (t.text == "trap") saw_trap = true;
+  }
+  EXPECT_TRUE(saw_h);
+  EXPECT_FALSE(saw_trap);
+}
+
+TEST(LintLexer, MultiLineCommentTracksLines) {
+  std::string src = "a;\n/* one\ntwo\nthree */ b;\n";
+  lint::LexResult r = lint::Lex(src);
+  ASSERT_EQ(r.comments.size(), 1u);
+  EXPECT_EQ(r.comments[0].line, 2);
+  EXPECT_EQ(r.comments[0].end_line, 4);
+  ASSERT_EQ(r.code.size(), 4u);  // a ; b ;
+  EXPECT_EQ(r.code[2].text, "b");
+  EXPECT_EQ(r.code[2].line, 4);
+}
+
+TEST(LintLexer, DigitSeparatorsStayOneNumber) {
+  auto toks = CodeTexts("x = 1'000'000 + 0x1p-3 + 1.5e+10;");
+  EXPECT_EQ(toks[2], "1'000'000");
+  EXPECT_EQ(toks[4], "0x1p-3");
+  EXPECT_EQ(toks[6], "1.5e+10");
+}
+
+TEST(LintLexer, CharLiteralIsNotADigitSeparator) {
+  auto toks = CodeTexts("c = ':'; d = 'x';");
+  EXPECT_EQ(toks[2], "':'");
+  EXPECT_EQ(toks[6], "'x'");
+}
+
+TEST(LintLexer, LineCommentDoesNotEatNewline) {
+  lint::LexResult r = lint::Lex("a; // trailing note\nb;");
+  ASSERT_EQ(r.comments.size(), 1u);
+  EXPECT_EQ(r.comments[0].line, 1);
+  EXPECT_EQ(r.code[2].text, "b");
+  EXPECT_EQ(r.code[2].line, 2);
+}
+
+TEST(LintLexer, EllipsisIsOneToken) {
+  auto toks = CodeTexts("catch (...) {}");
+  EXPECT_EQ(toks, (std::vector<std::string>{"catch", "(", "...", ")", "{",
+                                            "}"}));
+}
+
+// --- Rule engine -----------------------------------------------------------
+
+lint::FileAnalysis Analyze(const std::string& pseudo_path,
+                           const std::string& src) {
+  return lint::AnalyzeFile(lint::ClassifyPath(pseudo_path), src);
+}
+
+bool HasRule(const lint::FileAnalysis& fa, const std::string& rule) {
+  for (const lint::Finding& f : fa.findings) {
+    if (f.rule == rule) return true;
+  }
+  return false;
+}
+
+TEST(LintRules, UnorderedIterFiresOnlyInResultLayers) {
+  std::string src =
+      "#include <unordered_map>\n"
+      "int f(const std::unordered_map<int,int>& m) {\n"
+      "  int t = 0;\n"
+      "  for (const auto& [k, v] : m) t += v;\n"
+      "  return t;\n"
+      "}\n";
+  EXPECT_TRUE(
+      HasRule(Analyze("src/analysis/x.cc", src), "determinism.unordered-iter"));
+  // Non-result layers may iterate (the sim layer feeds the store builder,
+  // which canonicalizes ordering).
+  EXPECT_FALSE(
+      HasRule(Analyze("src/sim/x.cc", src), "determinism.unordered-iter"));
+}
+
+TEST(LintRules, UnorderedIterSeesThroughAliases) {
+  std::string src =
+      "using M = std::unordered_map<int,int>;\n"
+      "int f(M& m) {\n"
+      "  int t = 0;\n"
+      "  for (auto& [k, v] : m) t += v;\n"
+      "  return t;\n"
+      "}\n";
+  lint::FileAnalysis fa = Analyze("src/check/x.cc", src);
+  ASSERT_TRUE(HasRule(fa, "determinism.unordered-iter"));
+  EXPECT_EQ(fa.findings[0].line, 4);
+}
+
+TEST(LintRules, SuppressionOnSameLineSilencesAndCounts) {
+  std::string src =
+      "int f(std::unordered_map<int,int>& m) {\n"
+      "  int t = 0;\n"
+      "  for (auto& [k, v] : m) t += v;  // lint: ordered(commutative sum)\n"
+      "  return t;\n"
+      "}\n";
+  lint::FileAnalysis fa = Analyze("src/report/x.cc", src);
+  EXPECT_TRUE(fa.findings.empty());
+  EXPECT_EQ(fa.suppressions_used, 1);
+}
+
+TEST(LintRules, StandaloneSuppressionAppliesToNextCodeLine) {
+  std::string src =
+      "int f(std::unordered_map<int,int>& m) {\n"
+      "  int t = 0;\n"
+      "  // lint: ordered(commutative sum over independent buckets,\n"
+      "  // continued across two comment lines)\n"
+      "  for (auto& [k, v] : m) t += v;\n"
+      "  return t;\n"
+      "}\n";
+  lint::FileAnalysis fa = Analyze("src/report/x.cc", src);
+  EXPECT_TRUE(fa.findings.empty());
+  EXPECT_EQ(fa.suppressions_used, 1);
+}
+
+TEST(LintRules, EmptyJustificationIsItselfAFinding) {
+  std::string src =
+      "int f(std::unordered_map<int,int>& m) {\n"
+      "  int t = 0;\n"
+      "  for (auto& [k, v] : m) t += v;  // lint: ordered( )\n"
+      "  return t;\n"
+      "}\n";
+  lint::FileAnalysis fa = Analyze("src/report/x.cc", src);
+  EXPECT_TRUE(HasRule(fa, "lint.suppression"));
+  EXPECT_TRUE(HasRule(fa, "determinism.unordered-iter"));  // not silenced
+  EXPECT_EQ(fa.suppressions_used, 0);
+}
+
+TEST(LintRules, WrongTagDoesNotSuppress) {
+  std::string src =
+      "int f(std::unordered_map<int,int>& m) {\n"
+      "  for (auto& [k, v] : m) {}  // lint: io(wrong tag for this rule)\n"
+      "  return 0;\n"
+      "}\n";
+  lint::FileAnalysis fa = Analyze("src/report/x.cc", src);
+  EXPECT_TRUE(HasRule(fa, "determinism.unordered-iter"));
+}
+
+TEST(LintRules, TimeRuleExemptsObsAndBench) {
+  std::string src = "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(HasRule(Analyze("src/scan/x.cc", src), "determinism.time"));
+  EXPECT_FALSE(HasRule(Analyze("src/obs/x.cc", src), "determinism.time"));
+  EXPECT_FALSE(HasRule(Analyze("bench/x.cc", src), "determinism.time"));
+}
+
+TEST(LintRules, RawParseAndGetenvFireEverywhere) {
+  std::string src =
+      "#include <cstdlib>\n"
+      "int n = atoi(std::getenv(\"X\"));\n";
+  lint::FileAnalysis fa = Analyze("tests/x.cc", src);
+  EXPECT_TRUE(HasRule(fa, "parsing.raw-parse"));
+  EXPECT_TRUE(HasRule(fa, "parsing.getenv"));
+}
+
+TEST(LintRules, CatchAllNeedsRethrowOrReport) {
+  std::string silent =
+      "void f() { try { g(); } catch (...) { x = 0; } }\n";
+  std::string rethrow =
+      "void f() { try { g(); } catch (...) { throw; } }\n";
+  std::string report =
+      "void f() { try { g(); } catch (...) { obs::Count(); } }\n";
+  EXPECT_TRUE(
+      HasRule(Analyze("src/io/x.cc", silent), "silent-fallback.catch-all"));
+  EXPECT_FALSE(
+      HasRule(Analyze("src/io/x.cc", rethrow), "silent-fallback.catch-all"));
+  EXPECT_FALSE(
+      HasRule(Analyze("src/io/x.cc", report), "silent-fallback.catch-all"));
+}
+
+TEST(LintRules, EmptyDefaultReturnOnlyInLibraryAndTools) {
+  std::string src =
+      "int f(K k) { switch (k) { case K::kA: return 1; default: return 0; } }\n";
+  EXPECT_TRUE(
+      HasRule(Analyze("src/geo/x.cc", src), "silent-fallback.empty-default"));
+  EXPECT_FALSE(
+      HasRule(Analyze("tests/x.cc", src), "silent-fallback.empty-default"));
+}
+
+TEST(LintRules, PragmaOnceAllowsLeadingComments) {
+  std::string good = "// banner\n/* doc */\n#pragma once\nint x;\n";
+  std::string bad = "// banner\nint x;\n#pragma once\n";
+  EXPECT_FALSE(HasRule(Analyze("src/io/x.h", good), "hygiene.pragma-once"));
+  EXPECT_TRUE(HasRule(Analyze("src/io/x.h", bad), "hygiene.pragma-once"));
+  // Source files have no pragma requirement.
+  EXPECT_FALSE(HasRule(Analyze("src/io/x.cc", bad), "hygiene.pragma-once"));
+}
+
+TEST(LintRules, IoRuleExemptsCliToolsAndSnprintf) {
+  std::string src = "void f() { printf(\"x\"); }\n";
+  EXPECT_TRUE(HasRule(Analyze("src/stats/x.cc", src), "hygiene.io"));
+  EXPECT_FALSE(HasRule(Analyze("src/cli/x.cc", src), "hygiene.io"));
+  EXPECT_FALSE(HasRule(Analyze("tools/x.cc", src), "hygiene.io"));
+  std::string fmt = "void f() { char b[8]; std::snprintf(b, 8, \"x\"); }\n";
+  EXPECT_FALSE(HasRule(Analyze("src/stats/x.cc", fmt), "hygiene.io"));
+}
+
+TEST(LintRules, FindingsSortedByLine) {
+  std::string src =
+      "#include <cstdlib>\n"
+      "int a = atoi(\"1\");\n"
+      "int b = atoi(\"2\");\n";
+  lint::FileAnalysis fa = Analyze("src/io/x.cc", src);
+  ASSERT_EQ(fa.findings.size(), 2u);
+  EXPECT_LT(fa.findings[0].line, fa.findings[1].line);
+}
+
+// --- SARIF -----------------------------------------------------------------
+
+TEST(LintSarif, EmitsValidStructureWithEscaping) {
+  std::vector<lint::Finding> findings;
+  findings.push_back(lint::Finding{"parsing.raw-parse", "src/a \"b\".cc", 3,
+                                   7, "message with \"quotes\"\nand newline"});
+  std::ostringstream os;
+  lint::WriteSarif(findings, os);
+  std::string sarif = os.str();
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"parsing.raw-parse\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\\\"quotes\\\"\\nand newline"), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 3"), std::string::npos);
+  // Every catalogue rule is declared in the driver metadata.
+  for (const lint::RuleMeta& r : lint::RuleCatalogue()) {
+    EXPECT_NE(sarif.find(std::string("\"id\": \"") + r.id + "\""),
+              std::string::npos)
+        << r.id;
+  }
+}
+
+}  // namespace

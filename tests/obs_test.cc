@@ -307,5 +307,29 @@ TEST(ObsSpan, RecordsHistogramAndTraceEvent) {
   if (!was_enabled) trace.Disable();
 }
 
+// obs::EnvString is the blessed read point for string-valued environment
+// variables (the [parsing] lint contract routes bench/common.h and any
+// future path-style env read through it).
+TEST(ObsEnvString, UnsetReturnsNullopt) {
+  unsetenv("IPSCOPE_OBS_TEST_ENV");
+  EXPECT_FALSE(EnvString("IPSCOPE_OBS_TEST_ENV").has_value());
+}
+
+TEST(ObsEnvString, SetReturnsValue) {
+  setenv("IPSCOPE_OBS_TEST_ENV", "/tmp/metrics.json", 1);
+  auto v = EnvString("IPSCOPE_OBS_TEST_ENV");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "/tmp/metrics.json");
+  unsetenv("IPSCOPE_OBS_TEST_ENV");
+}
+
+TEST(ObsEnvString, EmptyIsNormalizedToNullopt) {
+  // An empty value must read as "not configured" — callers treat the
+  // result as a path and an empty path would silently write nowhere.
+  setenv("IPSCOPE_OBS_TEST_ENV", "", 1);
+  EXPECT_FALSE(EnvString("IPSCOPE_OBS_TEST_ENV").has_value());
+  unsetenv("IPSCOPE_OBS_TEST_ENV");
+}
+
 }  // namespace
 }  // namespace ipscope::obs

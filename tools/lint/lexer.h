@@ -1,0 +1,53 @@
+// Comment/string-aware C++ token stream for ipscope_lint.
+//
+// The lexer splits a translation unit into *code tokens* (identifiers,
+// numbers, string/char literals, punctuation) and *comment tokens*, kept in
+// separate streams so the rule engine can pattern-match code without ever
+// tripping over banned names that only appear in prose or literals
+// ("atoi" inside a string is not a call), while the suppression parser
+// reads only comments.
+//
+// It is a lexer, not a preprocessor: directives appear as ordinary tokens
+// ('#', 'pragma', 'once'), macros are not expanded, and headers are not
+// included. That is exactly the granularity the project-contract rules
+// need — they match token shapes ("catch ( ... )", "std :: reduce"),
+// never semantics.
+//
+// Handled C++ lexical edge cases (all covered by tests/lint_test.cc):
+//   * line and multi-line block comments (with line tracking)
+//   * string literals with escapes, char literals, L/u/U/u8 prefixes
+//   * raw strings R"delim(...)delim" including custom delimiters
+//   * pp-numbers with digit separators (1'000'000), hex floats, exponents
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipscope::lint {
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords (no distinction needed)
+  kNumber,   // pp-number
+  kString,   // string literal, incl. raw strings; text keeps the quotes
+  kChar,     // character literal
+  kPunct,    // single punctuation char, except "..." which is one token
+  kComment,  // only ever appears in LexResult::comments
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 1;      // 1-based start line
+  int col = 1;       // 1-based start column
+  int end_line = 1;  // last line the token touches (multi-line comments/raws)
+};
+
+struct LexResult {
+  std::vector<Token> code;
+  std::vector<Token> comments;
+};
+
+LexResult Lex(std::string_view source);
+
+}  // namespace ipscope::lint

@@ -1,0 +1,103 @@
+// Project-contract rules for ipscope_lint.
+//
+// Every rule encodes an invariant PRs 1-5 established by convention and
+// review alone; the analyzer turns them into machine-checked contracts:
+//
+//  [determinism] — the ordered-merge contract (DESIGN §4.8) guarantees
+//  bit-identical results for any --threads. Iterating a std::unordered_*
+//  container (or calling std::reduce) in a result-producing layer reorders
+//  output with the hash seed / libstdc++ version; wall-clock sources and
+//  std::random_device make runs unreproducible.
+//    determinism.unordered-iter   range-for / .begin() over an unordered
+//                                 container in src/{activity,analysis,
+//                                 check,report}. Suppress: lint: ordered(...)
+//    determinism.reduce           std::reduce in the same layers.
+//                                 Suppress: lint: ordered(...)
+//    determinism.time             std::rand/srand, std::random_device,
+//                                 time(nullptr), argless ::now() outside
+//                                 src/obs and bench/. Suppress: lint: time(...)
+//
+//  [parsing] — PR 1 and PR 5 replaced every silent atoi-style fallback
+//  with checked whole-string parses (par::ParseThreadsEnv, the cli
+//  checked parsers, bench ParseNumber). Raw parses must not come back.
+//    parsing.raw-parse            atoi/strtol/stoull/sscanf family.
+//                                 Suppress: lint: parse(...)
+//    parsing.getenv               raw getenv outside the blessed wrappers.
+//                                 Suppress: lint: getenv(...)
+//
+//  [silent-fallback] — errors are typed (io::Result) or logged, never
+//  swallowed.
+//    silent-fallback.catch-all    catch (...) whose handler neither
+//                                 rethrows (throw / current_exception) nor
+//                                 reports (obs, stderr, exit/abort).
+//                                 Suppress: lint: fallback(...)
+//    silent-fallback.empty-default  `default: return <value>;` in library
+//                                 switches — a new enum member silently
+//                                 inherits the fallback instead of failing
+//                                 -Wswitch. Suppress: lint: default(...)
+//
+//  [hygiene]
+//    hygiene.pragma-once          every header opens with #pragma once
+//                                 (comments may precede it).
+//    hygiene.using-namespace      no `using namespace` in headers.
+//                                 Suppress: lint: using(...)
+//    hygiene.io                   no printf/fprintf/std::cout/std::cerr in
+//                                 library code (src/ minus src/cli; CLI,
+//                                 tests, bench, examples exempt).
+//                                 Suppress: lint: io(...)
+//
+//  lint.suppression — a `// lint: tag(...)` with empty justification. The
+//  justification is the reviewable artifact; it is mandatory.
+//
+// Suppression syntax: `// lint: <tag>(<justification>)`, comma-separable
+// (`// lint: ordered(a), io(b)`). A trailing comment suppresses its own
+// line; a standalone comment line suppresses the next code line. The
+// justification must be non-empty and must not contain ')'.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipscope::lint {
+
+// Where a file sits in the tree, derived from its path relative to the
+// repo root. Drives which rules apply.
+struct FileInfo {
+  std::string rel_path;      // normalized, '/'-separated
+  bool header = false;       // .h / .hpp
+  bool result_layer = false; // src/activity|analysis|check|report
+  bool library = false;      // src/** minus src/cli (hygiene.io scope)
+  bool time_exempt = false;  // src/obs/** or bench/** (determinism.time)
+  bool default_scope = false;// src/** or tools/** (silent-fallback.empty-default)
+};
+
+// Classifies `rel_path` (path relative to the repo root, '/'-separated).
+FileInfo ClassifyPath(std::string rel_path);
+
+struct Finding {
+  std::string rule;     // e.g. "determinism.unordered-iter"
+  std::string path;     // as reported (FileInfo::rel_path)
+  int line = 0;
+  int col = 0;
+  std::string message;  // human sentence, includes the offending token span
+};
+
+struct FileAnalysis {
+  std::vector<Finding> findings;    // unsuppressed findings only
+  int suppressions_used = 0;        // findings silenced by a justified tag
+};
+
+// Runs every applicable rule over one file.
+FileAnalysis AnalyzeFile(const FileInfo& info, std::string_view source);
+
+// Rule catalogue, for SARIF metadata, --list-rules, and the self-test's
+// every-rule-fires check.
+struct RuleMeta {
+  const char* id;
+  const char* tag;   // suppression tag; nullptr = not suppressible
+  const char* summary;
+};
+const std::vector<RuleMeta>& RuleCatalogue();
+
+}  // namespace ipscope::lint

@@ -1,0 +1,90 @@
+#include "sarif.h"
+
+#include <cstdio>
+
+namespace ipscope::lint {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void WriteSarif(const std::vector<Finding>& findings, std::ostream& os) {
+  os << "{\n"
+     << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"ipscope_lint\",\n"
+     << "          \"version\": \"1.0.0\",\n"
+     << "          \"informationUri\": "
+        "\"https://example.invalid/ipscope/tools/lint\",\n"
+     << "          \"rules\": [\n";
+  const auto& rules = RuleCatalogue();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << "            {\"id\": \"" << JsonEscape(rules[i].id)
+       << "\", \"shortDescription\": {\"text\": \""
+       << JsonEscape(rules[i].summary) << "\"}}"
+       << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "        {\n"
+       << "          \"ruleId\": \"" << JsonEscape(f.rule) << "\",\n"
+       << "          \"level\": \"error\",\n"
+       << "          \"message\": {\"text\": \"" << JsonEscape(f.message)
+       << "\"},\n"
+       << "          \"locations\": [\n"
+       << "            {\"physicalLocation\": {\"artifactLocation\": "
+          "{\"uri\": \""
+       << JsonEscape(f.path) << "\"}, \"region\": {\"startLine\": " << f.line
+       << ", \"startColumn\": " << f.col << "}}}\n"
+       << "          ]\n"
+       << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+}
+
+}  // namespace ipscope::lint

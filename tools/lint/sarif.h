@@ -1,0 +1,17 @@
+// SARIF 2.1.0 emission for ipscope_lint findings, so any CI annotator
+// (GitHub code scanning, sarif-tools, IDE importers) can render them.
+// Schema: https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "rules.h"
+
+namespace ipscope::lint {
+
+// Writes one complete SARIF log: a single run of the ipscope_lint driver
+// with the full rule catalogue and one result per finding.
+void WriteSarif(const std::vector<Finding>& findings, std::ostream& os);
+
+}  // namespace ipscope::lint
