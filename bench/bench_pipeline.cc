@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -38,10 +39,23 @@ struct StageResult {
   double mbytes = 0;  // bytes processed / 1e6, 0 when not meaningful
 };
 
+// Shared-pool activity during one run, as registry deltas: how many chunks
+// the stages pushed through the pool, how much stealing the imbalance
+// forced, and how the work spread over participant slots.
+struct PoolTelemetry {
+  std::uint64_t regions = 0;
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t steals = 0;
+  double imbalance_ratio = 0;  // last region of the run
+  std::vector<double> worker_busy_seconds;  // per participant slot
+  std::vector<double> worker_idle_seconds;
+};
+
 struct RunResult {
   int threads = 1;
   std::vector<StageResult> stages;
   double total_seconds = 0;
+  PoolTelemetry pool;
   // Output fingerprint: any cross-thread-count divergence is a determinism
   // bug, not noise.
   std::uint64_t fingerprint = 0;
@@ -63,6 +77,26 @@ RunResult RunPipeline(const ipscope::sim::WorldConfig& config, int threads) {
   par::GlobalPool().Resize(threads);
   RunResult run;
   run.threads = threads;
+
+  // Pool counters/gauges are process-cumulative; deltas isolate this run.
+  auto& registry = ipscope::obs::GlobalRegistry();
+  auto worker_gauge = [&](int slot, const char* kind) {
+    return registry
+        .GetGauge("par.pool.worker." + std::to_string(slot) + "." + kind)
+        .value();
+  };
+  const std::uint64_t regions0 =
+      registry.GetCounter("par.pool.regions").value();
+  const std::uint64_t tasks0 =
+      registry.GetCounter("par.pool.tasks_executed").value();
+  const std::uint64_t steals0 =
+      registry.GetCounter("par.pool.steals").value();
+  std::vector<double> busy0, idle0;
+  for (int s = 0; s < threads; ++s) {
+    busy0.push_back(worker_gauge(s, "busy_seconds"));
+    idle0.push_back(worker_gauge(s, "idle_seconds"));
+  }
+
   auto stage = [&](const std::string& name, double mbytes, auto&& fn) {
     auto start = Clock::now();
     fn();
@@ -135,17 +169,42 @@ RunResult RunPipeline(const ipscope::sim::WorldConfig& config, int threads) {
     Mix(run.fingerprint, fig6.exemplars.size());
   });
 
+  run.pool.regions = registry.GetCounter("par.pool.regions").value() - regions0;
+  run.pool.tasks_executed =
+      registry.GetCounter("par.pool.tasks_executed").value() - tasks0;
+  run.pool.steals = registry.GetCounter("par.pool.steals").value() - steals0;
+  run.pool.imbalance_ratio =
+      registry.GetGauge("par.pool.imbalance_ratio").value();
+  for (int s = 0; s < threads; ++s) {
+    run.pool.worker_busy_seconds.push_back(worker_gauge(s, "busy_seconds") -
+                                           busy0[static_cast<std::size_t>(s)]);
+    run.pool.worker_idle_seconds.push_back(worker_gauge(s, "idle_seconds") -
+                                           idle0[static_cast<std::size_t>(s)]);
+  }
   return run;
 }
 
-void WriteJson(const std::string& path, const ipscope::sim::WorldConfig& cfg,
+void WriteDoubleArray(std::ostream& os, const std::vector<double>& values) {
+  os << "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    os << (i ? ", " : "") << values[i];
+  }
+  os << "]";
+}
+
+// Bench-JSON schema v2: schema_version + hardware fingerprint (what
+// `ipscope_cli benchdiff` keys its comparability check on) + per-run shared
+// pool telemetry next to the stage timings.
+void WriteJson(std::ostream& os, const ipscope::sim::WorldConfig& cfg,
                const std::vector<RunResult>& runs) {
-  std::ofstream os{path};
   os << "{\n  \"bench\": \"pipeline\",\n"
+     << "  \"schema_version\": 2,\n"
      << "  \"client_blocks\": " << cfg.target_client_blocks << ",\n"
      << "  \"seed\": " << cfg.seed << ",\n"
-     << "  \"hardware_threads\": " << ipscope::par::HardwareThreads() << ",\n"
-     << "  \"runs\": [\n";
+     << "  \"unix_time\": " << std::time(nullptr) << ",\n";
+  ipscope::bench::WriteHardwareJson(
+      os, ipscope::bench::DetectHardware());
+  os << ",\n  \"runs\": [\n";
   for (std::size_t r = 0; r < runs.size(); ++r) {
     const RunResult& run = runs[r];
     os << "    {\"threads\": " << run.threads << ", \"total_seconds\": "
@@ -159,7 +218,15 @@ void WriteJson(const std::string& path, const ipscope::sim::WorldConfig& cfg,
       }
       os << "}" << (s + 1 < run.stages.size() ? "," : "") << "\n";
     }
-    os << "    }}" << (r + 1 < runs.size() ? "," : "") << "\n";
+    os << "    }, \"pool\": {\"regions\": " << run.pool.regions
+       << ", \"tasks_executed\": " << run.pool.tasks_executed
+       << ", \"steals\": " << run.pool.steals
+       << ", \"imbalance_ratio\": " << run.pool.imbalance_ratio
+       << ", \"worker_busy_seconds\": ";
+    WriteDoubleArray(os, run.pool.worker_busy_seconds);
+    os << ", \"worker_idle_seconds\": ";
+    WriteDoubleArray(os, run.pool.worker_idle_seconds);
+    os << "}}" << (r + 1 < runs.size() ? "," : "") << "\n";
   }
   os << "  ],\n  \"speedup\": {\n";
   const RunResult& serial = runs.front();
@@ -175,6 +242,22 @@ void WriteJson(const std::string& path, const ipscope::sim::WorldConfig& cfg,
              ? serial.total_seconds / parallel.total_seconds
              : 0.0)
      << "\n  }\n}\n";
+}
+
+// The document above with insignificant whitespace removed — safe because
+// the emitter never puts a raw newline inside a string (obs::json::Escape
+// escapes them), so "\n followed by indent" is always structural.
+std::string Minify(const std::string& pretty) {
+  std::string out;
+  out.reserve(pretty.size());
+  for (std::size_t i = 0; i < pretty.size(); ++i) {
+    if (pretty[i] != '\n') {
+      out += pretty[i];
+      continue;
+    }
+    while (i + 1 < pretty.size() && pretty[i + 1] == ' ') ++i;
+  }
+  return out;
 }
 
 }  // namespace
@@ -230,7 +313,27 @@ int main(int argc, char** argv) {
                "results (fingerprint "
             << runs.front().fingerprint << ")\n";
 
-  WriteJson("BENCH_pipeline.json", config, runs);
-  std::cout << "wrote BENCH_pipeline.json\n";
+  std::ostringstream doc;
+  WriteJson(doc, config, runs);
+  {
+    std::ofstream os{"BENCH_pipeline.json"};
+    os << doc.str();
+    if (!os) {
+      std::cerr << "FAIL: cannot write BENCH_pipeline.json\n";
+      return 1;
+    }
+  }
+  // Append-only perf trajectory: one minified v2 document per line, so a
+  // long-running checkout accumulates its own benchmark history without a
+  // separate collector.
+  {
+    std::ofstream history{"BENCH_history.jsonl", std::ios::app};
+    history << Minify(doc.str()) << "\n";
+    if (!history) {
+      std::cerr << "FAIL: cannot append to BENCH_history.jsonl\n";
+      return 1;
+    }
+  }
+  std::cout << "wrote BENCH_pipeline.json (+ BENCH_history.jsonl)\n";
   return 0;
 }

@@ -55,6 +55,11 @@ build/tools/ipscope_cli check | tee results/check.txt
 # survive, salvage every intact block, and pass its own scorecard.
 echo "== chaos smoke"
 build/tools/ipscope_cli chaos --seed 7 --blocks 800 | tee results/chaos.txt
+# Snapshot the committed pipeline benchmark before the bench loop overwrites
+# BENCH_pipeline.json with this run's numbers; the regression gate below
+# diffs the fresh report against it.
+cp BENCH_pipeline.json results/BENCH_baseline.json
+
 for bench in build/bench/*; do
   name="$(basename "$bench")"
   echo "== $name"
@@ -65,4 +70,30 @@ for bench in build/bench/*; do
     "$bench" "${IPSCOPE_BLOCKS:-4000}" | tee "results/$name.txt"
   fi
 done
+
+# Benchmark-regression gate: diff this run's bench-JSON v2 report against
+# the committed baseline. On matching hardware + toolchain a stage that
+# slowed beyond the tolerance exits non-zero and fails the run (set -e); on
+# a different host the diff is advisory (benchdiff prints why) but lost
+# stages/runs still gate. Tune with IPSCOPE_BENCH_TOLERANCE_PCT.
+echo "== benchdiff gate"
+build/tools/ipscope_cli benchdiff results/BENCH_baseline.json \
+  BENCH_pipeline.json \
+  --tolerance-pct "${IPSCOPE_BENCH_TOLERANCE_PCT:-25}" \
+  | tee results/benchdiff.txt
+
+# Prove the gate has teeth on every run: seed an obvious store_build
+# regression into a copy of the fresh report (same hardware fingerprint, so
+# it MUST gate) and require benchdiff to reject it.
+sed 's/"store_build": {"seconds": [0-9.eE+-]*/"store_build": {"seconds": 9999/' \
+  BENCH_pipeline.json > results/BENCH_seeded_regression.json
+grep -q '"seconds": 9999' results/BENCH_seeded_regression.json \
+  || { echo "FATAL: could not seed a regression into the report" >&2; exit 1; }
+if build/tools/ipscope_cli benchdiff BENCH_pipeline.json \
+    results/BENCH_seeded_regression.json >results/benchdiff_teeth.txt 2>&1; then
+  echo "FATAL: benchdiff accepted a seeded 9999s regression" >&2
+  exit 1
+fi
+echo "benchdiff gate: seeded regression correctly rejected"
+
 echo "All experiment outputs written to results/."

@@ -54,6 +54,7 @@ activity::ActivityStore Observatory::BuildStore(int threads) const {
 
   // Non-empty row counts fold through the reduce's per-chunk accumulators —
   // summed after the join, so the count is exact for any decomposition.
+  obs::Span generate_span{"cdn.observatory.build.generate_seconds"};
   std::uint64_t rows_emitted = par::ParallelReduce(
       std::size_t{0}, order_.size(), std::uint64_t{0},
       [&](std::uint64_t& rows, std::size_t first, std::size_t last) {
@@ -73,7 +74,9 @@ activity::ActivityStore Observatory::BuildStore(int threads) const {
       },
       [](std::uint64_t& acc, std::uint64_t part) { acc += part; },
       /*grain=*/4, /*max_threads=*/threads);
+  generate_span.Stop();
 
+  obs::Span insert_span{"cdn.observatory.build.insert_seconds"};
   activity::ActivityStore store{spec_.steps};
   std::uint64_t blocks_emitted = 0;
   for (std::size_t i = 0; i < order_.size(); ++i) {
@@ -83,13 +86,23 @@ activity::ActivityStore Observatory::BuildStore(int threads) const {
         std::move(matrices[i]);
     ++blocks_emitted;
   }
+  insert_span.Stop();
 
+  std::uint64_t bytes_emitted = rows_emitted * sizeof(activity::DayBits);
   auto& registry = obs::GlobalRegistry();
   registry.GetCounter("cdn.observatory.builds").Add(1);
   registry.GetCounter("cdn.observatory.blocks_emitted").Add(blocks_emitted);
   registry.GetCounter("cdn.observatory.rows_emitted").Add(rows_emitted);
-  registry.GetCounter("cdn.observatory.bytes_emitted")
-      .Add(rows_emitted * sizeof(activity::DayBits));
+  registry.GetCounter("cdn.observatory.bytes_emitted").Add(bytes_emitted);
+  // Throughput of this build (not cumulative): rows and payload bytes per
+  // wall second, the number ROADMAP tracks for the store_build bottleneck.
+  double elapsed = span.ElapsedSeconds();
+  if (elapsed > 0) {
+    registry.GetGauge("cdn.observatory.build.rows_per_s")
+        .Set(static_cast<double>(rows_emitted) / elapsed);
+    registry.GetGauge("cdn.observatory.build.bytes_per_s")
+        .Set(static_cast<double>(bytes_emitted) / elapsed);
+  }
   return store;
 }
 

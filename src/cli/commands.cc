@@ -26,6 +26,7 @@
 #include "io/store_io.h"
 #include "scan/icmp.h"
 #include "measurement/hitlist.h"
+#include "obs/benchdiff.h"
 #include "obs/registry.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
@@ -67,8 +68,15 @@ commands:
       Run a standard generate -> save -> load -> analyze pipeline and print
       a per-stage wall-time table from the metrics registry, once serially
       and once on the shared thread pool (the threads column tells the rows
-      apart). --keep saves the intermediate dataset to PATH instead of a
-      deleted temp file.
+      apart), plus per-worker pool utilization, queue-wait, and IO
+      throughput (MB/s) tables for the pooled run. --keep saves the
+      intermediate dataset to PATH instead of a deleted temp file.
+  benchdiff BASELINE.json CURRENT.json [--tolerance-pct N]
+      Compare two bench-JSON v2 reports (as written by bench_pipeline)
+      stage by stage. Exits 1 when any stage slowed beyond the tolerance
+      (default 10%) on matching hardware, or lost coverage; reports from
+      different hardware/toolchains are diffed advisory-only. Exits 2 on
+      malformed or non-v2 input.
   chaos [--blocks N] [--seed S] [--fault-seed S] [--schedule SPEC]
         [--window DAYS]
       Run the generate -> save -> corrupt -> salvage -> analyze pipeline
@@ -94,7 +102,9 @@ global flags (any command):
   --threads N          Size of the shared worker pool (default:
                        $IPSCOPE_THREADS, else hardware concurrency).
                        Results are bit-identical for any value.
-  --metrics-out PATH   Dump the metrics registry as JSON on exit.
+  --metrics-out PATH   Dump the metrics registry on exit.
+  --metrics-format F   Format for --metrics-out: json (default) or
+                       prometheus (text exposition format 0.0.4).
   --trace-out PATH     Record pipeline stage spans as a Chrome
                        trace-event-format file (open in about://tracing
                        or https://ui.perfetto.dev).
@@ -460,6 +470,13 @@ int CmdProfile(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
     }
     return snaps;
   };
+  auto gauge_snapshot = [&] {
+    std::map<std::string, double> values;
+    for (const auto& [name, value] : registry.GaugeValues()) {
+      values[name] = value;
+    }
+    return values;
+  };
 
   // The pipeline runs twice: serially, then on the pool at its configured
   // size (--threads / $IPSCOPE_THREADS / hardware). The instruments are
@@ -469,11 +486,13 @@ int CmdProfile(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   par::GlobalPool().Resize(1);
   run_pipeline();
   auto serial_snaps = snapshot();
+  auto serial_gauges = gauge_snapshot();
   if (pool_threads > 1) {
     par::GlobalPool().Resize(pool_threads);
     run_pipeline();
   }
   auto final_snaps = snapshot();
+  auto final_gauges = gauge_snapshot();
   par::GlobalPool().Resize(pool_threads);
   if (!keep) std::remove(path.c_str());
 
@@ -495,6 +514,63 @@ int CmdProfile(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
       << " client blocks, seed " << config.seed << "\n\n";
   stages.Print(out);
 
+  // Per-worker pool accounting for the pooled run. The worker gauges are
+  // cumulative, so the serial/final delta isolates the second pipeline;
+  // slots are participant slots (dealt per region), not OS threads.
+  if (pool_threads > 1) {
+    report::Table pool({"pool worker", "busy", "idle", "util %"});
+    for (int slot = 0; slot < pool_threads; ++slot) {
+      std::string base = "par.pool.worker." + std::to_string(slot);
+      double busy = final_gauges[base + ".busy_seconds"] -
+                    serial_gauges[base + ".busy_seconds"];
+      double idle = final_gauges[base + ".idle_seconds"] -
+                    serial_gauges[base + ".idle_seconds"];
+      if (busy + idle <= 0) continue;
+      pool.AddRow({std::to_string(slot), FormatStageTime(busy),
+                   FormatStageTime(idle),
+                   report::FormatPercent(busy / (busy + idle))});
+    }
+    if (pool.rows() > 0) {
+      out << "\n";
+      pool.Print(out);
+    }
+    const obs::Histogram::Snapshot& wait_before =
+        serial_snaps["par.pool.queue_wait_seconds"];
+    const obs::Histogram::Snapshot& wait_after =
+        final_snaps["par.pool.queue_wait_seconds"];
+    if (wait_after.count > wait_before.count) {
+      double mean_wait = (wait_after.sum - wait_before.sum) /
+                         static_cast<double>(wait_after.count -
+                                             wait_before.count);
+      out << "pool: queue wait mean " << FormatStageTime(mean_wait)
+          << " over " << (wait_after.count - wait_before.count)
+          << " chunks; last-region imbalance ratio "
+          << report::FormatDouble(final_gauges["par.pool.imbalance_ratio"])
+          << "\n";
+    }
+  }
+
+  // IO and build throughput, from the most recent (pooled when available)
+  // run's rate gauges.
+  {
+    report::Table rates({"io stage", "throughput"});
+    auto rate = [&](const char* label, const char* gauge, const char* unit,
+                    double scale) {
+      auto it = final_gauges.find(gauge);
+      if (it == final_gauges.end() || it->second <= 0) return;
+      rates.AddRow({label,
+                    report::FormatDouble(it->second * scale) + " " + unit});
+    };
+    rate("store save", "io.store.save_mb_per_s", "MB/s", 1.0);
+    rate("store load", "io.store.load_mb_per_s", "MB/s", 1.0);
+    rate("observatory build", "cdn.observatory.build.bytes_per_s", "MB/s",
+         1e-6);
+    if (rates.rows() > 0) {
+      out << "\n";
+      rates.Print(out);
+    }
+  }
+
   report::Table counters({"counter", "value"});
   for (const auto& [name, value] : registry.CounterValues()) {
     counters.AddRow({name, report::FormatCount(value)});
@@ -507,6 +583,34 @@ int CmdProfile(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
     err << "profile: kept dataset at " << path << "\n";
   }
   return 0;
+}
+
+int CmdBenchdiff(const CommandLine& cmd, std::ostream& out,
+                 std::ostream& err) {
+  if (cmd.positional.size() != 2) {
+    err << "benchdiff: usage: benchdiff BASELINE.json CURRENT.json "
+           "[--tolerance-pct N]\n";
+    return 2;
+  }
+  obs::benchdiff::DiffOptions options;
+  options.tolerance_pct =
+      cmd.DoubleFlag("tolerance-pct", options.tolerance_pct);
+  if (options.tolerance_pct < 0) {
+    throw FlagError("--tolerance-pct must be non-negative");
+  }
+  obs::benchdiff::Report baseline;
+  obs::benchdiff::Report current;
+  try {
+    baseline = obs::benchdiff::LoadReportFile(cmd.positional[0]);
+    current = obs::benchdiff::LoadReportFile(cmd.positional[1]);
+  } catch (const std::exception& e) {
+    err << e.what() << "\n";
+    return 2;
+  }
+  obs::benchdiff::DiffResult result =
+      obs::benchdiff::Diff(baseline, current, options);
+  obs::benchdiff::WriteDiff(out, result, options);
+  return result.regressed ? 1 : 0;
 }
 
 // What a salvage load of the damaged byte stream must recover, derived
@@ -915,6 +1019,13 @@ std::uint64_t CommandLine::Uint64Flag(const std::string& name,
   return ParseNumberOrThrow<std::uint64_t>(name, *value);
 }
 
+double CommandLine::DoubleFlag(const std::string& name,
+                               double fallback) const {
+  auto value = Flag(name);
+  if (!value) return fallback;
+  return ParseNumberOrThrow<double>(name, *value);
+}
+
 std::optional<CommandLine> Parse(const std::vector<std::string>& args,
                                  std::ostream& err) {
   CommandLine cmd;
@@ -955,6 +1066,7 @@ int Dispatch(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   if (cmd.command == "hitlist") return CmdHitlist(cmd, out, err);
   if (cmd.command == "describe") return CmdDescribe(cmd, out, err);
   if (cmd.command == "profile") return CmdProfile(cmd, out, err);
+  if (cmd.command == "benchdiff") return CmdBenchdiff(cmd, out, err);
   if (cmd.command == "chaos") return CmdChaos(cmd, out, err);
   if (cmd.command == "check") return CmdCheck(cmd, out, err);
   if (cmd.command == "help" || cmd.command == "--help") {
@@ -970,12 +1082,18 @@ int Dispatch(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
 int Run(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   auto metrics_out = cmd.Flag("metrics-out");
   auto trace_out = cmd.Flag("trace-out");
+  std::string metrics_format = cmd.Flag("metrics-format").value_or("json");
   if (trace_out && !trace_out->empty()) obs::GlobalTrace().Enable();
 
   int rc;
   try {
-    // Resize inside the try block: a malformed --threads value reports
-    // like any other flag error.
+    // Validate global flags inside the try block: a malformed --threads or
+    // --metrics-format value reports like any other flag error — and
+    // before the command runs, not after it did the work.
+    if (metrics_format != "json" && metrics_format != "prometheus") {
+      throw FlagError("--metrics-format must be json or prometheus, got '" +
+                      metrics_format + "'");
+    }
     int threads = cmd.IntFlag("threads", 0);
     if (threads < 0) throw FlagError("--threads must be positive");
     if (threads > 0) par::GlobalPool().Resize(threads);
@@ -992,7 +1110,11 @@ int Run(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   // operator how far the pipeline got.
   try {
     if (metrics_out && !metrics_out->empty()) {
-      obs::GlobalRegistry().WriteJsonFile(*metrics_out);
+      if (metrics_format == "prometheus") {
+        obs::GlobalRegistry().WritePrometheusFile(*metrics_out);
+      } else {
+        obs::GlobalRegistry().WriteJsonFile(*metrics_out);
+      }
     }
     if (trace_out && !trace_out->empty()) {
       obs::GlobalTrace().WriteFile(*trace_out);

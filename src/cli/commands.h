@@ -45,6 +45,7 @@ struct CommandLine {
   int IntFlag(const std::string& name, int fallback) const;
   std::uint64_t Uint64Flag(const std::string& name,
                            std::uint64_t fallback) const;
+  double DoubleFlag(const std::string& name, double fallback) const;
 };
 
 // Parses argv[1..]; returns nullopt (and writes a message to err) when the

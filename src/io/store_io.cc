@@ -254,36 +254,43 @@ Result<LoadResult, StoreError> LoadV2(Reader& r, const LoadOptions& options) {
   std::uint64_t prev_key = 0;
   bool first = true;
   std::string rec;
-  for (std::uint64_t b = 0; b < blocks; ++b) {
-    std::uint64_t base = r.offset;
-    rec.resize(8);
-    if (!r.Read(rec.data(), 8)) return ctx.Fail(Truncated(r, "block header"));
-    auto nonzero = ParseInt<std::uint32_t>(rec.data() + 4);
-    if (nonzero > days) {
-      return ctx.Fail(Malformed(
-          base + 4, "day list length " + std::to_string(nonzero) +
-                        " exceeds day count " + std::to_string(days)));
+  {
+    // Sub-span: the block loop dominates load time; the header and footer
+    // are a few dozen bytes each, so this is the phase worth attributing.
+    obs::Span blocks_span{"io.store.load.blocks_seconds"};
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      std::uint64_t base = r.offset;
+      rec.resize(8);
+      if (!r.Read(rec.data(), 8)) {
+        return ctx.Fail(Truncated(r, "block header"));
+      }
+      auto nonzero = ParseInt<std::uint32_t>(rec.data() + 4);
+      if (nonzero > days) {
+        return ctx.Fail(Malformed(
+            base + 4, "day list length " + std::to_string(nonzero) +
+                          " exceeds day count " + std::to_string(days)));
+      }
+      rec.resize(8 + nonzero * kDayRecordBytes);
+      if (!r.Read(rec.data() + 8, rec.size() - 8)) {
+        return ctx.Fail(Truncated(r, "block payload"));
+      }
+      std::uint32_t block_crc = 0;
+      if (!r.ReadInt(&block_crc)) {
+        return ctx.Fail(Truncated(r, "block checksum"));
+      }
+      if (block_crc != Crc32c(rec.data(), rec.size())) {
+        return ctx.Fail(StoreError{
+            StoreErrorKind::kChecksumMismatch, base,
+            "block " + std::to_string(b) + " checksum mismatch"});
+      }
+      if (auto err = ApplyBlockRecord(ctx, rec.data(), days, prev_key, first,
+                                      base)) {
+        return ctx.Fail(std::move(*err));
+      }
+      prev_key = ParseInt<std::uint32_t>(rec.data());
+      first = false;
+      ++ctx.stats.blocks_loaded;
     }
-    rec.resize(8 + nonzero * kDayRecordBytes);
-    if (!r.Read(rec.data() + 8, rec.size() - 8)) {
-      return ctx.Fail(Truncated(r, "block payload"));
-    }
-    std::uint32_t block_crc = 0;
-    if (!r.ReadInt(&block_crc)) {
-      return ctx.Fail(Truncated(r, "block checksum"));
-    }
-    if (block_crc != Crc32c(rec.data(), rec.size())) {
-      return ctx.Fail(StoreError{
-          StoreErrorKind::kChecksumMismatch, base,
-          "block " + std::to_string(b) + " checksum mismatch"});
-    }
-    if (auto err = ApplyBlockRecord(ctx, rec.data(), days, prev_key, first,
-                                    base)) {
-      return ctx.Fail(std::move(*err));
-    }
-    prev_key = ParseInt<std::uint32_t>(rec.data());
-    first = false;
-    ++ctx.stats.blocks_loaded;
   }
 
   // Footer: magic + block-count echo, then the whole-stream CRC over every
@@ -327,33 +334,41 @@ void SaveStore(const activity::ActivityStore& store, std::ostream& os,
     bytes_written += buf.size();
   };
 
-  std::string buf;
-  buf.append(v2 ? kMagicV2 : kMagicV1, 8);
-  AppendInt<std::uint32_t>(buf, static_cast<std::uint32_t>(store.days()));
-  AppendInt<std::uint64_t>(buf, store.BlockCount());
-  if (v2) {
-    std::string coverage((static_cast<std::size_t>(store.days()) + 7) / 8,
-                         '\0');
-    for (int d = 0; d < store.days(); ++d) {
-      if (store.DayCovered(d)) {
-        coverage[static_cast<std::size_t>(d / 8)] |=
-            static_cast<char>(1 << (d % 8));
+  {
+    obs::Span header_span{"io.store.save.header_seconds"};
+    std::string buf;
+    buf.append(v2 ? kMagicV2 : kMagicV1, 8);
+    AppendInt<std::uint32_t>(buf, static_cast<std::uint32_t>(store.days()));
+    AppendInt<std::uint64_t>(buf, store.BlockCount());
+    if (v2) {
+      std::string coverage((static_cast<std::size_t>(store.days()) + 7) / 8,
+                           '\0');
+      for (int d = 0; d < store.days(); ++d) {
+        if (store.DayCovered(d)) {
+          coverage[static_cast<std::size_t>(d / 8)] |=
+              static_cast<char>(1 << (d % 8));
+        }
       }
+      buf += coverage;
+      AppendInt<std::uint32_t>(buf, Crc32c(buf.data(), buf.size()));
     }
-    buf += coverage;
-    AppendInt<std::uint32_t>(buf, Crc32c(buf.data(), buf.size()));
-  }
-  emit(buf);
-
-  store.ForEach([&](net::BlockKey key, const activity::ActivityMatrix& m) {
-    buf.clear();
-    AppendBlockRecord(buf, key, m);
-    if (v2) AppendInt<std::uint32_t>(buf, Crc32c(buf.data(), buf.size()));
     emit(buf);
-  });
+  }
+
+  {
+    obs::Span blocks_span{"io.store.save.blocks_seconds"};
+    std::string buf;
+    store.ForEach([&](net::BlockKey key, const activity::ActivityMatrix& m) {
+      buf.clear();
+      AppendBlockRecord(buf, key, m);
+      if (v2) AppendInt<std::uint32_t>(buf, Crc32c(buf.data(), buf.size()));
+      emit(buf);
+    });
+  }
 
   if (v2) {
-    buf.clear();
+    obs::Span footer_span{"io.store.save.footer_seconds"};
+    std::string buf;
     buf.append(kFooterMagic, sizeof(kFooterMagic));
     AppendInt<std::uint64_t>(buf, store.BlockCount());
     emit(buf);  // folds the footer magic + echo into the stream CRC

@@ -1,0 +1,107 @@
+// Benchmark-regression gate: parse two bench-JSON v2 reports (the schema
+// bench_pipeline emits), align their runs and stages, and classify every
+// stage delta against a tolerance.
+//
+// Contract (DESIGN.md §4.11):
+//  * schema_version must be 2 in both documents — anything else is a parse
+//    error, never a guess.
+//  * Runs are matched on their `threads` value, stages by name inside a
+//    matched run.
+//  * A stage regresses when it slowed by more than tolerance_pct AND by
+//    more than min_delta_seconds in absolute terms (the floor keeps
+//    microsecond-scale stages from gating on scheduler noise).
+//  * A stage present in the baseline but absent from the current report is
+//    a regression: the benchmark silently lost coverage.
+//  * Reports from different hardware (cpu model, thread count, compiler,
+//    or flags differ) or at a different world scale (client_blocks) are not
+//    comparable: the diff is still produced, but it is advisory —
+//    `regressed` stays false for timing deltas (missing stages still gate,
+//    they are shape changes, not timings).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipscope::obs::benchdiff {
+
+// Host/toolchain fingerprint embedded in every bench-JSON v2 report.
+struct Hardware {
+  std::string cpu_model;
+  int hardware_threads = 0;
+  std::string compiler;
+  std::string flags;
+  std::string git_sha;  // informational: differs between compared reports
+};
+
+struct Stage {
+  std::string name;
+  double seconds = 0;
+};
+
+struct Run {
+  int threads = 0;
+  double total_seconds = 0;
+  std::vector<Stage> stages;  // document order
+};
+
+struct Report {
+  std::string bench_name;
+  int schema_version = 0;
+  // World scale the report was measured at (0 when the document omits it).
+  // Reports at different scales are not comparable — timings move with the
+  // input size, not the code.
+  long client_blocks = 0;
+  Hardware hardware;
+  std::vector<Run> runs;
+};
+
+// Parses a bench-JSON v2 document. Throws std::runtime_error (with context)
+// on malformed JSON, schema_version != 2, or missing required fields.
+Report ParseReport(std::string_view text);
+
+// Same, from a file; the path is included in error messages.
+Report LoadReportFile(const std::string& path);
+
+enum class StageStatus {
+  kUnchanged,  // within tolerance (or below the absolute floor)
+  kImproved,   // faster by more than tolerance + floor
+  kRegressed,  // slower by more than tolerance + floor
+  kMissing,    // in baseline, absent from current — lost coverage
+  kNew,        // in current only — informational
+};
+
+struct StageDiff {
+  int threads = 0;
+  std::string stage;
+  double baseline_seconds = 0;
+  double current_seconds = 0;
+  double delta_pct = 0;  // (current - baseline) / baseline * 100
+  StageStatus status = StageStatus::kUnchanged;
+};
+
+struct DiffOptions {
+  double tolerance_pct = 10.0;
+  // Absolute slow-down floor: a delta smaller than this never regresses
+  // (nor counts as improved), whatever its percentage.
+  double min_delta_seconds = 5e-4;
+};
+
+struct DiffResult {
+  std::vector<StageDiff> stages;
+  // False when the two reports come from different hardware or toolchains;
+  // timing deltas are then advisory and never set `regressed`.
+  bool comparable = true;
+  bool regressed = false;
+  std::vector<std::string> notes;  // mismatches, unmatched runs
+};
+
+DiffResult Diff(const Report& baseline, const Report& current,
+                const DiffOptions& options = {});
+
+// Fixed-width human-readable rendering of a diff (table + notes + verdict).
+void WriteDiff(std::ostream& os, const DiffResult& result,
+               const DiffOptions& options = {});
+
+}  // namespace ipscope::obs::benchdiff

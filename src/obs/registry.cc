@@ -9,33 +9,16 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/json.h"
+
 namespace ipscope::obs {
 
 namespace {
 
-// JSON string escaping for metric names (quotes, backslash, control chars).
-std::string EscapeJson(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+// JSON string escaping for metric names (quotes, backslash, control chars)
+// — the shared obs::json escaper, so every obs serializer escapes
+// identically.
+std::string EscapeJson(const std::string& s) { return json::Escape(s); }
 
 // Finite doubles only (the registry never produces NaN/inf, but a gauge is
 // user-settable); JSON has no literal for non-finite values.
@@ -46,7 +29,47 @@ std::string FormatJsonDouble(double v) {
   return buf;
 }
 
+// Prometheus sample values, unlike JSON, have literals for non-finite
+// numbers.
+std::string FormatPromDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+// # HELP text escaping per the text-format spec: backslash and newline.
+std::string EscapeHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
 
 void Gauge::Add(double delta) {
   double expected = value_.load(std::memory_order_relaxed);
@@ -228,6 +251,46 @@ void Registry::WriteJsonFile(const std::string& path) const {
     throw std::runtime_error("obs: cannot open metrics output: " + path);
   }
   WriteJson(os);
+  if (!os) throw std::runtime_error("obs: metrics write failed: " + path);
+}
+
+void Registry::WritePrometheus(std::ostream& os) const {
+  for (const auto& [name, value] : CounterValues()) {
+    std::string prom = PrometheusName(name);
+    os << "# HELP " << prom << " ipscope counter " << EscapeHelp(name)
+       << "\n# TYPE " << prom << " counter\n"
+       << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : GaugeValues()) {
+    std::string prom = PrometheusName(name);
+    os << "# HELP " << prom << " ipscope gauge " << EscapeHelp(name)
+       << "\n# TYPE " << prom << " gauge\n"
+       << prom << " " << FormatPromDouble(value) << "\n";
+  }
+  for (const auto& [name, s] : HistogramSnapshots()) {
+    std::string prom = PrometheusName(name);
+    os << "# HELP " << prom << " ipscope histogram " << EscapeHelp(name)
+       << "\n# TYPE " << prom << " summary\n"
+       << prom << "{quantile=\"0.5\"} " << FormatPromDouble(s.p50) << "\n"
+       << prom << "{quantile=\"0.9\"} " << FormatPromDouble(s.p90) << "\n"
+       << prom << "{quantile=\"0.99\"} " << FormatPromDouble(s.p99) << "\n"
+       << prom << "_sum " << FormatPromDouble(s.sum) << "\n"
+       << prom << "_count " << s.count << "\n";
+  }
+}
+
+std::string Registry::ToPrometheus() const {
+  std::ostringstream os;
+  WritePrometheus(os);
+  return os.str();
+}
+
+void Registry::WritePrometheusFile(const std::string& path) const {
+  std::ofstream os{path};
+  if (!os) {
+    throw std::runtime_error("obs: cannot open metrics output: " + path);
+  }
+  WritePrometheus(os);
   if (!os) throw std::runtime_error("obs: metrics write failed: " + path);
 }
 

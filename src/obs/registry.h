@@ -114,12 +114,29 @@ class Registry {
   std::string ToJson() const;
   void WriteJsonFile(const std::string& path) const;
 
+  // Serializes every instrument in the Prometheus text exposition format
+  // 0.0.4 — the groundwork a scraping daemon (ROADMAP item 3) consumes.
+  // Dotted canonical names map to Prometheus names by replacing every
+  // character outside [a-zA-Z0-9_:] with '_' (a leading digit gets a '_'
+  // prefix); each family carries a # HELP line holding the original dotted
+  // name. Counters emit as `counter`, gauges as `gauge`, histograms as
+  // `summary` (quantile 0.5/0.9/0.99 series plus _sum and _count).
+  void WritePrometheus(std::ostream& os) const;
+  std::string ToPrometheus() const;
+  void WritePrometheusFile(const std::string& path) const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+// Maps a dotted canonical metric name onto the Prometheus data model
+// ([a-zA-Z_:][a-zA-Z0-9_:]*): every invalid character becomes '_', and a
+// leading digit gets a '_' prefix. Exposed for tests and for callers that
+// need to predict exposition names.
+std::string PrometheusName(const std::string& name);
 
 // The process-global registry every pipeline stage reports into.
 Registry& GlobalRegistry();

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/json.h"
+
 namespace ipscope::obs {
 
 namespace {
@@ -23,21 +25,9 @@ std::uint32_t CurrentTid() {
       std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0x7FFFFFFF);
 }
 
-std::string EscapeJson(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      out += ' ';
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
+// The shared obs::json escaper: control characters \u-escape instead of
+// being flattened to spaces (the old behavior silently corrupted names).
+std::string EscapeJson(const std::string& s) { return json::Escape(s); }
 
 }  // namespace
 
@@ -50,13 +40,20 @@ std::int64_t TraceRecorder::NowMicros() const {
 void TraceRecorder::AddComplete(const std::string& name,
                                 const std::string& category,
                                 std::int64_t ts_us, std::int64_t dur_us) {
+  AddCompleteOnTrack(name, category, ts_us, dur_us, CurrentTid());
+}
+
+void TraceRecorder::AddCompleteOnTrack(const std::string& name,
+                                       const std::string& category,
+                                       std::int64_t ts_us, std::int64_t dur_us,
+                                       std::uint32_t track_id) {
   if (!enabled()) return;
   TraceEvent event;
   event.name = name;
   event.category = category;
   event.ts_us = std::max<std::int64_t>(ts_us, 0);
   event.dur_us = std::max<std::int64_t>(dur_us, 0);
-  event.tid = CurrentTid();
+  event.tid = track_id;
   std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(event));
 }

@@ -27,7 +27,10 @@ struct TraceEvent {
   std::string category;
   std::int64_t ts_us = 0;   // start, microseconds since recorder epoch
   std::int64_t dur_us = 0;  // duration, microseconds
-  std::uint32_t tid = 0;    // hashed std::thread::id
+  // Perfetto track: a hashed std::thread::id by default, or an explicit
+  // small track id (e.g. a par::Pool participant slot) when the producer
+  // wants events grouped by logical worker rather than OS thread.
+  std::uint32_t tid = 0;
 };
 
 class TraceRecorder {
@@ -44,6 +47,13 @@ class TraceRecorder {
   // Records a complete event for the calling thread. No-op when disabled.
   void AddComplete(const std::string& name, const std::string& category,
                    std::int64_t ts_us, std::int64_t dur_us);
+
+  // Same, but on an explicit track id instead of the hashed thread id —
+  // used by the scheduler to put every chunk of a parallel region on its
+  // participant's own Perfetto track.
+  void AddCompleteOnTrack(const std::string& name, const std::string& category,
+                          std::int64_t ts_us, std::int64_t dur_us,
+                          std::uint32_t track_id);
 
   std::vector<TraceEvent> Events() const;
   std::size_t size() const;

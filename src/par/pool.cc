@@ -7,6 +7,8 @@
 #include <exception>
 
 #include "obs/registry.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 
 namespace ipscope::par {
 
@@ -24,6 +26,16 @@ struct RegionGuard {
   bool prev;
   RegionGuard() : prev(tl_in_region) { tl_in_region = true; }
   ~RegionGuard() { tl_in_region = prev; }
+};
+
+// Per-chunk telemetry, written by exactly one participant (the chunk's
+// executor) and read by the submitter after the region completes — the
+// region's done/active handshake orders the accesses, so no atomics needed.
+struct ChunkStat {
+  double wait_s = 0;            // region submit -> chunk start
+  double dur_s = -1;            // execution time; -1 = cancelled, never ran
+  std::int64_t start_us = 0;    // trace timestamp (only when tracing is on)
+  std::uint32_t slot = 0;       // executing participant slot
 };
 
 }  // namespace
@@ -99,13 +111,27 @@ struct Pool::Job {
   std::atomic<std::size_t> done{0};    // chunks finished or cancelled
   std::atomic<std::uint64_t> steals{0};
   std::size_t active = 0;  // workers inside Participate; guarded by pool mu_
+  // Publish generation (stamped under pool mu_, never 0). Workers compare
+  // it against the last generation they executed, so a job stays joinable
+  // for its whole lifetime — including by workers that started (or finished
+  // their previous region) after it was published.
+  std::uint64_t generation = 0;
   std::mutex err_mu;
   std::exception_ptr error;
+
+  // Telemetry, batched per region: two steady-clock reads per chunk on the
+  // hot path, one registry/trace flush on the submitter (FlushTelemetry).
+  obs::Stopwatch region_watch;  // starts at region submit
+  bool trace_on = false;
+  std::unique_ptr<ChunkStat[]> stat;  // per chunk
+  std::unique_ptr<double[]> busy;     // per participant slot, seconds
 
   Job(std::size_t chunks_in, std::size_t participants_in,
       const std::function<void(std::size_t)>* fn_in)
       : chunks(chunks_in), participants(participants_in), fn(fn_in) {
     cursor = std::make_unique<std::atomic<std::size_t>[]>(participants);
+    stat = std::make_unique<ChunkStat[]>(chunks);
+    busy = std::make_unique<double[]>(participants);  // value-init: zeros
     band_last.resize(participants);
     std::size_t base = chunks / participants;
     std::size_t rem = chunks % participants;
@@ -171,25 +197,25 @@ void Pool::Resize(int threads) {
 
 void Pool::WorkerMain() {
   std::unique_lock lk(mu_);
-  std::uint64_t seen_generation = generation_;
+  // Publish generation of the last job this worker executed. Jobs are
+  // stamped with generations >= 1, so 0 means "none yet" and a worker that
+  // spawned mid-region still joins it. Comparing against the job's own
+  // stamp (not the pool counter) also means a worker never re-enters a
+  // region it already finished, without a separate retirement wait.
+  std::uint64_t last_done = 0;
   for (;;) {
     cv_.wait(lk, [&] {
-      return stop_ || (job_ != nullptr && generation_ != seen_generation);
+      return stop_ || (job_ != nullptr && job_->generation != last_done);
     });
     if (stop_) return;
     Job* job = job_;
-    seen_generation = generation_;
     ++job->active;  // pins the job: the submitter waits for active == 0
     lk.unlock();
     Participate(*job);
     lk.lock();
+    last_done = job->generation;
     --job->active;
     done_cv_.notify_all();
-    // Wait for this job's retirement before looking for the next one, so a
-    // worker never re-enters a region it already finished.
-    cv_.wait(lk, [&] { return stop_ || generation_ != seen_generation; });
-    if (stop_) return;
-    seen_generation = generation_;
   }
 }
 
@@ -203,18 +229,30 @@ void Pool::Participate(Job& job) {
       std::size_t c = job.cursor[band].fetch_add(1, std::memory_order_acq_rel);
       if (c >= job.band_last[band]) break;
       if (offset != 0) job.steals.fetch_add(1, std::memory_order_relaxed);
+      double wait_s = job.region_watch.Seconds();
+      std::int64_t start_us = job.trace_on ? obs::GlobalTrace().NowMicros() : 0;
+      obs::Stopwatch chunk_watch;
+      bool threw = false;
       try {
         (*job.fn)(c);
       } catch (...) {
-        {
-          std::lock_guard elk(job.err_mu);
-          if (!job.error) job.error = std::current_exception();
-        }
-        job.done.fetch_add(1, std::memory_order_acq_rel);
+        threw = true;
+        std::lock_guard elk(job.err_mu);
+        if (!job.error) job.error = std::current_exception();
+      }
+      // A chunk that threw still executed: attribute its time so the trace
+      // and busy accounting show where the region's wall clock went.
+      ChunkStat& st = job.stat[c];
+      st.wait_s = wait_s;
+      st.dur_s = chunk_watch.Seconds();
+      st.start_us = start_us;
+      st.slot = static_cast<std::uint32_t>(slot);
+      job.busy[slot] += st.dur_s;
+      job.done.fetch_add(1, std::memory_order_acq_rel);
+      if (threw) {
         job.Cancel();
         return;
       }
-      job.done.fetch_add(1, std::memory_order_acq_rel);
     }
   }
 }
@@ -230,9 +268,37 @@ void Pool::RunChunks(std::size_t chunks,
   if (tl_in_region || chunks == 1 || cap <= 1) {
     // Inline path: nested region, trivial region, or an effectively serial
     // pool. Shares the chunk decomposition with the parallel path, so the
-    // work (and any exception) is identical.
+    // work (and any exception) is identical. Telemetry attributes every
+    // chunk to participant slot 0 (trace track id 1).
     RegionGuard guard;
-    for (std::size_t c = 0; c < chunks; ++c) fn(c);
+    obs::TraceRecorder& trace = obs::GlobalTrace();
+    const bool trace_on = trace.enabled();
+    obs::Histogram& chunk_hist =
+        registry.GetHistogram("par.pool.chunk_seconds");
+    obs::Histogram& wait_hist =
+        registry.GetHistogram("par.pool.queue_wait_seconds");
+    obs::Stopwatch region_watch;
+    double busy = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      double wait_s = region_watch.Seconds();
+      std::int64_t start_us = trace_on ? trace.NowMicros() : 0;
+      obs::Stopwatch chunk_watch;
+      fn(c);
+      double dur_s = chunk_watch.Seconds();
+      busy += dur_s;
+      chunk_hist.Record(dur_s);
+      wait_hist.Record(wait_s);
+      if (trace_on) {
+        trace.AddCompleteOnTrack("par.chunk", "par", start_us,
+                                 static_cast<std::int64_t>(dur_s * 1e6), 1);
+      }
+    }
+    double region_s = region_watch.Seconds();
+    registry.GetHistogram("par.pool.region_seconds").Record(region_s);
+    registry.GetGauge("par.pool.worker.0.busy_seconds").Add(busy);
+    registry.GetGauge("par.pool.worker.0.idle_seconds")
+        .Add(std::max(region_s - busy, 0.0));
+    registry.GetGauge("par.pool.imbalance_ratio").Set(1.0);
     registry.GetCounter("par.pool.regions").Add(1);
     registry.GetCounter("par.pool.tasks_executed").Add(chunks);
     registry.GetGauge("par.pool.region_participants").Set(1);
@@ -248,10 +314,11 @@ void Pool::RunChunks(std::size_t chunks,
       std::min(static_cast<std::size_t>(cap), chunks);
 
   Job job{chunks, participants, &fn};
+  job.trace_on = obs::GlobalTrace().enabled();
   {
     std::lock_guard lk(mu_);
+    job.generation = ++generation_;
     job_ = &job;
-    ++generation_;
   }
   cv_.notify_all();
   Participate(job);
@@ -262,10 +329,9 @@ void Pool::RunChunks(std::size_t chunks,
              job.active == 0;
     });
     job_ = nullptr;
-    ++generation_;
   }
-  cv_.notify_all();  // release workers parked on "job retired"
 
+  FlushTelemetry(job, job.region_watch.Seconds());
   registry.GetCounter("par.pool.regions").Add(1);
   registry.GetCounter("par.pool.tasks_executed").Add(chunks);
   registry.GetCounter("par.pool.steals")
@@ -273,6 +339,40 @@ void Pool::RunChunks(std::size_t chunks,
   registry.GetGauge("par.pool.region_participants")
       .Set(static_cast<double>(participants));
   if (job.error) std::rethrow_exception(job.error);
+}
+
+void Pool::FlushTelemetry(const Job& job, double region_seconds) {
+  auto& registry = obs::GlobalRegistry();
+  obs::Histogram& chunk_hist = registry.GetHistogram("par.pool.chunk_seconds");
+  obs::Histogram& wait_hist =
+      registry.GetHistogram("par.pool.queue_wait_seconds");
+  obs::TraceRecorder& trace = obs::GlobalTrace();
+  for (std::size_t c = 0; c < job.chunks; ++c) {
+    const ChunkStat& st = job.stat[c];
+    if (st.dur_s < 0) continue;  // cancelled after an earlier chunk threw
+    chunk_hist.Record(st.dur_s);
+    wait_hist.Record(st.wait_s);
+    if (job.trace_on) {
+      trace.AddCompleteOnTrack("par.chunk", "par", st.start_us,
+                               static_cast<std::int64_t>(st.dur_s * 1e6),
+                               st.slot + 1);
+    }
+  }
+  registry.GetHistogram("par.pool.region_seconds").Record(region_seconds);
+  double total_busy = 0;
+  double max_busy = 0;
+  for (std::size_t s = 0; s < job.participants; ++s) {
+    double busy = job.busy[s];
+    total_busy += busy;
+    max_busy = std::max(max_busy, busy);
+    std::string worker = "par.pool.worker." + std::to_string(s);
+    registry.GetGauge(worker + ".busy_seconds").Add(busy);
+    registry.GetGauge(worker + ".idle_seconds")
+        .Add(std::max(region_seconds - busy, 0.0));
+  }
+  double mean_busy = total_busy / static_cast<double>(job.participants);
+  registry.GetGauge("par.pool.imbalance_ratio")
+      .Set(mean_busy > 0 ? max_busy / mean_busy : 1.0);
 }
 
 Pool& GlobalPool() {

@@ -30,8 +30,23 @@
 // Exceptions thrown by a chunk cancel the remaining chunks (best effort)
 // and the first one is rethrown on the calling thread.
 //
-// Metrics (obs::GlobalRegistry): par.pool.threads and par.pool.region_participants
-// gauges, par.pool.regions / par.pool.tasks_executed / par.pool.steals counters.
+// Metrics (obs::GlobalRegistry):
+//   gauges    par.pool.threads, par.pool.region_participants,
+//             par.pool.imbalance_ratio (last region: max participant busy
+//             time over mean — 1.0 is perfect balance),
+//             par.pool.worker.<slot>.busy_seconds / .idle_seconds
+//             (cumulative per participant slot; slot 0 is the submitter on
+//             the inline path)
+//   counters  par.pool.regions, par.pool.tasks_executed, par.pool.steals
+//   histograms par.pool.chunk_seconds (per-chunk execution time),
+//             par.pool.queue_wait_seconds (region submit -> chunk start),
+//             par.pool.region_seconds (region wall time)
+// Per-chunk telemetry is accumulated inside the region and flushed in one
+// batch by the submitting thread, so the steady-state cost is two
+// steady-clock reads per chunk. When obs::GlobalTrace() is enabled, every
+// chunk additionally emits a "par.chunk" trace event on its participant's
+// own track (track id = slot + 1), so Perfetto shows the actual per-worker
+// schedule instead of one merged lane.
 #pragma once
 
 #include <atomic>
@@ -121,9 +136,13 @@ class Pool {
   void StopAndJoin();
   void WorkerMain();
   static void Participate(Job& job);
+  // Publishes the region's batched per-chunk telemetry (histograms,
+  // per-worker busy/idle gauges, imbalance ratio, trace events) from the
+  // submitting thread after every participant has left the region.
+  static void FlushTelemetry(const Job& job, double region_seconds);
 
   mutable std::mutex mu_;            // guards job_, generation_, stop_
-  std::condition_variable cv_;       // workers: new job / job retired / stop
+  std::condition_variable cv_;       // workers: new job published / stop
   std::condition_variable done_cv_;  // submitter: region finished
   std::mutex region_mu_;             // serializes parallel regions + Resize
   std::vector<std::thread> workers_;

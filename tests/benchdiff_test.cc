@@ -1,0 +1,281 @@
+// Corpus tests for the benchmark-regression gate: bench-JSON v2 parsing,
+// the comparability rules (hardware/toolchain mismatches advise instead of
+// gate), and the regression verdicts benchdiff exits on.
+#include "obs/benchdiff.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ipscope::obs::benchdiff {
+namespace {
+
+// A minimal v2 report: one 4-thread run with two stages. `mutate` hooks let
+// each test vary one dimension without repeating the whole document.
+struct ReportSpec {
+  double store_build = 2.0;
+  double churn = 0.5;
+  bool include_churn = true;
+  std::string cpu_model = "TestCPU 9000";
+  int hardware_threads = 4;
+  std::string compiler = "gcc 12.2.0";
+  std::string flags = "-O2";
+  int schema_version = 2;
+  int threads = 4;
+  long client_blocks = 4000;  // 0 omits the field (pre-v2 reports)
+};
+
+std::string MakeReport(const ReportSpec& spec) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"schema_version\": " << spec.schema_version << ",\n"
+     << "  \"bench\": \"pipeline\",\n";
+  if (spec.client_blocks != 0) {
+    os << "  \"client_blocks\": " << spec.client_blocks << ",\n";
+  }
+  os << ""
+     << "  \"hardware\": {\n"
+     << "    \"cpu_model\": \"" << spec.cpu_model << "\",\n"
+     << "    \"hardware_threads\": " << spec.hardware_threads << ",\n"
+     << "    \"compiler\": \"" << spec.compiler << "\",\n"
+     << "    \"flags\": \"" << spec.flags << "\",\n"
+     << "    \"git_sha\": \"abc123\"\n"
+     << "  },\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"threads\": " << spec.threads << ",\n"
+     << "      \"total_seconds\": " << spec.store_build + spec.churn << ",\n"
+     << "      \"stages\": {\n"
+     << "        \"store_build\": {\"seconds\": " << spec.store_build
+     << ", \"mb\": 14.4}";
+  if (spec.include_churn) {
+    os << ",\n        \"churn\": " << spec.churn;
+  }
+  os << "\n      }\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+TEST(BenchdiffParse, ReadsV2ReportWithObjectAndBareNumberStages) {
+  Report r = ParseReport(MakeReport(ReportSpec{}));
+  EXPECT_EQ(r.schema_version, 2);
+  EXPECT_EQ(r.bench_name, "pipeline");
+  EXPECT_EQ(r.hardware.cpu_model, "TestCPU 9000");
+  EXPECT_EQ(r.hardware.hardware_threads, 4);
+  EXPECT_EQ(r.hardware.compiler, "gcc 12.2.0");
+  EXPECT_EQ(r.hardware.git_sha, "abc123");
+  ASSERT_EQ(r.runs.size(), 1u);
+  ASSERT_EQ(r.runs[0].stages.size(), 2u);
+  // Stage values parse both as {"seconds": X, ...} and as a bare number.
+  EXPECT_EQ(r.runs[0].stages[0].name, "store_build");
+  EXPECT_DOUBLE_EQ(r.runs[0].stages[0].seconds, 2.0);
+  EXPECT_EQ(r.runs[0].stages[1].name, "churn");
+  EXPECT_DOUBLE_EQ(r.runs[0].stages[1].seconds, 0.5);
+}
+
+TEST(BenchdiffParse, RejectsWrongSchemaVersion) {
+  ReportSpec spec;
+  spec.schema_version = 1;
+  try {
+    ParseReport(MakeReport(spec));
+    FAIL() << "expected schema error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("schema_version"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BenchdiffParse, RejectsMissingRequiredFields) {
+  EXPECT_THROW(ParseReport("{\"schema_version\": 2}"), std::runtime_error);
+  EXPECT_THROW(
+      ParseReport(R"({"schema_version": 2,
+                      "hardware": {"cpu_model": "x", "hardware_threads": 1},
+                      "runs": []})"),
+      std::runtime_error);  // empty runs
+  EXPECT_THROW(
+      ParseReport(R"({"schema_version": 2,
+                      "hardware": {"hardware_threads": 1},
+                      "runs": [{"threads": 1, "total_seconds": 1,
+                                "stages": {}}]})"),
+      std::runtime_error);  // hardware.cpu_model missing
+  EXPECT_THROW(ParseReport("not json at all"), std::runtime_error);
+}
+
+TEST(BenchdiffParse, MissingFileFailsLoudly) {
+  EXPECT_THROW(LoadReportFile("/nonexistent/ipscope-bench.json"),
+               std::runtime_error);
+}
+
+TEST(BenchdiffDiff, UnchangedWithinToleranceIsClean) {
+  Report base = ParseReport(MakeReport(ReportSpec{}));
+  ReportSpec cur;
+  cur.store_build = 2.05;  // +2.5%, under the 10% default tolerance
+  DiffResult result = Diff(base, ParseReport(MakeReport(cur)), DiffOptions{});
+  EXPECT_FALSE(result.regressed);
+  EXPECT_TRUE(result.comparable);
+  for (const StageDiff& d : result.stages) {
+    EXPECT_EQ(d.status, StageStatus::kUnchanged) << d.stage;
+  }
+}
+
+TEST(BenchdiffDiff, ImprovedStageIsReportedNotGated) {
+  Report base = ParseReport(MakeReport(ReportSpec{}));
+  ReportSpec cur;
+  cur.store_build = 1.0;  // -50%
+  DiffResult result = Diff(base, ParseReport(MakeReport(cur)), DiffOptions{});
+  EXPECT_FALSE(result.regressed);
+  ASSERT_GE(result.stages.size(), 1u);
+  EXPECT_EQ(result.stages[0].stage, "store_build");
+  EXPECT_EQ(result.stages[0].status, StageStatus::kImproved);
+}
+
+TEST(BenchdiffDiff, RegressionBeyondToleranceGates) {
+  Report base = ParseReport(MakeReport(ReportSpec{}));
+  ReportSpec cur;
+  cur.store_build = 2.5;  // +25%
+  DiffResult result = Diff(base, ParseReport(MakeReport(cur)), DiffOptions{});
+  EXPECT_TRUE(result.regressed);
+  EXPECT_EQ(result.stages[0].status, StageStatus::kRegressed);
+  EXPECT_NEAR(result.stages[0].delta_pct, 25.0, 1e-9);
+
+  // A looser tolerance accepts the same delta.
+  DiffOptions loose;
+  loose.tolerance_pct = 30.0;
+  EXPECT_FALSE(Diff(base, ParseReport(MakeReport(cur)), loose).regressed);
+}
+
+TEST(BenchdiffDiff, TinyAbsoluteDeltasNeverGate) {
+  // +100% on a microsecond-scale stage is measurement noise, not a
+  // regression: the absolute floor (min_delta_seconds) must absorb it.
+  ReportSpec base_spec;
+  base_spec.churn = 0.0001;
+  ReportSpec cur_spec;
+  cur_spec.churn = 0.0002;
+  DiffResult result = Diff(ParseReport(MakeReport(base_spec)),
+                           ParseReport(MakeReport(cur_spec)), DiffOptions{});
+  EXPECT_FALSE(result.regressed);
+}
+
+TEST(BenchdiffDiff, MissingStageGatesEvenAcrossHardware) {
+  Report base = ParseReport(MakeReport(ReportSpec{}));
+  ReportSpec cur;
+  cur.include_churn = false;
+  cur.cpu_model = "OtherCPU";  // not comparable — but shape changes still gate
+  DiffResult result = Diff(base, ParseReport(MakeReport(cur)), DiffOptions{});
+  EXPECT_TRUE(result.regressed);
+  EXPECT_FALSE(result.comparable);
+  bool saw_missing = false;
+  for (const StageDiff& d : result.stages) {
+    if (d.stage == "churn") {
+      EXPECT_EQ(d.status, StageStatus::kMissing);
+      saw_missing = true;
+    }
+  }
+  EXPECT_TRUE(saw_missing);
+}
+
+TEST(BenchdiffDiff, MissingRunGates) {
+  Report base = ParseReport(MakeReport(ReportSpec{}));
+  ReportSpec cur;
+  cur.threads = 8;  // baseline's threads=4 run has no counterpart
+  DiffResult result = Diff(base, ParseReport(MakeReport(cur)), DiffOptions{});
+  EXPECT_TRUE(result.regressed);
+  ASSERT_FALSE(result.notes.empty());
+}
+
+TEST(BenchdiffDiff, HardwareMismatchIsAdvisoryOnly) {
+  Report base = ParseReport(MakeReport(ReportSpec{}));
+  ReportSpec cur;
+  cur.store_build = 9.0;  // a huge "regression" — on different hardware
+  cur.cpu_model = "OtherCPU 100";
+  cur.hardware_threads = 16;
+  DiffResult result = Diff(base, ParseReport(MakeReport(cur)), DiffOptions{});
+  EXPECT_FALSE(result.comparable);
+  EXPECT_FALSE(result.regressed) << "cross-hardware timing must not gate";
+  EXPECT_EQ(result.stages[0].status, StageStatus::kRegressed)
+      << "the delta itself is still reported";
+  ASSERT_FALSE(result.notes.empty());
+  EXPECT_NE(result.notes[0].find("advisory"), std::string::npos);
+}
+
+TEST(BenchdiffDiff, CompilerOrFlagsMismatchIsAdvisoryOnly) {
+  Report base = ParseReport(MakeReport(ReportSpec{}));
+  ReportSpec cur;
+  cur.store_build = 9.0;
+  cur.flags = "-O0 -g";
+  DiffResult result = Diff(base, ParseReport(MakeReport(cur)), DiffOptions{});
+  EXPECT_FALSE(result.comparable);
+  EXPECT_FALSE(result.regressed);
+}
+
+TEST(BenchdiffDiff, WorldScaleMismatchIsAdvisoryOnly) {
+  // Timings scale with the input: a 600-block run against a 4000-block
+  // baseline must not gate (nor silently "improve").
+  Report base = ParseReport(MakeReport(ReportSpec{}));
+  ReportSpec cur;
+  cur.store_build = 0.4;  // "faster" only because the world is smaller
+  cur.client_blocks = 600;
+  DiffResult result = Diff(base, ParseReport(MakeReport(cur)), DiffOptions{});
+  EXPECT_FALSE(result.comparable);
+  EXPECT_FALSE(result.regressed);
+  ASSERT_FALSE(result.notes.empty());
+  EXPECT_NE(result.notes[0].find("client_blocks"), std::string::npos)
+      << result.notes[0];
+}
+
+TEST(BenchdiffDiff, MissingScaleFieldStaysComparable) {
+  // Reports that predate the client_blocks field (or omit it) keep gating
+  // rather than turning every diff advisory.
+  ReportSpec no_scale;
+  no_scale.client_blocks = 0;
+  Report base = ParseReport(MakeReport(no_scale));
+  EXPECT_EQ(base.client_blocks, 0);
+  ReportSpec cur;
+  cur.store_build = 2.5;  // +25%
+  DiffResult result = Diff(base, ParseReport(MakeReport(cur)), DiffOptions{});
+  EXPECT_TRUE(result.comparable);
+  EXPECT_TRUE(result.regressed);
+}
+
+TEST(BenchdiffDiff, NewStageIsInformational) {
+  ReportSpec base_spec;
+  base_spec.include_churn = false;
+  Report base = ParseReport(MakeReport(base_spec));
+  DiffResult result =
+      Diff(base, ParseReport(MakeReport(ReportSpec{})), DiffOptions{});
+  EXPECT_FALSE(result.regressed);
+  bool saw_new = false;
+  for (const StageDiff& d : result.stages) {
+    if (d.stage == "churn") {
+      EXPECT_EQ(d.status, StageStatus::kNew);
+      saw_new = true;
+    }
+  }
+  EXPECT_TRUE(saw_new);
+}
+
+TEST(BenchdiffWrite, RendersVerdictAndTable) {
+  Report base = ParseReport(MakeReport(ReportSpec{}));
+  ReportSpec cur;
+  cur.store_build = 2.5;
+  DiffResult result = Diff(base, ParseReport(MakeReport(cur)), DiffOptions{});
+  std::ostringstream os;
+  WriteDiff(os, result, DiffOptions{});
+  std::string text = os.str();
+  EXPECT_NE(text.find("store_build"), std::string::npos) << text;
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos) << text;
+  EXPECT_NE(text.find("REGRESSION detected"), std::string::npos) << text;
+
+  std::ostringstream clean_os;
+  WriteDiff(clean_os, Diff(base, base, DiffOptions{}), DiffOptions{});
+  EXPECT_NE(clean_os.str().find("no regression beyond tolerance"),
+            std::string::npos)
+      << clean_os.str();
+}
+
+}  // namespace
+}  // namespace ipscope::obs::benchdiff

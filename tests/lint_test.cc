@@ -206,6 +206,22 @@ TEST(LintRules, TimeRuleExemptsObsAndBench) {
   EXPECT_FALSE(HasRule(Analyze("bench/x.cc", src), "determinism.time"));
 }
 
+TEST(LintRules, TimeRuleStillCoversInstrumentedHotPaths) {
+  // The scheduler, observatory, and store IO carry telemetry now, but they
+  // are NOT time-exempt: their instrumentation must route through the
+  // obs::Stopwatch/Span wrappers, never read clocks directly.
+  std::string src = "auto t = std::chrono::steady_clock::now();\n";
+  for (const char* path : {"src/par/pool.cc", "src/cdn/observatory.cc",
+                           "src/io/store_io.cc"}) {
+    EXPECT_TRUE(HasRule(Analyze(path, src), "determinism.time")) << path;
+  }
+  // The prefix match is anchored: a path merely containing "obs" or "bench"
+  // is not exempt.
+  EXPECT_TRUE(
+      HasRule(Analyze("src/analysis/obs_helper.cc", src), "determinism.time"));
+  EXPECT_TRUE(HasRule(Analyze("src/benchlike/x.cc", src), "determinism.time"));
+}
+
 TEST(LintRules, RawParseAndGetenvFireEverywhere) {
   std::string src =
       "#include <cstdlib>\n"

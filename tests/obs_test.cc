@@ -307,6 +307,37 @@ TEST(ObsSpan, RecordsHistogramAndTraceEvent) {
   if (!was_enabled) trace.Disable();
 }
 
+// Regression: the trace serializer used to flatten control characters to
+// spaces (silent corruption); it now shares obs::json::Escape with the
+// registry, so a hostile name must come out \u-escaped and the document
+// must stay parseable.
+TEST(ObsTrace, ControlCharactersInNamesAreEscapedNotFlattened) {
+  TraceRecorder rec;
+  rec.Enable();
+  rec.AddComplete(std::string("bad\x01name\tand\nnewline"), "cat\x02", 0, 10);
+  std::ostringstream os;
+  rec.Write(os);
+  std::string json = os.str();
+  EXPECT_TRUE(JsonChecker{json}.Valid()) << json;
+  EXPECT_NE(json.find("bad\\u0001name\\tand\\nnewline"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("cat\\u0002"), std::string::npos) << json;
+  // The original bug: control bytes replaced with ' ', losing the name.
+  EXPECT_EQ(json.find("bad name"), std::string::npos) << json;
+}
+
+TEST(ObsRegistry, ControlCharactersInMetricNamesStayValidJson) {
+  Registry r;
+  r.GetCounter(std::string("weird\x1fname\nwith \"quotes\"")).Add(1);
+  r.GetGauge("tab\tgauge").Set(1.0);
+  std::string json = r.ToJson();
+  EXPECT_TRUE(JsonChecker{json}.Valid()) << json;
+  EXPECT_NE(json.find("weird\\u001fname\\nwith \\\"quotes\\\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("tab\\tgauge"), std::string::npos) << json;
+}
+
 // obs::EnvString is the blessed read point for string-valued environment
 // variables (the [parsing] lint contract routes bench/common.h and any
 // future path-style env read through it).
