@@ -22,6 +22,7 @@
 #include "analysis/fig6_patterns.h"
 #include "cdn/observatory.h"
 #include "common.h"
+#include "io/atomic_file.h"
 #include "io/store_io.h"
 #include "par/pool.h"
 
@@ -315,13 +316,12 @@ int main(int argc, char** argv) {
 
   std::ostringstream doc;
   WriteJson(doc, config, runs);
-  {
-    std::ofstream os{"BENCH_pipeline.json"};
-    os << doc.str();
-    if (!os) {
-      std::cerr << "FAIL: cannot write BENCH_pipeline.json\n";
-      return 1;
-    }
+  // Atomic (temp + rename): a crashed or out-of-space bench run must never
+  // leave a torn report for benchdiff to misread as a regression.
+  if (auto error =
+          ipscope::io::WriteFileAtomic("BENCH_pipeline.json", doc.view())) {
+    std::cerr << "FAIL: " << *error << "\n";
+    return 1;
   }
   // Append-only perf trajectory: one minified v2 document per line, so a
   // long-running checkout accumulates its own benchmark history without a

@@ -55,6 +55,26 @@ build/tools/ipscope_cli check | tee results/check.txt
 # survive, salvage every intact block, and pass its own scorecard.
 echo "== chaos smoke"
 build/tools/ipscope_cli chaos --seed 7 --blocks 800 | tee results/chaos.txt
+
+# Crash-recovery gate: sweep every registered crash point of the sharded
+# ingest commit protocol (src/ingest) x 3 seeds — kill a child process at
+# the armed syscall boundary, then require recovery to land bit-exactly on
+# the committed prefix and replay to converge. Non-zero exit fails the run.
+echo "== chaos-crash gate"
+build/tools/ipscope_cli chaos-crash --blocks 120 --seeds 3 \
+  | tee results/chaos_crash.txt
+
+# Prove the crash gate has teeth: IPSCOPE_INGEST_SKIP_ROLLBACK=1 enables a
+# deliberately seeded recovery bug (orphaned shards are adopted as
+# committed instead of quarantined); chaos-crash must catch the divergence.
+if IPSCOPE_INGEST_SKIP_ROLLBACK=1 build/tools/ipscope_cli chaos-crash \
+    --blocks 120 --seeds 1 --dir results/chaos_crash_teeth.dir \
+    >results/chaos_crash_teeth.txt 2>&1; then
+  echo "FATAL: chaos-crash accepted the seeded skip-rollback recovery bug" >&2
+  exit 1
+fi
+rm -rf results/chaos_crash_teeth.dir
+echo "chaos-crash gate: seeded recovery bug correctly caught"
 # Snapshot the committed pipeline benchmark before the bench loop overwrites
 # BENCH_pipeline.json with this run's numbers; the regression gate below
 # diffs the fresh report against it.

@@ -1,5 +1,6 @@
 #include "cli/commands.h"
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -21,8 +22,10 @@
 #include "cdn/rawlog.h"
 #include "check/golden.h"
 #include "check/sweep.h"
+#include "fault/crash.h"
 #include "fault/injector.h"
 #include "fault/schedule.h"
+#include "ingest/session.h"
 #include "io/store_io.h"
 #include "scan/icmp.h"
 #include "measurement/hitlist.h"
@@ -84,6 +87,15 @@ commands:
       the grammar; default "drop-days=2,truncate-store=0.6,
       drop-snapshots=1") and print a robustness scorecard. Exits 0 iff
       every scorecard check passes.
+  chaos-crash [--blocks N] [--seed S] [--seeds N] [--dir ROOT]
+      Crash-recovery gate for the sharded ingest store (src/ingest): for
+      every registered crash point (see src/fault/crash.h) x seeds
+      (default 3), fork a child that appends a delta with the point armed
+      (schedule grammar crash-at:<point>), verify the child died exactly
+      there, then prove recovery yields a store bit-identical to a clean
+      build of the committed prefix and that replaying the interrupted
+      delta converges on the full dataset with no double-apply. Exits 0
+      iff every point x seed cell passes.
   check [--goldens DIR] [--update-goldens] [--blocks N] [--threads-max N]
         [--perturb flip-bit]
       Differential correctness sweep: re-derives every figure series with
@@ -913,6 +925,238 @@ int CmdChaos(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   return all_ok ? 0 : 1;
 }
 
+// The day-slice delta of `full` covering [first, last] (inclusive): every
+// block of the full store is present — even ones with no activity in the
+// range — so composing the resulting shards serializes byte-identically
+// to the batch-built store, which is what the gate memcmp's against.
+activity::ActivityStore SliceDays(const activity::ActivityStore& full,
+                                  int first, int last) {
+  activity::ActivityStore delta{full.days()};
+  for (int d = 0; d < full.days(); ++d) {
+    if (d < first || d > last || !full.DayCovered(d)) {
+      delta.SetDayCovered(d, false);
+    }
+  }
+  full.ForEach([&](net::BlockKey key, const activity::ActivityMatrix& m) {
+    activity::ActivityMatrix& dst = delta.GetOrCreate(key);
+    for (int d = first; d <= last; ++d) {
+      if (delta.DayCovered(d)) dst.Row(d) = m.Row(d);
+    }
+  });
+  return delta;
+}
+
+std::string StoreBytes(const activity::ActivityStore& store) {
+  std::ostringstream os{std::ios::binary};
+  io::SaveStore(store, os);
+  return std::move(os).str();
+}
+
+int CmdChaosCrash(const CommandLine& cmd, std::ostream& out,
+                  std::ostream& err) {
+  int blocks = cmd.IntFlag("blocks", 120);
+  std::uint64_t base_seed = cmd.Uint64Flag("seed", 11);
+  int num_seeds = cmd.IntFlag("seeds", 3);
+  if (num_seeds < 1) {
+    err << "chaos-crash: --seeds must be >= 1\n";
+    return 2;
+  }
+  std::filesystem::path root =
+      cmd.Flag("dir").value_or((std::filesystem::temp_directory_path() /
+                                ("ipscope_chaos_crash_" +
+                                 std::to_string(::getpid())))
+                                   .string());
+
+  const std::vector<std::string>& points = fault::CrashPoints();
+  out << "chaos-crash: " << points.size() << " crash points x " << num_seeds
+      << " seeds, " << blocks << " client blocks, base seed " << base_seed
+      << "\nchaos-crash: store root " << root.string() << "\n\n";
+
+  // Build every world up front: the observatory uses the shared pool, and
+  // forking a multithreaded process is only safe once the pool is down to
+  // its inline (single-thread) strategy.
+  struct SeedCase {
+    std::uint64_t seed;
+    activity::ActivityStore delta0{1};  // committed cleanly by the parent
+    activity::ActivityStore delta1{1};  // appended by the crashing child
+    std::string full_bytes;             // batch build of all days
+    std::string prefix_bytes;           // batch build of delta0's days
+    int days = 0;
+  };
+  std::vector<SeedCase> cases;
+  for (int s = 0; s < num_seeds; ++s) {
+    SeedCase c;
+    c.seed = base_seed + 12 * static_cast<std::uint64_t>(s);
+    sim::WorldConfig config;
+    config.target_client_blocks = blocks;
+    config.seed = c.seed;
+    sim::World world{config};
+    auto full = cdn::Observatory::Daily(world).BuildStore();
+    c.days = full.days();
+    int split = c.days / 2;
+    c.delta0 = SliceDays(full, 0, split - 1);
+    c.delta1 = SliceDays(full, split, c.days - 1);
+    c.full_bytes = StoreBytes(full);
+    c.prefix_bytes = StoreBytes(c.delta0);
+    cases.push_back(std::move(c));
+  }
+  int pool_threads = par::GlobalPool().threads();
+  par::GlobalPool().Resize(1);  // fork safety: no worker threads alive
+
+  report::Table card({"crash point", "status", "detail"});
+  bool all_ok = true;
+  for (const std::string& point : points) {
+    int passed = 0;
+    std::string failure;
+    for (const SeedCase& c : cases) {
+      std::filesystem::path dir =
+          root / (point + "-s" + std::to_string(c.seed));
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+
+      auto fail = [&](const std::string& what) {
+        if (failure.empty()) {
+          failure = "seed " + std::to_string(c.seed) + ": " + what;
+        }
+      };
+
+      // The parent commits delta0 cleanly: the committed prefix every
+      // pre-commit crash must roll back to.
+      auto opened = ingest::Session::Open(dir.string(), c.days);
+      if (!opened.ok()) {
+        fail("open: " + opened.error().ToString());
+        continue;
+      }
+      ingest::Session session = std::move(opened).value();
+      auto first = session.Append(c.delta0, "delta0");
+      if (!first.ok() || !first.value().applied) {
+        fail("delta0 commit failed");
+        continue;
+      }
+
+      pid_t pid = ::fork();
+      if (pid < 0) {
+        fail("fork failed");
+        continue;
+      }
+      if (pid == 0) {
+        // Child: arm the point through the schedule grammar (so the gate
+        // also exercises crash-at parsing), then run one Append. Reaching
+        // _exit(0) means the armed point never fired — a gate failure the
+        // parent detects via the exit code.
+        fault::Schedule schedule;
+        schedule.seed = c.seed;
+        std::string parse_error;
+        if (!fault::ParseSchedule("crash-at:" + point, &schedule,
+                                  &parse_error)) {
+          ::_exit(90);
+        }
+        fault::ArmFromSchedule(schedule);
+        auto child_session = ingest::Session::Open(dir.string(), c.days);
+        if (!child_session.ok()) ::_exit(91);
+        auto append = child_session.value().Append(c.delta1, "delta1");
+        ::_exit(append.ok() ? 0 : 92);
+      }
+      int status = 0;
+      if (::waitpid(pid, &status, 0) != pid || !WIFEXITED(status)) {
+        fail("child did not exit normally");
+        continue;
+      }
+      if (WEXITSTATUS(status) != fault::kCrashExitCode) {
+        fail("child exited " + std::to_string(WEXITSTATUS(status)) +
+             ", expected crash code " +
+             std::to_string(fault::kCrashExitCode));
+        continue;
+      }
+
+      // Recovery must land on exactly the committed prefix — which the
+      // parent knows a priori: only post-commit crashes after the
+      // manifest rename, so only it may keep delta1.
+      bool expect_delta1 = point == "post-commit";
+      auto recovered = ingest::Session::Open(dir.string(), c.days);
+      if (!recovered.ok()) {
+        fail("recovery: " + recovered.error().ToString());
+        continue;
+      }
+      ingest::Session after = std::move(recovered).value();
+      if (after.manifest().HasDelta("delta1") != expect_delta1) {
+        fail(std::string("recovered manifest ") +
+             (expect_delta1 ? "lost the committed delta"
+                            : "kept the uncommitted delta"));
+        continue;
+      }
+      auto loaded = after.Load();
+      if (!loaded.ok()) {
+        fail("recovered load: " + loaded.error().ToString());
+        continue;
+      }
+      if (StoreBytes(loaded.value()) !=
+          (expect_delta1 ? c.full_bytes : c.prefix_bytes)) {
+        fail("recovered store diverges from committed prefix");
+        continue;
+      }
+
+      // Crash-and-retry convergence: replaying both deltas must be a
+      // no-op for committed ones and converge on the batch dataset.
+      auto replay0 = after.Append(c.delta0, "delta0");
+      if (!replay0.ok() || replay0.value().applied) {
+        fail("delta0 replay was not a no-op");
+        continue;
+      }
+      auto replay1 = after.Append(c.delta1, "delta1");
+      if (!replay1.ok() || replay1.value().applied == expect_delta1) {
+        fail("delta1 replay applied=" +
+             std::string(replay1.ok() && replay1.value().applied ? "true"
+                                                                 : "false"));
+        continue;
+      }
+      auto again = after.Append(c.delta1, "delta1");
+      if (!again.ok() || again.value().applied) {
+        fail("second delta1 replay was not a no-op");
+        continue;
+      }
+      auto final_load = after.Load();
+      if (!final_load.ok() ||
+          StoreBytes(final_load.value()) != c.full_bytes) {
+        fail("replayed store is not bit-identical to the batch build");
+        continue;
+      }
+      ++passed;
+    }
+    bool ok = passed == static_cast<int>(cases.size());
+    if (!ok) all_ok = false;
+    card.AddRow({point, ok ? "PASS" : "FAIL",
+                 std::to_string(passed) + "/" +
+                     std::to_string(cases.size()) + " seeds recovered" +
+                     (ok ? " bit-exact" : ": " + failure)});
+  }
+  par::GlobalPool().Resize(pool_threads);
+
+  card.Print(out);
+  auto& registry = obs::GlobalRegistry();
+  report::Table metrics({"ingest metric", "value"});
+  for (const char* name :
+       {"ingest.recoveries", "ingest.quarantined_files", "ingest.appends",
+        "ingest.append_duplicates", "io.manifest.commits",
+        "io.manifest.errors"}) {
+    metrics.AddRow({name,
+                    report::FormatCount(registry.GetCounter(name).value())});
+  }
+  out << "\n";
+  metrics.Print(out);
+
+  if (all_ok && !cmd.Flag("dir")) {
+    std::error_code ec;
+    std::filesystem::remove_all(root, ec);
+  } else if (!all_ok) {
+    out << "\nchaos-crash: store directories kept for inspection under "
+        << root.string() << "\n";
+  }
+  out << "\nchaos-crash: " << (all_ok ? "PASS" : "FAIL") << " ("
+      << points.size() * cases.size() << " crash cells)\n";
+  return all_ok ? 0 : 1;
+}
+
 int CmdCheck(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   std::string goldens_dir = cmd.Flag("goldens").value_or("tests/golden");
   check::GoldenConfig gconfig;
@@ -1068,6 +1312,7 @@ int Dispatch(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   if (cmd.command == "profile") return CmdProfile(cmd, out, err);
   if (cmd.command == "benchdiff") return CmdBenchdiff(cmd, out, err);
   if (cmd.command == "chaos") return CmdChaos(cmd, out, err);
+  if (cmd.command == "chaos-crash") return CmdChaosCrash(cmd, out, err);
   if (cmd.command == "check") return CmdCheck(cmd, out, err);
   if (cmd.command == "help" || cmd.command == "--help") {
     out << kUsage;

@@ -1,0 +1,77 @@
+#include "fault/crash.h"
+
+#include <unistd.h>
+
+#include "rng/rng.h"
+
+namespace ipscope::fault {
+
+namespace {
+
+// Substream tag for the mid-write split offset (see injector.cc for the
+// sibling data-damage tags).
+constexpr std::uint64_t kTagCrashSplit = 0xC4A5;
+
+struct ArmedCrash {
+  bool armed = false;
+  std::string point;
+  std::uint64_t seed = 0;
+};
+
+ArmedCrash& Armed() {
+  static ArmedCrash* armed = new ArmedCrash;  // never destroyed
+  return *armed;
+}
+
+}  // namespace
+
+const std::vector<std::string>& CrashPoints() {
+  static const std::vector<std::string> kPoints = {
+      "pre-temp-write",      "mid-shard-write",  "pre-fsync",
+      "pre-rename",          "pre-manifest-append",
+      "pre-manifest-fsync",  "pre-manifest-rename",
+      "post-commit",
+  };
+  return kPoints;
+}
+
+bool IsCrashPoint(std::string_view name) {
+  for (const std::string& p : CrashPoints()) {
+    if (name == p) return true;
+  }
+  return false;
+}
+
+void ArmCrash(std::string_view point, std::uint64_t seed) {
+  ArmedCrash& armed = Armed();
+  armed.armed = true;
+  armed.point.assign(point);
+  armed.seed = seed;
+}
+
+void DisarmCrash() { Armed().armed = false; }
+
+bool CrashArmed() { return Armed().armed; }
+
+void MaybeCrash(std::string_view point) {
+  const ArmedCrash& armed = Armed();
+  if (armed.armed && armed.point == point) {
+    // The crash model is a kill at a syscall boundary: no destructors, no
+    // stream flushes, no atexit hooks — _exit, not exit.
+    ::_exit(kCrashExitCode);
+  }
+}
+
+std::uint64_t CrashSplitOffset(std::uint64_t size) {
+  const ArmedCrash& armed = Armed();
+  if (!armed.armed || size < 2) return 0;
+  return 1 + rng::Substream(armed.seed, kTagCrashSplit) % (size - 1);
+}
+
+void ArmFromSchedule(const Schedule& schedule) {
+  for (const FaultSpec& f : schedule.faults) {
+    if (f.kind == FaultKind::kCrashAt) ArmCrash(f.text, schedule.seed);
+  }
+}
+
+}  // namespace ipscope::fault

@@ -1,0 +1,68 @@
+// Crash-point fault injection for the durable commit protocol.
+//
+// The drop/truncate/flip faults in fault::Injector model damaged *data*;
+// this header models a damaged *process*: a kill landing at an arbitrary
+// syscall boundary of the ingest commit path (ingest/session.h). Every
+// such boundary is enumerated here by name, in commit order, and the
+// chaos-crash gate (ipscope_cli chaos-crash, tests/ingest_crash_test.cc)
+// sweeps all of them × seeds: arm a point in a forked child, let the child
+// run one Append, verify the child died at the point, then prove recovery
+// reproduces exactly the committed prefix.
+//
+// Arming is process-global (the child process arms once, then dies at the
+// point), and the grammar hooks into fault::Schedule as
+// `crash-at=<point>` / `crash-at:<point>` so a chaos run names its kill
+// site the same way it names its data damage. Determinism: the armed seed
+// drives the mid-write split offset through rng::Substream, so the same
+// (point, seed) pair always kills at the same byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/schedule.h"
+
+namespace ipscope::fault {
+
+// The process exits with this code when an armed crash point fires —
+// distinguishable from both success and ordinary error exits, so a crash
+// harness can tell "died at the point" from "died of something else".
+inline constexpr int kCrashExitCode = 113;
+
+// Every registered syscall-boundary crash point of the ingest commit
+// path, in the order Append reaches them:
+//   pre-temp-write       before the shard temp file is created
+//   mid-shard-write      between the two halves of the shard byte write
+//   pre-fsync            after the shard bytes, before fsync(shard.tmp)
+//   pre-rename           before rename(shard.tmp -> shard)
+//   pre-manifest-append  shard durable; before the new MANIFEST temp write
+//   pre-manifest-fsync   before fsync(MANIFEST.tmp)
+//   pre-manifest-rename  before rename(MANIFEST.tmp -> MANIFEST)
+//   post-commit          after the commit is fully durable
+const std::vector<std::string>& CrashPoints();
+bool IsCrashPoint(std::string_view name);
+
+// Arms `point` for this process: the next MaybeCrash(point) terminates
+// with _exit(kCrashExitCode) — no destructors, no stream flushes, exactly
+// the crash model a kill -9 presents. `seed` drives CrashSplitOffset.
+void ArmCrash(std::string_view point, std::uint64_t seed);
+void DisarmCrash();
+bool CrashArmed();
+
+// Called by the commit path at each boundary; terminates iff armed for
+// exactly this point.
+void MaybeCrash(std::string_view point);
+
+// Deterministic split offset in [1, size) for the mid-write point,
+// derived from the armed seed; 0 (no split) when nothing is armed or the
+// content is too small to split.
+std::uint64_t CrashSplitOffset(std::uint64_t size);
+
+// Arms the crash point named by the schedule's crash-at entry, if any
+// (the last one wins); no-op for schedules without one. The schedule
+// parser has already validated the point name.
+void ArmFromSchedule(const Schedule& schedule);
+
+}  // namespace ipscope::fault

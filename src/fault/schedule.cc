@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "fault/crash.h"
+
 namespace ipscope::fault {
 
 namespace {
@@ -14,16 +16,18 @@ struct KindInfo {
   const char* name;
   bool integral;     // value must be a non-negative integer
   bool fractional;   // value must lie in (0, 1]
+  bool stringy;      // value is a string operand (FaultSpec::text)
   double fallback;   // value when "name" appears without "=value"
 };
 
 constexpr KindInfo kKinds[] = {
-    {FaultKind::kDropDays, "drop-days", true, false, 1},
-    {FaultKind::kDropDay, "drop-day", true, false, 0},
-    {FaultKind::kDropSnapshots, "drop-snapshots", true, false, 1},
-    {FaultKind::kTruncateStore, "truncate-store", false, true, 0.5},
-    {FaultKind::kFlipBytes, "flip-bytes", true, false, 1},
-    {FaultKind::kDupRows, "dup-rows", false, true, 0.1},
+    {FaultKind::kDropDays, "drop-days", true, false, false, 1},
+    {FaultKind::kDropDay, "drop-day", true, false, false, 0},
+    {FaultKind::kDropSnapshots, "drop-snapshots", true, false, false, 1},
+    {FaultKind::kTruncateStore, "truncate-store", false, true, false, 0.5},
+    {FaultKind::kFlipBytes, "flip-bytes", true, false, false, 1},
+    {FaultKind::kDupRows, "dup-rows", false, true, false, 0.1},
+    {FaultKind::kCrashAt, "crash-at", false, false, true, 0},
 };
 
 const KindInfo* FindKind(const std::string& name) {
@@ -66,7 +70,9 @@ std::string Schedule::ToString() const {
     out += FaultKindName(f.kind);
     out += "=";
     const KindInfo& info = InfoOf(f.kind);
-    if (info.integral) {
+    if (info.stringy) {
+      out += f.text;
+    } else if (info.integral) {
       out += std::to_string(static_cast<long long>(f.value));
     } else {
       // Shortest fixed rendering that round-trips the grammar values used
@@ -94,12 +100,34 @@ bool ParseSchedule(const std::string& text, Schedule* schedule,
     while (!entry.empty() && entry.back() == ' ') entry.pop_back();
     if (entry.empty()) continue;
 
-    std::size_t eq = entry.find('=');
+    // crash-at takes a string operand and also accepts ':' as its
+    // separator (the chaos grammar's crash-at:<point> form); the numeric
+    // kinds never contain ':' so find_first_of changes nothing for them.
+    std::size_t eq = entry.find_first_of("=:");
     std::string name = entry.substr(0, eq);
     const KindInfo* info = FindKind(name);
     if (info == nullptr) {
       *error = "unknown fault '" + name + "' (see fault/schedule.h grammar)";
       return false;
+    }
+    if (info->stringy) {
+      if (eq == std::string::npos || eq + 1 >= entry.size()) {
+        *error = name + ": expected a crash-point name (see fault/crash.h)";
+        return false;
+      }
+      std::string point = entry.substr(eq + 1);
+      if (!IsCrashPoint(point)) {
+        std::string known;
+        for (const std::string& p : CrashPoints()) {
+          if (!known.empty()) known += ", ";
+          known += p;
+        }
+        *error = name + ": unknown crash point '" + point +
+                 "' (registered: " + known + ")";
+        return false;
+      }
+      out.faults.push_back(FaultSpec{info->kind, 0.0, std::move(point)});
+      continue;
     }
     double value = info->fallback;
     if (eq != std::string::npos) {

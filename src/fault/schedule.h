@@ -18,6 +18,10 @@
 //                      of its bytes — lands mid-block by construction
 //   flip-bytes=N       N single-byte bit flips at seeded offsets
 //   dup-rows=F         duplicate each raw log row with probability F
+//   crash-at=POINT     kill the process (_exit) at the named syscall
+//                      boundary of the ingest commit path; POINT must be a
+//                      registered crash point (fault/crash.h enumerates
+//                      them). `crash-at:POINT` is accepted as well.
 //
 // Example: "drop-days=2,truncate-store=0.6,drop-snapshots=1"
 #pragma once
@@ -35,6 +39,7 @@ enum class FaultKind {
   kTruncateStore,  // value = byte fraction kept, in (0, 1)
   kFlipBytes,      // value = count of single-byte flips
   kDupRows,        // value = duplication probability, in (0, 1]
+  kCrashAt,        // text = registered crash-point name (fault/crash.h)
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -42,6 +47,9 @@ const char* FaultKindName(FaultKind kind);
 struct FaultSpec {
   FaultKind kind = FaultKind::kDropDays;
   double value = 0.0;
+  // String-valued faults (crash-at) carry their operand here; empty for
+  // the numeric kinds.
+  std::string text;
 };
 
 struct Schedule {

@@ -1,0 +1,184 @@
+#include "ingest/manifest.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "io/crc32c.h"
+
+namespace ipscope::ingest {
+
+namespace {
+
+constexpr std::string_view kHeader = "ipscope-manifest v1";
+constexpr int kMaxDays = 4096;  // mirrors store_io's plausibility bound
+
+io::StoreError Malformed(std::uint64_t offset, std::string message) {
+  return io::StoreError{io::StoreErrorKind::kMalformed, offset,
+                        std::move(message)};
+}
+
+std::string HexCrc(std::uint32_t crc) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+// Whole-token checked parses; any trailing junk is a malformed manifest,
+// never a silently truncated value.
+template <typename T>
+bool ParseToken(std::string_view token, T* out) {
+  const char* last = token.data() + token.size();
+  auto [ptr, ec] = std::from_chars(token.data(), last, *out);
+  return ec == std::errc{} && ptr == last && !token.empty();
+}
+
+bool ParseHex32(std::string_view token, std::uint32_t* out) {
+  const char* last = token.data() + token.size();
+  auto [ptr, ec] = std::from_chars(token.data(), last, *out, 16);
+  return ec == std::errc{} && ptr == last && !token.empty();
+}
+
+// Splits a line on single spaces into at most `max` fields; returns false
+// when the field count differs (empty fields included — "a  b" is three).
+bool SplitFields(std::string_view line, std::vector<std::string_view>& out) {
+  out.clear();
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    std::size_t space = line.find(' ', pos);
+    if (space == std::string_view::npos) {
+      out.push_back(line.substr(pos));
+      break;
+    }
+    out.push_back(line.substr(pos, space - pos));
+    pos = space + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ValidManifestToken(std::string_view token) {
+  if (token.empty()) return false;
+  for (char c : token) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool Manifest::HasDelta(std::string_view delta_id) const {
+  for (const ShardEntry& s : shards) {
+    if (s.delta_id == delta_id) return true;
+  }
+  return false;
+}
+
+bool Manifest::HasShardFile(std::string_view file) const {
+  for (const ShardEntry& s : shards) {
+    if (s.file == file) return true;
+  }
+  return false;
+}
+
+std::string Manifest::Serialize() const {
+  std::string out{kHeader};
+  out += "\ndays " + std::to_string(days) + "\n";
+  for (const ShardEntry& s : shards) {
+    out += "shard " + s.file + " " + std::to_string(s.day_first) + " " +
+           std::to_string(s.day_last) + " " + s.delta_id + " " +
+           std::to_string(s.bytes) + " " + HexCrc(s.crc32c) + "\n";
+  }
+  out += "commit " + HexCrc(io::Crc32c(out.data(), out.size())) + "\n";
+  return out;
+}
+
+Result<Manifest, io::StoreError> ParseManifest(std::string_view text) {
+  Manifest manifest;
+  std::vector<std::string_view> fields;
+  bool saw_header = false;
+  bool saw_days = false;
+  bool saw_commit = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) {
+      return Malformed(text.size(), "manifest does not end with a newline");
+    }
+    std::string_view line = text.substr(pos, eol - pos);
+    std::size_t line_offset = pos;
+    std::size_t next = eol + 1;
+
+    if (saw_commit) {
+      return Malformed(line_offset, "content after the commit line");
+    }
+    if (!saw_header) {
+      if (line != kHeader) {
+        return io::StoreError{io::StoreErrorKind::kBadMagic, line_offset,
+                              "not a store manifest (bad header line)"};
+      }
+      saw_header = true;
+    } else if (!saw_days) {
+      SplitFields(line, fields);
+      int days = 0;
+      if (fields.size() != 2 || fields[0] != "days" ||
+          !ParseToken(fields[1], &days) || days <= 0 || days > kMaxDays) {
+        return Malformed(line_offset,
+                         "expected 'days <1.." + std::to_string(kMaxDays) +
+                             ">', got '" + std::string(line) + "'");
+      }
+      manifest.days = days;
+      saw_days = true;
+    } else if (line.substr(0, 6) == "shard ") {
+      SplitFields(line, fields);
+      ShardEntry entry;
+      bool ok = fields.size() == 7;
+      if (ok) {
+        entry.file = std::string(fields[1]);
+        entry.delta_id = std::string(fields[4]);
+        ok = ValidManifestToken(entry.file) &&
+             ValidManifestToken(entry.delta_id) &&
+             ParseToken(fields[2], &entry.day_first) &&
+             ParseToken(fields[3], &entry.day_last) &&
+             ParseToken(fields[5], &entry.bytes) &&
+             ParseHex32(fields[6], &entry.crc32c);
+      }
+      if (!ok || entry.day_first < 0 || entry.day_last < entry.day_first ||
+          entry.day_last >= manifest.days) {
+        return Malformed(line_offset,
+                         "malformed shard line '" + std::string(line) + "'");
+      }
+      if (manifest.HasDelta(entry.delta_id) ||
+          manifest.HasShardFile(entry.file)) {
+        return Malformed(line_offset, "duplicate shard entry '" +
+                                          std::string(line) + "'");
+      }
+      manifest.shards.push_back(std::move(entry));
+    } else if (line.substr(0, 7) == "commit ") {
+      std::uint32_t recorded = 0;
+      if (!ParseHex32(line.substr(7), &recorded)) {
+        return Malformed(line_offset,
+                         "malformed commit line '" + std::string(line) + "'");
+      }
+      std::uint32_t actual = io::Crc32c(text.data(), line_offset);
+      if (recorded != actual) {
+        return io::StoreError{io::StoreErrorKind::kChecksumMismatch,
+                              line_offset, "manifest checksum mismatch"};
+      }
+      saw_commit = true;
+    } else {
+      return Malformed(line_offset,
+                       "unrecognized line '" + std::string(line) + "'");
+    }
+    pos = next;
+  }
+  if (!saw_commit) {
+    return io::StoreError{
+        io::StoreErrorKind::kTruncated, text.size(),
+        saw_header ? "manifest has no commit line"
+                   : "empty manifest (no header line)"};
+  }
+  return manifest;
+}
+
+}  // namespace ipscope::ingest

@@ -1,0 +1,67 @@
+// The MANIFEST of a day-sharded store directory.
+//
+// A sharded store is a directory of IPSCOPE2 shard files plus one MANIFEST
+// text file; a shard is part of the store if and only if the manifest
+// names it. The manifest is the commit point of the ingest protocol
+// (ingest/session.h): appending a delta writes its shard durably first,
+// then replaces the MANIFEST via write-temp → fsync → atomic rename — so
+// at every instant the MANIFEST on disk is a complete, self-checksummed
+// description of a fully durable set of shards.
+//
+// Format (text, line-based, byte-exact for CRC purposes):
+//
+//   ipscope-manifest v1
+//   days <N>
+//   shard <file> <day_first> <day_last> <delta_id> <bytes> <crc32c-hex>
+//   ...
+//   commit <crc32c-hex>
+//
+// One `shard` line per committed shard, in commit order. <day_first> and
+// <day_last> are the inclusive covered-day range; <bytes>/<crc32c-hex>
+// pin the shard file's exact content so post-commit corruption is
+// detected at open. The trailing `commit` line checksums every preceding
+// byte of the manifest itself (CRC32C), so a tampered or bit-rotted
+// manifest is a typed error, never a silently different store.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/result.h"
+#include "io/store_error.h"
+
+namespace ipscope::ingest {
+
+struct ShardEntry {
+  std::string file;      // name inside the store directory
+  int day_first = 0;     // inclusive
+  int day_last = 0;      // inclusive
+  std::string delta_id;  // idempotency key: one commit per delta id
+  std::uint64_t bytes = 0;
+  std::uint32_t crc32c = 0;
+};
+
+struct Manifest {
+  int days = 0;  // observation-period length shared by all shards
+  std::vector<ShardEntry> shards;  // commit order
+
+  bool HasDelta(std::string_view delta_id) const;
+  bool HasShardFile(std::string_view file) const;
+
+  // The byte-exact on-disk rendering, commit line included.
+  std::string Serialize() const;
+};
+
+// Parses and checksum-verifies a serialized manifest. Errors are typed:
+// kMalformed for grammar/field violations, kChecksumMismatch when the
+// commit line does not match the preceding bytes (offset = byte position
+// of the problem).
+Result<Manifest, io::StoreError> ParseManifest(std::string_view text);
+
+// True for delta ids / file names the manifest grammar can carry losslessly
+// ([A-Za-z0-9._-]+ — no spaces or newlines, which are field separators).
+bool ValidManifestToken(std::string_view token);
+
+}  // namespace ipscope::ingest

@@ -1,0 +1,346 @@
+#include "ingest/session.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "fault/crash.h"
+#include "io/atomic_file.h"
+#include "io/crc32c.h"
+#include "io/store_io.h"
+#include "obs/registry.h"
+
+namespace ipscope::ingest {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kManifestName = "MANIFEST";
+constexpr std::string_view kShardSuffix = ".ips2";
+constexpr std::string_view kQuarantineDir = "quarantine";
+
+io::StoreError WriteError(std::string message) {
+  return io::StoreError{io::StoreErrorKind::kWriteFailed, 0,
+                        std::move(message)};
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+// Reads a whole file; returns false on any open/read failure.
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream is{path, std::ios::binary};
+  if (!is) return false;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  if (is.bad()) return false;
+  *out = std::move(buf).str();
+  return true;
+}
+
+// Moves `name` (relative to dir) into dir/quarantine/, deduplicating the
+// target name if a previous recovery already parked one like it.
+bool Quarantine(const fs::path& dir, const std::string& name,
+                RecoveryReport* report) {
+  std::error_code ec;
+  fs::create_directories(dir / kQuarantineDir, ec);
+  if (ec) return false;
+  fs::path target = dir / kQuarantineDir / name;
+  for (int attempt = 1; fs::exists(target, ec) && attempt < 100; ++attempt) {
+    target = dir / kQuarantineDir / (name + "." + std::to_string(attempt));
+  }
+  fs::rename(dir / name, target, ec);
+  if (ec) return false;
+  report->quarantined.push_back(name);
+  obs::GlobalRegistry().GetCounter("ingest.quarantined_files").Add(1);
+  return true;
+}
+
+// Verifies a committed shard's bytes against its manifest entry and
+// returns the raw bytes (the caller parses them when composing).
+Result<std::string, io::StoreError> ReadShard(const fs::path& dir,
+                                              const ShardEntry& entry) {
+  std::string bytes;
+  if (!ReadFile(dir / entry.file, &bytes)) {
+    return io::StoreError{io::StoreErrorKind::kOpenFailed, 0,
+                          "committed shard missing or unreadable: " +
+                              entry.file};
+  }
+  if (bytes.size() != entry.bytes) {
+    return io::StoreError{
+        io::StoreErrorKind::kTruncated, bytes.size(),
+        "shard " + entry.file + " is " + std::to_string(bytes.size()) +
+            " bytes, manifest committed " + std::to_string(entry.bytes)};
+  }
+  if (io::Crc32c(bytes.data(), bytes.size()) != entry.crc32c) {
+    return io::StoreError{io::StoreErrorKind::kChecksumMismatch, 0,
+                          "shard " + entry.file +
+                              " does not match its manifest checksum"};
+  }
+  return bytes;
+}
+
+// The deliberately seeded recovery bug for the chaos-crash teeth test
+// (scripts/run_all.sh): when IPSCOPE_INGEST_SKIP_ROLLBACK=1, recovery
+// adopts orphaned shard files as if they were committed instead of
+// quarantining them — exactly the bug the gate must catch. Never set this
+// outside the gate's self-test.
+bool SkipRollbackForTeethTest() {
+  auto value = obs::EnvString("IPSCOPE_INGEST_SKIP_ROLLBACK");
+  return value && *value == "1";
+}
+
+// Day range + validity of a delta store's coverage mask.
+struct DayRange {
+  int first = -1;
+  int last = -1;
+};
+
+DayRange CoveredRange(const activity::ActivityStore& store) {
+  DayRange range;
+  for (int d = 0; d < store.days(); ++d) {
+    if (!store.DayCovered(d)) continue;
+    if (range.first < 0) range.first = d;
+    range.last = d;
+  }
+  return range;
+}
+
+}  // namespace
+
+Result<Session, io::StoreError> Session::Open(const std::string& dir,
+                                              int days) {
+  auto& registry = obs::GlobalRegistry();
+  registry.GetCounter("ingest.recoveries").Add(1);
+
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return io::StoreError{io::StoreErrorKind::kOpenFailed, 0,
+                          "cannot create store directory " + dir + ": " +
+                              ec.message()};
+  }
+
+  RecoveryReport recovery;
+
+  // Pass 1: quarantine torn temp files — a crash mid-write leaves
+  // "<name>.tmp", which by protocol is never part of the store.
+  std::vector<std::string> names;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    names.push_back(entry.path().filename().string());
+  }
+  if (ec) {
+    return io::StoreError{io::StoreErrorKind::kOpenFailed, 0,
+                          "cannot scan store directory " + dir + ": " +
+                              ec.message()};
+  }
+  std::sort(names.begin(), names.end());  // deterministic recovery order
+  for (const std::string& name : names) {
+    if (EndsWith(name, io::kTempSuffix)) {
+      Quarantine(dir, name, &recovery);
+    }
+  }
+
+  // Pass 2: the manifest. Absent manifest = empty store (first open, or a
+  // crash before the very first commit — any shards present are orphans).
+  Manifest manifest;
+  std::string manifest_text;
+  if (ReadFile(fs::path(dir) / kManifestName, &manifest_text)) {
+    auto parsed = ParseManifest(manifest_text);
+    if (!parsed.ok()) {
+      registry.GetCounter("io.manifest.errors").Add(1);
+      io::StoreError error = parsed.error();
+      error.message = dir + "/MANIFEST: " + error.message;
+      return error;
+    }
+    manifest = std::move(parsed).value();
+    if (days > 0 && manifest.days != days) {
+      return io::StoreError{
+          io::StoreErrorKind::kMalformed, 0,
+          "store has days=" + std::to_string(manifest.days) +
+              ", caller expected " + std::to_string(days)};
+    }
+  } else {
+    if (days <= 0) {
+      return io::StoreError{io::StoreErrorKind::kOpenFailed, 0,
+                            "no manifest in " + dir +
+                                " and no day count given to create one"};
+    }
+    manifest.days = days;
+  }
+
+  // Pass 3: verify every committed shard and quarantine orphans — shard
+  // files on disk that the manifest does not name (a crash landed between
+  // the shard rename and the manifest commit). Rolling those back is what
+  // "recover to the last committed manifest" means.
+  const bool adopt_orphans = SkipRollbackForTeethTest();
+  for (const std::string& name : names) {
+    if (!EndsWith(name, kShardSuffix) || manifest.HasShardFile(name)) {
+      continue;
+    }
+    if (!adopt_orphans) {
+      Quarantine(dir, name, &recovery);
+      continue;
+    }
+    // Teeth-test bug path: blindly adopt the orphan as committed.
+    std::string bytes;
+    if (!ReadFile(fs::path(dir) / name, &bytes)) continue;
+    auto loaded = io::TryLoadStoreFile((fs::path(dir) / name).string());
+    if (!loaded.ok()) continue;
+    DayRange range = CoveredRange(loaded.value().store);
+    manifest.shards.push_back(ShardEntry{
+        name, range.first < 0 ? 0 : range.first,
+        range.last < 0 ? 0 : range.last, "adopted-" + name, bytes.size(),
+        io::Crc32c(bytes.data(), bytes.size())});
+  }
+  for (const ShardEntry& entry : manifest.shards) {
+    auto bytes = ReadShard(dir, entry);
+    if (!bytes.ok()) return bytes.error();
+  }
+
+  return Session{dir, std::move(manifest), std::move(recovery)};
+}
+
+Result<AppendResult, io::StoreError> Session::Append(
+    const activity::ActivityStore& delta, const std::string& delta_id) {
+  auto& registry = obs::GlobalRegistry();
+  if (!ValidManifestToken(delta_id)) {
+    return io::StoreError{io::StoreErrorKind::kMalformed, 0,
+                          "delta id '" + delta_id +
+                              "' is not a manifest token ([A-Za-z0-9._-]+)"};
+  }
+  if (delta.days() != manifest_.days) {
+    return io::StoreError{
+        io::StoreErrorKind::kMalformed, 0,
+        "delta has days=" + std::to_string(delta.days()) +
+            ", store has days=" + std::to_string(manifest_.days)};
+  }
+  if (manifest_.HasDelta(delta_id)) {
+    // Idempotent replay: this delta already committed; change nothing.
+    registry.GetCounter("ingest.append_duplicates").Add(1);
+    for (const ShardEntry& s : manifest_.shards) {
+      if (s.delta_id == delta_id) {
+        return AppendResult{false, s.file, s.bytes};
+      }
+    }
+  }
+  DayRange range = CoveredRange(delta);
+  if (range.first < 0) {
+    return io::StoreError{io::StoreErrorKind::kMalformed, 0,
+                          "delta covers no days"};
+  }
+
+  // Serialize the shard in memory; the bytes are committed via the atomic
+  // write path below. (SaveStore is pool-free, so Append is safe even in
+  // a forked child of a multithreaded parent — the chaos gate relies on
+  // this.)
+  std::ostringstream buffer{std::ios::binary};
+  io::SaveStore(delta, buffer);
+  std::string bytes = std::move(buffer).str();
+
+  char shard_name[64];
+  std::snprintf(shard_name, sizeof(shard_name), "shard-%03d-%03d-",
+                range.first, range.last);
+  std::string shard_file = std::string(shard_name) + delta_id +
+                           std::string(kShardSuffix);
+  if (manifest_.HasShardFile(shard_file)) {
+    return io::StoreError{io::StoreErrorKind::kMalformed, 0,
+                          "shard file " + shard_file + " already committed"};
+  }
+
+  // Step 1: the shard, durably, under its final name. Crash points cover
+  // every syscall boundary; mid-shard-write lands inside a partial file.
+  io::AtomicWriteHooks shard_hooks;
+  shard_hooks.split_at = fault::CrashSplitOffset(bytes.size());
+  shard_hooks.at = [](std::string_view stage) {
+    if (stage == "pre-temp-write") fault::MaybeCrash("pre-temp-write");
+    if (stage == "mid-write") fault::MaybeCrash("mid-shard-write");
+    if (stage == "pre-fsync") fault::MaybeCrash("pre-fsync");
+    if (stage == "pre-rename") fault::MaybeCrash("pre-rename");
+  };
+  std::string shard_path = (fs::path(dir_) / shard_file).string();
+  if (auto error = io::WriteFileAtomic(shard_path, bytes, &shard_hooks)) {
+    return WriteError("shard commit: " + *error);
+  }
+
+  // Step 2: the manifest — THE commit point. Until its rename lands, the
+  // store still reads as the previous prefix and the shard above is an
+  // orphan that recovery rolls back.
+  fault::MaybeCrash("pre-manifest-append");
+  Manifest next = manifest_;
+  next.shards.push_back(ShardEntry{shard_file, range.first, range.last,
+                                   delta_id, bytes.size(),
+                                   io::Crc32c(bytes.data(), bytes.size())});
+  std::string manifest_bytes = next.Serialize();
+  io::AtomicWriteHooks manifest_hooks;
+  manifest_hooks.at = [](std::string_view stage) {
+    if (stage == "pre-fsync") fault::MaybeCrash("pre-manifest-fsync");
+    if (stage == "pre-rename") fault::MaybeCrash("pre-manifest-rename");
+  };
+  std::string manifest_path = (fs::path(dir_) / kManifestName).string();
+  if (auto error = io::WriteFileAtomic(manifest_path, manifest_bytes,
+                                       &manifest_hooks)) {
+    registry.GetCounter("io.manifest.errors").Add(1);
+    return WriteError("manifest commit: " + *error);
+  }
+  fault::MaybeCrash("post-commit");
+
+  manifest_ = std::move(next);
+  registry.GetCounter("ingest.appends").Add(1);
+  registry.GetCounter("ingest.shards_committed").Add(1);
+  registry.GetCounter("ingest.shard_bytes").Add(bytes.size());
+  registry.GetCounter("io.manifest.commits").Add(1);
+  registry.GetCounter("io.manifest.bytes").Add(manifest_bytes.size());
+  return AppendResult{true, shard_file, bytes.size()};
+}
+
+Result<activity::ActivityStore, io::StoreError> Session::Load() const {
+  auto& registry = obs::GlobalRegistry();
+  activity::ActivityStore combined{manifest_.days};
+  for (int d = 0; d < manifest_.days; ++d) combined.SetDayCovered(d, false);
+
+  for (const ShardEntry& entry : manifest_.shards) {
+    auto bytes = ReadShard(dir_, entry);
+    if (!bytes.ok()) return bytes.error();
+    std::istringstream is{std::move(bytes).value(), std::ios::binary};
+    auto loaded = io::TryLoadStore(is);
+    if (!loaded.ok()) {
+      io::StoreError error = loaded.error();
+      error.message = entry.file + ": " + error.message;
+      return error;
+    }
+    const activity::ActivityStore& shard = loaded.value().store;
+    if (shard.days() != manifest_.days) {
+      return io::StoreError{
+          io::StoreErrorKind::kMalformed, 0,
+          entry.file + " has days=" + std::to_string(shard.days()) +
+              ", manifest has days=" + std::to_string(manifest_.days)};
+    }
+    // Coverage union first (marking a day covered never clears rows;
+    // marking it uncovered would), then OR the activity rows.
+    for (int d = 0; d < shard.days(); ++d) {
+      if (shard.DayCovered(d)) combined.SetDayCovered(d, true);
+    }
+    shard.ForEach([&](net::BlockKey key, const activity::ActivityMatrix& m) {
+      activity::ActivityMatrix& target = combined.GetOrCreate(key);
+      for (int d = 0; d < shard.days(); ++d) {
+        if (!shard.DayCovered(d)) continue;
+        const activity::DayBits& row = m.Row(d);
+        activity::DayBits& out = target.Row(d);
+        for (std::size_t w = 0; w < row.size(); ++w) out[w] |= row[w];
+      }
+    });
+    registry.GetCounter("ingest.shards_loaded").Add(1);
+  }
+  registry.GetCounter("ingest.loads").Add(1);
+  return combined;
+}
+
+}  // namespace ipscope::ingest

@@ -6,9 +6,11 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "io/atomic_file.h"
 #include "io/crc32c.h"
 #include "obs/registry.h"
 #include "obs/timer.h"
@@ -436,16 +438,17 @@ activity::ActivityStore LoadStore(std::istream& is) {
 
 void SaveStoreFile(const activity::ActivityStore& store,
                    const std::string& path, StoreFormat format) {
-  std::ofstream os{path, std::ios::binary};
-  if (!os) {
-    const int err = errno;
+  // Serialize in memory, then commit through the atomic temp+rename path:
+  // a killed or failing process never leaves a truncated store under the
+  // final name, and flush/fsync/close results are all checked (an ENOSPC
+  // that only surfaces at close used to be reported as success here).
+  std::ostringstream buffer{std::ios::binary};
+  SaveStore(store, buffer, format);
+  if (auto error = WriteFileAtomic(path, buffer.view())) {
+    obs::GlobalRegistry().GetCounter("io.store.save_errors").Add(1);
     throw std::runtime_error(
-        StoreError{StoreErrorKind::kOpenFailed, 0,
-                   "cannot open for writing: " + path + " (" +
-                       std::strerror(err) + ")"}
-            .ToString());
+        StoreError{StoreErrorKind::kWriteFailed, 0, *error}.ToString());
   }
-  SaveStore(store, os, format);
 }
 
 Result<LoadResult, StoreError> TryLoadStoreFile(const std::string& path,

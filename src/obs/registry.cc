@@ -9,6 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/atomic_file.h"
 #include "obs/json.h"
 
 namespace ipscope::obs {
@@ -246,12 +247,11 @@ std::string Registry::ToJson() const {
 }
 
 void Registry::WriteJsonFile(const std::string& path) const {
-  std::ofstream os{path};
-  if (!os) {
-    throw std::runtime_error("obs: cannot open metrics output: " + path);
+  // Atomic temp+rename: a killed process never leaves a truncated metrics
+  // file that a later collector half-reads.
+  if (auto error = io::WriteFileAtomic(path, ToJson())) {
+    throw std::runtime_error("obs: metrics write failed: " + *error);
   }
-  WriteJson(os);
-  if (!os) throw std::runtime_error("obs: metrics write failed: " + path);
 }
 
 void Registry::WritePrometheus(std::ostream& os) const {
@@ -286,12 +286,9 @@ std::string Registry::ToPrometheus() const {
 }
 
 void Registry::WritePrometheusFile(const std::string& path) const {
-  std::ofstream os{path};
-  if (!os) {
-    throw std::runtime_error("obs: cannot open metrics output: " + path);
+  if (auto error = io::WriteFileAtomic(path, ToPrometheus())) {
+    throw std::runtime_error("obs: metrics write failed: " + *error);
   }
-  WritePrometheus(os);
-  if (!os) throw std::runtime_error("obs: metrics write failed: " + path);
 }
 
 Registry& GlobalRegistry() {

@@ -5,9 +5,11 @@
 #include <fstream>
 #include <functional>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
+#include "io/atomic_file.h"
 #include "obs/json.h"
 
 namespace ipscope::obs {
@@ -93,12 +95,13 @@ void TraceRecorder::Write(std::ostream& os) const {
 }
 
 void TraceRecorder::WriteFile(const std::string& path) const {
-  std::ofstream os{path};
-  if (!os) {
-    throw std::runtime_error("obs: cannot open trace output: " + path);
+  std::ostringstream buffer;
+  Write(buffer);
+  // Atomic temp+rename: a killed process never leaves a truncated trace
+  // that Perfetto/about://tracing rejects as malformed JSON.
+  if (auto error = io::WriteFileAtomic(path, buffer.view())) {
+    throw std::runtime_error("obs: trace write failed: " + *error);
   }
-  Write(os);
-  if (!os) throw std::runtime_error("obs: trace write failed: " + path);
 }
 
 TraceRecorder& GlobalTrace() {

@@ -5,9 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+
+#include "cli/commands.h"
 
 namespace ipscope::obs::benchdiff {
 namespace {
@@ -85,6 +91,24 @@ TEST(BenchdiffParse, RejectsWrongSchemaVersion) {
     FAIL() << "expected schema error";
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("schema_version"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BenchdiffParse, EmptyRunsArrayIsAClearSchemaError) {
+  // Regression guard: an empty "runs" array must fail loudly with a
+  // message naming the field (and exit 2 at the CLI, covered below) —
+  // never be treated as a comparable zero-stage report.
+  try {
+    ParseReport(R"({"schema_version": 2,
+                    "hardware": {"cpu_model": "x", "hardware_threads": 1,
+                                 "compiler": "g", "flags": "-O2",
+                                 "git_sha": "s"},
+                    "runs": []})");
+    FAIL() << "expected a schema error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("\"runs\" is empty"),
+              std::string::npos)
         << e.what();
   }
 }
@@ -275,6 +299,35 @@ TEST(BenchdiffWrite, RendersVerdictAndTable) {
   EXPECT_NE(clean_os.str().find("no regression beyond tolerance"),
             std::string::npos)
       << clean_os.str();
+}
+
+TEST(BenchdiffCli, EmptyRunsArrayExitsTwoWithClearMessage) {
+  // End-to-end regression guard for `ipscope_cli benchdiff` fed a report
+  // whose "runs" array is empty (a crashed bench run used to be able to
+  // produce one before the writers went atomic): exit code 2, message
+  // naming the offending field and file.
+  std::string good_path = ::testing::TempDir() + "benchdiff_good_" +
+                          std::to_string(::getpid()) + ".json";
+  std::string empty_path = ::testing::TempDir() + "benchdiff_empty_" +
+                           std::to_string(::getpid()) + ".json";
+  {
+    std::ofstream good{good_path};
+    good << MakeReport(ReportSpec{});
+    std::ofstream empty{empty_path};
+    empty << R"({"schema_version": 2,
+                 "hardware": {"cpu_model": "x", "hardware_threads": 1,
+                              "compiler": "g", "flags": "-O2",
+                              "git_sha": "s"},
+                 "runs": []})";
+  }
+  std::ostringstream out, err;
+  int rc = cli::Main({"benchdiff", good_path, empty_path}, out, err);
+  EXPECT_EQ(rc, 2) << out.str() << err.str();
+  EXPECT_NE(err.str().find("\"runs\" is empty"), std::string::npos)
+      << err.str();
+  EXPECT_NE(err.str().find(empty_path), std::string::npos) << err.str();
+  std::remove(good_path.c_str());
+  std::remove(empty_path.c_str());
 }
 
 }  // namespace

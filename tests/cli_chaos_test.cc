@@ -7,6 +7,8 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -114,6 +116,41 @@ TEST(CliChaos, UsageMentionsChaos) {
   std::ostringstream out, err;
   EXPECT_EQ(Main({"help"}, out, err), 0);
   EXPECT_NE(out.str().find("chaos"), std::string::npos);
+  EXPECT_NE(out.str().find("chaos-crash"), std::string::npos);
+}
+
+TEST(CliChaosCrash, EveryPointRecoversBitExactAtSmallScale) {
+  std::string dir = ::testing::TempDir() + "ipscope_cli_chaos_crash_" +
+                    std::to_string(getpid());
+  std::ostringstream out, err;
+  int rc = Main({"chaos-crash", "--blocks", "40", "--seeds", "1", "--dir",
+                 dir},
+                out, err);
+  EXPECT_EQ(rc, 0) << out.str() << err.str();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("pre-temp-write"), std::string::npos);
+  EXPECT_NE(text.find("post-commit"), std::string::npos);
+  EXPECT_NE(text.find("ingest.quarantined_files"), std::string::npos);
+  EXPECT_NE(text.find("chaos-crash: PASS"), std::string::npos);
+  EXPECT_EQ(text.find("FAIL"), std::string::npos) << text;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliChaosCrash, SeededRecoveryBugIsCaught) {
+  // The run_all.sh teeth self-test in miniature: with the deliberate
+  // skip-rollback bug enabled, recovery adopts uncommitted shards and the
+  // gate must fail (pre-commit crash points diverge from the prefix).
+  std::string dir = ::testing::TempDir() + "ipscope_cli_chaos_teeth_" +
+                    std::to_string(getpid());
+  ::setenv("IPSCOPE_INGEST_SKIP_ROLLBACK", "1", 1);
+  std::ostringstream out, err;
+  int rc = Main({"chaos-crash", "--blocks", "40", "--seeds", "1", "--dir",
+                 dir},
+                out, err);
+  ::unsetenv("IPSCOPE_INGEST_SKIP_ROLLBACK");
+  EXPECT_EQ(rc, 1) << out.str() << err.str();
+  EXPECT_NE(out.str().find("chaos-crash: FAIL"), std::string::npos);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

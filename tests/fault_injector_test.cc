@@ -74,6 +74,26 @@ TEST(FaultSchedule, RejectsMalformedInput) {
   EXPECT_FALSE(ParseSchedule("dup-rows=2", &s, &error));
 }
 
+TEST(FaultSchedule, CrashAtTakesARegisteredPointName) {
+  // Both separators are legal; ToString canonicalizes on '='.
+  auto s = MustParse("crash-at:pre-manifest-rename,drop-days=1");
+  ASSERT_EQ(s.faults.size(), 2u);
+  EXPECT_EQ(s.faults[0].kind, FaultKind::kCrashAt);
+  EXPECT_EQ(s.faults[0].text, "pre-manifest-rename");
+  EXPECT_EQ(s.ToString(), "crash-at=pre-manifest-rename,drop-days=1");
+  auto again = MustParse(s.ToString());
+  EXPECT_EQ(again.faults[0].text, "pre-manifest-rename");
+
+  Schedule bad;
+  std::string error;
+  EXPECT_FALSE(ParseSchedule("crash-at:not-a-point", &bad, &error));
+  // The error enumerates the registered points so typos are self-serve.
+  EXPECT_NE(error.find("unknown crash point"), std::string::npos) << error;
+  EXPECT_NE(error.find("post-commit"), std::string::npos) << error;
+  EXPECT_FALSE(ParseSchedule("crash-at", &bad, &error));
+  EXPECT_FALSE(ParseSchedule("crash-at=", &bad, &error));
+}
+
 activity::ActivityStore DenseStore(int days, int blocks) {
   activity::ActivityStore store{days};
   for (int b = 0; b < blocks; ++b) {

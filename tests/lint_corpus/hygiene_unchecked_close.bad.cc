@@ -1,0 +1,16 @@
+// lint-corpus-as: src/io/corpus.cc
+// Violation corpus: close/flush results thrown away. Each discarded call
+// is the last place an ENOSPC or quota error surfaces — ignoring it turns
+// a lost write into a silent success.
+#include <cstdio>
+#include <unistd.h>
+
+namespace corpus {
+
+void WriteAndForget(std::FILE* f, int fd) {
+  fflush(f);    // finding: flush result discarded
+  fclose(f);    // finding: stdio close discarded
+  ::close(fd);  // finding: POSIX close discarded (global-qualified)
+}
+
+}  // namespace corpus

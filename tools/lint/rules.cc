@@ -451,6 +451,50 @@ struct Engine {
       }
     }
   }
+
+  void RuleUncheckedClose() {
+    if (!info.default_scope) return;
+    static const std::set<std::string> kCloseFns = {
+        "close", "fclose", "fflush", "fsync", "fdatasync"};
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent || kCloseFns.count(t.text) == 0) continue;
+      if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(")) continue;
+      // Member calls (stream.close(), file->close()) go through objects
+      // whose error state is queried separately; the rule targets the
+      // POSIX/stdio calls whose only error report is the return value.
+      if (i >= 1 &&
+          (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], ">"))) {
+        continue;
+      }
+      // Walk back over `std::` / leading `::` qualifiers to find what
+      // precedes the whole call expression. A statement keyword before a
+      // global `::` (as in `return ::close(fd)`) is not a qualifier.
+      static const std::set<std::string> kStmtKeywords = {
+          "return", "co_return", "co_yield", "throw", "case", "else", "do"};
+      std::size_t j = i;
+      while (j >= 2 && IsPunct(toks[j - 1], ":") &&
+             IsPunct(toks[j - 2], ":")) {
+        if (j >= 3 && toks[j - 3].kind == TokKind::kIdent &&
+            kStmtKeywords.count(toks[j - 3].text) == 0) {
+          j -= 3;
+        } else {
+          j -= 2;
+        }
+      }
+      // The result is discarded iff the call sits in statement position:
+      // at the start of the file or right after a statement/block
+      // boundary. Anything else (`if (close...`, `rc = close...`,
+      // `return close...`, declarations) consumes or names it.
+      bool discarded = j == 0 || IsPunct(toks[j - 1], ";") ||
+                       IsPunct(toks[j - 1], "{") || IsPunct(toks[j - 1], "}");
+      if (!discarded) continue;
+      Report("hygiene.unchecked-close", t,
+             "'" + t.text + "' result discarded: a failed close/flush is "
+             "the last chance to see a lost write (ENOSPC, quota, NFS "
+             "errors surface here); check it or justify a suppression");
+    }
+  }
 };
 
 const char* TagOfRule(const std::string& rule) {
@@ -506,6 +550,9 @@ const std::vector<RuleMeta>& RuleCatalogue() {
        "No `using namespace` in headers."},
       {"hygiene.io", "io",
        "No printf/std::cout/std::cerr in library code."},
+      {"hygiene.unchecked-close", "close",
+       "No discarded fclose/close/fflush/fsync results; a failed close is "
+       "a lost write."},
       {"lint.suppression", nullptr,
        "Every lint suppression carries a non-empty justification."},
   };
@@ -526,6 +573,7 @@ FileAnalysis AnalyzeFile(const FileInfo& info, std::string_view source) {
   engine.RuleCatchAll();
   engine.RuleEmptyDefault();
   engine.RuleIo();
+  engine.RuleUncheckedClose();
 
   // Resolve where each suppression applies: a comment sharing a line with
   // code suppresses that line; a standalone comment suppresses the first
