@@ -1,11 +1,15 @@
 // Canonical end-to-end pipeline benchmark: world build -> store build ->
 // save/load -> churn -> change detection -> pattern classification, swept
-// over thread counts {1, N}. Prints a per-stage table and writes
-// BENCH_pipeline.json (per-stage wall seconds, MB/s where a byte volume is
-// defined, and parallel speedup) so perf trajectories can be compared
-// across commits. Every stage result is fingerprinted and cross-checked
-// between the serial and parallel runs: the benchmark fails loudly if
-// parallelism changes a single output bit.
+// over thread counts {1, 2, ceil(half), all} (deduplicated), so the
+// speedup section of bench-JSON v2 is measured data. Prints a per-stage
+// table and writes BENCH_pipeline.json (per-stage wall seconds, MB/s where
+// a byte volume is defined, and parallel speedup) so perf trajectories can
+// be compared across commits. Every stage result is fingerprinted —
+// including a hash of the serialized store image — and cross-checked
+// across thread counts AND against the retained per-step generation
+// reference (GenerateStep), so the benchmark fails loudly if parallelism
+// or the slot-major batch kernels change a single output bit.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -15,6 +19,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "activity/change.h"
@@ -60,7 +65,19 @@ struct RunResult {
   // Output fingerprint: any cross-thread-count divergence is a determinism
   // bug, not noise.
   std::uint64_t fingerprint = 0;
+  // Hash of the serialized IPSCOPE2 store image — byte-exact identity of
+  // the built store, compared across thread counts and kernel paths.
+  std::uint64_t store_hash = 0;
 };
+
+std::uint64_t Fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 void Mix(std::uint64_t& fp, std::uint64_t v) {
   fp ^= v + 0x9e3779b97f4a7c15ULL + (fp << 6) + (fp >> 2);
@@ -129,6 +146,8 @@ RunResult RunPipeline(const ipscope::sim::WorldConfig& config, int threads) {
   double store_mb = static_cast<double>(image.size()) / 1e6;
   run.stages.back().mbytes = store_mb;   // store_save
   run.stages[1].mbytes = store_mb;       // store_build emits the same volume
+  run.store_hash = Fnv1a(image);
+  Mix(run.fingerprint, run.store_hash);
   stage("store_load", store_mb, [&] {
     std::istringstream is{image};
     auto loaded = ipscope::io::TryLoadStore(is);
@@ -267,8 +286,16 @@ int main(int argc, char** argv) {
   auto config = ipscope::bench::ConfigFromArgs(argc, argv);
   int max_threads = ipscope::par::DefaultThreads();
 
+  // Thread sweep: serial, 2, half, and all hardware threads (deduplicated),
+  // so multi-core hosts record real scaling curves, not just the endpoints.
   std::vector<int> sweep{1};
-  if (max_threads > 1) sweep.push_back(max_threads);
+  for (int t : {2, (max_threads + 1) / 2, max_threads}) {
+    if (t > 1 && t <= max_threads &&
+        std::find(sweep.begin(), sweep.end(), t) == sweep.end()) {
+      sweep.push_back(t);
+    }
+  }
+  std::sort(sweep.begin(), sweep.end());
 
   std::vector<RunResult> runs;
   for (int t : sweep) {
@@ -313,6 +340,43 @@ int main(int argc, char** argv) {
   std::cout << "\ndeterminism: all thread counts produced bit-identical "
                "results (fingerprint "
             << runs.front().fingerprint << ")\n";
+
+  // Kernel-path cross-check: rebuild the store through the retained naive
+  // per-(step, slot) reference kernel (GenerateStep) and require the
+  // serialized image to be byte-identical to what the slot-major batch
+  // kernels (GenerateBlock + arena store) produced in every run above.
+  {
+    ipscope::sim::World world{config};
+    auto observatory = ipscope::cdn::Observatory::Daily(world);
+    const ipscope::sim::StepSpec& spec = observatory.spec();
+    ipscope::activity::ActivityStore naive{spec.steps};
+    for (const ipscope::sim::BlockPlan& plan : world.blocks()) {
+      ipscope::activity::ActivityMatrix m{spec.steps};
+      bool any = false;
+      for (int s = 0; s < spec.steps; ++s) {
+        ipscope::activity::DayBits bits;
+        ipscope::sim::GenerateStep(plan, spec, s, bits, nullptr);
+        if ((bits[0] | bits[1] | bits[2] | bits[3]) == 0) continue;
+        m.Row(s) = bits;
+        any = true;
+      }
+      if (any) {
+        naive.GetOrCreate(ipscope::net::BlockKeyOf(plan.block)) = std::move(m);
+      }
+    }
+    std::ostringstream os;
+    ipscope::io::SaveStore(naive, os);
+    std::uint64_t naive_hash = Fnv1a(os.view());
+    if (naive_hash != runs.front().store_hash) {
+      std::cerr << "FAIL: slot-major batch kernels diverge from the "
+                   "per-step reference (store image hash "
+                << runs.front().store_hash << " != " << naive_hash << ")\n";
+      return 1;
+    }
+    std::cout << "kernel path: batch kernels byte-identical to the per-step "
+                 "reference (store image hash "
+              << naive_hash << ")\n";
+  }
 
   std::ostringstream doc;
   WriteJson(doc, config, runs);

@@ -102,6 +102,24 @@ build/tools/ipscope_cli benchdiff results/BENCH_baseline.json \
   --tolerance-pct "${IPSCOPE_BENCH_TOLERANCE_PCT:-25}" \
   | tee results/benchdiff.txt
 
+# Headline throughput delta for the store_build hot path: this run's MB/s
+# against the committed baseline (first run of each report — threads=1).
+# Advisory print only; the regression gate above is what fails the run.
+awk '
+  /"store_build"/ && match($0, /"mb_per_s": [0-9.eE+-]+/) {
+    v = substr($0, RSTART + 12, RLENGTH - 12) + 0
+    if (NR == FNR) { if (base == 0) base = v }
+    else if (cur == 0) cur = v
+  }
+  END {
+    if (base > 0 && cur > 0)
+      printf "store_build throughput: %.2f MB/s vs baseline %.2f MB/s (%.2fx)\n",
+             cur, base, cur / base
+    else
+      print "store_build throughput: baseline or current MB/s not found"
+  }' results/BENCH_baseline.json BENCH_pipeline.json \
+  | tee results/store_build_delta.txt
+
 # Prove the gate has teeth on every run: seed an obvious store_build
 # regression into a copy of the fresh report (same hardware fingerprint, so
 # it MUST gate) and require benchdiff to reject it.

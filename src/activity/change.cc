@@ -71,31 +71,44 @@ std::vector<BlockStuChange> MaxMonthlyStuChange(const ActivityStore& store,
 
 namespace {
 
-// Max-magnitude signed month-to-month change of the mean activity of one
-// host half (computed from 128-host day slices). Follows the same
-// covered-day denominator and observed-month bridging as
-// MaxMonthlyStuChange.
-double HalfMaxDelta(const ActivityStore& store, const ActivityMatrix& m,
-                    const std::vector<int>& observed, int month_days,
-                    bool upper) {
-  auto half_stu = [&](int first, int last) {
+// Max-magnitude signed month-to-month change of the mean activity of each
+// host half (computed from 128-host day slices), both halves in one sweep
+// over the month's rows. Follows the same covered-day denominator and
+// observed-month bridging as MaxMonthlyStuChange.
+struct HalfDeltas {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+HalfDeltas HalfMaxDeltas(const ActivityStore& store, const ActivityMatrix& m,
+                         const std::vector<int>& observed, int month_days) {
+  auto half_stus = [&](int first, int last) {
+    HalfDeltas stu;
     int covered = store.CoveredDaysIn(first, last);
-    if (covered == 0) return 0.0;
-    std::int64_t active = 0;
+    if (covered == 0) return stu;
+    std::int64_t lower = 0;
+    std::int64_t upper = 0;
     for (int d = first; d < last; ++d) {
       const DayBits& row = m.Row(d);
-      active += upper ? std::popcount(row[2]) + std::popcount(row[3])
-                      : std::popcount(row[0]) + std::popcount(row[1]);
+      lower += std::popcount(row[0]) + std::popcount(row[1]);
+      upper += std::popcount(row[2]) + std::popcount(row[3]);
     }
-    return static_cast<double>(active) / (128.0 * covered);
+    stu.lower = static_cast<double>(lower) / (128.0 * covered);
+    stu.upper = static_cast<double>(upper) / (128.0 * covered);
+    return stu;
   };
-  double prev = half_stu(observed[0] * month_days,
-                         (observed[0] + 1) * month_days);
-  double best = 0.0;
+  HalfDeltas prev = half_stus(observed[0] * month_days,
+                              (observed[0] + 1) * month_days);
+  HalfDeltas best;
   for (std::size_t i = 1; i < observed.size(); ++i) {
-    double cur = half_stu(observed[i] * month_days,
-                          (observed[i] + 1) * month_days);
-    if (std::abs(cur - prev) > std::abs(best)) best = cur - prev;
+    HalfDeltas cur = half_stus(observed[i] * month_days,
+                               (observed[i] + 1) * month_days);
+    if (std::abs(cur.lower - prev.lower) > std::abs(best.lower)) {
+      best.lower = cur.lower - prev.lower;
+    }
+    if (std::abs(cur.upper - prev.upper) > std::abs(best.upper)) {
+      best.upper = cur.upper - prev.upper;
+    }
     prev = cur;
   }
   return best;
@@ -122,9 +135,9 @@ std::vector<BlockSpatialChange> SpatialStuChanges(const ActivityStore& store,
         store.ForEachShard(
             first, last, [&](net::BlockKey key, const ActivityMatrix& m) {
               if (m.FillingDegree(0, store.days()) == 0) return;
-              acc.push_back(BlockSpatialChange{
-                  key, HalfMaxDelta(store, m, observed, month_days, false),
-                  HalfMaxDelta(store, m, observed, month_days, true)});
+              HalfDeltas deltas = HalfMaxDeltas(store, m, observed, month_days);
+              acc.push_back(
+                  BlockSpatialChange{key, deltas.lower, deltas.upper});
             });
       },
       [](std::vector<BlockSpatialChange>& acc,

@@ -14,16 +14,14 @@ namespace {
 // Blocks per parallel shard (see store.cc rationale).
 constexpr std::size_t kBlockGrain = 16;
 
-// Per-block window unions for a given window size; the trailing partial
-// window is discarded (see timeutil::PartitionWindows rationale).
-std::vector<DayBits> WindowUnions(const ActivityMatrix& m, int window_days,
-                                  int num_windows) {
-  std::vector<DayBits> unions(static_cast<std::size_t>(num_windows));
-  for (int w = 0; w < num_windows; ++w) {
-    unions[static_cast<std::size_t>(w)] =
-        m.UnionOver(w * window_days, (w + 1) * window_days);
-  }
-  return unions;
+// One window's union for a given window size; the trailing partial window
+// is discarded (see timeutil::PartitionWindows rationale). Consumers
+// stream consecutive windows through this instead of materializing a
+// per-block union vector — the churn reductions only ever compare a window
+// against its predecessor (or window 0), so no allocation is needed in the
+// per-block hot loop.
+DayBits WindowUnion(const ActivityMatrix& m, int window_days, int w) {
+  return m.UnionOver(w * window_days, (w + 1) * window_days);
 }
 
 }  // namespace
@@ -75,14 +73,15 @@ struct PairCountsAcc {
 
   void Consume(const ActivityMatrix& m, int window_days, int num_windows) {
     ++blocks;
-    auto unions = WindowUnions(m, window_days, num_windows);
-    for (std::size_t p = 0; p + 1 < unions.size(); ++p) {
-      const DayBits& w0 = unions[p];
-      const DayBits& w1 = unions[p + 1];
+    DayBits w0 = WindowUnion(m, window_days, 0);
+    for (int w = 1; w < num_windows; ++w) {
+      const DayBits w1 = WindowUnion(m, window_days, w);
+      const auto p = static_cast<std::size_t>(w - 1);
       up[p] += static_cast<std::uint64_t>(PopCount(AndNotBits(w1, w0)));
       down[p] += static_cast<std::uint64_t>(PopCount(AndNotBits(w0, w1)));
       size_prev[p] += static_cast<std::uint64_t>(PopCount(w0));
       size_next[p] += static_cast<std::uint64_t>(PopCount(w1));
+      w0 = w1;
     }
   }
 };
@@ -237,12 +236,11 @@ VersusFirstSeries ChurnAnalyzer::VersusFirst(int window_days) const {
       [&](VersusAcc& acc, std::size_t first, std::size_t last) {
         store_.ForEachShard(
             first, last, [&](net::BlockKey, const ActivityMatrix& m) {
-              auto unions = WindowUnions(m, window_days, num_windows);
-              const DayBits& w0 = unions[0];
+              const DayBits w0 = WindowUnion(m, window_days, 0);
               for (int w = 0; w < num_windows; ++w) {
                 auto wiu = static_cast<std::size_t>(w);
                 if (!covered[wiu]) continue;  // no data, not "empty"
-                const DayBits& wi = unions[wiu];
+                const DayBits wi = WindowUnion(m, window_days, w);
                 acc.appear[wiu] +=
                     static_cast<std::uint64_t>(PopCount(AndNotBits(wi, w0)));
                 acc.disappear[wiu] +=
@@ -290,13 +288,14 @@ std::vector<GroupChurn> ChurnAnalyzer::PerGroupChurn(
                 acc.size_prev.assign(static_cast<std::size_t>(pairs), 0);
                 acc.size_next.assign(static_cast<std::size_t>(pairs), 0);
               }
-              auto unions = WindowUnions(m, window_days, num_windows);
               acc.total_active += static_cast<std::uint64_t>(
                   PopCount(m.UnionOver(0, store_.days())));
+              DayBits prev = WindowUnion(m, window_days, 0);
               for (int p = 0; p < pairs; ++p) {
                 auto pi = static_cast<std::size_t>(p);
-                const DayBits& w0 = unions[pi];
-                const DayBits& w1 = unions[pi + 1];
+                const DayBits w0 = prev;
+                const DayBits w1 = WindowUnion(m, window_days, p + 1);
+                prev = w1;
                 acc.up[pi] +=
                     static_cast<std::uint64_t>(PopCount(AndNotBits(w1, w0)));
                 acc.down[pi] +=

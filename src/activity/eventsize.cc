@@ -16,18 +16,23 @@ namespace {
 constexpr std::size_t kIntervalGrain = 8;
 
 // Per-address mask aggregation over the members of `events`, parallel over
-// the set's intervals. `mask_of` must be a pure function of the address:
+// the set's intervals. `make_mask_of(iv)` is invoked once per interval and
+// returns the per-address mask function for that run — the hook that lets
+// callers hoist binary searches and neighbor lookups out of the per-address
+// loop (interval-run discipline: every address of a run shares its
+// surrounding structure). Masks must be pure functions of the address:
 // per-chunk histograms are plain integer sums, so the elementwise merge is
 // bit-identical for any thread count.
-template <typename MaskFn>
+template <typename MakeMaskFn>
 EventSizeHistogram AggregateMasks(const net::Ipv4Set& events,
-                                  const MaskFn& mask_of) {
+                                  const MakeMaskFn& make_mask_of) {
   std::span<const net::Ipv4Set::Interval> intervals = events.Intervals();
   return par::ParallelReduce(
       std::size_t{0}, intervals.size(), EventSizeHistogram{},
       [&](EventSizeHistogram& hist, std::size_t first, std::size_t last) {
         for (std::size_t i = first; i < last; ++i) {
           const net::Ipv4Set::Interval& iv = intervals[i];
+          const auto mask_of = make_mask_of(iv);
           for (std::uint64_t v = iv.first; v <= iv.last; ++v) {
             net::IPv4Addr addr{static_cast<std::uint32_t>(v)};
             ++hist.by_mask[static_cast<std::size_t>(mask_of(addr))];
@@ -96,8 +101,22 @@ EventSizeHistogram EventSizesStrict(const ActivityStore& store, int w0_first,
   net::Ipv4Set active1 = store.ActiveSet(w1_first, w1_last);
   net::Ipv4Set events =
       up ? active1.Subtract(active0) : active0.Subtract(active1);
-  return AggregateMasks(events, [&](net::IPv4Addr addr) {
-    return SmallestStrictMask(events, addr);
+  // The intervals being aggregated ARE the event runs, so the per-address
+  // run lookup inside SmallestStrictMask is redundant here: the largest
+  // aligned prefix around addr need only be tested against the run bounds.
+  return AggregateMasks(events, [](const net::Ipv4Set::Interval& iv) {
+    return [iv](net::IPv4Addr addr) {
+      for (int mask = 0; mask <= 32; ++mask) {
+        const std::uint32_t suffix =
+            mask == 0 ? ~std::uint32_t{0}
+                      : (std::uint32_t{1} << (32 - mask)) - 1;
+        if ((addr.value() & ~suffix) >= iv.first &&
+            (addr.value() | suffix) <= iv.last) {
+          return mask;
+        }
+      }
+      return 32;
+    };
   });
 }
 
@@ -113,9 +132,31 @@ EventSizeHistogram EventSizes(const ActivityStore& store, int w0_first,
   net::Ipv4Set events =
       up ? active1.Subtract(active0) : active0.Subtract(active1);
 
-  EventSizeHistogram hist = AggregateMasks(events, [&](net::IPv4Addr addr) {
-    return SmallestIsolatingMask(reference, addr);
-  });
+  // Event runs are disjoint from the reference set by construction
+  // (events = one window's actives minus the other's, reference = the
+  // subtracted window), so no reference member lies inside a run: every
+  // address of the run shares the same floor (nearest member below the
+  // run) and ceiling (nearest member above it). The two binary searches
+  // are therefore hoisted to once per interval and the per-address work
+  // collapses to two countl_zero comparisons — bit-identical to calling
+  // SmallestIsolatingMask per address.
+  EventSizeHistogram hist =
+      AggregateMasks(events, [&](const net::Ipv4Set::Interval& iv) {
+        const auto floor = reference.Floor(net::IPv4Addr{iv.first});
+        const auto ceil = reference.Ceiling(net::IPv4Addr{iv.last});
+        return [floor, ceil](net::IPv4Addr addr) {
+          int mask = 0;
+          if (floor) {
+            int cpl = std::countl_zero(addr.value() ^ floor->value());
+            mask = std::max(mask, cpl + 1);
+          }
+          if (ceil) {
+            int cpl = std::countl_zero(addr.value() ^ ceil->value());
+            mask = std::max(mask, cpl + 1);
+          }
+          return mask;
+        };
+      });
   obs::GlobalRegistry()
       .GetCounter("activity.eventsize.events_aggregated")
       .Add(hist.total);

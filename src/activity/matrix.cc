@@ -6,7 +6,42 @@ namespace ipscope::activity {
 
 ActivityMatrix::ActivityMatrix(int days) : days_(days) {
   assert(days > 0);
-  rows_.assign(static_cast<std::size_t>(days), DayBits{});
+  own_.assign(static_cast<std::size_t>(days), DayBits{});
+  rows_ = own_.data();
+}
+
+ActivityMatrix::ActivityMatrix(int days, DayBits* rows)
+    : days_(days), rows_(rows) {
+  assert(days > 0);
+  assert(rows != nullptr);
+}
+
+ActivityMatrix::ActivityMatrix(const ActivityMatrix& other)
+    : days_(other.days_), own_(other.rows_, other.rows_ + other.days_) {
+  rows_ = own_.data();
+}
+
+ActivityMatrix& ActivityMatrix::operator=(const ActivityMatrix& other) {
+  if (this == &other) return *this;
+  days_ = other.days_;
+  own_.assign(other.rows_, other.rows_ + other.days_);
+  rows_ = own_.data();
+  return *this;
+}
+
+ActivityMatrix::ActivityMatrix(ActivityMatrix&& other) noexcept
+    : days_(other.days_), own_(std::move(other.own_)) {
+  rows_ = own_.empty() ? other.rows_ : own_.data();
+  other.rows_ = nullptr;
+}
+
+ActivityMatrix& ActivityMatrix::operator=(ActivityMatrix&& other) noexcept {
+  if (this == &other) return *this;
+  days_ = other.days_;
+  own_ = std::move(other.own_);
+  rows_ = own_.empty() ? other.rows_ : own_.data();
+  other.rows_ = nullptr;
+  return *this;
 }
 
 DayBits ActivityMatrix::UnionOver(int day_first, int day_last) const {
@@ -32,13 +67,33 @@ double ActivityMatrix::Stu(int day_first, int day_last) const {
 }
 
 int ActivityMatrix::HostActiveDays(int host) const {
+  const std::size_t w = static_cast<std::size_t>(host >> 6);
+  const unsigned b = static_cast<unsigned>(host) & 63u;
   int count = 0;
-  for (int d = 0; d < days_; ++d) count += Get(d, host) ? 1 : 0;
+  for (int d = 0; d < days_; ++d) {
+    count += static_cast<int>((rows_[d][w] >> b) & 1u);
+  }
   return count;
 }
 
+std::array<std::uint16_t, 256> ActivityMatrix::HostActiveDayCounts() const {
+  std::array<std::uint16_t, 256> counts{};
+  for (int d = 0; d < days_; ++d) {
+    const DayBits& row = rows_[d];
+    for (int w = 0; w < 4; ++w) {
+      std::uint64_t word = row[static_cast<std::size_t>(w)];
+      while (word != 0) {
+        ++counts[static_cast<std::size_t>(w * 64 + std::countr_zero(word))];
+        word &= word - 1;
+      }
+    }
+  }
+  return counts;
+}
+
 bool ActivityMatrix::Empty() const {
-  for (const DayBits& row : rows_) {
+  for (int d = 0; d < days_; ++d) {
+    const DayBits& row = rows_[d];
     if ((row[0] | row[1] | row[2] | row[3]) != 0) return false;
   }
   return true;

@@ -34,6 +34,24 @@ constexpr DayBits AndNotBits(const DayBits& a, const DayBits& b) {
   return {a[0] & ~b[0], a[1] & ~b[1], a[2] & ~b[2], a[3] & ~b[3]};
 }
 
+constexpr DayBits AndBits(const DayBits& a, const DayBits& b) {
+  return {a[0] & b[0], a[1] & b[1], a[2] & b[2], a[3] & b[3]};
+}
+
+// Sets host bits [lo, hi) — word-at-a-time, no per-bit loop. No-op when
+// hi <= lo. Bounds must lie in [0, 256].
+constexpr void SetBitRange(DayBits& bits, int lo, int hi) {
+  if (hi <= lo) return;
+  for (int w = lo >> 6; w < ((hi + 63) >> 6); ++w) {
+    int wlo = lo > w * 64 ? lo - w * 64 : 0;
+    int whi = hi < (w + 1) * 64 ? hi - w * 64 : 64;
+    std::uint64_t span = whi - wlo >= 64
+                             ? ~std::uint64_t{0}
+                             : ((std::uint64_t{1} << (whi - wlo)) - 1);
+    bits[static_cast<std::size_t>(w)] |= span << wlo;
+  }
+}
+
 constexpr bool TestBit(const DayBits& bits, int host) {
   return (bits[static_cast<std::size_t>(host >> 6)] >>
           (static_cast<unsigned>(host) & 63u)) &
@@ -47,20 +65,31 @@ constexpr void SetBit(DayBits& bits, int host) {
 
 class ActivityMatrix {
  public:
-  // A matrix covering `days` consecutive days (day indices 0 .. days-1).
+  // A matrix covering `days` consecutive days (day indices 0 .. days-1),
+  // with its own row storage.
   explicit ActivityMatrix(int days);
+
+  // A matrix viewing `days` rows of externally-owned storage (an
+  // ActivityStore arena). The matrix does not own `rows`; the owner must
+  // keep them alive and address-stable for the matrix's lifetime.
+  ActivityMatrix(int days, DayBits* rows);
+
+  // Copying always deep-copies into owned storage, so a copy of an
+  // arena-backed view is an independent matrix, never an alias.
+  ActivityMatrix(const ActivityMatrix& other);
+  ActivityMatrix& operator=(const ActivityMatrix& other);
+  // Moving preserves the storage mode: owned rows transfer (vector move
+  // keeps the heap buffer stable), views keep pointing at the arena.
+  ActivityMatrix(ActivityMatrix&& other) noexcept;
+  ActivityMatrix& operator=(ActivityMatrix&& other) noexcept;
 
   int days() const { return days_; }
 
   void Set(int day, int host) { SetBit(Row(day), host); }
   bool Get(int day, int host) const { return TestBit(Row(day), host); }
 
-  DayBits& Row(int day) {
-    return rows_[static_cast<std::size_t>(day)];
-  }
-  const DayBits& Row(int day) const {
-    return rows_[static_cast<std::size_t>(day)];
-  }
+  DayBits& Row(int day) { return rows_[day]; }
+  const DayBits& Row(int day) const { return rows_[day]; }
 
   // Number of active addresses on one day.
   int ActiveOnDay(int day) const { return PopCount(Row(day)); }
@@ -86,12 +115,18 @@ class ActivityMatrix {
   // Number of days on which a given host offset was active.
   int HostActiveDays(int host) const;
 
+  // Active-day counts for all 256 hosts in one sweep over the set bits —
+  // O(days + total set bits) instead of 256 separate column walks. The
+  // per-block input to the paper's host-days dispersion feature (Fig 8).
+  std::array<std::uint16_t, 256> HostActiveDayCounts() const;
+
   // True iff no bit is set.
   bool Empty() const;
 
  private:
   int days_;
-  std::vector<DayBits> rows_;
+  DayBits* rows_ = nullptr;  // own_.data(), or an external arena
+  std::vector<DayBits> own_;  // empty when viewing external storage
 };
 
 }  // namespace ipscope::activity

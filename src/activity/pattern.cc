@@ -51,9 +51,12 @@ PatternFeatures ComputeFeatures(const ActivityMatrix& m) {
   f.mean_host_days = static_cast<double>(total_active_days) /
                      static_cast<double>(f.filling_degree);
 
+  // One word-level sweep over the matrix's set bits replaces 256 per-bit
+  // column walks (per-host Get loops are a lint perf.row-loop finding).
+  const std::array<std::uint16_t, 256> host_days = m.HostActiveDayCounts();
   double sq_sum = 0.0;
   for (int h = 0; h < 256; ++h) {
-    int days = m.HostActiveDays(h);
+    int days = host_days[static_cast<std::size_t>(h)];
     if (days == 0) continue;
     double delta = static_cast<double>(days) - f.mean_host_days;
     sq_sum += delta * delta;

@@ -1,6 +1,7 @@
 #include "activity/store.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "par/pool.h"
 
@@ -23,6 +24,21 @@ ActivityMatrix& ActivityStore::GetOrCreate(net::BlockKey key) {
   matrices_.insert(matrices_.begin() + static_cast<std::ptrdiff_t>(idx),
                    ActivityMatrix{days_});
   return matrices_[idx];
+}
+
+void ActivityStore::AdoptArena(std::vector<net::BlockKey> keys,
+                               std::vector<DayBits> arena,
+                               const std::vector<std::size_t>& offsets) {
+  assert(keys_.empty() && matrices_.empty());
+  assert(keys.size() == offsets.size());
+  assert(std::is_sorted(keys.begin(), keys.end()));
+  arena_ = std::move(arena);
+  keys_ = std::move(keys);
+  matrices_.reserve(keys_.size());
+  for (std::size_t off : offsets) {
+    assert(off + static_cast<std::size_t>(days_) <= arena_.size());
+    matrices_.emplace_back(days_, arena_.data() + off);
+  }
 }
 
 void ActivityStore::SetDayCovered(int day, bool covered) {

@@ -55,6 +55,16 @@ class ActivityStore {
   // Insertions may arrive in any order; the store keeps blocks sorted.
   ActivityMatrix& GetOrCreate(net::BlockKey key);
 
+  // One-shot bulk adoption for builders that generate every block's rows
+  // into a single contiguous arena (day-major per block): the store takes
+  // ownership of `arena` and installs each keys[i] as a view over days()
+  // rows starting at arena[offsets[i]] — O(blocks) pointer work, no row
+  // copies. Requires an empty, fully covered store and strictly ascending
+  // keys. Later GetOrCreate insertions still work; they simply own their
+  // rows (mixed storage modes are fine, see DESIGN.md §4.13).
+  void AdoptArena(std::vector<net::BlockKey> keys, std::vector<DayBits> arena,
+                  const std::vector<std::size_t>& offsets);
+
   // Returns nullptr if the block was never observed.
   const ActivityMatrix* Find(net::BlockKey key) const;
 
@@ -98,6 +108,10 @@ class ActivityStore {
   std::vector<bool> covered_;             // per day; see DayCovered
   std::vector<net::BlockKey> keys_;       // ascending
   std::vector<ActivityMatrix> matrices_;  // parallel to keys_
+  // Backing rows for arena-adopted matrices (empty unless AdoptArena ran).
+  // Must outlive matrices_ views; vector moves keep the buffer stable, so
+  // the implicit move of the whole store is safe.
+  std::vector<DayBits> arena_;
 };
 
 }  // namespace ipscope::activity

@@ -43,13 +43,14 @@ Observatory Observatory::Weekly(const sim::World& world) {
 activity::ActivityStore Observatory::BuildStore(int threads) const {
   obs::Span span{"cdn.observatory.build_seconds"};
   // Generate each block's matrix independently (concurrently on the shared
-  // pool), then append non-empty blocks in key order. Results are
+  // pool) straight into one contiguous day-major-per-block arena — a single
+  // allocation for the whole build instead of one per block. Results are
   // bit-identical for any thread count: blocks never share generator state
-  // and each writes only its own slots. Block cost varies wildly by policy
-  // kind (a CGN block fills 256 hosts daily, a sparse static block a few),
-  // so the pool's dynamic chunk stealing does the load balancing.
-  std::vector<activity::ActivityMatrix> matrices(
-      order_.size(), activity::ActivityMatrix{spec_.steps});
+  // and each writes only its own arena slice. Block cost varies wildly by
+  // policy kind (a CGN block fills 256 hosts daily, a sparse static block a
+  // few), so the pool's dynamic chunk stealing does the load balancing.
+  const auto steps = static_cast<std::size_t>(spec_.steps);
+  std::vector<activity::DayBits> arena(order_.size() * steps);
   std::vector<char> non_empty(order_.size(), 0);
 
   // Non-empty row counts fold through the reduce's per-chunk accumulators —
@@ -60,12 +61,12 @@ activity::ActivityStore Observatory::BuildStore(int threads) const {
       [&](std::uint64_t& rows, std::size_t first, std::size_t last) {
         for (std::size_t i = first; i < last; ++i) {
           const sim::BlockPlan& plan = world_.blocks()[order_[i]];
+          activity::DayBits* block_rows = arena.data() + i * steps;
+          sim::GenerateBlock(plan, spec_, block_rows);
           bool any = false;
-          for (int s = 0; s < spec_.steps; ++s) {
-            activity::DayBits bits;
-            sim::GenerateStep(plan, spec_, s, bits, nullptr);
+          for (std::size_t s = 0; s < steps; ++s) {
+            const activity::DayBits& bits = block_rows[s];
             if ((bits[0] | bits[1] | bits[2] | bits[3]) == 0) continue;
-            matrices[i].Row(s) = bits;
             any = true;
             ++rows;
           }
@@ -76,16 +77,24 @@ activity::ActivityStore Observatory::BuildStore(int threads) const {
       /*grain=*/4, /*max_threads=*/threads);
   generate_span.Stop();
 
+  // Insert = arena handoff: collect the non-empty keys (already in
+  // ascending order) with their arena offsets and adopt the buffer —
+  // O(blocks) pointer work, no row copies. Empty blocks leave their slice
+  // unreferenced; see DESIGN.md §4.13 for the memory accounting.
   obs::Span insert_span{"cdn.observatory.build.insert_seconds"};
   activity::ActivityStore store{spec_.steps};
   std::uint64_t blocks_emitted = 0;
+  for (char flag : non_empty) blocks_emitted += flag != 0 ? 1u : 0u;
+  std::vector<net::BlockKey> keys;
+  std::vector<std::size_t> offsets;
+  keys.reserve(blocks_emitted);
+  offsets.reserve(blocks_emitted);
   for (std::size_t i = 0; i < order_.size(); ++i) {
     if (!non_empty[i]) continue;
-    // Ascending key order makes this append O(1).
-    store.GetOrCreate(net::BlockKeyOf(world_.blocks()[order_[i]].block)) =
-        std::move(matrices[i]);
-    ++blocks_emitted;
+    keys.push_back(net::BlockKeyOf(world_.blocks()[order_[i]].block));
+    offsets.push_back(i * steps);
   }
+  store.AdoptArena(std::move(keys), std::move(arena), offsets);
   insert_span.Stop();
 
   std::uint64_t bytes_emitted = rows_emitted * sizeof(activity::DayBits);

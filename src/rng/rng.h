@@ -35,6 +35,32 @@ constexpr std::uint64_t Substream(std::uint64_t seed, Tags... tags) {
   return SplitMix64Next(state);
 }
 
+// The precomputed prefix of one Substream family: SubstreamTail(seed,
+// tags...) folds in everything that does not depend on the final tag, so
+// that SubstreamTail(seed, tags...).At(i) == Substream(seed, tags..., i)
+// with a single SplitMix64 round per call instead of one per tag. This is
+// what makes slot-major generation kernels cheap: hashing a whole step
+// sweep for one slot costs O(tags) setup once, then O(1) mixing per step.
+class SubstreamTail {
+ public:
+  template <typename... Tags>
+  constexpr explicit SubstreamTail(std::uint64_t seed, Tags... tags) {
+    std::uint64_t state = seed;
+    ((state = SplitMix64Next(state) ^ (static_cast<std::uint64_t>(tags) *
+                                       0x9e3779b97f4a7c15ULL)),
+     ...);
+    z_ = SplitMix64Next(state);
+  }
+
+  constexpr std::uint64_t At(std::uint64_t last) const {
+    std::uint64_t state = z_ ^ (last * 0x9e3779b97f4a7c15ULL);
+    return SplitMix64Next(state);
+  }
+
+ private:
+  std::uint64_t z_ = 0;
+};
+
 class Xoshiro256 {
  public:
   using result_type = std::uint64_t;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "rng/rng.h"
 #include "sim/behavior.h"
@@ -326,6 +327,321 @@ void GenerateStep(const BlockPlan& plan, const StepSpec& spec, int step,
     }
     emit_segment(*owner[static_cast<std::size_t>(seg_lo)], seg_lo, seg_hi);
     seg_lo = seg_hi + 1;
+  }
+}
+
+// --- Slot-major batch kernels (GenerateBlock) ----------------------------
+//
+// GenerateStep above is the per-step reference: step-major, one hash chain
+// per (slot, step) decision, per-bit emission. The kernels below produce
+// bit-identical activity by transposing the loop nest to slot-major — legal
+// because every rng::Substream draw is a pure function of (seed, tags...),
+// so evaluating the same draws in a different order, or skipping draws
+// whose results never influence a bit, cannot change any result. Per-slot
+// quantities (tenure epoch schedule, occupant identity, propensity, the
+// multi-day activity-run decision) are then hoisted out of the step sweep
+// and the per-step hash collapses to one SplitMix64 round via
+// rng::SubstreamTail.
+
+namespace {
+
+constexpr std::int32_t MidOf(const StepSpec& spec, int step) {
+  return spec.start_day + step * spec.step_days + spec.step_days / 2;
+}
+
+// Shared kernel for the two epoch-occupant policies. kStatic derives the
+// per-slot epoch period from the tenure hash and scatters slots through
+// host_perm; kDynamicLong uses the fixed lease length and identity mapping.
+void EpochKernel(const BlockPlan& plan, const StepSpec& spec,
+                 const PolicyParams& pp, bool is_static,
+                 const activity::DayBits& mask, int s0, int s1,
+                 const std::uint8_t* weekend, activity::DayBits* rows) {
+  const int pool = std::min<int>(pp.pool_size, 256);
+  const bool daily = spec.step_days == 1;
+  const bool weekend_gated = pp.weekend_factor < 1.0f;
+  const double weekend_adj = double{pp.weekend_factor};
+  for (int slot = 0; slot < pool; ++slot) {
+    const int host =
+        is_static ? plan.host_perm[static_cast<std::size_t>(slot)] : slot;
+    if (!activity::TestBit(mask, host)) continue;
+    int period;
+    int phase;
+    if (is_static) {
+      std::uint64_t tenure_h =
+          rng::Substream(plan.block_seed, kTagTenure, slot);
+      period = 150 + static_cast<int>(tenure_h & 511u);
+      phase = static_cast<int>((tenure_h >> 16) %
+                               static_cast<unsigned>(period));
+    } else {
+      period = std::max<int>(1, pp.lease_days);
+      std::uint64_t slot_h = rng::Substream(plan.block_seed, kTagLease, slot);
+      phase = static_cast<int>(slot_h % static_cast<unsigned>(period));
+    }
+    const rng::SubstreamTail occ_tail{plan.block_seed, kTagOccupant, slot};
+    const rng::SubstreamTail act_tail{plan.block_seed, kTagActive, slot};
+    const rng::SubstreamTail wk_tail{plan.block_seed, kTagWeekend, slot};
+    constexpr std::int32_t kNever = std::numeric_limits<std::int32_t>::min();
+    std::int32_t epoch_end = kNever;  // first mid-day of the next epoch
+    bool occupied = false;
+    double p_step = 0.0;
+    int run = 1;
+    int run_phase = 0;
+    std::int32_t run_end = kNever;  // first step of the next activity run
+    bool active = false;
+    for (int s = s0; s < s1; ++s) {
+      const std::int32_t mid = MidOf(spec, s);
+      if (mid >= epoch_end) {
+        const int epoch = (mid + phase) / period;
+        epoch_end = (epoch + 1) * period - phase;
+        const std::uint64_t occ =
+            occ_tail.At(static_cast<std::uint64_t>(epoch));
+        occupied = HashUnit(occ) < pp.occupancy;
+        if (occupied) {
+          const double p_day = SubscriberPropensity(occ);
+          p_step = StepProbability(std::min(0.98, p_day), spec.step_days);
+          run = 1;
+          run_phase = 0;
+          if (daily) {
+            run = 1 + static_cast<int>((occ >> 33) & 3u);
+            run_phase = static_cast<int>((occ >> 40) %
+                                         static_cast<unsigned>(run));
+          }
+          run_end = kNever;  // new occupant: stale run decision
+        }
+      }
+      if (!occupied) continue;
+      if (daily) {
+        if (s >= run_end) {
+          const int index = (s + run_phase) / run;
+          run_end = (index + 1) * run - run_phase;
+          active =
+              HashUnit(act_tail.At(static_cast<std::uint64_t>(index))) <
+              p_step;
+        }
+      } else {
+        active = HashUnit(act_tail.At(static_cast<std::uint64_t>(s))) < p_step;
+      }
+      if (!active) continue;
+      if (weekend_gated && weekend[s] != 0 &&
+          !(HashUnit(wk_tail.At(static_cast<std::uint64_t>(s))) <
+            weekend_adj)) {
+        continue;
+      }
+      activity::SetBit(rows[s], host);
+    }
+  }
+}
+
+// kDynamicShort, dense variant: one hash per (slot, step) is inherent, but
+// the fill thresholds are per-step constants shared by all slots, so they
+// are precomputed once and the inner sweep is a single SubstreamTail round
+// plus a compare.
+void DenseShortKernel(const BlockPlan& plan, const StepSpec& spec,
+                      const PolicyParams& pp, const activity::DayBits& mask,
+                      int s0, int s1, const std::uint8_t* weekend,
+                      std::vector<double>& fill, activity::DayBits* rows) {
+  const int pool = std::min<int>(pp.pool_size, 256);
+  fill.resize(static_cast<std::size_t>(s1));
+  for (int s = s0; s < s1; ++s) {
+    const double weekend_adj = weekend[s] != 0 ? double{pp.weekend_factor}
+                                               : 1.0;
+    const double p_day = std::min(0.98, double{pp.daily_p} * weekend_adj);
+    const double p_step = StepProbability(p_day, spec.step_days);
+    fill[static_cast<std::size_t>(s)] =
+        std::min(0.95, static_cast<double>(pp.subscribers) * p_step / pool);
+  }
+  for (int slot = 0; slot < pool; ++slot) {
+    if (!activity::TestBit(mask, slot)) continue;
+    const rng::SubstreamTail dense_tail{plan.block_seed, kTagDense, slot};
+    for (int s = s0; s < s1; ++s) {
+      if (HashUnit(dense_tail.At(static_cast<std::uint64_t>(s))) <
+          fill[static_cast<std::size_t>(s)]) {
+        activity::SetBit(rows[s], slot);
+      }
+    }
+  }
+}
+
+// kDynamicShort, rotating variant: per-step work by nature (the band
+// advances every step), but the band is a contiguous range mod pool, so it
+// is built with word-level range masks instead of per-bit emission.
+void RotatingShortKernel(const BlockPlan& plan, const StepSpec& spec,
+                         const PolicyParams& pp,
+                         const activity::DayBits& mask, int s0, int s1,
+                         const std::uint8_t* weekend,
+                         activity::DayBits* rows) {
+  const int pool = std::min<int>(pp.pool_size, 256);
+  const int stride = std::max<int>(
+      1, static_cast<int>(pp.subscribers * double{pp.daily_p}));
+  const rng::SubstreamTail count_tail{plan.block_seed, kTagPoolCount};
+  for (int s = s0; s < s1; ++s) {
+    const double weekend_adj = weekend[s] != 0 ? double{pp.weekend_factor}
+                                               : 1.0;
+    const double p_day = std::min(0.98, double{pp.daily_p} * weekend_adj);
+    const double p_step = StepProbability(p_day, spec.step_days);
+    rng::Xoshiro256 g{count_tail.At(static_cast<std::uint64_t>(s))};
+    int n = static_cast<int>(rng::NextBinomial(g, pp.subscribers, p_step));
+    n = std::min(n, pool);
+    if (n <= 0) continue;
+    const int start = static_cast<int>(
+        (plan.block_seed + static_cast<std::uint64_t>(s) *
+                               static_cast<std::uint64_t>(stride)) %
+        static_cast<std::uint64_t>(pool));
+    activity::DayBits band{};
+    if (start + n <= pool) {
+      activity::SetBitRange(band, start, start + n);
+    } else {
+      activity::SetBitRange(band, start, pool);
+      activity::SetBitRange(band, 0, start + n - pool);
+    }
+    rows[s] = activity::OrBits(rows[s], activity::AndBits(band, mask));
+  }
+}
+
+// kCgnGateway / kCrawlerBots / kServerFarm: independent per-(slot, step)
+// coin flips against one constant threshold.
+void FlatKernel(std::uint64_t block_seed, std::uint64_t tag, double p_on,
+                int pool, const activity::DayBits& mask, int s0, int s1,
+                activity::DayBits* rows) {
+  for (int slot = 0; slot < pool; ++slot) {
+    if (!activity::TestBit(mask, slot)) continue;
+    const rng::SubstreamTail tail{block_seed, tag, slot};
+    for (int s = s0; s < s1; ++s) {
+      if (HashUnit(tail.At(static_cast<std::uint64_t>(s))) < p_on) {
+        activity::SetBit(rows[s], slot);
+      }
+    }
+  }
+}
+
+// Renders one policy's activity over steps [s0, s1) into the hosts selected
+// by `mask` — the slot-major counterpart of emit_segment in GenerateStep.
+void RenderPolicy(const BlockPlan& plan, const StepSpec& spec,
+                  const PolicyParams& pp, const activity::DayBits& mask,
+                  int s0, int s1, const std::uint8_t* weekend,
+                  std::vector<double>& fill_scratch,
+                  activity::DayBits* rows) {
+  const int pool = std::min<int>(pp.pool_size, 256);
+  if (pool == 0) return;
+  switch (pp.kind) {
+    case PolicyKind::kUnused:
+    case PolicyKind::kRouterInfra:
+    case PolicyKind::kMiddlebox:
+      return;
+    case PolicyKind::kStatic:
+      EpochKernel(plan, spec, pp, /*is_static=*/true, mask, s0, s1, weekend,
+                  rows);
+      return;
+    case PolicyKind::kDynamicLong:
+      EpochKernel(plan, spec, pp, /*is_static=*/false, mask, s0, s1, weekend,
+                  rows);
+      return;
+    case PolicyKind::kDynamicShort:
+      if (pp.rotating) {
+        RotatingShortKernel(plan, spec, pp, mask, s0, s1, weekend, rows);
+      } else {
+        DenseShortKernel(plan, spec, pp, mask, s0, s1, weekend, fill_scratch,
+                         rows);
+      }
+      return;
+    case PolicyKind::kCgnGateway:
+      FlatKernel(plan.block_seed, kTagAlwaysOn,
+                 StepProbability(0.999, spec.step_days), pool, mask, s0, s1,
+                 rows);
+      return;
+    case PolicyKind::kCrawlerBots:
+      FlatKernel(plan.block_seed, kTagAlwaysOn,
+                 StepProbability(0.98, spec.step_days), pool, mask, s0, s1,
+                 rows);
+      return;
+    case PolicyKind::kServerFarm:
+      FlatKernel(plan.block_seed, kTagServer,
+                 StepProbability(double{pp.daily_p}, spec.step_days), pool,
+                 mask, s0, s1, rows);
+      return;
+  }
+}
+
+}  // namespace
+
+void GenerateBlock(const BlockPlan& plan, const StepSpec& spec,
+                   activity::DayBits* rows) {
+  const int steps = spec.steps;
+  std::fill_n(rows, steps, activity::DayBits{});
+  if (steps <= 0) return;
+
+  // Mid-days increase strictly with the step index, so the activation
+  // window maps to one contiguous step interval [s_lo, s_hi).
+  int s_lo = 0;
+  while (s_lo < steps && MidOf(spec, s_lo) < plan.active_from) ++s_lo;
+  int s_hi = s_lo;
+  while (s_hi < steps && MidOf(spec, s_hi) < plan.active_until) ++s_hi;
+  if (s_lo >= s_hi) return;
+
+  // Weekend flags per step, shared by every policy below. Weekend
+  // suppression only exists at daily granularity (a 7-day step always
+  // contains the same weekday mix), so weekday arithmetic replaces a
+  // calendar lookup per (slot, step).
+  std::vector<std::uint8_t> weekend(static_cast<std::size_t>(steps), 0);
+  if (spec.step_days == 1) {
+    const int wd0 = (timeutil::kWeeklyPeriodStart + spec.start_day).Weekday();
+    for (int s = 0; s < steps; ++s) {
+      weekend[static_cast<std::size_t>(s)] =
+          static_cast<std::uint8_t>((wd0 + s) % 7 >= 5);
+    }
+  }
+
+  // Step-interval boundaries where the per-host ownership map can change:
+  // each event's first effective step. Within an interval ownership is
+  // constant, so the owner table is built once per interval instead of once
+  // per step.
+  int bounds[3];
+  int nb = 0;
+  bounds[nb++] = s_lo;
+  for (const BlockEvent& ev : plan.events) {
+    if (ev.day < 0) continue;
+    int s = s_lo;
+    while (s < s_hi && MidOf(spec, s) < ev.day) ++s;
+    if (s > s_lo && s < s_hi) bounds[nb++] = s;
+  }
+  // bounds[0] == s_lo is minimal by construction; order the event entries.
+  if (nb == 3 && bounds[1] > bounds[2]) std::swap(bounds[1], bounds[2]);
+
+  std::vector<double> fill_scratch;  // sized lazily by the dense kernel
+  for (int b = 0; b < nb; ++b) {
+    const int i0 = bounds[b];
+    const int i1 = b + 1 < nb ? bounds[b + 1] : s_hi;
+    if (i0 >= i1) continue;  // duplicate boundary (two events, same step)
+    // Ownership on this interval, then grouped into per-policy host masks
+    // (full-range events collapse to a single mask; partial events produce
+    // the paper's Fig 7b spatial splits).
+    const std::int32_t mid0 = MidOf(spec, i0);
+    std::array<const PolicyParams*, 256> owner;
+    owner.fill(&plan.base);
+    for (const BlockEvent& ev : plan.events) {
+      if (ev.day < 0 || ev.day > mid0) continue;
+      for (int h = ev.host_first; h <= static_cast<int>(ev.host_last); ++h) {
+        owner[static_cast<std::size_t>(h)] = &ev.params;
+      }
+    }
+    const PolicyParams* params[3];
+    activity::DayBits masks[3];
+    int np = 0;
+    for (int h = 0; h < 256; ++h) {
+      const PolicyParams* pp = owner[static_cast<std::size_t>(h)];
+      int k = 0;
+      while (k < np && params[k] != pp) ++k;
+      if (k == np) {
+        params[np] = pp;
+        masks[np] = activity::DayBits{};
+        ++np;
+      }
+      activity::SetBit(masks[k], h);
+    }
+    for (int k = 0; k < np; ++k) {
+      RenderPolicy(plan, spec, *params[k], masks[k], i0, i1, weekend.data(),
+                   fill_scratch, rows);
+    }
   }
 }
 

@@ -128,4 +128,14 @@ inline void GenerateStep(const BlockPlan& plan, const StepSpec& spec,
   GenerateStep(plan, spec, step, bits, hits256, nullptr);
 }
 
+// Fills rows[0 .. spec.steps) with the block's whole activity matrix in one
+// call — bit-identical to calling GenerateStep(bits-only) per step, but
+// slot-major: every Substream draw is a pure function of (seed, tags), so
+// the per-step × per-slot loop nest can be transposed and the per-slot
+// state (tenure epochs, occupants, propensities, activity-run decisions)
+// hoisted out of the step sweep. This is the store-build hot path; callers
+// that need hits or occupants stay on GenerateStep.
+void GenerateBlock(const BlockPlan& plan, const StepSpec& spec,
+                   activity::DayBits* rows);
+
 }  // namespace ipscope::sim

@@ -1,0 +1,28 @@
+// lint-corpus-as: src/activity/corpus.cc
+// Violation corpus: per-host bit probing inside loops in the activity hot
+// paths. Each Get touches one bit; the Row(day) word kernels touch 64
+// hosts per memory access.
+
+namespace corpus {
+
+struct Matrix {
+  bool Get(int day, int host) const;
+};
+
+int CountActive(const Matrix& m, int days) {
+  int total = 0;
+  for (int d = 0; d < days; ++d) {
+    for (int h = 0; h < 256; ++h) {
+      if (m.Get(d, h)) ++total;  // finding: bit probe in a loop
+    }
+  }
+  return total;
+}
+
+int FirstActiveDay(const Matrix* m, int host, int days) {
+  for (int d = 0; d < days; ++d)
+    if (m->Get(d, host)) return d;  // finding: single-statement body
+  return -1;
+}
+
+}  // namespace corpus

@@ -399,6 +399,61 @@ struct Engine {
     }
   }
 
+  // --- [perf] --------------------------------------------------------------
+
+  // Advisory: per-host `m.Get(day, host)` probing inside a loop in the
+  // activity hot paths. One Get is one bit; the word-level kernels
+  // (Row(day) + popcount/XOR/ANDNOT, HostActiveDayCounts) touch 64 hosts
+  // per memory access. The naive reference implementations in src/check
+  // are deliberately out of scope — they exist to be slow and obvious.
+  void RuleRowLoop() {
+    if (!info.activity_impl) return;
+    std::set<std::size_t> reported;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!IsIdent(toks[i], "for") || !IsPunct(toks[i + 1], "(")) continue;
+      // Skip the loop header to its matching ')'.
+      int depth = 0;
+      std::size_t j = i + 1;
+      for (; j < toks.size(); ++j) {
+        if (IsPunct(toks[j], "(")) ++depth;
+        if (IsPunct(toks[j], ")")) {
+          --depth;
+          if (depth == 0) break;
+        }
+      }
+      if (j >= toks.size()) continue;
+      // Body: a brace-matched block, or a single statement up to ';'.
+      std::size_t body = j + 1;
+      std::size_t end = body;
+      if (body < toks.size() && IsPunct(toks[body], "{")) {
+        int braces = 0;
+        for (end = body; end < toks.size(); ++end) {
+          if (IsPunct(toks[end], "{")) ++braces;
+          if (IsPunct(toks[end], "}")) {
+            --braces;
+            if (braces == 0) break;
+          }
+        }
+      } else {
+        while (end < toks.size() && !IsPunct(toks[end], ";")) ++end;
+      }
+      for (std::size_t k = body; k + 1 < end; ++k) {
+        if (!IsIdent(toks[k], "Get") || !IsPunct(toks[k + 1], "(")) continue;
+        // Member calls only: `m.Get(` / `m->Get(`.
+        if (k < 1 ||
+            !(IsPunct(toks[k - 1], ".") || IsPunct(toks[k - 1], ">"))) {
+          continue;
+        }
+        // Nested loops see the same call; report it once.
+        if (!reported.insert(k).second) continue;
+        Report("perf.row-loop", toks[k],
+               "per-host Get(day, host) inside a loop probes one bit per "
+               "memory touch; hoist to Row(day) word kernels "
+               "(popcount/XOR/ANDNOT) or HostActiveDayCounts");
+      }
+    }
+  }
+
   // --- [hygiene] -----------------------------------------------------------
 
   void RulePragmaOnce() {
@@ -521,6 +576,7 @@ FileInfo ClassifyPath(std::string rel_path) {
       StartsWith(rel_path, "src/obs/") || StartsWith(rel_path, "bench/");
   info.default_scope =
       StartsWith(rel_path, "src/") || StartsWith(rel_path, "tools/");
+  info.activity_impl = StartsWith(rel_path, "src/activity/") && !info.header;
   return info;
 }
 
@@ -550,6 +606,9 @@ const std::vector<RuleMeta>& RuleCatalogue() {
        "No `using namespace` in headers."},
       {"hygiene.io", "io",
        "No printf/std::cout/std::cerr in library code."},
+      {"perf.row-loop", "rowloop",
+       "No per-host Get(day, host) loops in src/activity implementation "
+       "files; use the Row(day) word kernels."},
       {"hygiene.unchecked-close", "close",
        "No discarded fclose/close/fflush/fsync results; a failed close is "
        "a lost write."},
@@ -574,6 +633,7 @@ FileAnalysis AnalyzeFile(const FileInfo& info, std::string_view source) {
   engine.RuleEmptyDefault();
   engine.RuleIo();
   engine.RuleUncheckedClose();
+  engine.RuleRowLoop();
 
   // Resolve where each suppression applies: a comment sharing a line with
   // code suppresses that line; a standalone comment suppresses the first

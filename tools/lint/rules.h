@@ -46,6 +46,13 @@
 //                                 tests, bench, examples exempt).
 //                                 Suppress: lint: io(...)
 //
+//  [perf] — PR 8 rebuilt the activity analysis layer on word-level row
+//  kernels (Row(day) + popcount/XOR/ANDNOT, HostActiveDayCounts): one
+//  per-host Get probe touches one bit where a row word op touches 64.
+//    perf.row-loop                advisory: member call to Get(...) inside
+//                                 a for-loop body in src/activity/*.cc.
+//                                 Suppress: lint: rowloop(...)
+//
 //  lint.suppression — a `// lint: tag(...)` with empty justification. The
 //  justification is the reviewable artifact; it is mandatory.
 //
@@ -70,6 +77,7 @@ struct FileInfo {
   bool library = false;      // src/** minus src/cli (hygiene.io scope)
   bool time_exempt = false;  // src/obs/** or bench/** (determinism.time)
   bool default_scope = false;// src/** or tools/** (silent-fallback.empty-default)
+  bool activity_impl = false;// src/activity/** non-header (perf.row-loop)
 };
 
 // Classifies `rel_path` (path relative to the repo root, '/'-separated).
