@@ -248,6 +248,16 @@ void WriteJson(std::ostream& os, const ipscope::sim::WorldConfig& cfg,
     WriteDoubleArray(os, run.pool.worker_idle_seconds);
     os << "}}" << (r + 1 < runs.size() ? "," : "") << "\n";
   }
+  // A speedup ratio needs two distinct thread counts. On a 1-hardware-
+  // thread host the sweep collapses to a single run, and serial/parallel
+  // would alias the same measurement — every stage would read "1x", which
+  // looks like "no scaling" when it means "not measured". Mark such
+  // reports baseline_only instead; benchdiff treats the absent block as
+  // advisory.
+  if (runs.size() < 2) {
+    os << "  ],\n  \"baseline_only\": true\n}\n";
+    return;
+  }
   os << "  ],\n  \"speedup\": {\n";
   const RunResult& serial = runs.front();
   const RunResult& parallel = runs.back();

@@ -75,10 +75,31 @@ if IPSCOPE_INGEST_SKIP_ROLLBACK=1 build/tools/ipscope_cli chaos-crash \
 fi
 rm -rf results/chaos_crash_teeth.dir
 echo "chaos-crash gate: seeded recovery bug correctly caught"
-# Snapshot the committed pipeline benchmark before the bench loop overwrites
-# BENCH_pipeline.json with this run's numbers; the regression gate below
-# diffs the fresh report against it.
+
+# Serve smoke: spin up the query daemon on an ephemeral port, hammer it
+# from a client swarm over real TCP, byte-compare every response against
+# the DirectAnswer oracle, hot-reload the snapshot mid-run, and drain via
+# SIGINT. Any divergent byte (including a stale snapshot id) exits 1.
+echo "== serve smoke"
+build/tools/ipscope_cli serve --smoke --blocks 400 --clients 4 \
+  | tee results/serve_smoke.txt
+
+# Prove the serve smoke has teeth: IPSCOPE_SERVE_SKIP_PIN=1 enables a
+# deliberately seeded snapshot-isolation bug (the result cache keys on a
+# stale snapshot id, so post-reload queries serve pre-reload bytes); the
+# smoke must catch the divergence.
+if IPSCOPE_SERVE_SKIP_PIN=1 build/tools/ipscope_cli serve --smoke \
+    --blocks 400 --clients 4 >results/serve_smoke_teeth.txt 2>&1; then
+  echo "FATAL: serve smoke accepted the seeded stale-snapshot cache bug" >&2
+  exit 1
+fi
+echo "serve smoke: seeded stale-snapshot bug correctly caught"
+
+# Snapshot the committed benchmarks before the bench loop overwrites the
+# reports with this run's numbers; the regression gates below diff the
+# fresh reports against these.
 cp BENCH_pipeline.json results/BENCH_baseline.json
+cp BENCH_serve.json results/BENCH_serve_baseline.json
 
 for bench in build/bench/*; do
   name="$(basename "$bench")"
@@ -101,6 +122,10 @@ build/tools/ipscope_cli benchdiff results/BENCH_baseline.json \
   BENCH_pipeline.json \
   --tolerance-pct "${IPSCOPE_BENCH_TOLERANCE_PCT:-25}" \
   | tee results/benchdiff.txt
+build/tools/ipscope_cli benchdiff results/BENCH_serve_baseline.json \
+  BENCH_serve.json \
+  --tolerance-pct "${IPSCOPE_BENCH_TOLERANCE_PCT:-25}" \
+  | tee results/benchdiff_serve.txt
 
 # Headline throughput delta for the store_build hot path: this run's MB/s
 # against the committed baseline (first run of each report — threads=1).

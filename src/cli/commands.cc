@@ -1,17 +1,25 @@
 #include "cli/commands.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <charconv>
+#include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "activity/change.h"
 #include "activity/churn.h"
@@ -22,7 +30,13 @@
 #include "cdn/rawlog.h"
 #include "check/golden.h"
 #include "check/sweep.h"
+#include "cli/signals.h"
 #include "fault/crash.h"
+#include "geo/country.h"
+#include "obs/json.h"
+#include "serve/frame.h"
+#include "serve/server.h"
+#include "serve/tcp.h"
 #include "fault/injector.h"
 #include "fault/schedule.h"
 #include "ingest/session.h"
@@ -96,6 +110,24 @@ commands:
       build of the committed prefix and that replaying the interrupted
       delta converges on the full dataset with no double-apply. Exits 0
       iff every point x seed cell passes.
+  serve PATH | serve --session DIR [--days N]
+        [--port N] [--bind ADDR] [--world-blocks N] [--world-seed S]
+        [--cache N]
+      Long-running query daemon: loads an IPSCOPE store (or an ingest
+      session's shard set) and answers JSON queries over a length-prefixed
+      binary protocol (frame: "IPSQ" + u32 LE body length + JSON body; see
+      the README's "Serving" section for the endpoint list). --port 0
+      (default) binds an ephemeral port, printed on startup. --world-blocks
+      rebuilds the simulated world so the as/country endpoints can
+      attribute blocks. SIGINT/SIGTERM drain: in-flight queries finish,
+      --metrics-out is flushed, exit code 0.
+  serve --smoke [--blocks N] [--seed S] [--clients N] [--requests N]
+      Self-contained client-swarm gate over real TCP: builds a world,
+      serves its daily store, hammers it from --clients connections,
+      byte-compares every response against a direct store/analysis
+      oracle, reloads a modified snapshot and re-verifies (new queries
+      must see the new snapshot id), then drains via SIGINT. Exits 0 iff
+      every response was bit-identical and the drain exited cleanly.
   check [--goldens DIR] [--update-goldens] [--blocks N] [--threads-max N]
         [--perturb flip-bit]
       Differential correctness sweep: re-derives every figure series with
@@ -1006,6 +1038,11 @@ int CmdChaosCrash(const CommandLine& cmd, std::ostream& out,
   report::Table card({"crash point", "status", "detail"});
   bool all_ok = true;
   for (const std::string& point : points) {
+    if (DrainRequested()) {
+      out << "chaos-crash: drain requested, stopping before point " << point
+          << "\n";
+      break;
+    }
     int passed = 0;
     std::string failure;
     for (const SeedCase& c : cases) {
@@ -1299,6 +1336,316 @@ std::optional<CommandLine> Parse(const std::vector<std::string>& args,
 
 namespace {
 
+// --- serve ----------------------------------------------------------------
+
+// Blocking client-side frame exchange used by the smoke swarm: write one
+// request frame, read one response frame. Empty return = transport error.
+std::string ServeExchange(int fd, const std::string& body) {
+  std::string frame = serve::EncodeFrame(body);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n = ::write(fd, frame.data() + sent, frame.size() - sent);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return {};
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  auto read_exactly = [fd](char* buf, std::size_t want) {
+    std::size_t got = 0;
+    while (got < want) {
+      ssize_t n = ::read(fd, buf + got, want - got);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      got += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+  char header[serve::kFrameHeaderBytes];
+  if (!read_exactly(header, sizeof(header))) return {};
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(header[4 + static_cast<size_t>(i)]))
+           << (8 * i);
+  }
+  std::string response(len, '\0');
+  if (len > 0 && !read_exactly(response.data(), len)) return {};
+  return response;
+}
+
+int ConnectLoopback(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);  // lint: close(best-effort teardown of a failed connect)
+    return -1;
+  }
+  return fd;
+}
+
+// A deterministic request mix touching every endpoint (including the
+// typed-error paths) for the store/attribution at hand.
+std::vector<std::string> SmokeRequests(
+    const activity::ActivityStore& store,
+    const std::vector<serve::BlockAttribution>& attribution) {
+  std::vector<std::string> bodies;
+  bodies.push_back(R"({"endpoint": "summary"})");
+  bodies.push_back(R"({"endpoint": "churn", "window": 7})");
+  bodies.push_back(R"({"endpoint": "churn", "window": 28})");
+  bodies.push_back(R"({"endpoint": "patterns"})");
+  auto keys = store.keys();
+  for (std::size_t i = 0; i < 5 && !keys.empty(); ++i) {
+    net::BlockKey key = keys[i * (keys.size() - 1) / 4];
+    std::string block = net::BlockFromKey(key).ToString();
+    bodies.push_back(R"({"endpoint": "point", "block": ")" + block + "\"}");
+    bodies.push_back(R"({"endpoint": "point", "block": ")" + block +
+                     R"(", "host": 17})");
+  }
+  if (!keys.empty()) {
+    // An absent block: first key gap above the smallest key.
+    net::BlockKey absent = keys.front() + 1;
+    while (store.Find(absent) != nullptr) ++absent;
+    bodies.push_back(R"({"endpoint": "point", "block": ")" +
+                     net::BlockFromKey(absent).ToString() + "\"}");
+    net::Prefix p16{net::IPv4Addr{(keys.front() << 8) & 0xFFFF0000u}, 16};
+    bodies.push_back(R"({"endpoint": "prefix", "prefix": ")" +
+                     p16.ToString() + "\"}");
+    bodies.push_back(R"({"endpoint": "prefix", "prefix": ")" +
+                     p16.ToString() + R"(", "day_first": 0, "day_last": 7})");
+    bodies.push_back(R"({"endpoint": "patterns", "prefix": ")" +
+                     p16.ToString() + "\"}");
+  }
+  if (!attribution.empty()) {
+    const serve::BlockAttribution& entry = attribution.front();
+    bodies.push_back(R"({"endpoint": "as", "asn": )" +
+                     std::to_string(entry.asn) + "}");
+    if (entry.country >= 0) {
+      bodies.push_back(
+          R"({"endpoint": "country", "code": ")" +
+          std::string(
+              geo::Countries()[static_cast<std::size_t>(entry.country)]
+                  .code) +
+          "\"}");
+    }
+  }
+  // Typed-error paths must be deterministic over the wire too.
+  bodies.push_back(R"({"endpoint": "no-such-endpoint"})");
+  bodies.push_back(R"({"endpoint": "point"})");  // missing required field
+  return bodies;
+}
+
+// Runs the swarm once and byte-compares every response against the oracle
+// (DirectAnswer on `oracle` at `want_snapshot`). Returns the number of
+// divergent responses; writes the first few to `err`.
+int SmokeVerifyPhase(int port, int clients,
+                     const std::vector<std::string>& bodies, int repeat,
+                     const activity::ActivityStore& oracle,
+                     std::uint64_t want_snapshot,
+                     const std::vector<serve::BlockAttribution>& attribution,
+                     std::ostream& err) {
+  std::vector<std::string> expected;
+  expected.reserve(bodies.size());
+  for (const std::string& body : bodies) {
+    expected.push_back(serve::Server::DirectAnswer(oracle, want_snapshot,
+                                                   attribution, body));
+  }
+  std::atomic<int> divergent{0};
+  std::mutex err_mu;
+  std::vector<std::thread> swarm;
+  for (int c = 0; c < clients; ++c) {
+    swarm.emplace_back([&, c] {
+      int fd = ConnectLoopback(port);
+      if (fd < 0) {
+        ++divergent;
+        std::lock_guard<std::mutex> lock{err_mu};
+        err << "serve-smoke: client " << c << " failed to connect\n";
+        return;
+      }
+      for (int r = 0; r < repeat; ++r) {
+        for (std::size_t i = 0; i < bodies.size(); ++i) {
+          std::string got = ServeExchange(fd, bodies[i]);
+          if (got == expected[i]) continue;
+          int seen = ++divergent;
+          if (seen <= 3) {
+            std::lock_guard<std::mutex> lock{err_mu};
+            err << "serve-smoke: response diverges from oracle for "
+                << bodies[i] << "\n  want: " << expected[i]
+                << "\n  got:  " << (got.empty() ? "<transport error>" : got)
+                << "\n";
+          }
+        }
+      }
+      if (::close(fd) != 0) {
+        std::lock_guard<std::mutex> lock{err_mu};
+        err << "serve-smoke: client close failed\n";
+      }
+    });
+  }
+  for (std::thread& t : swarm) t.join();
+  return divergent.load();
+}
+
+int CmdServeSmoke(const CommandLine& cmd, std::ostream& out,
+                  std::ostream& err) {
+  sim::WorldConfig config;
+  config.target_client_blocks = cmd.IntFlag("blocks", 400);
+  config.seed = cmd.Uint64Flag("seed", config.seed);
+  int clients = cmd.IntFlag("clients", 4);
+  int repeat = std::max(1, cmd.IntFlag("requests", 120) /
+                               std::max(1, clients) / 20);
+  sim::World world{config};
+  auto attribution = serve::Server::AttributionFromWorld(world);
+  auto store = cdn::Observatory::Daily(world).BuildStore();
+
+  // Oracle copies: the smoke diffs wire responses against direct calls on
+  // these, per claimed snapshot id. Snapshot 2 is snapshot 1 with day 0
+  // marked uncovered — summary/churn/point answers all shift, so a stale
+  // (pre-reload) cache entry cannot masquerade as a fresh answer.
+  activity::ActivityStore oracle_v1 = store;
+  activity::ActivityStore reloaded = store;
+  reloaded.SetDayCovered(0, false);
+  activity::ActivityStore oracle_v2 = reloaded;
+
+  serve::Server server{std::move(store)};
+  server.SetAttribution(attribution);
+
+  InstallSignalHandlers();
+  ResetDrainForTests();
+  std::mutex mu;
+  std::condition_variable cv;
+  int port = 0;
+  serve::TcpOptions tcp;
+  tcp.max_connections = clients + 8;
+  std::uint64_t served_connections = 0;
+  std::string tcp_error;
+  std::thread daemon{[&] {
+    auto result = serve::RunTcpServer(
+        server, tcp, [] { return DrainRequested(); },
+        [&](int bound) {
+          std::lock_guard<std::mutex> lock{mu};
+          port = bound;
+          cv.notify_all();
+        });
+    std::lock_guard<std::mutex> lock{mu};
+    if (result.ok()) {
+      served_connections = result.value();
+    } else {
+      tcp_error = result.error().message;
+      port = -1;
+    }
+    cv.notify_all();
+  }};
+  {
+    std::unique_lock<std::mutex> lock{mu};
+    cv.wait(lock, [&] { return port != 0; });
+    if (port < 0) {
+      err << "serve-smoke: " << tcp_error << "\n";
+      lock.unlock();
+      RequestDrain();
+      daemon.join();
+      return 1;
+    }
+  }
+  out << "serve-smoke: listening on 127.0.0.1:" << port << ", " << clients
+      << " clients\n";
+
+  auto bodies = SmokeRequests(oracle_v1, attribution);
+  int bad = SmokeVerifyPhase(port, clients, bodies, repeat, oracle_v1,
+                             /*want_snapshot=*/1, attribution, err);
+  out << "serve-smoke: phase 1 (snapshot 1): " << bodies.size() << " queries x "
+      << clients << " clients x " << repeat << " rounds, " << bad
+      << " divergent\n";
+
+  std::uint64_t new_id = server.Reload(std::move(reloaded));
+  int bad2 = SmokeVerifyPhase(port, clients, bodies, repeat, oracle_v2,
+                              new_id, attribution, err);
+  out << "serve-smoke: phase 2 (snapshot " << new_id
+      << " after reload): " << bad2 << " divergent\n";
+
+  // Drain through the real signal path: the installed handler sets the
+  // flag, the accept loop and the connection threads wind down, in-flight
+  // requests included.
+  if (::kill(::getpid(), SIGINT) != 0) RequestDrain();
+  daemon.join();
+  ResetDrainForTests();
+  out << "serve-smoke: drained cleanly after " << served_connections
+      << " connections\n";
+
+  if (bad + bad2 > 0) {
+    err << "serve-smoke: " << bad + bad2
+        << " responses diverged from the direct-store oracle\n";
+    return 1;
+  }
+  out << "serve-smoke: every response bit-identical to the oracle, before "
+         "and after reload\n";
+  return 0;
+}
+
+int CmdServe(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
+  if (cmd.Flag("smoke")) return CmdServeSmoke(cmd, out, err);
+
+  serve::ServerOptions options;
+  options.cache_capacity = static_cast<std::size_t>(
+      cmd.IntFlag("cache", static_cast<int>(options.cache_capacity)));
+  activity::ActivityStore store{1};
+  if (auto session_dir = cmd.Flag("session")) {
+    auto session =
+        ingest::Session::Open(*session_dir, cmd.IntFlag("days", 0));
+    if (!session.ok()) {
+      err << "serve: " << session.error().ToString() << "\n";
+      return 1;
+    }
+    auto loaded = session.value().Load();
+    if (!loaded.ok()) {
+      err << "serve: " << loaded.error().ToString() << "\n";
+      return 1;
+    }
+    store = std::move(loaded).value();
+  } else if (!cmd.positional.empty()) {
+    store = io::LoadStoreFile(cmd.positional[0]);
+  } else {
+    err << "serve: dataset path or --session DIR required\n";
+    return 2;
+  }
+
+  serve::Server server{std::move(store), options};
+  int world_blocks = cmd.IntFlag("world-blocks", 0);
+  if (world_blocks > 0) {
+    sim::WorldConfig config;
+    config.target_client_blocks = world_blocks;
+    config.seed = cmd.Uint64Flag("world-seed", config.seed);
+    server.SetAttribution(
+        serve::Server::AttributionFromWorld(sim::World{config}));
+  }
+
+  serve::TcpOptions tcp;
+  tcp.bind_address = cmd.Flag("bind").value_or(tcp.bind_address);
+  tcp.port = cmd.IntFlag("port", 0);
+  auto result = serve::RunTcpServer(
+      server, tcp, [] { return DrainRequested(); },
+      [&](int port) {
+        out << "serve: listening on " << tcp.bind_address << ":" << port
+            << " (snapshot " << server.snapshot_id() << ", "
+            << (world_blocks > 0 ? "with" : "no") << " attribution)\n"
+            << "serve: SIGINT/SIGTERM drains and exits 0\n";
+        out.flush();
+      });
+  if (!result.ok()) {
+    err << "serve: " << result.error().message << "\n";
+    return 1;
+  }
+  out << "serve: drained after " << result.value() << " connections\n";
+  return 0;
+}
+
 int Dispatch(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   if (cmd.command == "generate") return CmdGenerate(cmd, out, err);
   if (cmd.command == "summary") return CmdSummary(cmd, out, err);
@@ -1314,6 +1661,7 @@ int Dispatch(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   if (cmd.command == "chaos") return CmdChaos(cmd, out, err);
   if (cmd.command == "chaos-crash") return CmdChaosCrash(cmd, out, err);
   if (cmd.command == "check") return CmdCheck(cmd, out, err);
+  if (cmd.command == "serve") return CmdServe(cmd, out, err);
   if (cmd.command == "help" || cmd.command == "--help") {
     out << kUsage;
     return 0;

@@ -1,0 +1,44 @@
+#include "cli/signals.h"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace ipscope::cli {
+
+namespace {
+
+std::atomic<bool> g_drain{false};
+
+// Async-signal-safe by construction: a lock-free atomic store and a
+// sigaction re-arm, nothing else. The first signal requests a drain; the
+// handler then restores the default disposition so a second SIGINT/SIGTERM
+// terminates a loop that is stuck and never reaches its poll point.
+void OnSignal(int signo) {
+  g_drain.store(true, std::memory_order_relaxed);
+  struct sigaction dfl = {};
+  dfl.sa_handler = SIG_DFL;
+  ::sigaction(signo, &dfl, nullptr);
+}
+
+}  // namespace
+
+void InstallSignalHandlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = &OnSignal;
+  ::sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: a blocking accept()/poll() in the serve loop must wake
+  // with EINTR so the drain flag is seen promptly instead of after the
+  // next client happens to connect.
+  sa.sa_flags = 0;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool DrainRequested() { return g_drain.load(std::memory_order_relaxed); }
+
+void RequestDrain() { g_drain.store(true, std::memory_order_relaxed); }
+
+void ResetDrainForTests() { g_drain.store(false, std::memory_order_relaxed); }
+
+}  // namespace ipscope::cli

@@ -1,0 +1,34 @@
+// Cooperative shutdown for long-running ipscope_cli commands.
+//
+// SIGINT/SIGTERM do not kill the process; they set a process-wide drain
+// flag that long-running loops (`serve`, the chaos-crash sweep) poll at
+// safe boundaries — between requests, between sweep cells — so a Ctrl-C
+// never lands in the middle of an io::WriteFileAtomic and never litters
+// `.tmp` files for recovery to quarantine. `serve` finishes its in-flight
+// queries, flushes --metrics-out, and exits 0.
+//
+// This is deliberately the opposite model from fault::MaybeCrash
+// (src/fault/crash.cc): crash points simulate an *uncooperative* kill
+// (`_exit` at a syscall boundary, torn state on purpose); the drain flag
+// is the cooperative path that makes torn state the exception, not the
+// rule. The two compose — a drain request never masks an armed crash
+// point.
+#pragma once
+
+namespace ipscope::cli {
+
+// Installs SIGINT/SIGTERM handlers (idempotent). Handlers only set the
+// drain flag; a second signal while draining falls back to the default
+// disposition, so a stuck process can still be killed with a repeat ^C.
+void InstallSignalHandlers();
+
+// True once a drain was requested (by signal or RequestDrain).
+bool DrainRequested();
+
+// Sets the drain flag programmatically (tests, in-process embedding).
+void RequestDrain();
+
+// Clears the flag so one test's drain does not leak into the next.
+void ResetDrainForTests();
+
+}  // namespace ipscope::cli

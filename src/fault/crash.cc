@@ -58,6 +58,15 @@ void MaybeCrash(std::string_view point) {
   if (armed.armed && armed.point == point) {
     // The crash model is a kill at a syscall boundary: no destructors, no
     // stream flushes, no atexit hooks — _exit, not exit.
+    //
+    // Relation to the CLI drain flag (src/cli/signals.h): SIGINT/SIGTERM
+    // set a cooperative flag that loops poll *between* atomic-write
+    // sequences, so a user interrupt can no longer land inside one of the
+    // write-path points below (pre-temp-write .. post-commit) and litter
+    // .tmp files. Crash points stay the uncooperative counterpart: they
+    // fire exactly at those boundaries, on purpose, and a drain request
+    // never masks an armed crash point — the chaos-crash sweep keeps
+    // exercising torn state even while it honors ^C between cells.
     ::_exit(kCrashExitCode);
   }
 }

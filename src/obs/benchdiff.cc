@@ -117,6 +117,11 @@ Report ParseReport(std::string_view text) {
     report.runs.push_back(ParseRun(runs.AsArray()[i], i));
   }
   if (report.runs.empty()) SchemaError("\"runs\" is empty");
+  report.has_speedup = doc.Find("speedup") != nullptr;
+  if (const json::Value* only = doc.Find("baseline_only");
+      only != nullptr && only->kind() == json::Value::Kind::kBool) {
+    report.baseline_only = only->AsBool();
+  }
   return report;
 }
 
@@ -174,6 +179,18 @@ DiffResult Diff(const Report& baseline, const Report& current,
     mismatch("world scale (client_blocks)",
              std::to_string(baseline.client_blocks),
              std::to_string(current.client_blocks));
+  }
+
+  // A report without a speedup block (single-thread-count sweep on a
+  // 1-hardware-thread host, marked baseline_only) did not lose coverage —
+  // scaling simply was not measurable. Advisory note, never a gate.
+  if (baseline.has_speedup && !current.has_speedup) {
+    result.notes.push_back(
+        current.baseline_only
+            ? "current report is baseline_only (single-thread-count sweep): "
+              "speedup not measured; advisory, not a gate"
+            : "current report has no speedup block: scaling not measured; "
+              "advisory, not a gate");
   }
 
   for (const Run& base_run : baseline.runs) {

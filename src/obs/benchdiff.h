@@ -55,6 +55,12 @@ struct Report {
   long client_blocks = 0;
   Hardware hardware;
   std::vector<Run> runs;
+  // Whether the document carries a "speedup" block. Single-thread-count
+  // sweeps (1-hardware-thread hosts) cannot measure scaling and emit
+  // "baseline_only": true instead; a missing speedup block is advisory,
+  // never a gate failure.
+  bool has_speedup = false;
+  bool baseline_only = false;
 };
 
 // Parses a bench-JSON v2 document. Throws std::runtime_error (with context)

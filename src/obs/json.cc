@@ -1,6 +1,7 @@
 #include "obs/json.h"
 
 #include <charconv>
+#include <cstdint>
 #include <cstdio>
 #include <stdexcept>
 
@@ -207,10 +208,49 @@ class Parser {
     }
   }
 
-  // Decodes one \uXXXX escape to UTF-8. Surrogate pairs are rejected —
-  // nothing the obs layer emits uses them, and accepting half a pair
-  // silently would corrupt the string.
+  // Decodes one \uXXXX escape — or a UTF-16 surrogate pair spelled as two
+  // consecutive escapes — to UTF-8. A high surrogate must be immediately
+  // followed by `\u` + a low surrogate; lone halves and reversed pairs
+  // fail with the byte offset, because accepting half a pair silently
+  // would corrupt the string.
   std::string ParseUnicodeEscape() {
+    unsigned code = ParseHex4();
+    if (code >= 0xDC00 && code <= 0xDFFF) {
+      Fail("lone low surrogate in \\u escape");
+    }
+    std::uint32_t cp = code;
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      if (pos_ + 2 > s_.size() || s_[pos_] != '\\' || s_[pos_ + 1] != 'u') {
+        Fail("high surrogate \\u escape not followed by a low surrogate");
+      }
+      pos_ += 2;
+      unsigned low = ParseHex4();
+      if (low < 0xDC00 || low > 0xDFFF) {
+        Fail("high surrogate \\u escape paired with a non-low surrogate");
+      }
+      cp = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    }
+    std::string out;
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+    return out;
+  }
+
+  // Four hex digits of one \uXXXX escape (the `\u` itself already consumed).
+  unsigned ParseHex4() {
     if (pos_ + 4 > s_.size()) Fail("truncated \\u escape");
     unsigned code = 0;
     for (int i = 0; i < 4; ++i) {
@@ -226,21 +266,7 @@ class Parser {
         Fail("invalid hex digit in \\u escape");
       }
     }
-    if (code >= 0xD800 && code <= 0xDFFF) {
-      Fail("surrogate \\u escapes are not supported");
-    }
-    std::string out;
-    if (code < 0x80) {
-      out += static_cast<char>(code);
-    } else if (code < 0x800) {
-      out += static_cast<char>(0xC0 | (code >> 6));
-      out += static_cast<char>(0x80 | (code & 0x3F));
-    } else {
-      out += static_cast<char>(0xE0 | (code >> 12));
-      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-      out += static_cast<char>(0x80 | (code & 0x3F));
-    }
-    return out;
+    return code;
   }
 
   Value ParseArray(int depth) {

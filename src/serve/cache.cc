@@ -1,0 +1,83 @@
+#include "serve/cache.h"
+
+#include <bit>
+
+#include "obs/registry.h"
+
+namespace ipscope::serve {
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards) {
+  if (capacity == 0) {
+    per_shard_capacity_ = 0;
+    shards_ = std::vector<Shard>(1);
+    return;
+  }
+  // Power-of-two shard count so ShardFor is a mask, not a division.
+  std::size_t n = std::bit_ceil(shards == 0 ? std::size_t{1} : shards);
+  if (n > capacity) n = std::bit_floor(capacity);
+  if (n == 0) n = 1;
+  per_shard_capacity_ = (capacity + n - 1) / n;
+  shards_ = std::vector<Shard>(n);
+}
+
+std::optional<std::string> ResultCache::Get(std::uint64_t key) {
+  auto& reg = obs::GlobalRegistry();
+  if (per_shard_capacity_ == 0) {
+    reg.GetCounter("serve.cache.misses").Add();
+    return std::nullopt;
+  }
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock{shard.mu};
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    reg.GetCounter("serve.cache.misses").Add();
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  reg.GetCounter("serve.cache.hits").Add();
+  return it->second->value;
+}
+
+void ResultCache::Put(std::uint64_t key, std::string value) {
+  if (per_shard_capacity_ == 0) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock{shard.mu};
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->value = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(value)});
+  shard.index[key] = shard.lru.begin();
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    obs::GlobalRegistry().GetCounter("serve.cache.evictions").Add();
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock{shard.mu};
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+std::uint64_t FingerprintQuery(std::string_view text,
+                               std::uint64_t snapshot_id) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  auto mix = [&h](unsigned char byte) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;  // FNV prime
+  };
+  for (char c : text) mix(static_cast<unsigned char>(c));
+  for (int i = 0; i < 8; ++i) {
+    mix(static_cast<unsigned char>((snapshot_id >> (8 * i)) & 0xFF));
+  }
+  return h;
+}
+
+}  // namespace ipscope::serve

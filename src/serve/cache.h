@@ -1,0 +1,72 @@
+// Sharded LRU cache for rendered responses.
+//
+// The key is a 64-bit fingerprint of (canonical request body × snapshot
+// id); the value is the exact response string the router rendered. Caching
+// whole rendered responses is what makes the bit-identity contract trivial
+// to keep: a cache hit returns the very bytes a miss produced, so hits and
+// misses are byte-identical by construction, and the snapshot id in the
+// key guarantees a reload can never serve a stale answer to a new query
+// (the teeth test for exactly this bug is the IPSCOPE_SERVE_SKIP_PIN gate
+// in scripts/run_all.sh).
+//
+// Sharding: the key's low bits pick a shard, each shard has its own mutex
+// and LRU list, so an 8-thread hammer contends on 1/shards of the locks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ipscope::serve {
+
+class ResultCache {
+ public:
+  // `capacity` is the total entry budget, split evenly across `shards`
+  // (each shard holds at least one entry). capacity == 0 disables the
+  // cache entirely: Get always misses, Put is a no-op.
+  explicit ResultCache(std::size_t capacity, std::size_t shards = 8);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Returns a copy of the cached response and promotes the entry to
+  // most-recently-used.
+  std::optional<std::string> Get(std::uint64_t key);
+
+  // Inserts (or refreshes) an entry, evicting the shard's LRU tail beyond
+  // capacity.
+  void Put(std::uint64_t key, std::string value);
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::string value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+  };
+
+  Shard& ShardFor(std::uint64_t key) {
+    return shards_[static_cast<std::size_t>(key) & (shards_.size() - 1)];
+  }
+
+  std::size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+// FNV-1a over `text`, folded with `snapshot_id` — the cache-key scheme
+// `query-fingerprint × snapshot-id` (DESIGN.md §4.14).
+std::uint64_t FingerprintQuery(std::string_view text,
+                               std::uint64_t snapshot_id);
+
+}  // namespace ipscope::serve

@@ -1,0 +1,68 @@
+#include "serve/frame.h"
+
+namespace ipscope::serve {
+
+const char* FrameErrorKindName(FrameError::Kind kind) {
+  switch (kind) {
+    case FrameError::Kind::kTruncated: return "truncated";
+    case FrameError::Kind::kBadMagic: return "bad-magic";
+    case FrameError::Kind::kOversized: return "oversized";
+  }
+  return "?";
+}
+
+std::string FrameError::ToString() const {
+  return std::string("frame ") + FrameErrorKindName(kind) + " at offset " +
+         std::to_string(offset) + ": " + message;
+}
+
+std::string EncodeFrame(std::string_view body) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + body.size());
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  std::uint32_t len = static_cast<std::uint32_t>(body.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
+  }
+  out.append(body);
+  return out;
+}
+
+Result<DecodedFrame, FrameError> DecodeFrame(std::string_view bytes,
+                                             std::size_t max_body_bytes) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    return FrameError{FrameError::Kind::kTruncated, bytes.size(),
+                      "need " + std::to_string(kFrameHeaderBytes) +
+                          " header bytes, have " +
+                          std::to_string(bytes.size())};
+  }
+  for (std::size_t i = 0; i < sizeof(kFrameMagic); ++i) {
+    if (bytes[i] != kFrameMagic[i]) {
+      return FrameError{FrameError::Kind::kBadMagic, i,
+                        "expected magic \"IPSQ\""};
+    }
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes[4 + static_cast<size_t>(i)]))
+           << (8 * i);
+  }
+  if (len > max_body_bytes) {
+    return FrameError{FrameError::Kind::kOversized, 4,
+                      "declared body of " + std::to_string(len) +
+                          " bytes exceeds the " +
+                          std::to_string(max_body_bytes) + "-byte ceiling"};
+  }
+  if (bytes.size() < kFrameHeaderBytes + len) {
+    return FrameError{FrameError::Kind::kTruncated, bytes.size(),
+                      "declared body of " + std::to_string(len) +
+                          " bytes, only " +
+                          std::to_string(bytes.size() - kFrameHeaderBytes) +
+                          " present"};
+  }
+  return DecodedFrame{bytes.substr(kFrameHeaderBytes, len),
+                      kFrameHeaderBytes + len};
+}
+
+}  // namespace ipscope::serve

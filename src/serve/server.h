@@ -1,0 +1,115 @@
+// The serve request router: JSON request in, JSON response out.
+//
+// A Server owns a SnapshotManager (reloadable store), an optional
+// block→(AS, country) attribution table, and a sharded ResultCache. The
+// transport (serve/tcp.h, tests, bench_serve) hands it one frame or one
+// JSON body at a time; everything here is thread-safe and deterministic:
+// the same request against the same snapshot renders byte-identical
+// output, which is what the oracle tests diff against direct
+// ActivityStore/analysis calls.
+//
+// Endpoints (request: {"endpoint": "<name>", ...}):
+//   summary   — whole-store totals and the daily active series
+//   point     — one /24 block: FD/STU/pattern, or one host's active days
+//   prefix    — active addresses/blocks under a prefix (length <= 24)
+//   as        — activity attributed to one origin AS
+//   country   — activity attributed to one ISO country code
+//   churn     — windowed up/down churn series (paper Fig 4b)
+//   patterns  — Fig-6 pattern-class histogram, optional prefix restriction
+//
+// Every response carries "snapshot": the id it was computed against. The
+// snapshot-isolation contract (DESIGN.md §4.14): a request pins exactly
+// one snapshot for its whole lifetime, and a request that starts after
+// Reload() returns sees the new snapshot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/prefix.h"
+#include "obs/timer.h"
+#include "serve/cache.h"
+#include "serve/snapshot.h"
+
+namespace ipscope::sim {
+class World;
+}  // namespace ipscope::sim
+
+namespace ipscope::serve {
+
+// Maps one /24 block to its origin AS and country (index into
+// geo::Countries()). The table is fixed at server setup: attribution is a
+// property of the simulated world, not of a particular store snapshot.
+struct BlockAttribution {
+  net::BlockKey key = 0;
+  std::uint32_t asn = 0;
+  std::int16_t country = -1;
+};
+
+struct ServerOptions {
+  std::size_t max_frame_bytes = 1 << 20;
+  std::size_t cache_capacity = 4096;  // rendered responses, all shards
+  std::size_t cache_shards = 8;
+};
+
+class Server {
+ public:
+  explicit Server(activity::ActivityStore store, ServerOptions options = {});
+
+  // Installs the block attribution table (sorted internally). Must be
+  // called before serving starts; the table is immutable afterwards.
+  void SetAttribution(std::vector<BlockAttribution> attribution);
+
+  // Extracts attribution from a simulated world's block plans.
+  static std::vector<BlockAttribution> AttributionFromWorld(
+      const sim::World& world);
+
+  // Swaps in a new snapshot; in-flight requests keep answering from the
+  // snapshot they pinned. Returns the new snapshot id.
+  std::uint64_t Reload(activity::ActivityStore store);
+
+  std::uint64_t snapshot_id() const { return snapshots_.current_id(); }
+  std::size_t max_frame_bytes() const { return options_.max_frame_bytes; }
+
+  // Full wire round trip: decode one request frame, answer, encode the
+  // response frame. Malformed frames produce an error-response frame,
+  // never a throw.
+  std::string HandleFrame(std::string_view frame_bytes);
+
+  // One JSON request body -> one JSON response body (cache + metrics).
+  std::string HandleRequest(std::string_view body);
+
+  // Answers a batch on the shared par::Pool: the daemon's worker loop.
+  // Results are positionally aligned with `bodies`.
+  std::vector<std::string> HandleBatch(const std::vector<std::string>& bodies);
+
+  // The oracle path: parse + route + render against an explicit store, no
+  // cache, no snapshot pinning, no metrics. HandleRequest is exactly
+  // "DirectAnswer against the pinned snapshot, memoized" — tests and
+  // bench_serve diff the two byte-for-byte.
+  static std::string DirectAnswer(const activity::ActivityStore& store,
+                                  std::uint64_t snapshot_id,
+                                  std::span<const BlockAttribution> attribution,
+                                  std::string_view body);
+
+ private:
+  ServerOptions options_;
+  SnapshotManager snapshots_;
+  ResultCache cache_;
+  std::vector<BlockAttribution> attribution_;
+  bool skip_pin_ = false;  // IPSCOPE_SERVE_SKIP_PIN seeded bug (run_all teeth)
+  obs::Stopwatch uptime_;
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+// Renders a double exactly as the serve responses do (%.17g — enough
+// digits to round-trip). Exposed so oracle tests can construct expected
+// response text from direct analysis results.
+std::string JsonNumber(double value);
+
+}  // namespace ipscope::serve

@@ -1,0 +1,38 @@
+#include "serve/snapshot.h"
+
+namespace ipscope::serve {
+
+SnapshotManager::SnapshotManager(activity::ActivityStore store) {
+  current_ = std::make_shared<const Snapshot>(next_id_++, std::move(store));
+  obs::GlobalRegistry().GetGauge("serve.snapshot.id").Set(1.0);
+}
+
+std::shared_ptr<const Snapshot> SnapshotManager::Current() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return current_;
+}
+
+std::uint64_t SnapshotManager::Install(activity::ActivityStore store) {
+  std::shared_ptr<const Snapshot> next;
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    id = next_id_++;
+    next = std::make_shared<const Snapshot>(id, std::move(store));
+    // The swap is the whole "reload": readers that pinned the old pointer
+    // keep it alive; the shared_ptr control block frees the old store when
+    // the last pin drops.
+    current_.swap(next);
+  }
+  auto& reg = obs::GlobalRegistry();
+  reg.GetGauge("serve.snapshot.id").Set(static_cast<double>(id));
+  reg.GetCounter("serve.snapshot.reloads").Add();
+  return id;
+}
+
+std::uint64_t SnapshotManager::current_id() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return current_->id;
+}
+
+}  // namespace ipscope::serve

@@ -1,0 +1,53 @@
+// Refcounted store snapshots: the serve daemon's isolation primitive.
+//
+// A Snapshot is one immutable ActivityStore plus a monotonically increasing
+// id. SnapshotManager hands out shared_ptr pins: a reader calls Current()
+// once per request and computes everything against that pin, so a reload —
+// which just swaps the manager's pointer — never invalidates an in-flight
+// query. The last reader to drop its pin frees the old store. This is the
+// snapshot-isolation contract of DESIGN.md §4.14: answers are always
+// internally consistent with exactly one snapshot, and a query that
+// *starts* after a reload completes sees the new snapshot.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "activity/store.h"
+#include "obs/registry.h"
+
+namespace ipscope::serve {
+
+struct Snapshot {
+  std::uint64_t id = 0;
+  activity::ActivityStore store;
+
+  Snapshot(std::uint64_t id_, activity::ActivityStore store_)
+      : id(id_), store(std::move(store_)) {}
+};
+
+class SnapshotManager {
+ public:
+  // Installs `store` as snapshot 1.
+  explicit SnapshotManager(activity::ActivityStore store);
+
+  // Pins the current snapshot. The returned pointer stays valid (and the
+  // underlying store immutable) for as long as the caller holds it,
+  // regardless of concurrent Install calls.
+  std::shared_ptr<const Snapshot> Current() const;
+
+  // Atomically replaces the current snapshot; returns the new id. Readers
+  // pinned to the old snapshot are unaffected; its storage is freed when
+  // the last pin drops.
+  std::uint64_t Install(activity::ActivityStore store);
+
+  std::uint64_t current_id() const;
+
+ private:
+  mutable std::mutex mu_;  // guards current_ swaps and reads
+  std::shared_ptr<const Snapshot> current_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace ipscope::serve

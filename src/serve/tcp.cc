@@ -1,0 +1,196 @@
+#include "serve/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "serve/frame.h"
+
+namespace ipscope::serve {
+
+namespace {
+
+void CloseFd(int fd) {
+  if (::close(fd) != 0) {
+    obs::GlobalRegistry().GetCounter("serve.tcp.close_errors").Add();
+  }
+}
+
+// Reads exactly `want` bytes into `buf`. While no byte of the current
+// frame has arrived yet (`frame_started` false), a drain request ends the
+// connection cleanly; once a frame is underway it is always completed.
+// Returns false on EOF, error, or drain-before-frame.
+bool ReadExactly(int fd, char* buf, std::size_t want, bool frame_started,
+                 const std::function<bool()>& should_stop, int poll_millis) {
+  std::size_t got = 0;
+  while (got < want) {
+    if (!frame_started && should_stop()) return false;
+    struct pollfd pfd = {};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    int ready = ::poll(&pfd, 1, poll_millis);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // signal; loop re-checks should_stop
+      return false;
+    }
+    if (ready == 0) continue;  // timeout; re-check drain
+    ssize_t n = ::read(fd, buf + got, want - got);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // EOF or hard error
+    }
+    got += static_cast<std::size_t>(n);
+    frame_started = true;
+  }
+  return true;
+}
+
+bool WriteAll(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void ServeConnection(Server& server, int fd, std::size_t max_body,
+                     const std::function<bool()>& should_stop,
+                     int poll_millis) {
+  auto& reg = obs::GlobalRegistry();
+  std::string frame;
+  while (!should_stop()) {
+    frame.resize(kFrameHeaderBytes);
+    if (!ReadExactly(fd, frame.data(), kFrameHeaderBytes,
+                     /*frame_started=*/false, should_stop, poll_millis)) {
+      break;
+    }
+    // Decode just the header to learn the body length. Header-level
+    // errors (bad magic, oversized) get an error response, then the
+    // connection closes: a stream that lost framing cannot be resynced.
+    auto header = DecodeFrame(frame, max_body);
+    bool header_bad = !header.ok() &&
+                      header.error().kind != FrameError::Kind::kTruncated;
+    if (header_bad) {
+      reg.GetCounter("serve.frames.bad").Add();
+      WriteAll(fd, EncodeFrame(
+                       R"({"ok": false, "error": {"kind": "bad-frame", )"
+                       R"("message": ")" +
+                       obs::json::Escape(header.error().ToString()) +
+                       "\"}}"));
+      break;
+    }
+    std::uint32_t body_len = 0;
+    for (int i = 0; i < 4; ++i) {
+      body_len |= static_cast<std::uint32_t>(static_cast<unsigned char>(
+                      frame[4 + static_cast<std::size_t>(i)]))
+                  << (8 * i);
+    }
+    frame.resize(kFrameHeaderBytes + body_len);
+    if (body_len > 0 &&
+        !ReadExactly(fd, frame.data() + kFrameHeaderBytes, body_len,
+                     /*frame_started=*/true, should_stop, poll_millis)) {
+      break;  // peer died mid-frame
+    }
+    if (!WriteAll(fd, server.HandleFrame(frame))) break;
+  }
+  CloseFd(fd);
+}
+
+}  // namespace
+
+Result<std::uint64_t, TcpError> RunTcpServer(
+    Server& server, const TcpOptions& options,
+    const std::function<bool()>& should_stop,
+    const std::function<void(int port)>& on_listen) {
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    return TcpError{std::string("socket: ") + std::strerror(errno)};
+  }
+  int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    CloseFd(listen_fd);
+    return TcpError{"bad bind address: " + options.bind_address};
+  }
+  if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    TcpError err{std::string("bind: ") + std::strerror(errno)};
+    CloseFd(listen_fd);
+    return err;
+  }
+  if (::listen(listen_fd, options.max_connections) != 0) {
+    TcpError err{std::string("listen: ") + std::strerror(errno)};
+    CloseFd(listen_fd);
+    return err;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    &addr_len) == 0 &&
+      on_listen) {
+    on_listen(static_cast<int>(ntohs(addr.sin_port)));
+  }
+
+  auto& reg = obs::GlobalRegistry();
+  std::uint64_t accepted = 0;
+  std::atomic<int> active{0};
+  std::vector<std::thread> workers;
+  std::mutex workers_mu;
+
+  while (!should_stop()) {
+    struct pollfd pfd = {};
+    pfd.fd = listen_fd;
+    pfd.events = POLLIN;
+    int ready = ::poll(&pfd, 1, options.poll_millis);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // signal; loop re-checks should_stop
+      break;
+    }
+    if (ready == 0) continue;
+    int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      continue;  // transient accept failure; keep serving
+    }
+    if (active.load(std::memory_order_relaxed) >= options.max_connections) {
+      reg.GetCounter("serve.tcp.rejected").Add();
+      CloseFd(conn);
+      continue;
+    }
+    ++accepted;
+    reg.GetCounter("serve.tcp.connections").Add();
+    active.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock{workers_mu};
+    workers.emplace_back([&server, conn, &options, &should_stop, &active] {
+      ServeConnection(server, conn, server.max_frame_bytes(), should_stop,
+                      options.poll_millis);
+      active.fetch_sub(1, std::memory_order_relaxed);
+    });
+  }
+  CloseFd(listen_fd);
+  // Drain: every connection thread exits at its next frame boundary (or
+  // poll tick); in-flight requests complete first.
+  for (std::thread& t : workers) t.join();
+  return accepted;
+}
+
+}  // namespace ipscope::serve

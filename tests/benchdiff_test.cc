@@ -31,6 +31,8 @@ struct ReportSpec {
   int schema_version = 2;
   int threads = 4;
   long client_blocks = 4000;  // 0 omits the field (pre-v2 reports)
+  bool speedup = false;        // emit a "speedup" block
+  bool baseline_only = false;  // emit "baseline_only": true
 };
 
 std::string MakeReport(const ReportSpec& spec) {
@@ -61,8 +63,14 @@ std::string MakeReport(const ReportSpec& spec) {
   }
   os << "\n      }\n"
      << "    }\n"
-     << "  ]\n"
-     << "}\n";
+     << "  ]";
+  if (spec.speedup) {
+    os << ",\n  \"speedup\": {\"store_build\": 1.5, \"total\": 1.4}";
+  }
+  if (spec.baseline_only) {
+    os << ",\n  \"baseline_only\": true";
+  }
+  os << "\n}\n";
   return os.str();
 }
 
@@ -132,6 +140,40 @@ TEST(BenchdiffParse, RejectsMissingRequiredFields) {
 TEST(BenchdiffParse, MissingFileFailsLoudly) {
   EXPECT_THROW(LoadReportFile("/nonexistent/ipscope-bench.json"),
                std::runtime_error);
+}
+
+TEST(BenchdiffParse, SpeedupAndBaselineOnlyMarkersParse) {
+  ReportSpec with_speedup;
+  with_speedup.speedup = true;
+  Report a = ParseReport(MakeReport(with_speedup));
+  EXPECT_TRUE(a.has_speedup);
+  EXPECT_FALSE(a.baseline_only);
+
+  ReportSpec only;
+  only.baseline_only = true;
+  Report b = ParseReport(MakeReport(only));
+  EXPECT_FALSE(b.has_speedup);
+  EXPECT_TRUE(b.baseline_only);
+}
+
+TEST(BenchdiffDiff, MissingSpeedupBlockIsAdvisoryNotAGate) {
+  // Baseline measured a real thread sweep; current ran on a 1-hardware-
+  // thread host and could not (baseline_only). Scaling was not measured —
+  // that must not read as a regression.
+  ReportSpec base;
+  base.speedup = true;
+  ReportSpec cur;
+  cur.baseline_only = true;
+  DiffResult d = Diff(ParseReport(MakeReport(base)),
+                      ParseReport(MakeReport(cur)));
+  EXPECT_FALSE(d.regressed);
+  EXPECT_TRUE(d.comparable);
+  bool noted = false;
+  for (const auto& note : d.notes) {
+    if (note.find("baseline_only") != std::string::npos) noted = true;
+  }
+  EXPECT_TRUE(noted) << "expected an advisory note about the missing "
+                        "speedup block";
 }
 
 TEST(BenchdiffDiff, UnchangedWithinToleranceIsClean) {

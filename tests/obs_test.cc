@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/json.h"
 #include "obs/registry.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
@@ -352,6 +353,56 @@ TEST(ObsEnvString, SetReturnsValue) {
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(*v, "/tmp/metrics.json");
   unsetenv("IPSCOPE_OBS_TEST_ENV");
+}
+
+TEST(ObsJsonUnicode, SurrogatePairDecodesToFourByteUtf8) {
+  // U+1F600 (😀) spelled as a UTF-16 surrogate pair. External clients
+  // (serve requests) are allowed to send arbitrary JSON-escaped text.
+  auto v = json::Parse(R"("\uD83D\uDE00")");
+  EXPECT_EQ(v.AsString(), "\xF0\x9F\x98\x80");
+}
+
+TEST(ObsJsonUnicode, SurrogatePairRoundTripsThroughEscape) {
+  // Escape passes UTF-8 bytes >= 0x20 through untouched, so a decoded
+  // pair embedded back into a document parses to the same bytes.
+  auto decoded = json::Parse(R"("\uD800\uDC00")").AsString();  // U+10000
+  EXPECT_EQ(decoded, "\xF0\x90\x80\x80");
+  auto reparsed = json::Parse("\"" + json::Escape(decoded) + "\"");
+  EXPECT_EQ(reparsed.AsString(), decoded);
+}
+
+TEST(ObsJsonUnicode, BasicPlaneEscapesStillDecode) {
+  EXPECT_EQ(json::Parse(R"("\u0041")").AsString(), "A");
+  EXPECT_EQ(json::Parse(R"("\u00E9")").AsString(), "\xC3\xA9");    // é
+  EXPECT_EQ(json::Parse(R"("\u20AC")").AsString(), "\xE2\x82\xAC");  // €
+}
+
+TEST(ObsJsonUnicode, LoneHighSurrogateIsRejectedWithOffset) {
+  try {
+    json::Parse(R"("\uD800")");
+    FAIL() << "lone high surrogate must not parse";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string_view{e.what()}.find("surrogate"),
+              std::string_view::npos)
+        << e.what();
+    EXPECT_NE(std::string_view{e.what()}.find("offset"),
+              std::string_view::npos)
+        << e.what();
+  }
+}
+
+TEST(ObsJsonUnicode, LoneLowSurrogateIsRejected) {
+  EXPECT_THROW(json::Parse(R"("\uDC00")"), std::runtime_error);
+}
+
+TEST(ObsJsonUnicode, ReversedSurrogatePairIsRejected) {
+  EXPECT_THROW(json::Parse(R"("\uDE00\uD83D")"), std::runtime_error);
+}
+
+TEST(ObsJsonUnicode, HighSurrogateBeforeNonEscapeIsRejected) {
+  EXPECT_THROW(json::Parse(R"("\uD83Dxx")"), std::runtime_error);
+  EXPECT_THROW(json::Parse(R"("\uD83D\n")"), std::runtime_error);
+  EXPECT_THROW(json::Parse(R"("\uD83DA")"), std::runtime_error);
 }
 
 TEST(ObsEnvString, EmptyIsNormalizedToNullopt) {

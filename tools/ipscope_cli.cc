@@ -11,9 +11,15 @@
 #include <vector>
 
 #include "cli/commands.h"
+#include "cli/signals.h"
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  // SIGINT/SIGTERM set a drain flag instead of killing the process, so
+  // long-running commands (serve, chaos-crash) stop at a safe boundary —
+  // never mid-WriteFileAtomic — and still flush --metrics-out. A second
+  // signal falls back to the default disposition (see src/cli/signals.h).
+  ipscope::cli::InstallSignalHandlers();
   // cli::Run catches command-level failures itself; anything that still
   // escapes (parse-stage throws, allocation failure, a bug) must not
   // terminate() — print one structured line and exit 2 like other flag
