@@ -35,10 +35,58 @@ mkdir -p results
 echo "== lint gate"
 build/tools/lint/ipscope_lint --self-test --corpus tests/lint_corpus \
   | tee results/lint_selftest.txt
-build/tools/lint/ipscope_lint --root . \
+build/tools/lint/ipscope_lint --root . --cache-dir build/lint-cache \
   --metrics-out results/lint_metrics.json | tee results/lint.txt
 # clang-tidy pass (skipped with a warning when clang-tidy is absent).
 scripts/lint.sh build >/dev/null
+
+# Prove the lint gate has teeth: seed (a) an illegal upward include
+# (sim -> serve) and (b) a statement-position call that discards an
+# ipscope::Result, then require the scan to fail naming the exact rule at
+# the exact file:line. The temp sources are removed on every exit path and
+# never enter the build.
+lint_teeth_cleanup() {
+  rm -f src/sim/zz_lint_teeth.cc src/cli/zz_lint_teeth.cc
+}
+trap lint_teeth_cleanup EXIT
+printf '%s\n' \
+  '// lint-gate teeth: deliberately illegal upward dependency.' \
+  '#include "serve/server.h"' > src/sim/zz_lint_teeth.cc
+printf '%s\n' \
+  '// lint-gate teeth: deliberately discarded Result.' \
+  '#include "io/store_io.h"' \
+  'void ZzLintTeeth() {' \
+  '  ipscope::io::TryLoadStoreFile("zz-teeth-missing.store");' \
+  '}' > src/cli/zz_lint_teeth.cc
+if build/tools/lint/ipscope_lint --root . >results/lint_teeth.txt 2>&1; then
+  echo "FATAL: lint gate accepted the seeded violations" >&2
+  exit 1
+fi
+grep -q '^src/sim/zz_lint_teeth\.cc:2:.*\[layering\.illegal-dep\]' \
+    results/lint_teeth.txt || {
+  echo "FATAL: seeded sim->serve include not reported as" \
+       "layering.illegal-dep at src/sim/zz_lint_teeth.cc:2" >&2
+  exit 1
+}
+grep -q '^src/cli/zz_lint_teeth\.cc:4:.*\[errors\.discarded-result\]' \
+    results/lint_teeth.txt || {
+  echo "FATAL: seeded discarded Result not reported as" \
+       "errors.discarded-result at src/cli/zz_lint_teeth.cc:4" >&2
+  exit 1
+}
+lint_teeth_cleanup
+trap - EXIT
+echo "lint gate: seeded violations correctly caught"
+
+# Warm-cache check: a second scan over the now-unchanged tree must serve
+# every file from build/lint-cache and re-extract zero.
+build/tools/lint/ipscope_lint --root . --cache-dir build/lint-cache \
+  --metrics-out results/lint_metrics_warm.json >results/lint_warm.txt
+grep -Eq '"lint\.facts_cached": 0(,|\})' results/lint_metrics_warm.json || {
+  echo "FATAL: warm-cache lint rescan re-extracted changed files" >&2
+  exit 1
+}
+echo "lint cache: warm rescan re-extracted 0 files"
 
 # Correctness gate: the differential sweep re-derives every figure series
 # with the naive check::reference oracles and compares the optimized

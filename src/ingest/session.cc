@@ -11,6 +11,9 @@
 #include "io/atomic_file.h"
 #include "io/crc32c.h"
 #include "io/store_io.h"
+// lint: fork(registry mutexes are leaf-scoped — locked and released
+// inside each counter call, never held across user code — and chaos-crash
+// forks from the single-threaded CLI before any worker thread exists)
 #include "obs/registry.h"
 
 namespace ipscope::ingest {

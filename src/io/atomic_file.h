@@ -53,7 +53,7 @@ struct AtomicWriteHooks {
 // directory entry are both fsynced). Returns std::nullopt on success,
 // otherwise "<stage> failed for <path>: <strerror>" with the temp file
 // best-effort removed. Never leaves a partial file under the final name.
-std::optional<std::string> WriteFileAtomic(
+[[nodiscard]] std::optional<std::string> WriteFileAtomic(
     const std::string& path, std::string_view content,
     const AtomicWriteHooks* hooks = nullptr);
 

@@ -15,8 +15,10 @@
 
 namespace ipscope {
 
+// [[nodiscard]]: ignoring a Result drops an error on the floor — the
+// compiler backs up the errors.discarded-result lint rule.
 template <typename T, typename E>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from either alternative keeps call sites clean:
   //   return LoadResult{...};   return StoreError{...};

@@ -90,8 +90,8 @@ void SaveStore(const activity::ActivityStore& store, std::ostream& os,
                StoreFormat format = StoreFormat::kV2);
 
 // Non-throwing load; dispatches on the magic, accepting both formats.
-Result<LoadResult, StoreError> TryLoadStore(std::istream& is,
-                                            const LoadOptions& options = {});
+[[nodiscard]] Result<LoadResult, StoreError> TryLoadStore(
+    std::istream& is, const LoadOptions& options = {});
 
 // Throwing load (strict: salvage disabled). The runtime_error message is
 // StoreError::ToString(), i.e. includes kind and absolute byte offset.
@@ -103,7 +103,7 @@ activity::ActivityStore LoadStore(std::istream& is);
 void SaveStoreFile(const activity::ActivityStore& store,
                    const std::string& path,
                    StoreFormat format = StoreFormat::kV2);
-Result<LoadResult, StoreError> TryLoadStoreFile(
+[[nodiscard]] Result<LoadResult, StoreError> TryLoadStoreFile(
     const std::string& path, const LoadOptions& options = {});
 activity::ActivityStore LoadStoreFile(const std::string& path);
 

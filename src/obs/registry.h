@@ -85,11 +85,11 @@ class Histogram {
   static double LowerBound(int bucket);
 
   mutable std::mutex mu_;
-  std::array<std::uint64_t, kNumBuckets> buckets_{};
-  std::uint64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
+  std::array<std::uint64_t, kNumBuckets> buckets_{};  // guards: mu_
+  std::uint64_t count_ = 0;                           // guards: mu_
+  double sum_ = 0;                                    // guards: mu_
+  double min_ = 0;                                    // guards: mu_
+  double max_ = 0;                                    // guards: mu_
 };
 
 // Named instrument registry. Returned references stay valid until the
@@ -127,9 +127,9 @@ class Registry {
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;      // guards: mu_
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;          // guards: mu_
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;  // guards: mu_
 };
 
 // Maps a dotted canonical metric name onto the Prometheus data model

@@ -68,7 +68,7 @@ class TraceRecorder {
   std::atomic<bool> enabled_{false};
   std::int64_t epoch_ns_ = 0;
   mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  std::vector<TraceEvent> events_;  // guards: mu_
 };
 
 // The process-global recorder obs::Span reports into; disabled by default.

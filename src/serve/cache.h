@@ -52,8 +52,9 @@ class ResultCache {
   };
   struct Shard {
     mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::list<Entry> lru;  // guards: mu — front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator>
+        index;  // guards: mu
   };
 
   Shard& ShardFor(std::uint64_t key) {

@@ -2,8 +2,13 @@
 
 namespace ipscope::serve {
 
-SnapshotManager::SnapshotManager(activity::ActivityStore store) {
-  current_ = std::make_shared<const Snapshot>(next_id_++, std::move(store));
+// Member-initializer list, not assignment: no other thread can hold a
+// reference yet, but initializing the guarded fields before the object is
+// visible keeps every post-construction touch of current_/next_id_ behind
+// mu_ (and keeps concurrency.guarded-by vacuously satisfiable).
+SnapshotManager::SnapshotManager(activity::ActivityStore store)
+    : current_(std::make_shared<const Snapshot>(1, std::move(store))),
+      next_id_(2) {
   obs::GlobalRegistry().GetGauge("serve.snapshot.id").Set(1.0);
 }
 

@@ -45,9 +45,9 @@ class SnapshotManager {
   std::uint64_t current_id() const;
 
  private:
-  mutable std::mutex mu_;  // guards current_ swaps and reads
-  std::shared_ptr<const Snapshot> current_;
-  std::uint64_t next_id_ = 1;
+  mutable std::mutex mu_;
+  std::shared_ptr<const Snapshot> current_;  // guards: mu_
+  std::uint64_t next_id_ = 1;                // guards: mu_
 };
 
 }  // namespace ipscope::serve

@@ -1,0 +1,9 @@
+// lint-corpus-as: src/ingest/lint_fork.cc
+// Violation: ingest pulls in the thread-pool module. chaos-crash forks
+// ingest processes mid-write, and pool worker threads (like any lock or
+// thread) do not survive fork().
+#include "par/lint_fork_pool.h"
+
+namespace corpus {
+void IngestShard() {}
+}  // namespace corpus

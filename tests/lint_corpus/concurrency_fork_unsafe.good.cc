@@ -1,0 +1,10 @@
+// lint-corpus-as: src/ingest/lint_fork_good.cc
+// Clean twin: ingest stays single-threaded and single-process; fork()
+// in the chaos-crash gate then has no locks or threads to corrupt.
+#include <cstdint>
+
+namespace corpus {
+std::uint64_t IngestChecksum(std::uint64_t a, std::uint64_t b) {
+  return a * 31 + b;
+}
+}  // namespace corpus

@@ -1,0 +1,17 @@
+// lint-corpus-as: src/serve/lint_guard.cc
+// Violation: `pending_q_` is annotated as guarded by mu_, but Bump()
+// touches it with no lock held.
+#include <mutex>
+
+namespace corpus {
+
+class UnsafeCounter {
+ public:
+  void Bump() { pending_q_ += 1; }
+
+ private:
+  std::mutex mu_;
+  int pending_q_ = 0;  // guards: mu_
+};
+
+}  // namespace corpus

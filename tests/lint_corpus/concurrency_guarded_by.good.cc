@@ -1,0 +1,20 @@
+// lint-corpus-as: src/serve/lint_guard_good.cc
+// Clean twin: every touch of the annotated field happens under a RAII
+// lock on the named mutex.
+#include <mutex>
+
+namespace corpus {
+
+class SafeCounter {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock{mu_};
+    safe_total_ += 1;
+  }
+
+ private:
+  std::mutex mu_;
+  int safe_total_ = 0;  // guards: mu_
+};
+
+}  // namespace corpus

@@ -1,0 +1,14 @@
+// lint-corpus-as: src/io/lint_result.cc
+// Violation: a statement-position call to a Result-returning function
+// drops the error alternative on the floor.
+#include "io/result.h"
+
+namespace corpus {
+
+ipscope::Result<int, char> ParseCorpusRecord(int raw);
+
+void IngestRecord(int raw) {
+  ParseCorpusRecord(raw);
+}
+
+}  // namespace corpus

@@ -1,0 +1,15 @@
+// lint-corpus-as: src/io/lint_result_good.cc
+// Clean twin: the Result is bound and both alternatives are handled.
+#include "io/result.h"
+
+namespace corpus {
+
+ipscope::Result<int, char> ParseCorpusRecordChecked(int raw);
+
+int IngestRecord(int raw) {
+  auto parsed = ParseCorpusRecordChecked(raw);
+  if (!parsed.ok()) return -1;
+  return parsed.value();
+}
+
+}  // namespace corpus

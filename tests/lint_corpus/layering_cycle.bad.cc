@@ -1,0 +1,10 @@
+// lint-corpus-as: src/geo/lint_cycle.cc
+// Violation half of a module cycle: geo includes scan while the clean
+// twin (a scan header) includes geo. Each same-layer edge is legal on
+// its own; together they close geo -> scan -> geo. The finding anchors
+// here because geo is the smallest module name in the component.
+#include "scan/lint_cycle.h"
+
+namespace corpus {
+int GeoUsesScan() { return 2; }
+}  // namespace corpus

@@ -1,0 +1,10 @@
+// lint-corpus-as: src/scan/lint_cycle.h
+// Clean half of the cycle pair: scan -> geo alone is a legal same-layer
+// edge; the cycle is reported once, anchored in the .bad twin.
+#pragma once
+
+#include "geo/lint_cycle_helpers.h"
+
+namespace corpus {
+int ScanUsesGeo();
+}  // namespace corpus

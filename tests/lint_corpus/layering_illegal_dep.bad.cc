@@ -1,0 +1,8 @@
+// lint-corpus-as: src/sim/lint_layering.cc
+// Violation: sim (data layer) includes a serve (services layer) header;
+// dependencies must point at same-or-lower layers.
+#include "serve/lint_layering.h"
+
+namespace corpus {
+int SimulateWithServerConfig() { return 1; }
+}  // namespace corpus

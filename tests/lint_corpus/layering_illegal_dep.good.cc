@@ -1,0 +1,8 @@
+// lint-corpus-as: src/serve/lint_layering.cc
+// Clean twin: serve (services) depending on stats (foundation) points
+// down the layering, which is always legal.
+#include "stats/lint_layering.h"
+
+namespace corpus {
+int ServeWithStats() { return 1; }
+}  // namespace corpus

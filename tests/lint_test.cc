@@ -6,10 +6,14 @@
 // committed corpus (tests/lint_corpus/, exercised by the LintSelfTest
 // ctest entry) stays the end-to-end check while these stay fast and
 // pinpointed.
+#include <filesystem>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "cache.h"
+#include "graph.h"
 #include "gtest/gtest.h"
 #include "lexer.h"
 #include "rules.h"
@@ -283,12 +287,269 @@ TEST(LintRules, FindingsSortedByLine) {
   EXPECT_LT(fa.findings[0].line, fa.findings[1].line);
 }
 
+// --- Graph passes (phase 2) ------------------------------------------------
+
+lint::ProjectFile MakeProjectFile(const std::string& pseudo,
+                                  const std::string& src) {
+  lint::FileAnalysis fa = Analyze(pseudo, src);
+  return lint::ProjectFile{pseudo, pseudo, std::move(fa.facts),
+                           std::move(fa.suppressions)};
+}
+
+const lint::Finding* FindProjectRule(const lint::ProjectAnalysis& pa,
+                                     const std::string& rule) {
+  for (const lint::Finding& f : pa.findings) {
+    if (f.rule == rule) return &f;
+  }
+  return nullptr;
+}
+
+TEST(LintGraph, ModuleOfPathSplitsIoBase) {
+  EXPECT_EQ(lint::ModuleOfPath("src/geo/db.cc"), "geo");
+  EXPECT_EQ(lint::ModuleOfPath("src/serve/server.h"), "serve");
+  // The io.base leaves sit below obs; the rest of src/io is the data layer.
+  EXPECT_EQ(lint::ModuleOfPath("src/io/result.h"), "io.base");
+  EXPECT_EQ(lint::ModuleOfPath("src/io/crc32c.cc"), "io.base");
+  EXPECT_EQ(lint::ModuleOfPath("src/io/store_io.cc"), "io");
+  // Outside src/ there is no module (tools are unlayered).
+  EXPECT_EQ(lint::ModuleOfPath("tools/lint/graph.cc"), "");
+  EXPECT_EQ(lint::LayerOfModule("netbase"), 0);
+  EXPECT_EQ(lint::LayerOfModule("serve"), 4);
+  EXPECT_EQ(lint::LayerOfModule("no-such-module"), -1);
+}
+
+TEST(LintGraph, IllegalDepFiresOnlyUpward) {
+  std::vector<lint::ProjectFile> up;
+  up.push_back(MakeProjectFile("src/sim/world.cc",
+                               "#include \"serve/server.h\"\nint x;\n"));
+  lint::ProjectAnalysis pa = lint::AnalyzeProject(up);
+  const lint::Finding* f = FindProjectRule(pa, "layering.illegal-dep");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->path, "src/sim/world.cc");
+  EXPECT_EQ(f->line, 1);
+  ASSERT_FALSE(f->related.empty());
+
+  // The reverse direction (services -> data) is legal.
+  std::vector<lint::ProjectFile> down;
+  down.push_back(MakeProjectFile("src/serve/server.cc",
+                                 "#include \"sim/world.h\"\nint x;\n"));
+  pa = lint::AnalyzeProject(down);
+  EXPECT_EQ(FindProjectRule(pa, "layering.illegal-dep"), nullptr);
+}
+
+TEST(LintGraph, CycleReportedOnceWithFullChain) {
+  std::vector<lint::ProjectFile> files;
+  files.push_back(MakeProjectFile("src/geo/a.cc",
+                                  "#include \"scan/b.h\"\nint a;\n"));
+  files.push_back(MakeProjectFile("src/scan/b.h",
+                                  "#pragma once\n#include \"geo/c.h\"\n"));
+  lint::ProjectAnalysis pa = lint::AnalyzeProject(files);
+  const lint::Finding* f = FindProjectRule(pa, "layering.cycle");
+  ASSERT_NE(f, nullptr);
+  // Anchored at the representative edge out of the smallest module (geo),
+  // with one related location per cycle edge.
+  EXPECT_EQ(f->path, "src/geo/a.cc");
+  EXPECT_EQ(f->line, 1);
+  EXPECT_NE(f->message.find("geo -> scan -> geo"), std::string::npos);
+  ASSERT_EQ(f->related.size(), 2u);
+  EXPECT_EQ(f->related[0].path, "src/geo/a.cc");
+  EXPECT_EQ(f->related[1].path, "src/scan/b.h");
+  // Exactly one finding per cycle, not one per participating edge.
+  int cycle_findings = 0;
+  for (const lint::Finding& g : pa.findings) {
+    if (g.rule == "layering.cycle") ++cycle_findings;
+  }
+  EXPECT_EQ(cycle_findings, 1);
+}
+
+TEST(LintGraph, ForkUnsafeTransitiveReachability) {
+  std::vector<lint::ProjectFile> files;
+  files.push_back(MakeProjectFile(
+      "src/ingest/session.cc",
+      "#include \"measurement/helper.h\"\nvoid Ingest() {}\n"));
+  files.push_back(MakeProjectFile(
+      "src/measurement/helper.h",
+      "#pragma once\n#include <mutex>\nstruct H { std::mutex mu; };\n"));
+  lint::ProjectAnalysis pa = lint::AnalyzeProject(files);
+  const lint::Finding* f = FindProjectRule(pa, "concurrency.fork-unsafe");
+  ASSERT_NE(f, nullptr);
+  // Anchored at the root's include line, where the dependency is chosen.
+  EXPECT_EQ(f->path, "src/ingest/session.cc");
+  EXPECT_EQ(f->line, 1);
+  ASSERT_GE(f->related.size(), 2u);
+  EXPECT_EQ(f->related.back().path, "src/measurement/helper.h");
+  EXPECT_EQ(f->related.back().line, 3);
+
+  // The same hazard outside ingest's include closure is fine.
+  std::vector<lint::ProjectFile> apart;
+  apart.push_back(
+      MakeProjectFile("src/ingest/session.cc", "void Ingest() {}\n"));
+  apart.push_back(MakeProjectFile(
+      "src/serve/server.cc",
+      "#include <mutex>\nstruct S { std::mutex mu; };\n"));
+  pa = lint::AnalyzeProject(apart);
+  EXPECT_EQ(FindProjectRule(pa, "concurrency.fork-unsafe"), nullptr);
+}
+
+TEST(LintGraph, ForkUnsafeDirectPrimitiveAndSuppression) {
+  std::vector<lint::ProjectFile> files;
+  files.push_back(MakeProjectFile(
+      "src/ingest/shard.cc",
+      "#include <thread>\nvoid F() { std::thread t; }\n"));
+  lint::ProjectAnalysis pa = lint::AnalyzeProject(files);
+  const lint::Finding* f = FindProjectRule(pa, "concurrency.fork-unsafe");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->line, 2);  // anchored at the use, not the include
+
+  // A justified fork-tag suppression on the anchor line silences it.
+  std::vector<lint::ProjectFile> suppressed;
+  suppressed.push_back(MakeProjectFile(
+      "src/ingest/shard.cc",
+      "#include <thread>\n"
+      "// lint: fork(joined before the chaos gate ever forks)\n"
+      "void F() { std::thread t; }\n"));
+  pa = lint::AnalyzeProject(suppressed);
+  EXPECT_EQ(FindProjectRule(pa, "concurrency.fork-unsafe"), nullptr);
+  EXPECT_EQ(pa.suppressions_used, 1);
+}
+
+TEST(LintGraph, DiscardedResultHeaderDeclIsProjectWide) {
+  std::vector<lint::ProjectFile> files;
+  files.push_back(MakeProjectFile(
+      "src/io/api.h",
+      "#pragma once\nipscope::Result<int, int> FrobStore();\n"));
+  files.push_back(MakeProjectFile("src/cli/use.cc",
+                                  "void G() {\n  FrobStore();\n}\n"));
+  lint::ProjectAnalysis pa = lint::AnalyzeProject(files);
+  const lint::Finding* f = FindProjectRule(pa, "errors.discarded-result");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->path, "src/cli/use.cc");
+  EXPECT_EQ(f->line, 2);
+  ASSERT_FALSE(f->related.empty());
+  EXPECT_EQ(f->related[0].path, "src/io/api.h");
+
+  // Binding the value is not a discard.
+  std::vector<lint::ProjectFile> bound;
+  bound.push_back(files[0]);
+  bound.push_back(MakeProjectFile(
+      "src/cli/use.cc", "void G() {\n  auto r = FrobStore();\n  (void)r;\n}\n"));
+  pa = lint::AnalyzeProject(bound);
+  EXPECT_EQ(FindProjectRule(pa, "errors.discarded-result"), nullptr);
+}
+
+TEST(LintGraph, DiscardedResultCcDeclIsTuLocal) {
+  // A Result-returning helper declared in a .cc shadows only its own TU:
+  // an unrelated same-named call in another file is not flagged ...
+  std::vector<lint::ProjectFile> files;
+  files.push_back(MakeProjectFile(
+      "src/io/impl.cc", "ipscope::Result<int, int> LocalFrob();\n"));
+  files.push_back(MakeProjectFile("src/cli/other.cc",
+                                  "void G() {\n  LocalFrob();\n}\n"));
+  lint::ProjectAnalysis pa = lint::AnalyzeProject(files);
+  EXPECT_EQ(FindProjectRule(pa, "errors.discarded-result"), nullptr);
+
+  // ... while a discard in the declaring file itself still is.
+  std::vector<lint::ProjectFile> same;
+  same.push_back(MakeProjectFile(
+      "src/io/impl.cc",
+      "ipscope::Result<int, int> LocalFrob();\n"
+      "void G() {\n  LocalFrob();\n}\n"));
+  pa = lint::AnalyzeProject(same);
+  const lint::Finding* f = FindProjectRule(pa, "errors.discarded-result");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->line, 3);
+}
+
+TEST(LintGraph, GuardedByHeaderAnnotationCoversCc) {
+  std::string header =
+      "#pragma once\n"
+      "#include <mutex>\n"
+      "class W {\n"
+      " public:\n"
+      "  void Bump();\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int q_ = 0;  // guards: mu_\n"
+      "};\n";
+  std::vector<lint::ProjectFile> files;
+  files.push_back(MakeProjectFile("src/serve/widget.h", header));
+  files.push_back(MakeProjectFile("src/serve/widget.cc",
+                                  "#include \"serve/widget.h\"\n"
+                                  "void W::Bump() { q_ += 1; }\n"));
+  lint::ProjectAnalysis pa = lint::AnalyzeProject(files);
+  const lint::Finding* f = FindProjectRule(pa, "concurrency.guarded-by");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->path, "src/serve/widget.cc");
+  EXPECT_EQ(f->line, 2);
+  ASSERT_FALSE(f->related.empty());
+  EXPECT_EQ(f->related[0].path, "src/serve/widget.h");
+  EXPECT_EQ(f->related[0].line, 8);
+
+  // The same touch under a RAII lock on the named mutex is clean.
+  std::vector<lint::ProjectFile> locked;
+  locked.push_back(MakeProjectFile("src/serve/widget.h", header));
+  locked.push_back(MakeProjectFile(
+      "src/serve/widget.cc",
+      "#include \"serve/widget.h\"\n"
+      "void W::Bump() {\n"
+      "  std::lock_guard<std::mutex> lock{mu_};\n"
+      "  q_ += 1;\n"
+      "}\n"));
+  pa = lint::AnalyzeProject(locked);
+  EXPECT_EQ(FindProjectRule(pa, "concurrency.guarded-by"), nullptr);
+}
+
+// --- Facts cache -----------------------------------------------------------
+
+TEST(LintCache, RoundTripHitAndInvalidation) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "ipscope_lint_cache_test")
+                        .string();
+  std::filesystem::remove_all(dir);
+  lint::FactsCache cache(dir);
+  ASSERT_TRUE(cache.enabled());
+
+  std::string src =
+      "#include \"obs/registry.h\"\n"
+      "ipscope::Result<int, int> Thing();\n"
+      "int x;\n";
+  lint::FileAnalysis fa = Analyze("src/geo/a.cc", src);
+  std::uint32_t crc = lint::ContentCrc(src);
+
+  lint::FileAnalysis out;
+  EXPECT_FALSE(cache.Load("src/geo/a.cc", crc, out));  // cold cache
+  cache.Store("src/geo/a.cc", crc, fa);
+  ASSERT_TRUE(cache.Load("src/geo/a.cc", crc, out));
+  // The cached facts are byte-identical to a fresh extraction, so the
+  // phase-2 passes see the same project either way.
+  EXPECT_TRUE(out.facts == fa.facts);
+  EXPECT_EQ(out.findings.size(), fa.findings.size());
+  EXPECT_EQ(out.suppressions.size(), fa.suppressions.size());
+
+  // An edit (different content CRC) and a rename (different path) miss.
+  lint::FileAnalysis miss;
+  EXPECT_FALSE(cache.Load("src/geo/a.cc", crc ^ 1u, miss));
+  EXPECT_FALSE(cache.Load("src/geo/renamed.cc", crc, miss));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LintCache, EmptyDirDisablesCache) {
+  lint::FactsCache cache("");
+  EXPECT_FALSE(cache.enabled());
+  lint::FileAnalysis fa = Analyze("src/geo/a.cc", "int x;\n");
+  cache.Store("src/geo/a.cc", 7, fa);  // no-op
+  lint::FileAnalysis out;
+  EXPECT_FALSE(cache.Load("src/geo/a.cc", 7, out));
+}
+
 // --- SARIF -----------------------------------------------------------------
 
 TEST(LintSarif, EmitsValidStructureWithEscaping) {
   std::vector<lint::Finding> findings;
-  findings.push_back(lint::Finding{"parsing.raw-parse", "src/a \"b\".cc", 3,
-                                   7, "message with \"quotes\"\nand newline"});
+  findings.push_back(lint::Finding{"parsing.raw-parse", "src/a \"b\".cc", 3, 7,
+                                   "message with \"quotes\"\nand newline",
+                                   {}});
   std::ostringstream os;
   lint::WriteSarif(findings, os);
   std::string sarif = os.str();

@@ -1,0 +1,285 @@
+#include "cache.h"
+
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "io/crc32c.h"
+
+namespace ipscope::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Bump when the serialization below changes shape; the rule-catalogue
+// size rides along so adding a rule invalidates every entry.
+constexpr int kFormatVersion = 2;
+
+// Fields are tab-separated; encode the three bytes that would break the
+// framing (plus '%' itself).
+std::string Enc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '%' || c == '\t' || c == '\n' || c == '\r') {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02x", static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool HexVal(char c, unsigned& v) {
+  if (c >= '0' && c <= '9') {
+    v = static_cast<unsigned>(c - '0');
+    return true;
+  }
+  if (c >= 'a' && c <= 'f') {
+    v = static_cast<unsigned>(c - 'a' + 10);
+    return true;
+  }
+  return false;
+}
+
+bool Dec(const std::string& s, std::string& out) {
+  out.clear();
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out.push_back(s[i]);
+      continue;
+    }
+    unsigned hi = 0, lo = 0;
+    if (i + 2 >= s.size() || !HexVal(s[i + 1], hi) || !HexVal(s[i + 2], lo)) {
+      return false;
+    }
+    out.push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
+  }
+  return true;
+}
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    std::size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+template <typename Int>
+bool ParseInt(const std::string& s, Int& out) {
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+
+std::string EntryPath(const std::string& dir, const std::string& rel_path) {
+  char name[16];
+  std::snprintf(name, sizeof(name), "%08x",
+                io::Crc32c(rel_path.data(), rel_path.size()));
+  return dir + "/" + name + ".facts";
+}
+
+}  // namespace
+
+std::uint32_t ContentCrc(std::string_view content) {
+  return io::Crc32c(content.data(), content.size());
+}
+
+FactsCache::FactsCache(std::string dir) : dir_(std::move(dir)) {}
+
+bool FactsCache::Load(const std::string& rel_path, std::uint32_t content_crc,
+                      FileAnalysis& out) const {
+  if (!enabled()) return false;
+  std::ifstream in(EntryPath(dir_, rel_path), std::ios::binary);
+  if (!in) return false;
+
+  FileAnalysis fa;
+  bool saw_end = false;
+  int state_checked = 0;  // header, path, crc all verified
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::vector<std::string> f = SplitTabs(line);
+    const std::string& kind = f[0];
+    if (kind == "ipscope-lint-cache") {
+      int version = 0;
+      std::size_t nrules = 0;
+      if (f.size() != 3 || !ParseInt(f[1], version) ||
+          !ParseInt(f[2], nrules) || version != kFormatVersion ||
+          nrules != RuleCatalogue().size()) {
+        return false;
+      }
+      ++state_checked;
+    } else if (kind == "path") {
+      std::string p;
+      if (f.size() != 2 || !Dec(f[1], p) || p != rel_path) return false;
+      ++state_checked;
+    } else if (kind == "crc") {
+      std::uint32_t crc = 0;
+      if (f.size() != 2 || !ParseInt(f[1], crc) || crc != content_crc) {
+        return false;
+      }
+      ++state_checked;
+    } else if (kind == "sup_used") {
+      if (f.size() != 2 || !ParseInt(f[1], fa.suppressions_used)) return false;
+    } else if (kind == "finding") {
+      Finding fd;
+      std::size_t nrel = 0;
+      if (f.size() != 6 || !Dec(f[4], fd.message) ||
+          !ParseInt(f[2], fd.line) || !ParseInt(f[3], fd.col) ||
+          !ParseInt(f[5], nrel)) {
+        return false;
+      }
+      fd.rule = f[1];
+      fd.path = rel_path;
+      for (std::size_t i = 0; i < nrel; ++i) {
+        if (!std::getline(in, line)) return false;
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        std::vector<std::string> r = SplitTabs(line);
+        RelatedLocation rl;
+        if (r.size() != 4 || r[0] != "rel" || !Dec(r[1], rl.path) ||
+            !ParseInt(r[2], rl.line) || !Dec(r[3], rl.message)) {
+          return false;
+        }
+        fd.related.push_back(std::move(rl));
+      }
+      fa.findings.push_back(std::move(fd));
+    } else if (kind == "sup") {
+      SuppressionRecord s;
+      if (f.size() != 3 || !Dec(f[1], s.tag) ||
+          !ParseInt(f[2], s.applies_line)) {
+        return false;
+      }
+      fa.suppressions.push_back(std::move(s));
+    } else if (kind == "inc") {
+      FileFacts::Include v;
+      if (f.size() != 4 || !Dec(f[1], v.target) || !ParseInt(f[2], v.line) ||
+          !ParseInt(f[3], v.col)) {
+        return false;
+      }
+      fa.facts.includes.push_back(std::move(v));
+    } else if (kind == "rfn") {
+      FileFacts::ResultFn v;
+      if (f.size() != 3 || !Dec(f[1], v.name) || !ParseInt(f[2], v.line)) {
+        return false;
+      }
+      fa.facts.result_fns.push_back(std::move(v));
+    } else if (kind == "call") {
+      FileFacts::DiscardedCall v;
+      if (f.size() != 4 || !Dec(f[1], v.name) || !ParseInt(f[2], v.line) ||
+          !ParseInt(f[3], v.col)) {
+        return false;
+      }
+      fa.facts.discarded_calls.push_back(std::move(v));
+    } else if (kind == "prim") {
+      FileFacts::Primitive v;
+      if (f.size() != 5 || !Dec(f[1], v.kind) || !Dec(f[2], v.token) ||
+          !ParseInt(f[3], v.line) || !ParseInt(f[4], v.col)) {
+        return false;
+      }
+      fa.facts.primitives.push_back(std::move(v));
+    } else if (kind == "guard") {
+      FileFacts::GuardAnnotation v;
+      if (f.size() != 5 || !Dec(f[1], v.field) || !Dec(f[2], v.mutex) ||
+          !ParseInt(f[3], v.decl_line) || !ParseInt(f[4], v.ann_line)) {
+        return false;
+      }
+      fa.facts.guards.push_back(std::move(v));
+    } else if (kind == "touch") {
+      FileFacts::FieldTouch v;
+      std::size_t nheld = 0;
+      if (f.size() < 5 || !Dec(f[1], v.field) || !ParseInt(f[2], v.line) ||
+          !ParseInt(f[3], v.col) || !ParseInt(f[4], nheld) ||
+          f.size() != 5 + nheld) {
+        return false;
+      }
+      for (std::size_t i = 0; i < nheld; ++i) {
+        std::string m;
+        if (!Dec(f[5 + i], m)) return false;
+        v.held.push_back(std::move(m));
+      }
+      fa.facts.touches.push_back(std::move(v));
+    } else if (kind == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return false;  // unknown record: future format, treat as miss
+    }
+  }
+  if (!saw_end || state_checked != 3) return false;
+  out = std::move(fa);
+  return true;
+}
+
+void FactsCache::Store(const std::string& rel_path, std::uint32_t content_crc,
+                       const FileAnalysis& fa) const {
+  if (!enabled()) return;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);  // best-effort; open() reports failure
+
+  std::ostringstream body;
+  body << "ipscope-lint-cache\t" << kFormatVersion << "\t"
+       << RuleCatalogue().size() << "\n";
+  body << "path\t" << Enc(rel_path) << "\n";
+  body << "crc\t" << content_crc << "\n";
+  body << "sup_used\t" << fa.suppressions_used << "\n";
+  for (const Finding& fd : fa.findings) {
+    body << "finding\t" << fd.rule << "\t" << fd.line << "\t" << fd.col
+         << "\t" << Enc(fd.message) << "\t" << fd.related.size() << "\n";
+    for (const RelatedLocation& rl : fd.related) {
+      body << "rel\t" << Enc(rl.path) << "\t" << rl.line << "\t"
+           << Enc(rl.message) << "\n";
+    }
+  }
+  for (const SuppressionRecord& s : fa.suppressions) {
+    body << "sup\t" << Enc(s.tag) << "\t" << s.applies_line << "\n";
+  }
+  for (const FileFacts::Include& v : fa.facts.includes) {
+    body << "inc\t" << Enc(v.target) << "\t" << v.line << "\t" << v.col
+         << "\n";
+  }
+  for (const FileFacts::ResultFn& v : fa.facts.result_fns) {
+    body << "rfn\t" << Enc(v.name) << "\t" << v.line << "\n";
+  }
+  for (const FileFacts::DiscardedCall& v : fa.facts.discarded_calls) {
+    body << "call\t" << Enc(v.name) << "\t" << v.line << "\t" << v.col
+         << "\n";
+  }
+  for (const FileFacts::Primitive& v : fa.facts.primitives) {
+    body << "prim\t" << Enc(v.kind) << "\t" << Enc(v.token) << "\t" << v.line
+         << "\t" << v.col << "\n";
+  }
+  for (const FileFacts::GuardAnnotation& v : fa.facts.guards) {
+    body << "guard\t" << Enc(v.field) << "\t" << Enc(v.mutex) << "\t"
+         << v.decl_line << "\t" << v.ann_line << "\n";
+  }
+  for (const FileFacts::FieldTouch& v : fa.facts.touches) {
+    body << "touch\t" << Enc(v.field) << "\t" << v.line << "\t" << v.col
+         << "\t" << v.held.size();
+    for (const std::string& m : v.held) body << "\t" << Enc(m);
+    body << "\n";
+  }
+  body << "end\n";
+
+  std::ofstream outf(EntryPath(dir_, rel_path),
+                     std::ios::binary | std::ios::trunc);
+  if (!outf) return;  // read-only cache dir: degrade to cold scans
+  outf << body.str();
+}
+
+}  // namespace ipscope::lint

@@ -1,0 +1,55 @@
+// CRC32C-keyed on-disk cache of phase-1 analysis (build/lint-cache/).
+//
+// A full-tree scan lexes and rule-matches every file even though a typical
+// edit touches one or two; caching the complete per-file FileAnalysis
+// (findings, suppressions, facts) makes `scripts/lint.sh` incremental: an
+// unchanged file is neither re-lexed nor re-analyzed, and the phase-2
+// passes (graph.h) run over cached facts that are byte-identical to a
+// fresh extraction.
+//
+// Invalidation — any mismatch is a miss, never an error:
+//   * content: the entry stores Crc32c(file bytes); an edit changes it.
+//   * path: classification depends on the path, so the entry stores the
+//     relative path and the filename is Crc32c(rel_path) — a rename or a
+//     (vanishingly unlikely) filename-CRC collision misses.
+//   * analyzer generation: the header records a format version and the
+//     rule-catalogue size; growing the catalogue or changing the
+//     serialization invalidates every entry at once.
+//   * truncation: entries end with an `end` sentinel; a partial write
+//     (crash mid-store) fails to parse and self-heals on the next scan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rules.h"
+
+namespace ipscope::lint {
+
+class FactsCache {
+ public:
+  // `dir` empty disables the cache (Load always misses, Store is a
+  // no-op); otherwise the directory is created on first Store.
+  explicit FactsCache(std::string dir);
+
+  bool enabled() const { return !dir_.empty(); }
+
+  // Loads the entry for `rel_path` if it matches `content_crc` and the
+  // current analyzer generation. Returns false (a miss) on any mismatch,
+  // parse error, or absent entry.
+  bool Load(const std::string& rel_path, std::uint32_t content_crc,
+            FileAnalysis& out) const;
+
+  // Writes/overwrites the entry for `rel_path`. Best-effort: an
+  // unwritable cache directory degrades to a cold scan, never a failure.
+  void Store(const std::string& rel_path, std::uint32_t content_crc,
+             const FileAnalysis& fa) const;
+
+ private:
+  std::string dir_;
+};
+
+// Key helper: CRC32C of a file's bytes (wraps ipscope::io::Crc32c).
+std::uint32_t ContentCrc(std::string_view content);
+
+}  // namespace ipscope::lint

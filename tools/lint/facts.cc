@@ -1,0 +1,307 @@
+#include "facts.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "token_util.h"
+
+namespace ipscope::lint {
+namespace {
+
+bool EndsWithUnderscore(const std::string& s) {
+  return !s.empty() && s.back() == '_';
+}
+
+// --- includes ---------------------------------------------------------------
+
+void ExtractIncludes(const Tokens& toks, FileFacts& out) {
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!IsPunct(toks[i], "#") || !IsIdent(toks[i + 1], "include") ||
+        toks[i + 2].kind != TokKind::kString) {
+      continue;
+    }
+    const std::string& lit = toks[i + 2].text;
+    if (lit.size() < 2) continue;
+    out.includes.push_back(FileFacts::Include{
+        lit.substr(1, lit.size() - 2), toks[i].line, toks[i].col});
+  }
+}
+
+// --- Result-returning declarations ------------------------------------------
+
+void ExtractResultFns(const Tokens& toks, FileFacts& out) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "Result") || !IsPunct(toks[i + 1], "<")) continue;
+    std::size_t j = SkipTemplateArgs(toks, i + 1);
+    if (j == i + 1) continue;  // imbalanced
+    // Declarator: `[ns ::]* name (` — record the identifier directly
+    // before the parameter list. Anything else (a variable, a template
+    // argument, `return Result<..>(..)`) is not a function declaration.
+    std::string last_ident;
+    std::size_t k = j;
+    while (k < toks.size()) {
+      if (toks[k].kind == TokKind::kIdent) {
+        last_ident = toks[k].text;
+        ++k;
+        continue;
+      }
+      if (k + 1 < toks.size() && IsPunct(toks[k], ":") &&
+          IsPunct(toks[k + 1], ":")) {
+        k += 2;
+        continue;
+      }
+      break;
+    }
+    if (last_ident.empty() || k >= toks.size() || !IsPunct(toks[k], "(")) {
+      continue;
+    }
+    out.result_fns.push_back(FileFacts::ResultFn{last_ident, toks[i].line});
+  }
+}
+
+// --- statement-position (discarded) calls -----------------------------------
+
+void ExtractDiscardedCalls(const Tokens& toks, FileFacts& out) {
+  static const std::set<std::string> kNotCalls = {
+      "if",     "for",    "while",  "switch",   "return", "catch",
+      "sizeof", "alignof", "new",   "delete",   "throw",  "static_assert",
+      "case",   "co_await", "co_return", "co_yield", "decltype"};
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || !IsPunct(toks[i + 1], "(")) {
+      continue;
+    }
+    if (kNotCalls.count(toks[i].text)) continue;
+    std::size_t start = CallExprStart(toks, i);
+    bool discarded =
+        start == 0 || IsPunct(toks[start - 1], ";") ||
+        IsPunct(toks[start - 1], "{") || IsPunct(toks[start - 1], "}") ||
+        IsIdent(toks[start - 1], "else") || IsIdent(toks[start - 1], "do");
+    if (!discarded) continue;
+    // The statement must END at the call too: `Foo(x).value();` discards
+    // Foo's result only through the chain — the chained member call is the
+    // one in statement position, and it is the one recorded (its own name
+    // simply won't be in the Result symbol table unless it also returns
+    // one). But `Foo(x) + g;` or `Foo(x)->field = v;` consume the value:
+    // require the token after the call's closing paren to be ';'.
+    int depth = 0;
+    std::size_t close = i + 1;
+    for (; close < toks.size(); ++close) {
+      if (IsPunct(toks[close], "(")) ++depth;
+      if (IsPunct(toks[close], ")")) {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+    if (close + 1 >= toks.size() || !IsPunct(toks[close + 1], ";")) continue;
+    out.discarded_calls.push_back(
+        FileFacts::DiscardedCall{toks[i].text, toks[i].line, toks[i].col});
+  }
+}
+
+// --- fork-unsafe primitives -------------------------------------------------
+
+void ExtractPrimitives(const Tokens& toks, FileFacts& out) {
+  static const std::set<std::string> kThread = {"thread", "jthread", "async"};
+  static const std::set<std::string> kMutex = {
+      "mutex",       "shared_mutex",         "recursive_mutex",
+      "timed_mutex", "recursive_timed_mutex", "shared_timed_mutex",
+      "condition_variable", "condition_variable_any"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (kThread.count(t.text) && StdQualified(toks, i)) {
+      out.primitives.push_back(FileFacts::Primitive{
+          "thread", "std::" + t.text, t.line, t.col});
+      continue;
+    }
+    if (kMutex.count(t.text) && StdQualified(toks, i)) {
+      out.primitives.push_back(FileFacts::Primitive{
+          "mutex", "std::" + t.text, t.line, t.col});
+      continue;
+    }
+    if (t.text == "ParallelFor" || t.text == "ParallelReduce") {
+      out.primitives.push_back(
+          FileFacts::Primitive{"pool", t.text, t.line, t.col});
+      continue;
+    }
+    // Any reference into the par namespace counts: the pool's worker
+    // threads existing at fork time is exactly the hazard.
+    if (t.text == "par" && i + 3 < toks.size() && IsPunct(toks[i + 1], ":") &&
+        IsPunct(toks[i + 2], ":") && toks[i + 3].kind == TokKind::kIdent) {
+      out.primitives.push_back(FileFacts::Primitive{
+          "pool", "par::" + toks[i + 3].text, t.line, t.col});
+    }
+  }
+}
+
+// --- guards: annotations ----------------------------------------------------
+
+// Parses `guards: <ident>` out of a comment's text; returns the mutex name
+// or empty.
+std::string GuardsMutexIn(const std::string& text) {
+  const std::string kKey = "guards:";
+  std::size_t at = text.find(kKey);
+  if (at == std::string::npos) return {};
+  std::size_t p = at + kKey.size();
+  while (p < text.size() && (text[p] == ' ' || text[p] == '\t')) ++p;
+  std::size_t first = p;
+  while (p < text.size() &&
+         (std::isalnum(static_cast<unsigned char>(text[p])) ||
+          text[p] == '_')) {
+    ++p;
+  }
+  return text.substr(first, p - first);
+}
+
+// The declared field on `decl_line`: the last identifier before the
+// first `;`, `=`, `{`, or `[` among that line's code tokens, skipping
+// template argument lists (`std::vector<Entry> lru;` → "lru").
+std::string FieldDeclaredOn(const Tokens& toks, int decl_line) {
+  std::string field;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].line != decl_line) continue;
+    if (IsPunct(toks[i], "<")) {
+      std::size_t j = SkipTemplateArgs(toks, i);
+      if (j != i) {
+        i = j - 1;
+        continue;
+      }
+    }
+    if (IsPunct(toks[i], ";") || IsPunct(toks[i], "=") ||
+        IsPunct(toks[i], "{") || IsPunct(toks[i], "[")) {
+      break;
+    }
+    if (toks[i].kind == TokKind::kIdent) field = toks[i].text;
+  }
+  return field;
+}
+
+void ExtractGuards(const LexResult& lexed, FileFacts& out) {
+  std::set<int> code_lines;
+  for (const Token& t : lexed.code) {
+    for (int l = t.line; l <= t.end_line; ++l) code_lines.insert(l);
+  }
+  for (const Token& c : lexed.comments) {
+    std::string mutex = GuardsMutexIn(c.text);
+    if (mutex.empty()) continue;
+    int decl_line = 0;
+    if (code_lines.count(c.line)) {
+      decl_line = c.line;  // trailing comment annotates its own line
+    } else {
+      auto it = code_lines.upper_bound(c.end_line);
+      if (it == code_lines.end()) continue;
+      decl_line = *it;  // standalone comment annotates the next code line
+    }
+    std::string field = FieldDeclaredOn(lexed.code, decl_line);
+    if (field.empty()) continue;
+    out.guards.push_back(
+        FileFacts::GuardAnnotation{field, mutex, decl_line, c.line});
+  }
+}
+
+// --- field touches under lock tracking --------------------------------------
+
+void ExtractTouches(const Tokens& toks, FileFacts& out) {
+  static const std::set<std::string> kRaiiGuards = {
+      "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+  struct ActiveLock {
+    int depth;
+    std::string mutex;
+  };
+  std::vector<ActiveLock> held;
+  int depth = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (IsPunct(t, "{")) {
+      ++depth;
+      continue;
+    }
+    if (IsPunct(t, "}")) {
+      --depth;
+      while (!held.empty() && held.back().depth > depth) held.pop_back();
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+
+    // RAII guard declaration: `std::lock_guard<std::mutex> name(expr, ...)`
+    // (or brace-init). The guarded mutex of each argument is the last
+    // identifier of that argument expression (`shard.mu` → "mu").
+    if (kRaiiGuards.count(t.text)) {
+      std::size_t j = i + 1;
+      if (j < toks.size() && IsPunct(toks[j], "<")) {
+        std::size_t skipped = SkipTemplateArgs(toks, j);
+        if (skipped != j) j = skipped;
+      }
+      if (j < toks.size() && toks[j].kind == TokKind::kIdent) {
+        ++j;  // the guard variable's name
+        if (j < toks.size() && (IsPunct(toks[j], "(") || IsPunct(toks[j], "{"))) {
+          const char* close = IsPunct(toks[j], "(") ? ")" : "}";
+          const char* open = toks[j].text.c_str();
+          int pd = 0;
+          std::string last_ident;
+          for (std::size_t k = j; k < toks.size(); ++k) {
+            if (IsPunct(toks[k], open)) ++pd;
+            if (IsPunct(toks[k], close)) {
+              --pd;
+              if (pd == 0) {
+                if (!last_ident.empty()) {
+                  held.push_back(ActiveLock{depth, last_ident});
+                }
+                i = k;
+                break;
+              }
+            }
+            if (pd == 1 && IsPunct(toks[k], ",")) {
+              if (!last_ident.empty()) {
+                held.push_back(ActiveLock{depth, last_ident});
+              }
+              last_ident.clear();
+              continue;
+            }
+            if (toks[k].kind == TokKind::kIdent) last_ident = toks[k].text;
+          }
+          continue;
+        }
+      }
+    }
+
+    // Field-shaped touch: trailing '_' or accessed through `.`/`->`, not
+    // itself a call or brace-init (`field_(args)` in a constructor's
+    // member-initializer list, `Method(` calls).
+    bool member_access =
+        (i >= 1 && IsPunct(toks[i - 1], ".")) ||
+        (i >= 2 && IsPunct(toks[i - 1], ">") && IsPunct(toks[i - 2], "-"));
+    if (!EndsWithUnderscore(t.text) && !member_access) continue;
+    if (i + 1 < toks.size() &&
+        (IsPunct(toks[i + 1], "(") || IsPunct(toks[i + 1], "{"))) {
+      continue;
+    }
+    // `X::y` is a type/static context, not a field touch.
+    if (i + 2 < toks.size() && IsPunct(toks[i + 1], ":") &&
+        IsPunct(toks[i + 2], ":")) {
+      continue;
+    }
+    FileFacts::FieldTouch touch{t.text, t.line, t.col, {}};
+    for (const ActiveLock& l : held) touch.held.push_back(l.mutex);
+    std::sort(touch.held.begin(), touch.held.end());
+    touch.held.erase(std::unique(touch.held.begin(), touch.held.end()),
+                     touch.held.end());
+    out.touches.push_back(std::move(touch));
+  }
+}
+
+}  // namespace
+
+FileFacts ExtractFacts(const LexResult& lexed) {
+  FileFacts out;
+  ExtractIncludes(lexed.code, out);
+  ExtractResultFns(lexed.code, out);
+  ExtractDiscardedCalls(lexed.code, out);
+  ExtractPrimitives(lexed.code, out);
+  ExtractGuards(lexed, out);
+  ExtractTouches(lexed.code, out);
+  return out;
+}
+
+}  // namespace ipscope::lint

@@ -1,0 +1,583 @@
+#include "graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ipscope::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The declared module layering (DESIGN §4.15). Same-layer includes are
+// legal; an include into a strictly higher layer is layering.illegal-dep.
+// Modules absent from the table are exempt from the layer check but still
+// participate in cycle detection.
+
+struct LayerEntry {
+  const char* module;
+  int layer;
+};
+
+constexpr LayerEntry kLayers[] = {
+    // layer 0 — foundation: dependency-free leaves everything may use.
+    {"netbase", 0},
+    {"rng", 0},
+    {"timeutil", 0},
+    {"stats", 0},
+    {"io.base", 0},
+    // layer 1 — infra: observability and the thread pool.
+    {"obs", 1},
+    {"par", 1},
+    // layer 2 — data: stores, generators, measurement domains.
+    {"io", 2},
+    {"activity", 2},
+    {"fault", 2},
+    {"geo", 2},
+    {"sim", 2},
+    {"cdn", 2},
+    {"bgp", 2},
+    {"scan", 2},
+    {"rdns", 2},
+    {"whois", 2},
+    {"baseline", 2},
+    {"measurement", 2},
+    {"security", 2},
+    // layer 3 — analysis: consumes data, produces results.
+    {"report", 3},
+    {"analysis", 3},
+    {"check", 3},
+    // layer 4 — services: entry points; nothing may depend on them.
+    {"ingest", 4},
+    {"serve", 4},
+    {"cli", 4},
+};
+
+constexpr const char* kLayerNames[] = {"foundation", "infra", "data",
+                                       "analysis", "services"};
+
+// src/io basenames that form the virtual foundation module "io.base":
+// dependency-free primitives documented to sit below obs (atomic_file.h),
+// which everything — including obs itself — may include without creating
+// an obs <-> io cycle.
+bool IsIoBaseBasename(std::string_view base) {
+  static const char* const kBase[] = {
+      "atomic_file.h", "atomic_file.cc", "crc32c.h",      "crc32c.cc",
+      "result.h",      "store_error.h",  "store_error.cc"};
+  for (const char* b : kBase) {
+    if (base == b) return true;
+  }
+  return false;
+}
+
+std::string LayerLabel(int layer) {
+  if (layer < 0 || layer > 4) return "unlayered";
+  return kLayerNames[layer];
+}
+
+// ---------------------------------------------------------------------------
+// Shared pass context
+
+struct Edge {
+  std::string report_path;  // file containing the include
+  int line = 0;
+  int col = 0;
+  std::string target;  // the include string as written
+};
+
+struct Ctx {
+  const std::vector<ProjectFile>& files;
+  std::map<std::string, const ProjectFile*> by_logical;
+  std::map<std::string, const ProjectFile*> by_report;
+  ProjectAnalysis out;
+
+  explicit Ctx(const std::vector<ProjectFile>& f) : files(f) {
+    for (const ProjectFile& pf : files) {
+      by_logical.emplace(pf.logical_path, &pf);
+      by_report.emplace(pf.report_path, &pf);
+    }
+  }
+
+  // Phase-2 suppressions live in the finding's anchor file, on the anchor
+  // line, with the rule's tag — the same contract as phase 1.
+  bool Suppressed(const Finding& f, std::string_view tag) const {
+    auto it = by_report.find(f.path);
+    if (it == by_report.end()) return false;
+    for (const SuppressionRecord& s : it->second->suppressions) {
+      if (s.applies_line == f.line && s.tag == tag) return true;
+    }
+    return false;
+  }
+
+  void Emit(Finding f, std::string_view tag) {
+    if (Suppressed(f, tag)) {
+      ++out.suppressions_used;
+    } else {
+      out.findings.push_back(std::move(f));
+    }
+  }
+};
+
+// Resolves an include string to the logical path it names: quoted
+// includes are rooted at src/ by project convention ("obs/registry.h" ->
+// "src/obs/registry.h").
+std::string IncludeLogicalPath(const std::string& target) {
+  return "src/" + target;
+}
+
+// ---------------------------------------------------------------------------
+// Pass: layering.illegal-dep
+
+void PassIllegalDep(Ctx& ctx) {
+  for (const ProjectFile& pf : ctx.files) {
+    std::string mod = ModuleOfPath(pf.logical_path);
+    if (mod.empty()) continue;
+    int layer = LayerOfModule(mod);
+    if (layer < 0) continue;
+    for (const FileFacts::Include& inc : pf.facts.includes) {
+      std::string tlogical = IncludeLogicalPath(inc.target);
+      std::string tmod = ModuleOfPath(tlogical);
+      if (tmod.empty() || tmod == mod) continue;
+      int tlayer = LayerOfModule(tmod);
+      if (tlayer < 0 || tlayer <= layer) continue;
+      Finding f;
+      f.rule = "layering.illegal-dep";
+      f.path = pf.report_path;
+      f.line = inc.line;
+      f.col = inc.col;
+      f.message = "module '" + mod + "' (" + LayerLabel(layer) +
+                  ") includes \"" + inc.target + "\" from '" + tmod + "' (" +
+                  LayerLabel(tlayer) +
+                  "): dependencies must point at same-or-lower layers";
+      auto it = ctx.by_logical.find(tlogical);
+      f.related.push_back(RelatedLocation{
+          it != ctx.by_logical.end() ? it->second->report_path : tlogical, 1,
+          "included file, module '" + tmod + "'"});
+      ctx.Emit(std::move(f), "layer");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass: layering.cycle
+
+// Tarjan strongly-connected components over the module graph. Module
+// count is tiny (tens), so recursion depth is bounded.
+struct SccFinder {
+  const std::map<std::string, std::set<std::string>>& adj;
+  std::map<std::string, int> index, low;
+  std::vector<std::string> stack;
+  std::set<std::string> on_stack;
+  int next = 0;
+  std::vector<std::vector<std::string>> sccs;
+
+  void Visit(const std::string& v) {
+    index[v] = low[v] = next++;
+    stack.push_back(v);
+    on_stack.insert(v);
+    auto it = adj.find(v);
+    if (it != adj.end()) {
+      for (const std::string& w : it->second) {
+        if (!index.count(w)) {
+          Visit(w);
+          low[v] = std::min(low[v], low[w]);
+        } else if (on_stack.count(w)) {
+          low[v] = std::min(low[v], index[w]);
+        }
+      }
+    }
+    if (low[v] == index[v]) {
+      std::vector<std::string> scc;
+      for (;;) {
+        std::string w = stack.back();
+        stack.pop_back();
+        on_stack.erase(w);
+        scc.push_back(w);
+        if (w == v) break;
+      }
+      sccs.push_back(std::move(scc));
+    }
+  }
+};
+
+void PassCycle(Ctx& ctx) {
+  // Module graph with one representative include edge per module pair
+  // (first by report_path then line, for deterministic anchoring).
+  std::map<std::string, std::set<std::string>> adj;
+  std::map<std::pair<std::string, std::string>, Edge> rep;
+  std::vector<const ProjectFile*> ordered;
+  for (const ProjectFile& pf : ctx.files) ordered.push_back(&pf);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ProjectFile* a, const ProjectFile* b) {
+              return a->report_path < b->report_path;
+            });
+  for (const ProjectFile* pf : ordered) {
+    std::string mod = ModuleOfPath(pf->logical_path);
+    if (mod.empty()) continue;
+    for (const FileFacts::Include& inc : pf->facts.includes) {
+      std::string tmod = ModuleOfPath(IncludeLogicalPath(inc.target));
+      if (tmod.empty() || tmod == mod) continue;
+      adj[mod].insert(tmod);
+      rep.emplace(std::make_pair(mod, tmod),
+                  Edge{pf->report_path, inc.line, inc.col, inc.target});
+    }
+  }
+
+  SccFinder scc{adj, {}, {}, {}, {}, 0, {}};
+  for (const auto& [mod, targets] : adj) {
+    (void)targets;
+    if (!scc.index.count(mod)) scc.Visit(mod);
+  }
+
+  for (std::vector<std::string>& comp : scc.sccs) {
+    if (comp.size() < 2) continue;  // self-includes are filtered above
+    std::sort(comp.begin(), comp.end());
+    const std::string& anchor_mod = comp[0];
+    std::set<std::string> members(comp.begin(), comp.end());
+
+    // Shortest cycle through the lexicographically-smallest module, by
+    // BFS restricted to the component.
+    std::map<std::string, std::string> parent;
+    std::vector<std::string> frontier = {anchor_mod};
+    std::string back_from;  // the node whose edge closes the cycle
+    while (back_from.empty() && !frontier.empty()) {
+      std::vector<std::string> nxt;
+      for (const std::string& v : frontier) {
+        auto it = adj.find(v);
+        if (it == adj.end()) continue;
+        for (const std::string& w : it->second) {
+          if (!members.count(w)) continue;
+          if (w == anchor_mod) {
+            back_from = v;
+            break;
+          }
+          if (!parent.count(w)) {
+            parent[w] = v;
+            nxt.push_back(w);
+          }
+        }
+        if (!back_from.empty()) break;
+      }
+      frontier = std::move(nxt);
+    }
+    if (back_from.empty()) continue;  // unreachable for a true SCC
+
+    std::vector<std::string> path;  // anchor -> ... -> back_from
+    for (std::string v = back_from; v != anchor_mod; v = parent[v]) {
+      path.push_back(v);
+    }
+    path.push_back(anchor_mod);
+    std::reverse(path.begin(), path.end());
+    path.push_back(anchor_mod);  // close the loop for edge iteration
+
+    std::string chain = path[0];
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      chain += " -> " + path[i];
+    }
+
+    const Edge& first = rep.at(std::make_pair(path[0], path[1]));
+    Finding f;
+    f.rule = "layering.cycle";
+    f.path = first.report_path;
+    f.line = first.line;
+    f.col = first.col;
+    f.message = "module include cycle: " + chain +
+                "; the module graph must stay a DAG (full chain in "
+                "related locations)";
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const Edge& e = rep.at(std::make_pair(path[i], path[i + 1]));
+      f.related.push_back(RelatedLocation{
+          e.report_path, e.line,
+          "includes \"" + e.target + "\" (" + path[i] + " -> " +
+              path[i + 1] + ")"});
+    }
+    ctx.Emit(std::move(f), "layer");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass: concurrency.fork-unsafe
+
+void PassForkUnsafe(Ctx& ctx) {
+  std::vector<const ProjectFile*> roots;
+  for (const ProjectFile& pf : ctx.files) {
+    if (ModuleOfPath(pf.logical_path) == "ingest") roots.push_back(&pf);
+  }
+  std::sort(roots.begin(), roots.end(),
+            [](const ProjectFile* a, const ProjectFile* b) {
+              return a->report_path < b->report_path;
+            });
+
+  for (const ProjectFile* root : roots) {
+    // Primitives used directly in the ingest file anchor at themselves.
+    for (const FileFacts::Primitive& p : root->facts.primitives) {
+      Finding f;
+      f.rule = "concurrency.fork-unsafe";
+      f.path = root->report_path;
+      f.line = p.line;
+      f.col = p.col;
+      f.message = "fork-unsafe " + p.kind + " primitive '" + p.token +
+                  "' in src/ingest: chaos-crash forks ingest processes, "
+                  "and locks/threads do not survive fork()";
+      ctx.Emit(std::move(f), "fork");
+    }
+
+    // BFS over the quoted-include closure. A chain step is (file that
+    // includes, line, target); findings anchor at the root's own include
+    // line (chain[0]) so the suppression lives where the dependency is
+    // chosen.
+    struct Item {
+      std::string logical;
+      std::vector<Edge> chain;
+    };
+    std::set<std::string> visited{root->logical_path};
+    std::set<std::string> flagged;  // hazard files already reported
+    std::vector<Item> frontier;
+    for (const FileFacts::Include& inc : root->facts.includes) {
+      Edge e{root->report_path, inc.line, inc.col, inc.target};
+      frontier.push_back(Item{IncludeLogicalPath(inc.target), {e}});
+    }
+    while (!frontier.empty()) {
+      std::vector<Item> nxt;
+      for (Item& item : frontier) {
+        std::string mod = ModuleOfPath(item.logical);
+        auto it = ctx.by_logical.find(item.logical);
+        std::string hazard_path = it != ctx.by_logical.end()
+                                      ? it->second->report_path
+                                      : item.logical;
+        auto chain_related = [&item, &hazard_path]() {
+          std::vector<RelatedLocation> rel;
+          for (std::size_t i = 0; i < item.chain.size(); ++i) {
+            rel.push_back(RelatedLocation{
+                item.chain[i].report_path, item.chain[i].line,
+                "includes \"" + item.chain[i].target + "\""});
+          }
+          rel.push_back(RelatedLocation{hazard_path, 1, "reached file"});
+          return rel;
+        };
+        if (mod == "par") {
+          if (flagged.insert(item.logical).second) {
+            Finding f;
+            f.rule = "concurrency.fork-unsafe";
+            f.path = item.chain.front().report_path;
+            f.line = item.chain.front().line;
+            f.col = item.chain.front().col;
+            f.message = "src/ingest reaches the thread-pool module 'par' "
+                        "(via \"" +
+                        item.chain.back().target +
+                        "\"): chaos-crash forks ingest processes, and pool "
+                        "worker threads do not survive fork()";
+            f.related = chain_related();
+            ctx.Emit(std::move(f), "fork");
+          }
+          continue;  // do not traverse into par
+        }
+        if (it == ctx.by_logical.end()) continue;  // outside the project
+        const ProjectFile& reached = *it->second;
+        if (&reached != root && !reached.facts.primitives.empty() &&
+            flagged.insert(item.logical).second) {
+          const FileFacts::Primitive& p = reached.facts.primitives.front();
+          Finding f;
+          f.rule = "concurrency.fork-unsafe";
+          f.path = item.chain.front().report_path;
+          f.line = item.chain.front().line;
+          f.col = item.chain.front().col;
+          f.message = "src/ingest reaches fork-unsafe " + p.kind +
+                      " primitive '" + p.token + "' (" + hazard_path + ":" +
+                      std::to_string(p.line) +
+                      "): chaos-crash forks ingest processes, and "
+                      "locks/threads do not survive fork()";
+          f.related = chain_related();
+          f.related.back().message =
+              "uses '" + p.token + "' here";
+          f.related.back().line = p.line;
+          ctx.Emit(std::move(f), "fork");
+        }
+        if (!visited.insert(item.logical).second) continue;
+        for (const FileFacts::Include& inc : reached.facts.includes) {
+          Item deeper = item;
+          deeper.logical = IncludeLogicalPath(inc.target);
+          deeper.chain.push_back(
+              Edge{reached.report_path, inc.line, inc.col, inc.target});
+          nxt.push_back(std::move(deeper));
+        }
+      }
+      frontier = std::move(nxt);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass: errors.discarded-result
+
+void PassDiscardedResult(Ctx& ctx) {
+  // Cross-TU symbol table: function name -> first declaration site (by
+  // path then line, for a deterministic related location). Only HEADER
+  // declarations are visible project-wide — a Result-returning helper
+  // declared inside a .cc is TU-local, so it only shadows calls in its
+  // own file (otherwise an unrelated same-named function in another TU
+  // would be flagged).
+  auto is_header = [](const std::string& p) {
+    auto ends = [&p](std::string_view s) {
+      return p.size() >= s.size() &&
+             std::string_view(p).substr(p.size() - s.size()) == s;
+    };
+    return ends(".h") || ends(".hpp");
+  };
+  std::map<std::string, RelatedLocation> table;
+  std::vector<const ProjectFile*> ordered;
+  for (const ProjectFile& pf : ctx.files) ordered.push_back(&pf);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ProjectFile* a, const ProjectFile* b) {
+              return a->report_path < b->report_path;
+            });
+  for (const ProjectFile* pf : ordered) {
+    if (!is_header(pf->logical_path)) continue;
+    for (const FileFacts::ResultFn& fn : pf->facts.result_fns) {
+      table.emplace(fn.name,
+                    RelatedLocation{pf->report_path, fn.line,
+                                    "'" + fn.name +
+                                        "' declared returning Result here"});
+    }
+  }
+
+  for (const ProjectFile& pf : ctx.files) {
+    // TU-local declarations from this very file participate too.
+    std::map<std::string, RelatedLocation> local;
+    if (!is_header(pf.logical_path)) {
+      for (const FileFacts::ResultFn& fn : pf.facts.result_fns) {
+        local.emplace(fn.name,
+                      RelatedLocation{pf.report_path, fn.line,
+                                      "'" + fn.name +
+                                          "' declared returning Result "
+                                          "here"});
+      }
+    }
+    for (const FileFacts::DiscardedCall& call : pf.facts.discarded_calls) {
+      const RelatedLocation* decl = nullptr;
+      if (auto lit = local.find(call.name); lit != local.end()) {
+        decl = &lit->second;
+      } else if (auto git = table.find(call.name); git != table.end()) {
+        decl = &git->second;
+      }
+      if (decl == nullptr) continue;
+      Finding f;
+      f.rule = "errors.discarded-result";
+      f.path = pf.report_path;
+      f.line = call.line;
+      f.col = call.col;
+      f.message = "call to '" + call.name +
+                  "' discards its ipscope::Result value; check .ok() / "
+                  "propagate the error, or cast to (void) with a "
+                  "justification";
+      f.related.push_back(*decl);
+      ctx.Emit(std::move(f), "result");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass: concurrency.guarded-by
+
+void PassGuardedBy(Ctx& ctx) {
+  // Annotations resolve module-wide: the header that declares
+  // `std::vector<Entry> lru;  // guards: mu` covers the .cc that touches
+  // it. Group by module, first annotation per field wins (deterministic
+  // by path order).
+  struct Annotation {
+    std::string mutex;
+    std::string decl_path;
+    int decl_line = 0;
+  };
+  std::map<std::string, std::vector<const ProjectFile*>> modules;
+  for (const ProjectFile& pf : ctx.files) {
+    std::string mod = ModuleOfPath(pf.logical_path);
+    if (!mod.empty()) modules[mod].push_back(&pf);
+  }
+  for (auto& [mod, members] : modules) {
+    (void)mod;
+    std::sort(members.begin(), members.end(),
+              [](const ProjectFile* a, const ProjectFile* b) {
+                return a->report_path < b->report_path;
+              });
+    std::map<std::string, Annotation> guarded;
+    for (const ProjectFile* pf : members) {
+      for (const FileFacts::GuardAnnotation& g : pf->facts.guards) {
+        guarded.emplace(g.field, Annotation{g.mutex, pf->report_path,
+                                            g.decl_line});
+      }
+    }
+    if (guarded.empty()) continue;
+    for (const ProjectFile* pf : members) {
+      for (const FileFacts::FieldTouch& touch : pf->facts.touches) {
+        auto it = guarded.find(touch.field);
+        if (it == guarded.end()) continue;
+        const Annotation& ann = it->second;
+        // The declaration itself is not a touch.
+        if (ann.decl_path == pf->report_path && ann.decl_line == touch.line) {
+          continue;
+        }
+        if (std::find(touch.held.begin(), touch.held.end(), ann.mutex) !=
+            touch.held.end()) {
+          continue;
+        }
+        Finding f;
+        f.rule = "concurrency.guarded-by";
+        f.path = pf->report_path;
+        f.line = touch.line;
+        f.col = touch.col;
+        f.message = "field '" + touch.field + "' is guarded by '" +
+                    ann.mutex + "' but touched without holding it" +
+                    (touch.held.empty()
+                         ? std::string(" (no lock held)")
+                         : " (held: " + [&touch] {
+                             std::string h;
+                             for (const std::string& m : touch.held) {
+                               if (!h.empty()) h += ", ";
+                               h += m;
+                             }
+                             return h;
+                           }() + ")");
+        f.related.push_back(RelatedLocation{
+            ann.decl_path, ann.decl_line,
+            "'" + touch.field + "' annotated `// guards: " + ann.mutex +
+                "` here"});
+        ctx.Emit(std::move(f), "guard");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string ModuleOfPath(std::string_view path) {
+  constexpr std::string_view kSrc = "src/";
+  if (path.substr(0, kSrc.size()) != kSrc) return {};
+  std::string_view rest = path.substr(kSrc.size());
+  std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return {};  // file at src/ root
+  std::string_view mod = rest.substr(0, slash);
+  if (mod == "io") {
+    std::string_view base = rest.substr(rest.rfind('/') + 1);
+    if (IsIoBaseBasename(base)) return "io.base";
+  }
+  return std::string(mod);
+}
+
+int LayerOfModule(std::string_view module) {
+  for (const LayerEntry& e : kLayers) {
+    if (module == e.module) return e.layer;
+  }
+  return -1;
+}
+
+ProjectAnalysis AnalyzeProject(const std::vector<ProjectFile>& files) {
+  Ctx ctx(files);
+  PassIllegalDep(ctx);
+  PassCycle(ctx);
+  PassForkUnsafe(ctx);
+  PassDiscardedResult(ctx);
+  PassGuardedBy(ctx);
+  return std::move(ctx.out);
+}
+
+}  // namespace ipscope::lint

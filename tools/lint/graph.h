@@ -1,0 +1,84 @@
+// Phase-2 whole-project passes for ipscope_lint.
+//
+// Phase 1 (rules.cc) analyzes one file at a time and extracts FileFacts;
+// this header consumes the facts of EVERY file at once and enforces the
+// contracts no single translation unit can see:
+//
+//   layering.illegal-dep   the declared module layering (see kLayers in
+//                          graph.cc): a module may include same-or-lower
+//                          layers only. foundation (netbase, rng, timeutil,
+//                          stats, io.base) → infra (obs, par) → data (io,
+//                          activity, sim, ...) → analysis (report,
+//                          analysis, check) → services (ingest, serve,
+//                          cli). Suppress: lint: layer(...)
+//   layering.cycle         the module include graph must be acyclic; a
+//                          cycle is reported once, anchored at its
+//                          lexicographically-smallest module's edge, with
+//                          the full chain as related locations.
+//                          Suppress: lint: layer(...)
+//   concurrency.fork-unsafe  nothing reachable from src/ingest through
+//                          quoted includes may touch par::, std::thread/
+//                          jthread/async, or the std::mutex family — the
+//                          PR 8 contract that makes chaos-crash fork
+//                          testing sound. Findings anchor at the ingest
+//                          file's include line (or the primitive itself
+//                          when used directly) and carry the include chain.
+//                          Suppress: lint: fork(...)
+//   errors.discarded-result  a statement-position call to any function the
+//                          project declares as returning ipscope::Result
+//                          discards the error; `(void)` casts do not
+//                          count as discarded. Suppress: lint: result(...)
+//   concurrency.guarded-by  a field annotated `// guards: <mutex>` may
+//                          only be touched in scopes that RAII-lock that
+//                          mutex; annotations resolve module-wide so a
+//                          header's annotation covers its .cc.
+//                          Suppress: lint: guard(...)
+//
+// Suppressions for phase-2 findings live in the ANCHOR file, on the
+// anchor line, exactly like phase-1 suppressions.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rules.h"
+
+namespace ipscope::lint {
+
+// One file's contribution to the whole-project analysis.
+struct ProjectFile {
+  // Path findings are reported under (tree: the real relative path;
+  // self-test: the corpus file name).
+  std::string report_path;
+  // Path used for module classification (tree: same as report_path;
+  // self-test: the `// lint-corpus-as:` pseudo-path).
+  std::string logical_path;
+  FileFacts facts;
+  // Justified suppressions in this file (phase-2 findings anchored here
+  // consult them by tag + line).
+  std::vector<SuppressionRecord> suppressions;
+};
+
+struct ProjectAnalysis {
+  std::vector<Finding> findings;  // unsuppressed, unsorted
+  int suppressions_used = 0;
+};
+
+// Maps a '/'-separated repo-relative path to its module, or "" when the
+// path is outside src/. `src/<mod>/...` → "<mod>", except the handful of
+// dependency-free src/io basenames (atomic_file, crc32c, result.h,
+// store_error) which form the virtual foundation module "io.base" — they
+// are documented to sit below obs (src/io/atomic_file.h) and everything
+// may depend on them.
+std::string ModuleOfPath(std::string_view path);
+
+// Layer index of a module (0 = foundation … 4 = services), or -1 for
+// modules absent from the declared table (unknown modules are exempt from
+// the layering check but still participate in cycle detection).
+int LayerOfModule(std::string_view module);
+
+// Runs every whole-project pass over the files' facts.
+ProjectAnalysis AnalyzeProject(const std::vector<ProjectFile>& files);
+
+}  // namespace ipscope::lint

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "lexer.h"
+#include "token_util.h"
 
 namespace ipscope::lint {
 namespace {
@@ -75,55 +76,8 @@ void ParseSuppressionsInComment(const std::string& text, int comment_line,
 }
 
 // ---------------------------------------------------------------------------
-// Token helpers
-
-using Tokens = std::vector<Token>;
-
-bool IsIdent(const Token& t, std::string_view name) {
-  return t.kind == TokKind::kIdent && t.text == name;
-}
-bool IsPunct(const Token& t, std::string_view p) {
-  return t.kind == TokKind::kPunct && t.text == p;
-}
-
-// True when tokens i-2, i-1 spell `std ::` (i.e. toks[i] is std-qualified).
-bool StdQualified(const Tokens& toks, std::size_t i) {
-  return i >= 3 && IsPunct(toks[i - 1], ":") && IsPunct(toks[i - 2], ":") &&
-         IsIdent(toks[i - 3], "std");
-}
-
-// True when toks[i] is preceded by `::` (any qualification).
-bool ScopeQualified(const Tokens& toks, std::size_t i) {
-  return i >= 2 && IsPunct(toks[i - 1], ":") && IsPunct(toks[i - 2], ":");
-}
-
-// toks[i] is '<': returns the index just past its matching '>', or i on
-// imbalance. Single-char puncts mean '>>' counts as two closers.
-std::size_t SkipTemplateArgs(const Tokens& toks, std::size_t i) {
-  int depth = 0;
-  std::size_t j = i;
-  for (; j < toks.size(); ++j) {
-    if (IsPunct(toks[j], "<")) ++depth;
-    if (IsPunct(toks[j], ">")) {
-      --depth;
-      if (depth == 0) return j + 1;
-    }
-    if (IsPunct(toks[j], ";")) break;  // statement end: not a template
-  }
-  return i;
-}
-
-std::string Snippet(const Tokens& toks, std::size_t first, std::size_t last) {
-  std::string out;
-  for (std::size_t i = first; i < last && i < toks.size(); ++i) {
-    if (!out.empty()) out += ' ';
-    out += toks[i].text;
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Rule engine
+// Rule engine (token-shape helpers shared with facts.cc live in
+// token_util.h)
 
 struct Engine {
   const FileInfo& info;
@@ -132,7 +86,7 @@ struct Engine {
 
   void Report(const char* rule, const Token& at, std::string message) {
     raw.push_back(Finding{rule, info.rel_path, at.line, at.col,
-                          std::move(message)});
+                          std::move(message), {}});
   }
 
   // --- [determinism] -------------------------------------------------------
@@ -614,6 +568,24 @@ const std::vector<RuleMeta>& RuleCatalogue() {
        "a lost write."},
       {"lint.suppression", nullptr,
        "Every lint suppression carries a non-empty justification."},
+      // Phase-2 (whole-project) rules; the passes live in graph.cc.
+      {"layering.illegal-dep", "layer",
+       "Modules include same-or-lower layers only: foundation (netbase, "
+       "rng, timeutil, stats, io.base) -> infra (obs, par) -> data (io, "
+       "activity, sim, ...) -> analysis (report, analysis, check) -> "
+       "services (ingest, serve, cli)."},
+      {"layering.cycle", "layer",
+       "The module include graph must stay acyclic."},
+      {"concurrency.fork-unsafe", "fork",
+       "Nothing reachable from src/ingest through quoted includes may use "
+       "par::, std::thread/jthread/async, or the std::mutex family "
+       "(chaos-crash forks ingest processes)."},
+      {"errors.discarded-result", "result",
+       "Statement-position calls to ipscope::Result-returning functions "
+       "discard the error; consume the value or cast to (void)."},
+      {"concurrency.guarded-by",  "guard",
+       "Fields annotated `// guards: <mutex>` are only touched in scopes "
+       "that RAII-lock that mutex."},
   };
   return kRules;
 }
@@ -670,6 +642,7 @@ FileAnalysis AnalyzeFile(const FileInfo& info, std::string_view source) {
 
   std::vector<Suppression> sups;
   FileAnalysis out;
+  out.facts = ExtractFacts(lexed);
   for (const CommentBlock& c : blocks) {
     std::vector<Suppression> in_comment;
     ParseSuppressionsInComment(c.text, c.line, in_comment);
@@ -685,7 +658,8 @@ FileAnalysis AnalyzeFile(const FileInfo& info, std::string_view source) {
             "lint.suppression", info.rel_path, s.comment_line, 1,
             "suppression 'lint: " + s.tag +
                 "(...)' has an empty justification; say why the contract "
-                "holds here"});
+                "holds here",
+            {}});
         continue;  // an unjustified suppression does not silence anything
       }
       sups.push_back(std::move(s));
@@ -716,6 +690,11 @@ FileAnalysis AnalyzeFile(const FileInfo& info, std::string_view source) {
               if (a.col != b.col) return a.col < b.col;
               return a.rule < b.rule;
             });
+  // Export every justified suppression (used or not): the phase-2 passes
+  // match them by tag + anchor line for findings anchored in this file.
+  for (const Suppression& s : sups) {
+    out.suppressions.push_back(SuppressionRecord{s.tag, s.applies_line});
+  }
   return out;
 }
 

@@ -60,11 +60,26 @@
 // (`// lint: ordered(a), io(b)`). A trailing comment suppresses its own
 // line; a standalone comment line suppresses the next code line. The
 // justification must be non-empty and must not contain ')'.
+// Cross-file (phase-2) rules live in graph.h; their catalogue entries are
+// registered here so SARIF metadata, --list-rules, and the self-test's
+// every-rule-fires check see one unified rule set:
+//
+//  [layering]     layering.illegal-dep, layering.cycle — the declared
+//                 module DAG. Suppress: lint: layer(...)
+//  [concurrency]  concurrency.fork-unsafe — nothing reachable from
+//                 src/ingest may touch pools/threads/mutexes (chaos-crash
+//                 forks). Suppress: lint: fork(...)
+//                 concurrency.guarded-by — `// guards: <mutex>` fields are
+//                 only touched under that lock. Suppress: lint: guard(...)
+//  [errors]       errors.discarded-result — ipscope::Result return values
+//                 must be consumed. Suppress: lint: result(...)
 #pragma once
 
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "facts.h"
 
 namespace ipscope::lint {
 
@@ -83,17 +98,36 @@ struct FileInfo {
 // Classifies `rel_path` (path relative to the repo root, '/'-separated).
 FileInfo ClassifyPath(std::string rel_path);
 
+// A supporting location on a finding — the steps of an include chain, the
+// declaration a call resolves to, the annotation a touch violates. Emitted
+// as SARIF relatedLocations and as indented `via` lines in text output.
+struct RelatedLocation {
+  std::string path;
+  int line = 0;
+  std::string message;
+};
+
 struct Finding {
   std::string rule;     // e.g. "determinism.unordered-iter"
   std::string path;     // as reported (FileInfo::rel_path)
   int line = 0;
   int col = 0;
   std::string message;  // human sentence, includes the offending token span
+  std::vector<RelatedLocation> related;  // phase-2 chains; empty in phase 1
+};
+
+// A justified suppression, exported so the phase-2 passes (graph.h) can
+// honor `lint: layer(...)` etc. anchored in this file.
+struct SuppressionRecord {
+  std::string tag;
+  int applies_line = 0;
 };
 
 struct FileAnalysis {
   std::vector<Finding> findings;    // unsuppressed findings only
   int suppressions_used = 0;        // findings silenced by a justified tag
+  FileFacts facts;                  // phase-1 facts for the project passes
+  std::vector<SuppressionRecord> suppressions;  // justified, incl. unused
 };
 
 // Runs every applicable rule over one file.

@@ -78,8 +78,23 @@ void WriteSarif(const std::vector<Finding>& findings, std::ostream& os) {
           "{\"uri\": \""
        << JsonEscape(f.path) << "\"}, \"region\": {\"startLine\": " << f.line
        << ", \"startColumn\": " << f.col << "}}}\n"
-       << "          ]\n"
-       << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+       << "          ]";
+    // Phase-2 findings carry their evidence chain (include path, cycle
+    // edges, the annotation a touch violates) as relatedLocations.
+    if (!f.related.empty()) {
+      os << ",\n          \"relatedLocations\": [\n";
+      for (std::size_t r = 0; r < f.related.size(); ++r) {
+        const RelatedLocation& rl = f.related[r];
+        os << "            {\"physicalLocation\": {\"artifactLocation\": "
+              "{\"uri\": \""
+           << JsonEscape(rl.path) << "\"}, \"region\": {\"startLine\": "
+           << rl.line << "}}, \"message\": {\"text\": \""
+           << JsonEscape(rl.message) << "\"}}"
+           << (r + 1 < f.related.size() ? "," : "") << "\n";
+      }
+      os << "          ]";
+    }
+    os << "\n        }" << (i + 1 < findings.size() ? "," : "") << "\n";
   }
   os << "      ]\n"
      << "    }\n"

@@ -7,6 +7,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "cache.h"
+#include "graph.h"
+
 namespace ipscope::lint {
 namespace {
 
@@ -25,15 +28,6 @@ std::string ReadFileOrThrow(const fs::path& p) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return std::move(buf).str();
-}
-
-void AnalyzeInto(const std::string& rel, const std::string& source,
-                 ScanResult& out) {
-  FileInfo info = ClassifyPath(rel);
-  FileAnalysis fa = AnalyzeFile(info, source);
-  ++out.files_scanned;
-  out.suppressions_used += fa.suppressions_used;
-  for (Finding& f : fa.findings) out.findings.push_back(std::move(f));
 }
 
 // First-line corpus marker: `// lint-corpus-as: <pseudo-path>`.
@@ -56,9 +50,19 @@ std::string RuleSlug(std::string id) {
   return id;
 }
 
+void SortFindings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
+              return a.rule < b.rule;
+            });
+}
+
 }  // namespace
 
-ScanResult ScanTree(const std::string& root) {
+ScanResult ScanTree(const std::string& root, const ScanOptions& opts) {
   static const char* kRoots[] = {"src", "tools", "bench", "tests", "examples"};
   std::vector<std::string> rels;
   for (const char* top : kRoots) {
@@ -75,19 +79,44 @@ ScanResult ScanTree(const std::string& root) {
     }
   }
   std::sort(rels.begin(), rels.end());
-  return ScanFiles(root, rels);
+  return ScanFiles(root, rels, opts);
 }
 
 ScanResult ScanFiles(const std::string& root,
-                     const std::vector<std::string>& paths) {
+                     const std::vector<std::string>& paths,
+                     const ScanOptions& opts) {
   ScanResult out;
+  FactsCache cache(opts.cache_dir);
+  std::vector<ProjectFile> project;
   for (const std::string& p : paths) {
     fs::path abs = fs::path(p).is_absolute() ? fs::path(p) : fs::path(root) / p;
     std::string rel = fs::path(p).is_absolute()
                           ? fs::relative(abs, root).generic_string()
                           : fs::path(p).generic_string();
-    AnalyzeInto(rel, ReadFileOrThrow(abs), out);
+    std::string source = ReadFileOrThrow(abs);
+    std::uint32_t crc = ContentCrc(source);
+
+    FileAnalysis fa;
+    if (cache.Load(rel, crc, fa)) {
+      ++out.cache_hits;
+    } else {
+      fa = AnalyzeFile(ClassifyPath(rel), source);
+      if (cache.enabled()) {
+        cache.Store(rel, crc, fa);
+        ++out.facts_cached;
+      }
+    }
+    ++out.files_scanned;
+    out.suppressions_used += fa.suppressions_used;
+    for (Finding& f : fa.findings) out.findings.push_back(std::move(f));
+    project.push_back(ProjectFile{rel, rel, std::move(fa.facts),
+                                  std::move(fa.suppressions)});
   }
+
+  ProjectAnalysis pa = AnalyzeProject(project);
+  out.suppressions_used += pa.suppressions_used;
+  for (Finding& f : pa.findings) out.findings.push_back(std::move(f));
+  SortFindings(out.findings);
   return out;
 }
 
@@ -129,6 +158,7 @@ int RunSelfTest(const std::string& corpus_dir, std::ostream& os) {
   int failures = 0;
   std::set<std::string> actual;
   std::set<std::string> fired_rules;
+  std::vector<ProjectFile> project;
   for (const fs::path& f : files) {
     std::string source = ReadFileOrThrow(f);
     std::string pseudo = CorpusPseudoPath(source);
@@ -147,6 +177,19 @@ int RunSelfTest(const std::string& corpus_dir, std::ostream& os) {
                     finding.rule);
       fired_rules.insert(finding.rule);
     }
+    project.push_back(ProjectFile{name, pseudo, std::move(fa.facts),
+                                  std::move(fa.suppressions)});
+  }
+
+  // Phase 2: the whole corpus is one project under its pseudo-paths, so
+  // the cross-file rules (layering, fork-safety, discarded-Result,
+  // guarded-by) fire across corpus files exactly as they would across the
+  // tree.
+  ProjectAnalysis pa = AnalyzeProject(project);
+  for (const Finding& finding : pa.findings) {
+    actual.insert(finding.path + ":" + std::to_string(finding.line) + ":" +
+                  finding.rule);
+    fired_rules.insert(finding.rule);
   }
 
   for (const std::string& e : expected) {

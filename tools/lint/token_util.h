@@ -1,0 +1,133 @@
+// Shared token-shape helpers for the ipscope_lint rule engine and the
+// phase-1 fact extractor. Everything here operates on the code stream the
+// lexer produces (single-char punctuation except "...", no preprocessing),
+// so "`->`" is the token pair `-` `>` and "`::`" is `:` `:`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.h"
+
+namespace ipscope::lint {
+
+using Tokens = std::vector<Token>;
+
+inline bool IsIdent(const Token& t, std::string_view name) {
+  return t.kind == TokKind::kIdent && t.text == name;
+}
+inline bool IsPunct(const Token& t, std::string_view p) {
+  return t.kind == TokKind::kPunct && t.text == p;
+}
+
+// True when tokens i-2, i-1 spell `std ::` (i.e. toks[i] is std-qualified).
+inline bool StdQualified(const Tokens& toks, std::size_t i) {
+  return i >= 3 && IsPunct(toks[i - 1], ":") && IsPunct(toks[i - 2], ":") &&
+         IsIdent(toks[i - 3], "std");
+}
+
+// True when toks[i] is preceded by `::` (any qualification).
+inline bool ScopeQualified(const Tokens& toks, std::size_t i) {
+  return i >= 2 && IsPunct(toks[i - 1], ":") && IsPunct(toks[i - 2], ":");
+}
+
+// toks[i] is '<': returns the index just past its matching '>', or i on
+// imbalance. Single-char puncts mean '>>' counts as two closers.
+inline std::size_t SkipTemplateArgs(const Tokens& toks, std::size_t i) {
+  int depth = 0;
+  std::size_t j = i;
+  for (; j < toks.size(); ++j) {
+    if (IsPunct(toks[j], "<")) ++depth;
+    if (IsPunct(toks[j], ">")) {
+      --depth;
+      if (depth == 0) return j + 1;
+    }
+    if (IsPunct(toks[j], ";")) break;  // statement end: not a template
+  }
+  return i;
+}
+
+inline std::string Snippet(const Tokens& toks, std::size_t first,
+                           std::size_t last) {
+  std::string out;
+  for (std::size_t i = first; i < last && i < toks.size(); ++i) {
+    if (!out.empty()) out += ' ';
+    out += toks[i].text;
+  }
+  return out;
+}
+
+// toks[i] is the callee identifier of a call expression (`Name (` shape).
+// Walks backwards over the whole postfix expression the call hangs off —
+// `a :: b`, `obj . member`, `ptr -> member`, chained calls `f() . g` and
+// subscripts `v[i] . g` — and returns the index of the expression's first
+// token. Used to decide whether the call sits in statement position (its
+// value is discarded).
+inline std::size_t CallExprStart(const Tokens& toks, std::size_t i) {
+  // A statement keyword before a global `::` (as in `return ::close(fd)`)
+  // is not a qualifier — the walk must stop at the `::`, not swallow the
+  // keyword into the expression.
+  static const char* const kStmtKeywords[] = {
+      "return", "co_return", "co_yield", "co_await", "throw",
+      "case",   "else",      "do",       "goto"};
+  auto is_stmt_keyword = [](const Token& t) {
+    if (t.kind != TokKind::kIdent) return false;
+    for (const char* kw : kStmtKeywords) {
+      if (t.text == kw) return true;
+    }
+    return false;
+  };
+  std::size_t j = i;
+  for (;;) {
+    // Skip `X ::` / leading `::` qualifier pairs.
+    while (j >= 2 && IsPunct(toks[j - 1], ":") && IsPunct(toks[j - 2], ":")) {
+      if (j >= 3 && toks[j - 3].kind == TokKind::kIdent &&
+          !is_stmt_keyword(toks[j - 3])) {
+        j -= 3;
+      } else {
+        j -= 2;
+      }
+    }
+    // Member-access connector before the name? (`->` lexes as `-` `>`.)
+    std::size_t k;
+    if (j >= 2 && IsPunct(toks[j - 1], ".")) {
+      k = j - 2;
+    } else if (j >= 3 && IsPunct(toks[j - 1], ">") &&
+               IsPunct(toks[j - 2], "-")) {
+      k = j - 3;
+    } else {
+      return j;
+    }
+    // k is the last token of the object expression the member hangs off.
+    if (toks[k].kind == TokKind::kIdent) {
+      j = k;
+      continue;
+    }
+    if (IsPunct(toks[k], ")") || IsPunct(toks[k], "]")) {
+      // Match the closer backwards to its opener, then keep walking if the
+      // opener follows an identifier (a chained call / subscript).
+      const char* open = IsPunct(toks[k], ")") ? "(" : "[";
+      const char* close = IsPunct(toks[k], ")") ? ")" : "]";
+      int depth = 0;
+      std::size_t m = k + 1;
+      while (m-- > 0) {
+        if (IsPunct(toks[m], close)) ++depth;
+        if (IsPunct(toks[m], open)) {
+          --depth;
+          if (depth == 0) break;
+        }
+        if (m == 0) return j;  // imbalanced; stop where we are
+      }
+      if (m >= 1 && toks[m - 1].kind == TokKind::kIdent) {
+        j = m - 1;
+        continue;
+      }
+      return m;
+    }
+    return j;
+  }
+}
+
+}  // namespace ipscope::lint
